@@ -1,0 +1,23 @@
+//! Compact de Bruijn graph unitig assembler — the MEGAHIT stand-in.
+//!
+//! Tables 8 and 9 of the paper measure how METAPREP partitioning affects a
+//! downstream assembler's running time and output quality. MEGAHIT itself
+//! is a large external C++ program; this crate implements the smallest
+//! assembler with the properties those tables exercise:
+//!
+//! * k-mer counting with a solid-k-mer frequency threshold (every dBG
+//!   assembler filters low-coverage k-mers, which is also why the paper's
+//!   `KF` filters "result in improved assembly quality");
+//! * unitig construction: maximal non-branching paths of the canonical de
+//!   Bruijn graph, walked in both orientations;
+//! * assembly statistics: contig count, total bases, longest contig, and
+//!   N50 — exactly the columns of Table 9.
+//!
+//! Runtime grows with input size and graph complexity, so partition-and-
+//! assemble-separately reproduces the Table 8 speedup shape.
+
+pub mod assembler;
+pub mod stats;
+
+pub use assembler::{assemble, assemble_multik, Assembly, AssemblyConfig};
+pub use stats::AssemblyStats;

@@ -1,0 +1,93 @@
+//! Assembly quality statistics (the columns of paper Table 9).
+
+/// Summary of an assembly's contig length distribution.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct AssemblyStats {
+    /// Number of contigs.
+    pub contigs: usize,
+    /// Total assembled bases.
+    pub total_bases: usize,
+    /// Length of the longest contig ("Max (bp)").
+    pub max_contig: usize,
+    /// N50: the largest length `L` such that contigs of length `>= L`
+    /// cover at least half of `total_bases`.
+    pub n50: usize,
+}
+
+impl AssemblyStats {
+    /// Compute from contig lengths (any order).
+    pub fn from_lengths(lengths: impl IntoIterator<Item = usize>) -> Self {
+        let mut ls: Vec<usize> = lengths.into_iter().collect();
+        ls.sort_unstable_by(|a, b| b.cmp(a));
+        let total: usize = ls.iter().sum();
+        let max = ls.first().copied().unwrap_or(0);
+        let mut acc = 0usize;
+        let mut n50 = 0usize;
+        for &l in &ls {
+            acc += l;
+            if 2 * acc >= total && total > 0 {
+                n50 = l;
+                break;
+            }
+        }
+        Self {
+            contigs: ls.len(),
+            total_bases: total,
+            max_contig: max,
+            n50,
+        }
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty() {
+        let s = AssemblyStats::from_lengths([]);
+        assert_eq!(s.contigs, 0);
+        assert_eq!(s.total_bases, 0);
+        assert_eq!(s.n50, 0);
+        assert_eq!(s.max_contig, 0);
+    }
+
+    #[test]
+    fn single_contig() {
+        let s = AssemblyStats::from_lengths([500]);
+        assert_eq!(s.contigs, 1);
+        assert_eq!(s.n50, 500);
+        assert_eq!(s.max_contig, 500);
+    }
+
+    #[test]
+    fn textbook_n50() {
+        // Lengths 10,9,8,7,6,5: total 45, half 22.5; 10+9=19 < 22.5,
+        // 10+9+8=27 >= 22.5 -> N50 = 8.
+        let s = AssemblyStats::from_lengths([7, 10, 5, 8, 9, 6]);
+        assert_eq!(s.n50, 8);
+        assert_eq!(s.total_bases, 45);
+        assert_eq!(s.max_contig, 10);
+    }
+
+    #[test]
+    fn equal_lengths() {
+        let s = AssemblyStats::from_lengths([100, 100, 100, 100]);
+        assert_eq!(s.n50, 100);
+    }
+
+    #[test]
+    fn dominated_by_one_giant() {
+        let s = AssemblyStats::from_lengths([1000, 1, 1, 1]);
+        assert_eq!(s.n50, 1000);
+    }
+
+    #[test]
+    fn n50_at_exact_half() {
+        // 6+4 = 10, total 20, exactly half at the second contig (6+4=10).
+        let s = AssemblyStats::from_lengths([6, 4, 5, 5]);
+        // sorted: 6,5,5,4; acc 6 (<10), 11 (>=10) -> n50 = 5.
+        assert_eq!(s.n50, 5);
+    }
+}

@@ -1,0 +1,42 @@
+//! Ablation: the P-stage all-to-all schedule (paper §3.3) vs the naive
+//! fire-everything-at-once exchange.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaprep_dist::collectives::{alltoall, alltoall_naive};
+use metaprep_dist::{run_cluster, ClusterConfig};
+
+fn bench(c: &mut Criterion) {
+    let p = 8usize;
+    let per_buf = 64 * 1024usize; // u64s per destination buffer
+
+    let mut g = c.benchmark_group("alltoall");
+    g.throughput(Throughput::Bytes((p * p * per_buf * 8) as u64));
+    g.sample_size(10);
+
+    g.bench_function("staged", |b| {
+        b.iter(|| {
+            run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(p, 1), |ctx| {
+                let outgoing: Vec<Vec<u64>> =
+                    (0..ctx.size()).map(|q| vec![q as u64; per_buf]).collect();
+                let incoming = alltoall(ctx, outgoing);
+                incoming.iter().map(|v| v.len()).sum::<usize>()
+            })
+            .results[0]
+        })
+    });
+    g.bench_function("naive", |b| {
+        b.iter(|| {
+            run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(p, 1), |ctx| {
+                let outgoing: Vec<Vec<u64>> =
+                    (0..ctx.size()).map(|q| vec![q as u64; per_buf]).collect();
+                let incoming = alltoall_naive(ctx, outgoing);
+                incoming.iter().map(|v| v.len()).sum::<usize>()
+            })
+            .results[0]
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

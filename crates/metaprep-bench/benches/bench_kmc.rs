@@ -1,0 +1,35 @@
+//! KMC2-style counter stage costs (Figure 9's underlying measurement).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaprep_bench::dataset;
+use metaprep_kmc::{count_kmers, KmcConfig};
+use metaprep_synth::DatasetId;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset(DatasetId::Hg, 0.2);
+    let bases = data.reads.total_bases() as u64;
+
+    let mut g = c.benchmark_group("kmc");
+    g.throughput(Throughput::Bytes(bases));
+    g.sample_size(10);
+
+    for (name, bins) in [("bins_64", 64usize), ("bins_512", 512)] {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                count_kmers(
+                    &data.reads,
+                    KmcConfig {
+                        k: 27,
+                        minimizer_len: 7,
+                        bins,
+                    },
+                )
+                .distinct_kmers
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Digital normalization and count-min sketch throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaprep_bench::dataset;
+use metaprep_norm::{normalize, CountMinSketch, NormalizeConfig};
+use metaprep_synth::DatasetId;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset(DatasetId::Mm, 0.15);
+    let bases = data.reads.total_bases() as u64;
+
+    let mut g = c.benchmark_group("norm");
+    g.throughput(Throughput::Bytes(bases));
+    g.sample_size(10);
+
+    g.bench_function("normalize_target20", |b| {
+        b.iter(|| {
+            normalize(
+                &data.reads,
+                NormalizeConfig {
+                    k: 20,
+                    target: 20,
+                    sketch_width: 1 << 20,
+                    sketch_depth: 4,
+                    seed: 1,
+                },
+            )
+            .kept
+        })
+    });
+    g.finish();
+
+    let mut g = c.benchmark_group("countmin");
+    g.throughput(Throughput::Elements(1 << 16));
+    g.sample_size(10);
+    g.bench_function("add_estimate", |b| {
+        b.iter(|| {
+            let mut s = CountMinSketch::new(1 << 16, 4, 7);
+            let mut acc = 0u64;
+            for i in 0..(1u64 << 16) {
+                s.add(i.wrapping_mul(0x9E3779B97F4A7C15));
+                acc += s.estimate(i);
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

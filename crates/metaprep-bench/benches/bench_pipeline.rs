@@ -1,0 +1,49 @@
+//! End-to-end pipeline benchmark (small HG stand-in), including the
+//! LocalCC-Opt ablation (paper §3.5.1) on a multi-pass configuration.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaprep_bench::dataset;
+use metaprep_core::{Pipeline, PipelineConfig};
+use metaprep_synth::DatasetId;
+
+fn bench(c: &mut Criterion) {
+    let data = dataset(DatasetId::Hg, 0.2);
+    let bases = data.reads.total_bases() as u64;
+
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Bytes(bases));
+    g.sample_size(10);
+
+    g.bench_function("hg_1task", |b| {
+        let cfg = PipelineConfig::builder().k(27).build();
+        b.iter(|| {
+            Pipeline::new(cfg.clone())
+                .run_reads(&data.reads)
+                .unwrap()
+                .components
+                .components
+        })
+    });
+    g.bench_function("hg_4tasks_2passes", |b| {
+        let cfg = PipelineConfig::builder().k(27).tasks(4).passes(2).build();
+        b.iter(|| {
+            Pipeline::new(cfg.clone())
+                .run_reads(&data.reads)
+                .unwrap()
+                .components
+                .components
+        })
+    });
+    g.bench_function("hg_4passes_ccopt_on", |b| {
+        let cfg = PipelineConfig::builder().k(27).passes(4).cc_opt(true).build();
+        b.iter(|| Pipeline::new(cfg.clone()).run_reads(&data.reads).unwrap().tuples_total)
+    });
+    g.bench_function("hg_4passes_ccopt_off", |b| {
+        let cfg = PipelineConfig::builder().k(27).passes(4).cc_opt(false).build();
+        b.iter(|| Pipeline::new(cfg.clone()).run_reads(&data.reads).unwrap().tuples_total)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

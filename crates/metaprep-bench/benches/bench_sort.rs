@@ -1,0 +1,59 @@
+//! Ablation: radix digit width (paper §3.4 prefers 8-bit passes), plus
+//! LocalSort vs the parallel LSB comparator vs std::sort.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaprep_kmer::KmerReadTuple;
+use metaprep_sort::{local_sort, lsb_radix_sort, parallel_lsb_sort};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn tuples(n: usize) -> Vec<KmerReadTuple> {
+    let mut rng = SmallRng::seed_from_u64(2);
+    (0..n)
+        .map(|i| KmerReadTuple::new(rng.gen::<u64>() >> 10, i as u32))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 1 << 20;
+    let input = tuples(n);
+
+    let mut g = c.benchmark_group("sort");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+
+    for bits in [8u32, 11, 16] {
+        g.bench_function(format!("serial_radix_{bits}bit"), |b| {
+            b.iter_batched(
+                || (input.clone(), vec![KmerReadTuple::default(); n]),
+                |(mut d, mut s)| lsb_radix_sort(&mut d, &mut s, bits, 54),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    g.bench_function("local_sort_4ranges", |b| {
+        b.iter_batched(
+            || (input.clone(), vec![KmerReadTuple::default(); n]),
+            |(mut d, mut s)| local_sort(&mut d, &mut s, 4, 8, 54),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("parallel_lsb", |b| {
+        b.iter_batched(
+            || (input.clone(), vec![KmerReadTuple::default(); n]),
+            |(mut d, mut s)| parallel_lsb_sort(&mut d, &mut s, 8, 54),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.bench_function("std_sort_unstable", |b| {
+        b.iter_batched(
+            || input.clone(),
+            |mut d| d.sort_unstable_by_key(|t| t.kmer),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

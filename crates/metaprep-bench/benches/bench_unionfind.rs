@@ -1,0 +1,52 @@
+//! Ablation: concurrent union-find (CAS + buffered verification, paper
+//! Algorithm 1) vs the mutex-protected baseline vs sequential union-find
+//! vs Shiloach–Vishkin.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use metaprep_cc::locked::locked_components;
+use metaprep_cc::{shiloach_vishkin, ConcurrentDisjointSet, DisjointSet};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn graph(n: usize, m: usize) -> Vec<(u32, u32)> {
+    let mut rng = SmallRng::seed_from_u64(3);
+    (0..m)
+        .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let n = 200_000;
+    let edges = graph(n, 400_000);
+
+    let mut g = c.benchmark_group("unionfind");
+    g.throughput(Throughput::Elements(edges.len() as u64));
+    g.sample_size(10);
+
+    g.bench_function("concurrent_cas", |b| {
+        b.iter(|| {
+            let ds = ConcurrentDisjointSet::new(n);
+            ds.process_edges_parallel(&edges);
+            ds.to_component_array()[0]
+        })
+    });
+    g.bench_function("locked_mutex", |b| {
+        b.iter(|| locked_components(n, &edges)[0])
+    });
+    g.bench_function("sequential", |b| {
+        b.iter(|| {
+            let mut ds = DisjointSet::new(n);
+            for &(u, v) in &edges {
+                ds.union(u, v);
+            }
+            ds.find(0)
+        })
+    });
+    g.bench_function("shiloach_vishkin", |b| {
+        b.iter(|| shiloach_vishkin(n, &edges).iterations)
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

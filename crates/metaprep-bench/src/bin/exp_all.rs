@@ -1,0 +1,26 @@
+//! Runs every experiment in paper order (Tables 2-9, Figures 5-9).
+
+use std::time::Instant;
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    println!("METAPREP experiment suite, scale = {scale}");
+    let t0 = Instant::now();
+    use metaprep_bench::experiments as e;
+    e::table2::run(scale);
+    e::fig5::run(scale);
+    e::fig6::run(scale);
+    e::fig7::run(scale);
+    e::fig8::run(scale);
+    e::table3::run(scale);
+    e::fig9::run(scale);
+    e::sort_throughput::run(scale);
+    e::table4::run(scale);
+    e::table5::run(scale);
+    e::table6::run(scale);
+    e::table7::run(scale);
+    e::table8_9::run(scale);
+    e::sparse_merge::run(scale);
+    e::quality::run(scale);
+    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+}

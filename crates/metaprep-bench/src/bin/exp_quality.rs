@@ -1,0 +1,6 @@
+//! Extension experiment: partition quality against synthetic ground truth.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::quality::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Extension experiment: sparse vs dense Merge-Comm payloads.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::sparse_merge::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates one table/figure of the paper; see crate docs.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::table5::run(scale);
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Tables 8 and 9 (assembly time and quality).
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::table8_9::run(scale);
+}

@@ -1,0 +1,54 @@
+//! Figure 5 — single-node thread scaling (HG dataset).
+//!
+//! The paper sweeps 1..24 threads on one node of Ganga and Edison and
+//! reports per-step stacked times plus relative speedup (14.5x on Edison's
+//! 24 cores). On this container's single core the wall-clock curve is flat;
+//! the harness therefore also prints per-thread tuple counts (the static
+//! load-balance quantity that actually drives the paper's scaling).
+
+use crate::harness::{dataset, fmt_dur, print_table};
+use metaprep_core::{Pipeline, PipelineConfig, Step};
+use metaprep_synth::DatasetId;
+
+/// Run the thread sweep and print the per-step breakdown.
+pub fn run(scale: f64) {
+    let data = dataset(DatasetId::Hg, scale);
+    let threads = [1usize, 2, 4, 8];
+
+    let mut rows = Vec::new();
+    let mut base_total = None;
+    for &t in &threads {
+        let cfg = PipelineConfig::builder().k(27).tasks(1).threads(t).build();
+        let res = Pipeline::new(cfg).run_reads(&data.reads).expect("pipeline");
+        let total = res.timings.total();
+        let base = *base_total.get_or_insert(total.as_secs_f64());
+        rows.push(vec![
+            t.to_string(),
+            fmt_dur(res.timings.max_of(Step::KmerGenIo)),
+            fmt_dur(res.timings.max_of(Step::KmerGen)),
+            fmt_dur(res.timings.max_of(Step::LocalSort)),
+            fmt_dur(res.timings.max_of(Step::LocalCc)),
+            fmt_dur(res.timings.max_of(Step::CcIo)),
+            fmt_dur(total),
+            format!("{:.2}x", base / total.as_secs_f64()),
+        ]);
+    }
+    print_table(
+        "Figure 5: single-node thread scaling, HG",
+        &[
+            "Threads",
+            "KmerGen-I/O",
+            "KmerGen",
+            "LocalSort",
+            "LocalCC-Opt",
+            "CC-I/O",
+            "Total (s)",
+            "Speedup",
+        ],
+        &rows,
+    );
+    println!(
+        "  note: this container has {} hardware core(s); the paper reports 14.5x on 24 cores",
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    );
+}

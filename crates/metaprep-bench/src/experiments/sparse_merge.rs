@@ -1,0 +1,63 @@
+//! Extension experiment — sparse Merge-Comm (paper §5's future-work
+//! direction, after Iverson et al.'s contraction methods).
+//!
+//! Dense MergeCC ships a 4-byte entry per read per merge round; the sparse
+//! form ships 8 bytes per *non-singleton* entry. Short reads spread over
+//! many tasks leave most entries untouched, so sparse wins there; long
+//! reads that touch every task favour dense. This harness sweeps task
+//! counts on a short-read store and reports both.
+
+use crate::harness::{fmt_mb, print_table};
+use metaprep_core::{Pipeline, PipelineConfig};
+use metaprep_io::ReadStore;
+
+fn short_read_store(n: usize, len: usize) -> ReadStore {
+    let mut reads = ReadStore::new();
+    let mut x = 5u64;
+    for _ in 0..n {
+        let seq: Vec<u8> = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                b"ACGT"[(x >> 61) as usize & 3]
+            })
+            .collect();
+        reads.push_single(&seq);
+    }
+    reads
+}
+
+/// Sweep P for dense vs sparse merge payloads.
+pub fn run(scale: f64) {
+    let n = (20_000.0 * scale) as usize;
+    let reads = short_read_store(n.max(1000), 40);
+    let mut rows = Vec::new();
+    for p in [4usize, 8, 16, 32] {
+        let total_bytes = |sparse: bool| {
+            let cfg = PipelineConfig::builder()
+                .k(27)
+                .m(6)
+                .tasks(p)
+                .merge_sparse(sparse)
+                .build();
+            let res = Pipeline::new(cfg).run_reads(&reads).expect("pipeline");
+            res.comm.iter().map(|s| s.bytes_sent).sum::<u64>()
+        };
+        let dense = total_bytes(false);
+        let sparse = total_bytes(true);
+        rows.push(vec![
+            p.to_string(),
+            fmt_mb(dense),
+            fmt_mb(sparse),
+            format!("{:.2}x", dense as f64 / sparse as f64),
+        ]);
+    }
+    print_table(
+        &format!(
+            "Extension: sparse vs dense Merge-Comm payloads ({} 40bp reads)",
+            reads.len()
+        ),
+        &["Tasks", "Dense MB", "Sparse MB", "Reduction"],
+        &rows,
+    );
+    println!("  (total comm bytes incl. the tuple all-to-all, which both variants share)");
+}

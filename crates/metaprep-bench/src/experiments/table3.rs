@@ -1,0 +1,54 @@
+//! Table 3 — multi-pass execution: time per step and memory per node for
+//! S = 1, 2, 4, 8 (MM dataset, 4 tasks).
+//!
+//! The paper's findings reproduced here: KmerGen grows with S (input is
+//! re-read each pass), LocalSort is flat (same tuple total), LocalCC
+//! shrinks with S (the LocalCC-Opt component-id enumeration pays off on
+//! later passes), and per-node memory drops steeply.
+
+use crate::harness::{dataset, fmt_dur, fmt_gb, print_table};
+use metaprep_core::{Pipeline, PipelineConfig, Step};
+use metaprep_synth::DatasetId;
+
+/// Run the pass sweep.
+pub fn run(scale: f64) {
+    let data = dataset(DatasetId::Mm, scale);
+    let mut rows = Vec::new();
+    for s in [1usize, 2, 4, 8] {
+        let cfg = PipelineConfig::builder()
+            .k(27)
+            .passes(s)
+            .tasks(4)
+            .threads(1)
+            .build();
+        let res = Pipeline::new(cfg).run_reads(&data.reads).expect("pipeline");
+        rows.push(vec![
+            s.to_string(),
+            fmt_dur(res.timings.max_of(Step::KmerGen)),
+            fmt_dur(res.timings.max_of(Step::KmerGenComm)),
+            fmt_dur(res.timings.max_of(Step::LocalSort)),
+            fmt_dur(res.timings.max_of(Step::LocalCc)),
+            fmt_dur(res.timings.max_of(Step::MergeComm) + res.timings.max_of(Step::MergeCc)),
+            fmt_dur(res.timings.max_of(Step::CcIo)),
+            fmt_dur(res.timings.total()),
+            fmt_gb(res.memory.total_modeled()),
+            format!("{:.1}", res.memory.measured_peak_tuple_bytes as f64 / 1e6),
+        ]);
+    }
+    print_table(
+        "Table 3: multi-pass time and memory, MM on 4 tasks",
+        &[
+            "Passes",
+            "KmerGen",
+            "Comm",
+            "LocalSort",
+            "LocalCC-Opt",
+            "Merge",
+            "CC-I/O",
+            "Total (s)",
+            "Modeled GB/task",
+            "Measured peak tuple MB",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Table 6 — impact of k (27 vs 63) on single-node execution time (MM).
+//!
+//! The paper's shape: 63-mers use 20-byte tuples but there are *fewer* of
+//! them (l - k + 1 windows per read), so every step except LocalSort gets
+//! cheaper; LocalSort slows down because 16 radix passes replace 8.
+
+use crate::harness::{dataset, fmt_dur, fmt_gb, print_table};
+use metaprep_core::{Pipeline, PipelineConfig, Step};
+use metaprep_synth::DatasetId;
+
+/// Run MM at k = 27 and k = 63.
+pub fn run(scale: f64) {
+    let data = dataset(DatasetId::Mm, scale);
+    let mut rows = Vec::new();
+    for k in [27usize, 63] {
+        let cfg = PipelineConfig::builder().k(k).tasks(1).threads(2).build();
+        let res = Pipeline::new(cfg).run_reads(&data.reads).expect("pipeline");
+        rows.push(vec![
+            k.to_string(),
+            fmt_dur(res.timings.max_of(Step::KmerGen)),
+            fmt_dur(res.timings.max_of(Step::LocalSort)),
+            fmt_dur(res.timings.max_of(Step::LocalCc)),
+            fmt_dur(res.timings.max_of(Step::CcIo)),
+            fmt_dur(res.timings.total()),
+            format!("{}", res.tuples_total),
+            fmt_gb(res.memory.kmer_in_bytes + res.memory.kmer_out_bytes),
+        ]);
+    }
+    print_table(
+        "Table 6: impact of k on single-node time, MM",
+        &[
+            "k",
+            "KmerGen",
+            "LocalSort",
+            "LocalCC-Opt",
+            "CC-I/O",
+            "Total (s)",
+            "Tuples",
+            "Tuple buffers GB (modeled)",
+        ],
+        &rows,
+    );
+    println!("  note: paper sees fewer 63-mers than 27-mers, faster overall, slower LocalSort");
+}

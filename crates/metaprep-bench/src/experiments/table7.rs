@@ -1,0 +1,65 @@
+//! Table 7 — largest component size under k and KF filter settings.
+//!
+//! The giant-component phenomenon and its two remedies: a larger `k`
+//! (diverged repeat copies stop sharing exact k-mers) and a k-mer
+//! frequency filter (high-frequency repeat k-mers stop generating edges).
+
+use crate::harness::{dataset, print_table};
+use metaprep_core::{Pipeline, PipelineConfig};
+use metaprep_synth::DatasetId;
+
+/// The five filter/k settings of the paper's Table 7.
+pub fn settings() -> Vec<(&'static str, usize, Option<(u32, u32)>)> {
+    vec![
+        ("k=27, None", 27, None),
+        ("k=63, None", 63, None),
+        ("k=27, KF<30", 27, Some((1, 29))),
+        ("k=27, 10<=KF<30", 27, Some((10, 29))),
+        ("k=63, 10<=KF<30", 63, Some((10, 29))),
+    ]
+}
+
+/// Compute the LC percentage for one dataset/setting.
+pub fn lc_percent(
+    reads: &metaprep_io::ReadStore,
+    k: usize,
+    kf: Option<(u32, u32)>,
+) -> f64 {
+    let mut b = PipelineConfig::builder().k(k).tasks(2).threads(1);
+    if let Some((lo, hi)) = kf {
+        b = b.kf_filter(lo, hi);
+    }
+    let res = Pipeline::new(b.build()).run_reads(reads).expect("pipeline");
+    100.0 * res.largest_component_fraction()
+}
+
+/// Run the full grid.
+pub fn run(scale: f64) {
+    let datasets: Vec<_> = [DatasetId::Hg, DatasetId::Ll, DatasetId::Mm]
+        .into_iter()
+        .map(|id| (id, dataset(id, scale)))
+        .collect();
+
+    let paper: &[(&str, [f64; 3])] = &[
+        ("k=27, None", [95.5, 76.3, 99.5]),
+        ("k=63, None", [87.1, 58.9, 97.8]),
+        ("k=27, KF<30", [73.5, 67.6, 45.0]),
+        ("k=27, 10<=KF<30", [55.2, 45.2, 40.0]),
+        ("k=63, 10<=KF<30", [51.6, 30.6, 59.0]),
+    ];
+
+    let mut rows = Vec::new();
+    for (i, (name, k, kf)) in settings().into_iter().enumerate() {
+        let mut row = vec![name.to_string()];
+        for (_, d) in &datasets {
+            row.push(format!("{:.1}", lc_percent(&d.reads, k, kf)));
+        }
+        row.push(format!("{:?}", paper[i].1));
+        rows.push(row);
+    }
+    print_table(
+        "Table 7: largest component size (% reads)",
+        &["Setting", "HG", "LL", "MM", "paper [HG, LL, MM]"],
+        &rows,
+    );
+}

@@ -1,0 +1,127 @@
+//! Tables 8 & 9 — assembly time and quality with/without preprocessing.
+//!
+//! For each dataset the harness assembles:
+//!
+//! * the whole read set ("No Preproc");
+//! * the METAPREP partitions without a filter (LC + Other);
+//! * the METAPREP partitions with the `KF < 30` filter.
+//!
+//! Table 8's speedup = time(No Preproc) / (time(METAPREP) + time(LC with
+//! filter)), the paper's definition (LC and Other can be assembled in
+//! parallel on two nodes, so the critical path is METAPREP + max(LC,
+//! Other) ≈ METAPREP + LC).
+
+use crate::harness::{dataset, fmt_dur, print_table};
+use metaprep_assembly::{assemble_multik, AssemblyConfig, AssemblyStats};
+use metaprep_core::{partition_reads, Pipeline, PipelineConfig};
+use metaprep_io::ReadStore;
+use metaprep_synth::DatasetId;
+use std::time::Duration;
+
+struct Case {
+    label: String,
+    stats: AssemblyStats,
+    time: Duration,
+}
+
+/// MEGAHIT-style multi-k schedule (bounded by the assembler's k <= 32).
+const K_LIST: [usize; 6] = [17, 19, 21, 23, 26, 29];
+
+fn assemble_case(label: &str, reads: &ReadStore) -> Case {
+    let asm = assemble_multik(
+        reads,
+        &K_LIST,
+        AssemblyConfig {
+            k: 0, // per-step override
+            min_count: 2,
+            max_count: u32::MAX,
+            min_contig_len: 100,
+        },
+    );
+    Case {
+        label: label.to_string(),
+        stats: asm.stats,
+        time: asm.elapsed,
+    }
+}
+
+/// Run both tables for HG, LL, MM.
+pub fn run(scale: f64) {
+    let mut time_rows = Vec::new();
+    let mut quality_rows = Vec::new();
+
+    for id in [DatasetId::Hg, DatasetId::Ll, DatasetId::Mm] {
+        let data = dataset(id, scale);
+
+        // No preprocessing.
+        let full = assemble_case(&format!("{} No Preproc", id.name()), &data.reads);
+
+        // METAPREP without filter.
+        let t0 = std::time::Instant::now();
+        let cfg = PipelineConfig::builder().k(27).tasks(1).threads(1).build();
+        let res = Pipeline::new(cfg).run_reads(&data.reads).expect("pipeline");
+        let parts = partition_reads(&data.reads, &res.labels, res.components.largest_root);
+        let mp_time = t0.elapsed();
+        let lc = assemble_case(&format!("{} LC (no filter)", id.name()), &parts.lc);
+        let other = assemble_case(&format!("{} Other (no filter)", id.name()), &parts.other);
+
+        // METAPREP with KF < 30.
+        let t0 = std::time::Instant::now();
+        let cfg_f = PipelineConfig::builder()
+            .k(27)
+            .tasks(1)
+            .threads(1)
+            .kf_filter(1, 29)
+            .build();
+        let res_f = Pipeline::new(cfg_f).run_reads(&data.reads).expect("pipeline");
+        let parts_f = partition_reads(&data.reads, &res_f.labels, res_f.components.largest_root);
+        let mp_time_f = t0.elapsed();
+        let lc_f = assemble_case(&format!("{} LC (KF<30)", id.name()), &parts_f.lc);
+        let other_f = assemble_case(&format!("{} Other (KF<30)", id.name()), &parts_f.other);
+
+        let speedup = full.time.as_secs_f64() / (mp_time_f.as_secs_f64() + lc_f.time.as_secs_f64());
+        time_rows.push(vec![
+            id.name().to_string(),
+            fmt_dur(full.time),
+            fmt_dur(lc.time),
+            fmt_dur(other.time),
+            fmt_dur(lc_f.time),
+            fmt_dur(other_f.time),
+            fmt_dur(mp_time_f),
+            format!("{speedup:.2}x"),
+        ]);
+        let _ = mp_time;
+
+        for case in [&full, &lc, &other, &lc_f, &other_f] {
+            quality_rows.push(vec![
+                case.label.clone(),
+                format!("{}", case.stats.contigs),
+                format!("{:.3}", case.stats.total_bases as f64 / 1e6),
+                format!("{}", case.stats.max_contig),
+                format!("{}", case.stats.n50),
+            ]);
+        }
+    }
+
+    print_table(
+        "Table 8: assembly time with and without preprocessing (seconds)",
+        &[
+            "Dataset",
+            "No Preproc",
+            "LC NoFilter",
+            "Other NoFilter",
+            "LC KF<30",
+            "Other KF<30",
+            "METAPREP",
+            "Speedup",
+        ],
+        &time_rows,
+    );
+    println!("  speedup = NoPreproc / (METAPREP + LC-with-filter), the paper's definition");
+
+    print_table(
+        "Table 9: assembly quality",
+        &["Type", "Contigs", "Total (Mbp)", "Max (bp)", "N50 (bp)"],
+        &quality_rows,
+    );
+}

@@ -1,0 +1,23 @@
+//! Experiment harnesses regenerating every table and figure of the paper.
+//!
+//! Each `exp_*` binary in `src/bin/` reproduces one table or figure of the
+//! paper's evaluation (§4) on the scaled synthetic datasets and prints a
+//! paper-style table. Run them with:
+//!
+//! ```text
+//! cargo run --release -p metaprep-bench --bin exp_table7
+//! METAPREP_SCALE=0.25 cargo run --release -p metaprep-bench --bin exp_fig6
+//! cargo run --release -p metaprep-bench --bin exp_all      # everything
+//! ```
+//!
+//! `METAPREP_SCALE` scales dataset sizes (default 1.0 — roughly 1/50 000 of
+//! the paper's base pairs, preserving relative dataset sizes).
+//!
+//! The experiment logic lives in [`experiments`] so `exp_all` and the
+//! individual binaries share one implementation; [`harness`] holds the
+//! dataset cache and table printer.
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{dataset, fmt_dur, fmt_gb, print_table, scale_from_env};

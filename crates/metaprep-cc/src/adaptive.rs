@@ -1,0 +1,218 @@
+//! Adaptive connectivity (after Jain et al., the paper's reference [8]).
+//!
+//! Jain et al.'s observation: metagenomic read graphs are a giant
+//! component plus dust. An *adaptive* algorithm exploits that shape —
+//! first peel the giant component with a cheap parallel BFS from a
+//! high-degree seed, then run union-find only on the leftover edges
+//! (most of which the BFS already covered). The paper cites this as the
+//! other distributed-CC approach functionally equivalent to MergeCC; it
+//! is implemented here as a third baseline next to union-find and
+//! Shiloach–Vishkin.
+
+use crate::seq::DisjointSet;
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Result of an adaptive CC run.
+#[derive(Clone, Debug)]
+pub struct AdaptiveResult {
+    /// Fully-compressed component label per vertex.
+    pub labels: Vec<u32>,
+    /// Vertices reached by the BFS phase (giant-component size when the
+    /// seed lies inside it).
+    pub bfs_reached: usize,
+    /// Edges processed by the cleanup union-find phase.
+    pub cleanup_edges: usize,
+}
+
+/// Compressed sparse adjacency built once from the edge list.
+struct Csr {
+    offsets: Vec<usize>,
+    targets: Vec<u32>,
+}
+
+impl Csr {
+    fn build(n: usize, edges: &[(u32, u32)]) -> Csr {
+        let mut degree = vec![0usize; n];
+        for &(u, v) in edges {
+            degree[u as usize] += 1;
+            degree[v as usize] += 1;
+        }
+        let mut offsets = vec![0usize; n + 1];
+        for i in 0..n {
+            offsets[i + 1] = offsets[i] + degree[i];
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0u32; offsets[n]];
+        for &(u, v) in edges {
+            targets[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            targets[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        Csr { offsets, targets }
+    }
+
+    fn neighbors(&self, v: u32) -> &[u32] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    fn max_degree_vertex(&self) -> Option<u32> {
+        (0..self.offsets.len() - 1)
+            .max_by_key(|&i| self.offsets[i + 1] - self.offsets[i])
+            .map(|i| i as u32)
+    }
+}
+
+/// Label components adaptively: parallel level-synchronous BFS from the
+/// highest-degree vertex, then union-find over edges not internal to the
+/// BFS tree's component.
+pub fn adaptive_components(n: usize, edges: &[(u32, u32)]) -> AdaptiveResult {
+    if n == 0 {
+        return AdaptiveResult {
+            labels: Vec::new(),
+            bfs_reached: 0,
+            cleanup_edges: 0,
+        };
+    }
+    let csr = Csr::build(n, edges);
+    let seed = csr.max_degree_vertex().unwrap_or(0);
+
+    // Phase 1: parallel BFS. label = seed for reached vertices.
+    let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    visited[seed as usize].store(true, Ordering::Relaxed);
+    let mut frontier = vec![seed];
+    let mut reached = 1usize;
+    while !frontier.is_empty() {
+        let next: Vec<u32> = frontier
+            .par_iter()
+            .flat_map_iter(|&v| {
+                csr.neighbors(v).iter().copied().filter(|&w| {
+                    !visited[w as usize].swap(true, Ordering::Relaxed)
+                })
+            })
+            .collect();
+        reached += next.len();
+        frontier = next;
+    }
+
+    // Phase 2: union-find over edges with at least one unreached endpoint.
+    let mut ds = DisjointSet::new(n);
+    let mut cleanup_edges = 0usize;
+    for &(u, v) in edges {
+        if !visited[u as usize].load(Ordering::Relaxed)
+            || !visited[v as usize].load(Ordering::Relaxed)
+        {
+            ds.union(u, v);
+            cleanup_edges += 1;
+        }
+    }
+
+    // Combine. After a completed BFS no edge joins a reached and an
+    // unreached vertex (BFS would have crossed it), so the cleanup forest
+    // only contains unreached vertices and the two labelings can simply be
+    // overlaid: reached vertices share one root (the max reached index, so
+    // the label is a fixed point), unreached ones keep union-find roots.
+    let giant_root: u32 = (0..n as u32)
+        .filter(|&v| visited[v as usize].load(Ordering::Relaxed))
+        .max()
+        .unwrap_or(seed);
+    let labels: Vec<u32> = (0..n as u32)
+        .map(|v| {
+            if visited[v as usize].load(Ordering::Relaxed) {
+                giant_root
+            } else {
+                ds.find_readonly(v)
+            }
+        })
+        .collect();
+    AdaptiveResult {
+        labels,
+        bfs_reached: reached,
+        cleanup_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn reference(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut ds = DisjointSet::new(n);
+        for &(u, v) in edges {
+            ds.union(u, v);
+        }
+        ds.into_component_array()
+    }
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn giant_plus_dust() {
+        // Star of 50 + chain of 3 + singletons.
+        let mut edges: Vec<(u32, u32)> = (1..50).map(|i| (0, i)).collect();
+        edges.push((60, 61));
+        edges.push((61, 62));
+        let r = adaptive_components(70, &edges);
+        assert!(same_partition(&r.labels, &reference(70, &edges)));
+        assert_eq!(r.bfs_reached, 50); // the star
+        assert_eq!(r.cleanup_edges, 2); // the chain
+    }
+
+    #[test]
+    fn empty_graph() {
+        let r = adaptive_components(4, &[]);
+        assert_eq!(r.labels.len(), 4);
+        assert!(same_partition(&r.labels, &reference(4, &[])));
+        assert_eq!(r.bfs_reached, 1); // just the seed
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let r = adaptive_components(0, &[]);
+        assert!(r.labels.is_empty());
+    }
+
+    #[test]
+    fn single_component_all_bfs() {
+        let edges: Vec<(u32, u32)> = (0..99).map(|i| (i, i + 1)).collect();
+        let r = adaptive_components(100, &edges);
+        assert_eq!(r.bfs_reached, 100);
+        assert_eq!(r.cleanup_edges, 0);
+        assert!(r.labels.iter().all(|&l| l == r.labels[0]));
+    }
+
+    #[test]
+    fn labels_are_fixed_points() {
+        let edges = vec![(0, 1), (2, 3), (3, 4), (6, 7)];
+        let r = adaptive_components(9, &edges);
+        for &l in &r.labels {
+            assert_eq!(r.labels[l as usize], l);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_union_find(
+            n in 1usize..80,
+            raw in proptest::collection::vec((0u32..80, 0u32..80), 0..200),
+        ) {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let r = adaptive_components(n, &edges);
+            prop_assert!(same_partition(&r.labels, &reference(n, &edges)));
+        }
+    }
+}

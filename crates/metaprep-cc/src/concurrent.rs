@@ -1,0 +1,286 @@
+//! Concurrent union-find — the paper's Algorithm 1 (LocalCC, §3.5).
+//!
+//! Threads process disjoint batches of read-graph edges without any
+//! synchronization beyond single-word CAS:
+//!
+//! * `Find` uses path splitting; the splitting write is a CAS so a
+//!   concurrent union on the same cell is never overwritten;
+//! * `Union` is by index via CAS on the root cell, which cannot create
+//!   cycles when races occur (the paper's reason for preferring it over
+//!   union-by-size);
+//! * every edge whose endpoints had distinct roots is buffered and
+//!   re-verified on the next iteration (the paper's replacement for
+//!   Cybenko's critical sections); iteration ends when no edge connects two
+//!   distinct roots.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A concurrent disjoint-set forest over vertices `0..n`.
+pub struct ConcurrentDisjointSet {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentDisjointSet {
+    /// Create `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self {
+            parent: (0..n as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Root of `x`'s component with CAS-guarded path splitting. Safe to
+    /// call from many threads concurrently.
+    #[inline]
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Acquire);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Acquire);
+            if gp != p {
+                // Split: re-point x at its grandparent. A failed CAS just
+                // means someone else already moved it — keep walking.
+                let _ = self.parent[x as usize].compare_exchange_weak(
+                    p,
+                    gp,
+                    Ordering::AcqRel,
+                    Ordering::Relaxed,
+                );
+            }
+            x = p;
+        }
+    }
+
+    /// Attempt to link roots `ra` and `rb` (union-by-index). Returns `true`
+    /// if this call performed the link. Callers must pass *roots*; stale
+    /// roots simply fail the CAS and the caller's edge gets re-verified.
+    #[inline]
+    fn try_link(&self, ra: u32, rb: u32) -> bool {
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize]
+            .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Process one edge. Returns `true` if the roots were distinct (the
+    /// edge must then be re-verified in the next iteration).
+    #[inline]
+    pub fn process_edge(&self, u: u32, v: u32) -> bool {
+        let ru = self.find(u);
+        let rv = self.find(v);
+        if ru == rv {
+            return false;
+        }
+        self.try_link(ru, rv);
+        true
+    }
+
+    /// Algorithm 1 of the paper, parallelized with rayon: process all
+    /// edges; edges that observed distinct roots are buffered and
+    /// re-processed until a full pass performs no unions. Returns the
+    /// number of verification iterations executed (>= 1 for nonempty input;
+    /// the paper notes the first iteration dominates the running time).
+    pub fn process_edges_parallel(&self, edges: &[(u32, u32)]) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut iterations = 1usize;
+        let mut pending: Vec<(u32, u32)> = edges
+            .par_iter()
+            .copied()
+            .filter(|&(u, v)| self.process_edge(u, v))
+            .collect();
+        // Termination: an edge survives a pass only if it observed distinct
+        // roots; once its link (or a competing one) lands, the next pass
+        // sees equal roots and drops it. Component count strictly decreases
+        // while any edge survives, so the loop is finite.
+        while !pending.is_empty() {
+            iterations += 1;
+            pending = pending
+                .par_iter()
+                .copied()
+                .filter(|&(u, v)| self.process_edge(u, v))
+                .collect();
+        }
+        iterations
+    }
+
+    /// Sequential edge processing (used by tests and small merges).
+    pub fn process_edges_serial(&self, edges: &[(u32, u32)]) {
+        let mut current: Vec<(u32, u32)> = edges.to_vec();
+        while !current.is_empty() {
+            current.retain(|&(u, v)| self.process_edge(u, v));
+        }
+    }
+
+    /// Snapshot into a fully-compressed component array.
+    pub fn to_component_array(&self) -> Vec<u32> {
+        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+    }
+
+    /// Consume into a sequential [`crate::seq::DisjointSet`].
+    pub fn into_disjoint_set(self) -> crate::seq::DisjointSet {
+        let parent: Vec<u32> = self
+            .parent
+            .into_iter()
+            .map(|a| a.into_inner())
+            .collect();
+        crate::seq::DisjointSet::from_parent_array(parent)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::DisjointSet;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn labels_of(arr: &[u32]) -> Vec<u32> {
+        arr.to_vec()
+    }
+
+    fn reference_array(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut ds = DisjointSet::new(n);
+        for &(u, v) in edges {
+            ds.union(u, v);
+        }
+        ds.into_component_array()
+    }
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        // Two labelings describe the same partition iff the pairing of
+        // labels is a bijection.
+        assert_eq!(a.len(), b.len());
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn empty_edges() {
+        let ds = ConcurrentDisjointSet::new(4);
+        let it = ds.process_edges_parallel(&[]);
+        assert_eq!(it, 0);
+        assert_eq!(ds.to_component_array(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_connects_everything() {
+        let n = 1000;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let ds = ConcurrentDisjointSet::new(n as usize);
+        ds.process_edges_parallel(&edges);
+        let arr = ds.to_component_array();
+        assert!(arr.iter().all(|&r| r == arr[0]));
+        // Union-by-index: the final root is the max index.
+        assert_eq!(arr[0], n - 1);
+    }
+
+    #[test]
+    fn matches_sequential_on_random_graphs() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        for trial in 0..20 {
+            let n = rng.gen_range(2..500);
+            let m = rng.gen_range(0..2 * n);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .collect();
+            let cds = ConcurrentDisjointSet::new(n);
+            cds.process_edges_parallel(&edges);
+            let got = cds.to_component_array();
+            let want = reference_array(n, &edges);
+            assert!(same_partition(&got, &want), "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn serial_processing_matches() {
+        let edges = vec![(0, 1), (2, 3), (1, 2), (5, 6)];
+        let cds = ConcurrentDisjointSet::new(8);
+        cds.process_edges_serial(&edges);
+        let got = cds.to_component_array();
+        let want = reference_array(8, &edges);
+        assert!(same_partition(&labels_of(&got), &want));
+    }
+
+    #[test]
+    fn into_disjoint_set_preserves_components() {
+        let edges = vec![(0, 1), (1, 2)];
+        let cds = ConcurrentDisjointSet::new(5);
+        cds.process_edges_parallel(&edges);
+        let mut ds = cds.into_disjoint_set();
+        assert!(ds.connected(0, 2));
+        assert!(!ds.connected(0, 3));
+        assert_eq!(ds.count_components(), 3);
+    }
+
+    #[test]
+    fn heavy_contention_single_component() {
+        // Star graph: every edge touches vertex 0 -> maximal CAS contention.
+        let n = 20_000u32;
+        let edges: Vec<(u32, u32)> = (1..n).map(|i| (0, i)).collect();
+        let cds = ConcurrentDisjointSet::new(n as usize);
+        cds.process_edges_parallel(&edges);
+        let arr = cds.to_component_array();
+        assert!(arr.iter().all(|&r| r == arr[0]));
+    }
+
+    #[test]
+    fn duplicate_and_self_edges() {
+        let edges = vec![(1, 1), (1, 1), (2, 3), (2, 3), (3, 2)];
+        let cds = ConcurrentDisjointSet::new(5);
+        cds.process_edges_parallel(&edges);
+        let mut ds = cds.into_disjoint_set();
+        assert_eq!(ds.count_components(), 4); // {0},{1},{2,3},{4}
+        assert!(ds.connected(2, 3));
+    }
+
+    #[test]
+    fn find_is_idempotent_under_concurrency() {
+        let n = 10_000u32;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let cds = ConcurrentDisjointSet::new(n as usize);
+        cds.process_edges_parallel(&edges);
+        // Concurrent finds after convergence all agree.
+        let roots: Vec<u32> = (0..n).into_par_iter().map(|x| cds.find(x)).collect();
+        assert!(roots.iter().all(|&r| r == roots[0]));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_sequential(
+            n in 1usize..80,
+            raw in proptest::collection::vec((0u32..80, 0u32..80), 0..200),
+        ) {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let cds = ConcurrentDisjointSet::new(n);
+            cds.process_edges_parallel(&edges);
+            let got = cds.to_component_array();
+            let want = reference_array(n, &edges);
+            prop_assert!(same_partition(&got, &want));
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Mutex-protected union-find baseline.
+//!
+//! Cybenko et al. (the paper's §3.5 reference) made concurrent unions safe
+//! by treating each `Union` as a critical section. METAPREP replaces the
+//! critical section with CAS + buffered re-verification; this module keeps
+//! the critical-section variant alive as the ablation baseline
+//! (`bench_unionfind` compares the two under contention).
+
+use crate::seq::DisjointSet;
+use parking_lot::Mutex;
+use rayon::prelude::*;
+
+/// Compute the component array of a graph by processing `edges` in
+/// parallel, with every union executed under a global mutex.
+pub fn locked_components(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let ds = Mutex::new(DisjointSet::new(n));
+    edges.par_iter().for_each(|&(u, v)| {
+        // Find + union both under the lock: the simplest correct form of
+        // the critical-section approach (finds mutate via path splitting,
+        // so they cannot be safely lock-free on the plain structure).
+        ds.lock().union(u, v);
+    });
+    ds.into_inner().into_component_array()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concurrent::ConcurrentDisjointSet;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    #[test]
+    fn matches_lock_free_implementation() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 2000;
+        let edges: Vec<(u32, u32)> = (0..4000)
+            .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+            .collect();
+        let locked = locked_components(n, &edges);
+        let cds = ConcurrentDisjointSet::new(n);
+        cds.process_edges_parallel(&edges);
+        let lock_free = cds.to_component_array();
+        assert!(same_partition(&locked, &lock_free));
+    }
+
+    #[test]
+    fn empty_graph() {
+        assert_eq!(locked_components(3, &[]), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Sequential union-find with path splitting and union-by-index.
+
+/// A disjoint-set forest over vertices `0..n` (`n <= u32::MAX`).
+///
+/// `Find` uses path splitting (every node on the query path is re-pointed
+/// to its grandparent — Tarjan & van Leeuwen's one-pass compaction, paper
+/// §3.5); `Union` is by index: the root with the *lower* index is attached
+/// under the root with the *higher* index. Union-by-index gives up the
+/// balanced-tree guarantee but can never create a cycle under concurrent
+/// use, and path splitting keeps trees shallow in practice.
+#[derive(Clone, Debug)]
+pub struct DisjointSet {
+    parent: Vec<u32>,
+}
+
+impl DisjointSet {
+    /// Create `n` singleton components.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize);
+        Self {
+            parent: (0..n as u32).collect(),
+        }
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure has no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Root of `x`'s component, with path splitting.
+    #[inline]
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = p;
+        }
+    }
+
+    /// Root of `x`'s component without modifying the structure.
+    #[inline]
+    pub fn find_readonly(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            x = p;
+        }
+    }
+
+    /// Merge the components of `a` and `b`. Returns `true` if they were
+    /// previously distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        // Union-by-index: lower-index root points to higher-index root.
+        let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        self.parent[lo as usize] = hi;
+        true
+    }
+
+    /// True if `a` and `b` are in the same component.
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Fully compress: point every vertex directly at its root, and return
+    /// the parent array. This is the component array `p` that MergeCC
+    /// exchanges between tasks (paper §3.6).
+    pub fn into_component_array(mut self) -> Vec<u32> {
+        for x in 0..self.parent.len() as u32 {
+            let r = self.find(x);
+            self.parent[x as usize] = r;
+        }
+        self.parent
+    }
+
+    /// Compress in place and expose the parent array without consuming.
+    pub fn component_array(&mut self) -> &[u32] {
+        for x in 0..self.parent.len() as u32 {
+            let r = self.find(x);
+            self.parent[x as usize] = r;
+        }
+        &self.parent
+    }
+
+    /// Number of components (roots).
+    pub fn count_components(&self) -> usize {
+        self.parent
+            .iter()
+            .enumerate()
+            .filter(|&(i, &p)| i as u32 == p)
+            .count()
+    }
+
+    /// Construct from a raw parent array (for tests and MergeCC).
+    ///
+    /// # Panics
+    /// Panics if any parent index is out of range.
+    pub fn from_parent_array(parent: Vec<u32>) -> Self {
+        let n = parent.len() as u32;
+        assert!(parent.iter().all(|&p| p < n), "parent index out of range");
+        Self { parent }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn singletons_initially() {
+        let ds = DisjointSet::new(5);
+        assert_eq!(ds.count_components(), 5);
+        assert_eq!(ds.len(), 5);
+    }
+
+    #[test]
+    fn union_merges_and_reports() {
+        let mut ds = DisjointSet::new(4);
+        assert!(ds.union(0, 1));
+        assert!(!ds.union(0, 1));
+        assert!(ds.connected(0, 1));
+        assert!(!ds.connected(0, 2));
+        assert_eq!(ds.count_components(), 3);
+    }
+
+    #[test]
+    fn union_by_index_root_is_max() {
+        let mut ds = DisjointSet::new(10);
+        ds.union(2, 7);
+        assert_eq!(ds.find(2), 7);
+        ds.union(7, 3);
+        assert_eq!(ds.find(3), 7);
+        // Union of roots 7 and 9 -> 9 wins.
+        ds.union(2, 9);
+        assert_eq!(ds.find(2), 9);
+        assert_eq!(ds.find(7), 9);
+    }
+
+    #[test]
+    fn transitive_connectivity() {
+        let mut ds = DisjointSet::new(6);
+        ds.union(0, 1);
+        ds.union(1, 2);
+        ds.union(4, 5);
+        assert!(ds.connected(0, 2));
+        assert!(!ds.connected(2, 4));
+        assert_eq!(ds.count_components(), 3); // {0,1,2}, {3}, {4,5}
+    }
+
+    #[test]
+    fn component_array_is_fully_compressed() {
+        let mut ds = DisjointSet::new(5);
+        ds.union(0, 1);
+        ds.union(1, 2);
+        let arr = ds.component_array().to_vec();
+        assert_eq!(arr[0], arr[1]);
+        assert_eq!(arr[1], arr[2]);
+        assert_eq!(arr[3], 3);
+        // Every entry points directly at a root.
+        for &p in &arr {
+            assert_eq!(arr[p as usize], p);
+        }
+    }
+
+    #[test]
+    fn find_readonly_matches_find() {
+        let mut ds = DisjointSet::new(8);
+        ds.union(0, 3);
+        ds.union(3, 6);
+        ds.union(1, 2);
+        for x in 0..8u32 {
+            assert_eq!(ds.find_readonly(x), ds.clone().find(x));
+        }
+    }
+
+    #[test]
+    fn from_parent_array_roundtrip() {
+        let mut ds = DisjointSet::new(4);
+        ds.union(0, 2);
+        let arr = ds.into_component_array();
+        let ds2 = DisjointSet::from_parent_array(arr.clone());
+        assert_eq!(ds2.count_components(), 3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_parent_array_rejects_out_of_range() {
+        DisjointSet::from_parent_array(vec![0, 5]);
+    }
+
+    #[test]
+    fn empty_set() {
+        let ds = DisjointSet::new(0);
+        assert!(ds.is_empty());
+        assert_eq!(ds.count_components(), 0);
+    }
+
+    /// Reference connectivity via BFS adjacency.
+    fn reference_labels(n: usize, edges: &[(u32, u32)]) -> Vec<usize> {
+        let mut adj = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            adj[u as usize].push(v);
+            adj[v as usize].push(u);
+        }
+        let mut label = vec![usize::MAX; n];
+        let mut next = 0;
+        for s in 0..n {
+            if label[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s as u32];
+            label[s] = next;
+            while let Some(x) = stack.pop() {
+                for &y in &adj[x as usize] {
+                    if label[y as usize] == usize::MAX {
+                        label[y as usize] = next;
+                        stack.push(y);
+                    }
+                }
+            }
+            next += 1;
+        }
+        label
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_bfs(
+            n in 1usize..60,
+            edges in proptest::collection::vec((0u32..60, 0u32..60), 0..120),
+        ) {
+            let edges: Vec<(u32, u32)> = edges
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let mut ds = DisjointSet::new(n);
+            for &(u, v) in &edges {
+                ds.union(u, v);
+            }
+            let want = reference_labels(n, &edges);
+            for a in 0..n as u32 {
+                for b in 0..n as u32 {
+                    prop_assert_eq!(
+                        ds.connected(a, b),
+                        want[a as usize] == want[b as usize]
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,166 @@
+//! Shiloach–Vishkin connected components (the AP_LB stand-in).
+//!
+//! Flick et al. — the paper's Table 4 comparator — parallelize CC with an
+//! iterative Shiloach–Vishkin algorithm whose iteration count grows with
+//! the graph (they report 19–21 iterations on the paper's datasets, vs the
+//! fixed `log P` merge rounds of METAPREP). This implementation counts
+//! iterations so the experiment harness can reproduce that comparison.
+//!
+//! Each iteration performs conditional hooking (roots hook onto the
+//! smallest neighbouring label) followed by full pointer jumping
+//! (shortcutting), the classic CRCW formulation adapted to shared memory.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+/// Result of a Shiloach–Vishkin run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SvResult {
+    /// Final component label per vertex (label = min vertex id of the
+    /// component).
+    pub labels: Vec<u32>,
+    /// Number of hook+jump iterations until stabilization.
+    pub iterations: usize,
+}
+
+/// Run Shiloach–Vishkin over `n` vertices and an explicit edge list.
+pub fn shiloach_vishkin(n: usize, edges: &[(u32, u32)]) -> SvResult {
+    let parent: Vec<AtomicU32> = (0..n as u32).map(AtomicU32::new).collect();
+    let mut iterations = 0usize;
+
+    loop {
+        let changed = AtomicBool::new(false);
+
+        // Hooking: for every edge (u, v), try to hang the *root* of the
+        // larger-labeled endpoint onto the smaller label. min-CAS keeps the
+        // race benign: labels only ever decrease.
+        edges.par_iter().for_each(|&(u, v)| {
+            let pu = parent[u as usize].load(Ordering::Relaxed);
+            let pv = parent[v as usize].load(Ordering::Relaxed);
+            if pu == pv {
+                return;
+            }
+            let (hi, lo) = if pu > pv { (pu, pv) } else { (pv, pu) };
+            // Hook only roots (parent[hi] == hi), the SV "conditional hook".
+            if parent[hi as usize]
+                .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+            {
+                changed.store(true, Ordering::Relaxed);
+            }
+        });
+
+        // Pointer jumping until every vertex points at a root ("shortcut").
+        loop {
+            let jumped = AtomicBool::new(false);
+            (0..n).into_par_iter().for_each(|i| {
+                let p = parent[i].load(Ordering::Relaxed);
+                let gp = parent[p as usize].load(Ordering::Relaxed);
+                if p != gp {
+                    parent[i].store(gp, Ordering::Relaxed);
+                    jumped.store(true, Ordering::Relaxed);
+                }
+            });
+            if !jumped.load(Ordering::Relaxed) {
+                break;
+            }
+        }
+
+        iterations += 1;
+        if !changed.load(Ordering::Relaxed) {
+            break;
+        }
+    }
+
+    SvResult {
+        labels: parent.into_iter().map(|a| a.into_inner()).collect(),
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::seq::DisjointSet;
+    use proptest::prelude::*;
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        let mut fwd = std::collections::HashMap::new();
+        let mut bwd = std::collections::HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn reference(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        let mut ds = DisjointSet::new(n);
+        for &(u, v) in edges {
+            ds.union(u, v);
+        }
+        ds.into_component_array()
+    }
+
+    #[test]
+    fn no_edges_single_iteration() {
+        let r = shiloach_vishkin(5, &[]);
+        assert_eq!(r.labels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn chain_converges_to_min_label() {
+        let n = 64;
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        let r = shiloach_vishkin(n as usize, &edges);
+        assert!(r.labels.iter().all(|&l| l == 0));
+        // A chain needs multiple hook+jump rounds.
+        assert!(r.iterations >= 2, "iterations={}", r.iterations);
+    }
+
+    #[test]
+    fn iterations_grow_with_chain_length() {
+        let run = |n: u32| {
+            let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+            shiloach_vishkin(n as usize, &edges).iterations
+        };
+        // The iteration count is the comparator's weakness (Table 4): it
+        // grows with graph structure while union-find + merge does not.
+        assert!(run(4096) >= run(16));
+    }
+
+    #[test]
+    fn matches_union_find_partition() {
+        let n = 50;
+        let edges = vec![(0u32, 10), (10, 20), (5, 6), (30, 40), (40, 41), (41, 30)];
+        let r = shiloach_vishkin(n, &edges);
+        assert!(same_partition(&r.labels, &reference(n, &edges)));
+    }
+
+    #[test]
+    fn self_loops_are_harmless() {
+        let r = shiloach_vishkin(3, &[(1, 1), (0, 2)]);
+        assert!(same_partition(&r.labels, &reference(3, &[(0, 2)])));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_union_find(
+            n in 1usize..60,
+            raw in proptest::collection::vec((0u32..60, 0u32..60), 0..150),
+        ) {
+            let edges: Vec<(u32, u32)> = raw
+                .into_iter()
+                .map(|(a, b)| (a % n as u32, b % n as u32))
+                .collect();
+            let r = shiloach_vishkin(n, &edges);
+            prop_assert!(same_partition(&r.labels, &reference(n, &edges)));
+            // Labels are fully compressed (point at a fixed point).
+            for &l in &r.labels {
+                prop_assert_eq!(r.labels[l as usize], l);
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! `metaprep` — command-line interface to the METAPREP toolkit.
+//!
+//! ```text
+//! metaprep simulate  --dataset hg --scale 0.5 --seed 1 --output reads.fastq
+//! metaprep index     --input reads.fastq --k 27 --m 8 --chunks 64 --outdir idx/
+//! metaprep partition --input reads.fastq --k 27 --tasks 4 --threads 2
+//!                    [--passes 2] [--kf 10:29] [--top 4] [--sparse] --outdir parts/
+//! metaprep normalize --input reads.fastq --target 20 --output norm.fastq
+//! metaprep trim      --input reads.fastq --quality 20 --min-len 50
+//!                    [--adapter AGATCGGAAGAGC] --output trimmed.fastq
+//! metaprep assemble  --input reads.fastq --k 21 --min-count 2 --output contigs.fa
+//! metaprep spectrum  --input reads.fastq --k 27
+//! ```
+//!
+//! All FASTQ inputs are treated as interleaved paired-end unless
+//! `--unpaired` is given.
+
+mod args;
+
+use args::{ArgError, Args};
+use metaprep_core::{
+    partition_reads, partition_top_n, write_multi_partition, write_partitions, Pipeline,
+    PipelineConfig, Step,
+};
+use metaprep_io::{parse_fastq_path, write_fastq_path, ReadStore};
+use std::io::Write as _;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(e) = run(&argv) {
+        eprintln!("error: {e}");
+        eprintln!();
+        eprintln!("{USAGE}");
+        std::process::exit(1);
+    }
+}
+
+const USAGE: &str = "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum> [--options]
+run `metaprep <command>` with missing options to see what each needs";
+
+fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let args = Args::parse(argv)?;
+    match args.command.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "index" => cmd_index(&args),
+        "partition" => cmd_partition(&args),
+        "normalize" => cmd_normalize(&args),
+        "trim" => cmd_trim(&args),
+        "assemble" => cmd_assemble(&args),
+        "spectrum" => cmd_spectrum(&args),
+        other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
+    }
+}
+
+fn load_reads(args: &Args) -> Result<ReadStore, Box<dyn std::error::Error>> {
+    let input = args.req("input")?;
+    let paired = !args.flag("unpaired");
+    Ok(parse_fastq_path(&input, paired)?)
+}
+
+fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_synth::{scaled_profile, simulate_community, DatasetId};
+    let name = args.get_or("dataset", "hg".to_string())?;
+    let id = match name.to_lowercase().as_str() {
+        "hg" => DatasetId::Hg,
+        "ll" => DatasetId::Ll,
+        "mm" => DatasetId::Mm,
+        "is" => DatasetId::Is,
+        other => return Err(Box::new(ArgError(format!("unknown dataset {other:?}")))),
+    };
+    let scale = args.get_or("scale", 1.0f64)?;
+    let seed = args.get_or("seed", 42u64)?;
+    let output = args.req("output")?;
+    let data = simulate_community(&scaled_profile(id, scale), seed);
+    write_fastq_path(&output, &data.reads)?;
+    println!(
+        "wrote {} ({} pairs, {} bp, {} species)",
+        output,
+        data.reads.num_fragments(),
+        data.reads.total_bases(),
+        data.genomes.len()
+    );
+    Ok(())
+}
+
+fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_index::serial::{write_fastqpart, write_merhist};
+    use metaprep_index::{FastqPart, MerHist};
+    let reads = load_reads(args)?;
+    let k = args.get_or("k", 27usize)?;
+    let m = args.get_or("m", 8usize)?;
+    let chunks = args.get_or("chunks", 64usize)?;
+    let outdir = std::path::PathBuf::from(args.get_or("outdir", "metaprep_index".to_string())?);
+    std::fs::create_dir_all(&outdir)?;
+
+    let t0 = std::time::Instant::now();
+    let mh = MerHist::build(&reads, k, m);
+    let t_mh = t0.elapsed();
+    let t0 = std::time::Instant::now();
+    let fp = FastqPart::build(&reads, chunks, k, m);
+    let t_fp = t0.elapsed();
+
+    write_merhist(outdir.join("merhist.bin"), &mh)?;
+    write_fastqpart(outdir.join("fastqpart.bin"), &fp)?;
+    println!(
+        "indexed {} k-mers into {} chunks (merHist {:.2}s, FASTQPart {:.2}s) -> {}",
+        mh.total(),
+        fp.len(),
+        t_mh.as_secs_f64(),
+        t_fp.as_secs_f64(),
+        outdir.display()
+    );
+    Ok(())
+}
+
+fn parse_kf(spec: &str) -> Result<(u32, u32), ArgError> {
+    let (lo, hi) = spec
+        .split_once(':')
+        .ok_or_else(|| ArgError(format!("--kf expects lo:hi, got {spec:?}")))?;
+    let lo = lo
+        .parse()
+        .map_err(|_| ArgError(format!("--kf: bad lower bound {lo:?}")))?;
+    let hi = hi
+        .parse()
+        .map_err(|_| ArgError(format!("--kf: bad upper bound {hi:?}")))?;
+    Ok((lo, hi))
+}
+
+fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let reads = load_reads(args)?;
+    let mut b = PipelineConfig::builder()
+        .k(args.get_or("k", 27usize)?)
+        .m(args.get_or("m", 8usize)?)
+        .passes(args.get_or("passes", 1usize)?)
+        .tasks(args.get_or("tasks", 1usize)?)
+        .threads(args.get_or("threads", 1usize)?)
+        .merge_sparse(args.flag("sparse"))
+        .x4_kmergen(args.flag("x4"));
+    if let Some(spec) = args.opt("kf") {
+        let (lo, hi) = parse_kf(&spec)?;
+        b = b.kf_filter(lo, hi);
+    }
+    let cfg = b.build();
+    cfg.validate()?;
+    let outdir = args.get_or("outdir", "metaprep_parts".to_string())?;
+
+    let res = Pipeline::new(cfg).run_reads(&reads)?;
+    println!(
+        "{} fragments -> {} components; largest = {:.2}% of reads",
+        res.labels.len(),
+        res.components.components,
+        100.0 * res.largest_component_fraction()
+    );
+    for step in Step::all() {
+        println!("  {:<13} {:.3}s", step.name(), res.timings.max_of(step).as_secs_f64());
+    }
+    println!(
+        "  IndexCreate   {:.3}s   comm {:.2} MB   modeled {:.1} MB/task",
+        res.timings.index_create.as_secs_f64(),
+        res.comm.iter().map(|s| s.bytes_sent).sum::<u64>() as f64 / 1e6,
+        res.memory.total_modeled() as f64 / 1e6
+    );
+
+    let top = args.get_or("top", 0usize)?;
+    if top > 0 {
+        let parts = partition_top_n(&reads, &res.labels, top, args.get_or("min-size", 2usize)?);
+        write_multi_partition(&outdir, &parts)?;
+        println!("wrote {} component files + rest.fastq to {outdir}", parts.buckets.len());
+    } else {
+        let parts = partition_reads(&reads, &res.labels, res.components.largest_root);
+        write_partitions(&outdir, &parts)?;
+        println!(
+            "wrote lc.fastq ({} reads) and other.fastq ({} reads) to {outdir}",
+            parts.lc.len(),
+            parts.other.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_normalize(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_norm::{normalize, NormalizeConfig};
+    let reads = load_reads(args)?;
+    let cfg = NormalizeConfig {
+        k: args.get_or("k", 20usize)?,
+        target: args.get_or("target", 20u64)?,
+        sketch_width: args.get_or("sketch-width", 1usize << 22)?,
+        sketch_depth: args.get_or("sketch-depth", 4usize)?,
+        seed: args.get_or("seed", 0xD16E57u64)?,
+    };
+    let output = args.req("output")?;
+    let res = normalize(&reads, cfg);
+    write_fastq_path(&output, &res.reads)?;
+    println!(
+        "kept {} / dropped {} fragments ({:.1}% kept, sketch {:.1} MB) -> {}",
+        res.kept,
+        res.dropped,
+        100.0 * res.keep_fraction(),
+        res.sketch_bytes as f64 / 1e6,
+        output
+    );
+    Ok(())
+}
+
+fn cmd_trim(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_io::{trim_adapter, trim_quality};
+    let reads = load_reads(args)?;
+    let min_len = args.get_or("min-len", 50usize)?;
+    let q = args.get_or("quality", 20u8)?;
+    let threshold = q.saturating_add(33); // Phred+33 encoding
+    let output = args.req("output")?;
+
+    let (mut out, qstats) = trim_quality(&reads, threshold, min_len);
+    let mut astats = None;
+    if let Some(adapter) = args.opt("adapter") {
+        let (trimmed, st) = trim_adapter(&out, adapter.as_bytes(), 4, min_len);
+        out = trimmed;
+        astats = Some(st);
+    }
+    write_fastq_path(&output, &out)?;
+    println!(
+        "quality trim: kept {} dropped {} fragments, {} bases removed",
+        qstats.kept_fragments, qstats.dropped_fragments, qstats.bases_trimmed
+    );
+    if let Some(st) = astats {
+        println!(
+            "adapter trim: kept {} dropped {} fragments, {} bases removed",
+            st.kept_fragments, st.dropped_fragments, st.bases_trimmed
+        );
+    }
+    println!("wrote {output} ({} reads)", out.len());
+    Ok(())
+}
+
+fn cmd_assemble(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_assembly::{assemble, AssemblyConfig};
+    let reads = load_reads(args)?;
+    let cfg = AssemblyConfig {
+        k: args.get_or("k", 21usize)?,
+        min_count: args.get_or("min-count", 2u32)?,
+        max_count: args.get_or("max-count", u32::MAX)?,
+        min_contig_len: args.get_or("min-contig", 100usize)?,
+    };
+    let output = args.req("output")?;
+    let asm = assemble(&reads, cfg);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(&output)?);
+    for (i, contig) in asm.contigs.iter().enumerate() {
+        writeln!(f, ">contig_{i} len={}", contig.len())?;
+        for line in contig.chunks(80) {
+            f.write_all(line)?;
+            f.write_all(b"\n")?;
+        }
+    }
+    f.flush()?;
+    println!(
+        "{} contigs, {} bp total, max {}, N50 {} ({:.2}s) -> {}",
+        asm.stats.contigs,
+        asm.stats.total_bases,
+        asm.stats.max_contig,
+        asm.stats.n50,
+        asm.elapsed.as_secs_f64(),
+        output
+    );
+    Ok(())
+}
+
+fn cmd_spectrum(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_kmc::{count_kmers, KmcConfig};
+    let reads = load_reads(args)?;
+    let res = count_kmers(
+        &reads,
+        KmcConfig {
+            k: args.get_or("k", 27usize)?,
+            minimizer_len: args.get_or("minimizer", 7usize)?,
+            bins: args.get_or("bins", 256usize)?,
+        },
+    );
+    println!(
+        "{} occurrences, {} distinct, max count {}",
+        res.total_kmers, res.distinct_kmers, res.max_count
+    );
+    let mut spectrum = std::collections::BTreeMap::new();
+    for bin in &res.counts_per_bin {
+        for &(_, c) in bin {
+            *spectrum.entry(c).or_insert(0u64) += 1;
+        }
+    }
+    for (c, n) in spectrum.iter().take(30) {
+        println!("{c:>6} {n}");
+    }
+    Ok(())
+}

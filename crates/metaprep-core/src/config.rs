@@ -1,0 +1,277 @@
+//! Pipeline configuration.
+
+use std::fmt;
+
+/// Errors surfaced by pipeline validation or execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The configuration is internally inconsistent.
+    InvalidConfig(String),
+    /// The input violates a pipeline limit (e.g. too many fragments).
+    InvalidInput(String),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::InvalidConfig(s) => write!(f, "invalid configuration: {s}"),
+            PipelineError::InvalidInput(s) => write!(f, "invalid input: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Full configuration of a METAPREP run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// k-mer length (`1..=63`; the paper uses 27 by default and 63 for the
+    /// large-k experiments). `k <= 32` uses 64-bit tuples, larger k 128-bit.
+    pub k: usize,
+    /// m-mer prefix length for the index histograms (`m <= min(k, 16)`;
+    /// the paper uses 10; we default to 8 which gives 64Ki bins — plenty
+    /// for the scaled datasets while keeping `FASTQPart` small).
+    pub m: usize,
+    /// Number of I/O passes `S` over the input (§3.1: more passes, less
+    /// memory per task).
+    pub passes: usize,
+    /// Number of simulated MPI tasks `P`.
+    pub tasks: usize,
+    /// Threads per task `T`.
+    pub threads: usize,
+    /// Number of logical FASTQ chunks `C`; 0 means `4 * tasks * threads`.
+    pub chunks: usize,
+    /// k-mer frequency filter: only k-mers whose occurrence count lies in
+    /// `lo..=hi` generate read-graph edges (paper §4.4; `KF < 30` is
+    /// `(1, 29)`, `10 <= KF < 30` is `(10, 29)`).
+    pub kf_filter: Option<(u32, u32)>,
+    /// LocalCC-Opt (§3.5.1): on passes after the first, enumerate
+    /// `(k-mer, component id)` instead of `(k-mer, read id)` to improve
+    /// locality in the component array.
+    pub cc_opt: bool,
+    /// Use the 4-lane batched k-mer generator (§3.2.1) instead of the
+    /// scalar rolling generator.
+    pub use_x4_kmergen: bool,
+    /// Send component arrays in sparse `(vertex, root)` form during the
+    /// MergeCC rounds — the communication-contraction direction the paper's
+    /// §5 cites (Iverson et al.). Reduces Merge-Comm bytes when tasks touch
+    /// only a slice of the read set; identical final components.
+    pub merge_sparse: bool,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        Self {
+            k: 27,
+            m: 8,
+            passes: 1,
+            tasks: 1,
+            threads: 1,
+            chunks: 0,
+            kf_filter: None,
+            cc_opt: true,
+            use_x4_kmergen: false,
+            merge_sparse: false,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Start building a configuration from the defaults.
+    pub fn builder() -> PipelineConfigBuilder {
+        PipelineConfigBuilder {
+            cfg: Self::default(),
+        }
+    }
+
+    /// Effective chunk count.
+    pub fn effective_chunks(&self) -> usize {
+        if self.chunks == 0 {
+            4 * self.tasks * self.threads
+        } else {
+            self.chunks
+        }
+    }
+
+    /// Validate invariants; called by [`crate::Pipeline::new`].
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        let err = |s: String| Err(PipelineError::InvalidConfig(s));
+        if self.k < 1 || self.k > 63 {
+            return err(format!("k = {} not in 1..=63", self.k));
+        }
+        if self.m < 1 || self.m > self.k.min(16) {
+            return err(format!("m = {} not in 1..=min(k, 16)", self.m));
+        }
+        if self.passes < 1 {
+            return err("passes must be >= 1".into());
+        }
+        if self.tasks < 1 {
+            return err("tasks must be >= 1".into());
+        }
+        if self.threads < 1 {
+            return err("threads must be >= 1".into());
+        }
+        if let Some((lo, hi)) = self.kf_filter {
+            if lo > hi || lo == 0 {
+                return err(format!("kf_filter ({lo}, {hi}) must satisfy 1 <= lo <= hi"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`PipelineConfig`].
+#[derive(Clone, Debug)]
+pub struct PipelineConfigBuilder {
+    cfg: PipelineConfig,
+}
+
+impl PipelineConfigBuilder {
+    /// Set the k-mer length.
+    pub fn k(mut self, k: usize) -> Self {
+        self.cfg.k = k;
+        self
+    }
+
+    /// Set the m-mer prefix length.
+    pub fn m(mut self, m: usize) -> Self {
+        self.cfg.m = m;
+        self
+    }
+
+    /// Set the number of I/O passes.
+    pub fn passes(mut self, s: usize) -> Self {
+        self.cfg.passes = s;
+        self
+    }
+
+    /// Set the number of simulated tasks.
+    pub fn tasks(mut self, p: usize) -> Self {
+        self.cfg.tasks = p;
+        self
+    }
+
+    /// Set threads per task.
+    pub fn threads(mut self, t: usize) -> Self {
+        self.cfg.threads = t;
+        self
+    }
+
+    /// Set the logical chunk count (0 = auto).
+    pub fn chunks(mut self, c: usize) -> Self {
+        self.cfg.chunks = c;
+        self
+    }
+
+    /// Restrict read-graph edges to k-mers with frequency in `lo..=hi`.
+    pub fn kf_filter(mut self, lo: u32, hi: u32) -> Self {
+        self.cfg.kf_filter = Some((lo, hi));
+        self
+    }
+
+    /// Enable/disable LocalCC-Opt.
+    pub fn cc_opt(mut self, on: bool) -> Self {
+        self.cfg.cc_opt = on;
+        self
+    }
+
+    /// Enable/disable 4-lane KmerGen.
+    pub fn x4_kmergen(mut self, on: bool) -> Self {
+        self.cfg.use_x4_kmergen = on;
+        self
+    }
+
+    /// Enable/disable sparse Merge-Comm payloads.
+    pub fn merge_sparse(mut self, on: bool) -> Self {
+        self.cfg.merge_sparse = on;
+        self
+    }
+
+    /// Finish building.
+    pub fn build(self) -> PipelineConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        assert!(PipelineConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let c = PipelineConfig::builder()
+            .k(63)
+            .m(10)
+            .passes(4)
+            .tasks(8)
+            .threads(3)
+            .chunks(96)
+            .kf_filter(10, 29)
+            .cc_opt(false)
+            .x4_kmergen(true)
+            .build();
+        assert_eq!(c.k, 63);
+        assert_eq!(c.m, 10);
+        assert_eq!(c.passes, 4);
+        assert_eq!(c.tasks, 8);
+        assert_eq!(c.threads, 3);
+        assert_eq!(c.chunks, 96);
+        assert_eq!(c.kf_filter, Some((10, 29)));
+        assert!(!c.cc_opt);
+        assert!(c.use_x4_kmergen);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_chunks_auto() {
+        let c = PipelineConfig::builder().tasks(2).threads(3).build();
+        assert_eq!(c.effective_chunks(), 24);
+        let c = PipelineConfig::builder().chunks(7).build();
+        assert_eq!(c.effective_chunks(), 7);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        assert!(PipelineConfig::builder().k(0).build().validate().is_err());
+        assert!(PipelineConfig::builder().k(64).build().validate().is_err());
+        assert!(PipelineConfig::builder().k(63).build().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_m() {
+        assert!(PipelineConfig::builder().k(6).m(7).build().validate().is_err());
+        assert!(PipelineConfig::builder().m(0).build().validate().is_err());
+        assert!(PipelineConfig::builder().k(27).m(16).build().validate().is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_filter() {
+        assert!(PipelineConfig::builder()
+            .kf_filter(5, 2)
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .kf_filter(0, 5)
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .kf_filter(1, 1)
+            .build()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_zero_parallelism() {
+        assert!(PipelineConfig::builder().passes(0).build().validate().is_err());
+        assert!(PipelineConfig::builder().tasks(0).build().validate().is_err());
+        assert!(PipelineConfig::builder().threads(0).build().validate().is_err());
+    }
+}

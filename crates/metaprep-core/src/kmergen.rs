@@ -1,0 +1,334 @@
+//! KmerGen: per-task tuple enumeration (paper §3.2).
+
+use crate::source::ChunkSource;
+use metaprep_index::{FastqPart, RangePlan};
+use metaprep_kmer::{
+    for_each_canonical_kmer, lanes::for_each_canonical_kmer_x4, Kmer, Kmer128, Kmer64,
+    KmerReadTuple, KmerReadTuple128,
+};
+use metaprep_sort::Keyed;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Glue between a k-mer width and its pipeline tuple type.
+pub trait PipelineKmer: Kmer {
+    /// The `(k-mer, read id)` tuple carried through comm/sort/CC.
+    type Tuple: Keyed<Key = <Self as Kmer>::Repr> + Default + Copy + Send + Sync + 'static;
+    /// Packed tuple size in the paper's representation (12 or 20 bytes).
+    const PACKED_TUPLE_BYTES: usize;
+
+    /// Build a tuple.
+    fn make_tuple(v: <Self as Kmer>::Repr, read: u32) -> Self::Tuple;
+    /// Read id of a tuple.
+    fn tuple_read(t: &Self::Tuple) -> u32;
+    /// Convert a `u128` plan boundary into this width's key type.
+    fn repr_from_u128(v: u128) -> <Self as Kmer>::Repr;
+}
+
+impl PipelineKmer for Kmer64 {
+    type Tuple = KmerReadTuple;
+    const PACKED_TUPLE_BYTES: usize = KmerReadTuple::PACKED_BYTES;
+
+    #[inline(always)]
+    fn make_tuple(v: u64, read: u32) -> KmerReadTuple {
+        KmerReadTuple::new(v, read)
+    }
+
+    #[inline(always)]
+    fn tuple_read(t: &KmerReadTuple) -> u32 {
+        t.read
+    }
+
+    #[inline(always)]
+    fn repr_from_u128(v: u128) -> u64 {
+        v as u64
+    }
+}
+
+impl PipelineKmer for Kmer128 {
+    type Tuple = KmerReadTuple128;
+    const PACKED_TUPLE_BYTES: usize = KmerReadTuple128::PACKED_BYTES;
+
+    #[inline(always)]
+    fn make_tuple(v: u128, read: u32) -> KmerReadTuple128 {
+        KmerReadTuple128::new(v, read)
+    }
+
+    #[inline(always)]
+    fn tuple_read(t: &KmerReadTuple128) -> u32 {
+        t.read
+    }
+
+    #[inline(always)]
+    fn repr_from_u128(v: u128) -> u128 {
+        v
+    }
+}
+
+/// Output of one task's KmerGen for one pass.
+pub struct KmerGenOutput<T> {
+    /// `outgoing[q]` — tuples destined for task `q`, in chunk order.
+    pub outgoing: Vec<Vec<T>>,
+    /// Simulated FASTQ-chunk load time ("KmerGen-I/O"): the time spent
+    /// copying chunk bytes into thread-local buffers, CPU-time summed
+    /// across threads.
+    pub io_nanos: u64,
+    /// Enumeration time, CPU-time summed across threads.
+    pub gen_nanos: u64,
+}
+
+/// Enumerate this task's tuples for `pass`.
+///
+/// * `my_chunks` — chunk indices this task owns;
+/// * `bin_owner` — the plan's m-mer-bin → `pass * P + task` table;
+/// * `read_label` — identity for plain LocalCC; the task's current
+///   `Find(read)` for LocalCC-Opt passes (paper §3.5.1).
+///
+/// Per-destination buffers are preallocated to their *exact* sizes computed
+/// from the `FASTQPart` chunk histograms (the paper's offset precomputation,
+/// §3.2.2) — an assertion checks the histogram arithmetic agrees with the
+/// enumeration.
+#[allow(clippy::too_many_arguments)]
+pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
+    pool: &rayon::ThreadPool,
+    source: &S,
+    fastqpart: &FastqPart,
+    plan: &RangePlan,
+    my_chunks: &[usize],
+    bin_owner: &[u32],
+    pass: usize,
+    use_x4: bool,
+    read_label: impl Fn(u32) -> u32 + Sync,
+) -> KmerGenOutput<K::Tuple> {
+    use rayon::prelude::*;
+
+    let tasks = plan.tasks();
+    let k = plan.k();
+    let space = fastqpart.space();
+    debug_assert_eq!(space.k(), k);
+    let io_nanos = AtomicU64::new(0);
+    let gen_nanos = AtomicU64::new(0);
+
+    let per_chunk: Vec<Vec<Vec<K::Tuple>>> = pool.install(|| {
+        my_chunks
+            .par_iter()
+            .map(|&c| {
+                // Chunk load (KmerGen-I/O): a copy from the in-memory store
+                // (MemorySource) or a real seek+read+parse from the FASTQ
+                // file (FileSource) — either way, into this thread's
+                // FASTQBuffer.
+                let t_io = Instant::now();
+                let buffer = source.load_chunk(c);
+                io_nanos.fetch_add(t_io.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                let t_gen = Instant::now();
+                let mut bufs: Vec<Vec<K::Tuple>> = (0..tasks)
+                    .map(|q| {
+                        let (blo, bhi) = plan.task_bin_range(pass, q);
+                        Vec::with_capacity(fastqpart.chunk_count_in_bins(c, blo, bhi) as usize)
+                    })
+                    .collect();
+                for (seq, frag) in &buffer {
+                    let label = read_label(*frag);
+                    emit_kmers::<K>(seq, k, use_x4, |v| {
+                        let bin = space.bin_of(K::repr_to_u128(v));
+                        let owner = bin_owner[bin as usize] as usize;
+                        if owner / tasks == pass {
+                            bufs[owner % tasks].push(K::make_tuple(v, label));
+                        }
+                    });
+                }
+                gen_nanos.fetch_add(t_gen.elapsed().as_nanos() as u64, Ordering::Relaxed);
+
+                // The index-table arithmetic must match the enumeration.
+                for (q, b) in bufs.iter().enumerate() {
+                    let (blo, bhi) = plan.task_bin_range(pass, q);
+                    debug_assert_eq!(
+                        b.len() as u64,
+                        fastqpart.chunk_count_in_bins(c, blo, bhi),
+                        "chunk {c} dest {q}: histogram disagrees with enumeration"
+                    );
+                }
+                bufs
+            })
+            .collect()
+    });
+
+    // Concatenate per destination, in chunk order (stable).
+    let mut outgoing: Vec<Vec<K::Tuple>> = (0..tasks).map(|_| Vec::new()).collect();
+    for (q, out) in outgoing.iter_mut().enumerate() {
+        let total: usize = per_chunk.iter().map(|b| b[q].len()).sum();
+        out.reserve_exact(total);
+        for bufs in &per_chunk {
+            out.extend_from_slice(&bufs[q]);
+        }
+    }
+
+    KmerGenOutput {
+        outgoing,
+        io_nanos: io_nanos.into_inner(),
+        gen_nanos: gen_nanos.into_inner(),
+    }
+}
+
+/// Dispatch between the scalar and 4-lane generators.
+#[inline]
+fn emit_kmers<K: PipelineKmer>(seq: &[u8], k: usize, use_x4: bool, mut f: impl FnMut(K::Repr)) {
+    if use_x4 {
+        for_each_canonical_kmer_x4::<K>(seq, k, |v, _| f(v));
+    } else {
+        for_each_canonical_kmer::<K>(seq, k, |v, _| f(v));
+    }
+}
+
+/// Expected tuples task `rank` receives from all chunks in `pass` —
+/// the receive-count precomputation of paper §3.3.
+pub fn expected_incoming(fastqpart: &FastqPart, plan: &RangePlan, pass: usize, rank: usize) -> u64 {
+    let (blo, bhi) = plan.task_bin_range(pass, rank);
+    (0..fastqpart.len())
+        .map(|c| fastqpart.chunk_count_in_bins(c, blo, bhi))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::MemorySource;
+    use metaprep_index::MerHist;
+    use metaprep_io::ReadStore;
+
+    fn mem_source<'a>(s: &'a ReadStore, fp: &FastqPart) -> MemorySource<'a> {
+        MemorySource::new(s, fp.chunks().iter().map(|r| r.spec).collect())
+    }
+
+    fn store() -> ReadStore {
+        let mut s = ReadStore::new();
+        let mut x = 7u64;
+        for _ in 0..40 {
+            let seq: Vec<u8> = (0..60)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    b"ACGT"[(x >> 61) as usize & 3]
+                })
+                .collect();
+            s.push_pair(&seq[..30], &seq[30..]);
+        }
+        s
+    }
+
+    fn setup(k: usize, passes: usize, tasks: usize) -> (ReadStore, FastqPart, RangePlan) {
+        let s = store();
+        let mh = MerHist::build(&s, k, 4);
+        let fp = FastqPart::build(&s, 6, k, 4);
+        let plan = RangePlan::build(&mh, passes, tasks, 2);
+        (s, fp, plan)
+    }
+
+    #[test]
+    fn all_tuples_emitted_across_passes_and_tasks() {
+        let (s, fp, plan) = setup(11, 2, 3);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+        let mut total = 0u64;
+        for pass in 0..2 {
+            let src = mem_source(&s, &fp);
+            let out = kmergen_pass::<Kmer64, _>(
+                &pool, &src, &fp, &plan, &all_chunks, &table, pass, false, |r| r,
+            );
+            total += out.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
+        }
+        assert_eq!(total, fp.total());
+    }
+
+    #[test]
+    fn tuples_land_in_owner_range() {
+        let (s, fp, plan) = setup(11, 1, 4);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+        let src = mem_source(&s, &fp);
+        let out =
+            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |r| r);
+        for (q, buf) in out.outgoing.iter().enumerate() {
+            let (lo, hi) = plan.task_range(0, q);
+            for t in buf {
+                let v = t.kmer as u128;
+                assert!(v >= lo && v < hi, "task {q}: kmer out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn expected_incoming_matches_actual() {
+        let (s, fp, plan) = setup(11, 2, 3);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+        for pass in 0..2 {
+            let src = mem_source(&s, &fp);
+            let out = kmergen_pass::<Kmer64, _>(
+                &pool, &src, &fp, &plan, &all_chunks, &table, pass, false, |r| r,
+            );
+            for q in 0..3 {
+                assert_eq!(
+                    out.outgoing[q].len() as u64,
+                    expected_incoming(&fp, &plan, pass, q),
+                    "pass {pass} task {q}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn x4_matches_scalar_multiset() {
+        let (s, fp, plan) = setup(11, 1, 2);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+        let src = mem_source(&s, &fp);
+        let a =
+            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |r| r);
+        let b =
+            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, true, |r| r);
+        for q in 0..2 {
+            let mut x: Vec<_> = a.outgoing[q].iter().map(|t| (t.kmer, t.read)).collect();
+            let mut y: Vec<_> = b.outgoing[q].iter().map(|t| (t.kmer, t.read)).collect();
+            x.sort_unstable();
+            y.sort_unstable();
+            assert_eq!(x, y, "task {q}");
+        }
+    }
+
+    #[test]
+    fn read_label_substitution_applies() {
+        let (s, fp, plan) = setup(11, 1, 1);
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+        // Map every read to label 0 (as an extreme LocalCC-Opt would).
+        let src = mem_source(&s, &fp);
+        let out =
+            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |_| 0);
+        assert!(out.outgoing[0].iter().all(|t| t.read == 0));
+    }
+
+    #[test]
+    fn kmer128_path_works() {
+        let (s, fp, plan) = {
+            let s = store();
+            let mh = MerHist::build(&s, 35, 4);
+            let fp = FastqPart::build(&s, 4, 35, 4);
+            let plan = RangePlan::build(&mh, 1, 2, 2);
+            (s, fp, plan)
+        };
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+        let src = mem_source(&s, &fp);
+        let out =
+            kmergen_pass::<Kmer128, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |r| r);
+        let total: u64 = out.outgoing.iter().map(|v| v.len() as u64).sum();
+        assert_eq!(total, fp.total());
+    }
+}

@@ -1,0 +1,41 @@
+//! The METAPREP preprocessing pipeline (paper §3).
+//!
+//! Partitions a metagenomic read set into connected components of the
+//! implicit *read graph* (reads sharing a canonical k-mer are connected) so
+//! that each component can be assembled independently. The pipeline runs on
+//! the simulated cluster of `metaprep-dist` with the exact step structure
+//! of the paper:
+//!
+//! ```text
+//! IndexCreate -> for each pass s:                       (multi-pass, §3.1)
+//!                  KmerGen        (enumerate tuples,    §3.2)
+//!                  KmerGen-Comm   (P-stage all-to-all,  §3.3)
+//!                  LocalSort      (partition + radix,   §3.4)
+//!                  LocalCC        (concurrent UF,       §3.5)
+//!                -> MergeCC       (log P rounds,        §3.6)
+//!                -> output partitioned FASTQ
+//! ```
+//!
+//! Entry point: [`Pipeline::run_reads`]. Configuration: [`PipelineConfig`]
+//! (k, m, passes, tasks, threads, k-mer frequency filter, LocalCC-Opt,
+//! 4-lane KmerGen). Results carry component labels, per-task per-step
+//! timings, communication volumes and both modeled and measured memory.
+
+pub mod config;
+pub mod kmergen;
+pub mod localcc;
+pub mod memmodel;
+pub mod output;
+pub mod pipeline;
+pub mod source;
+pub mod timings;
+
+pub use config::{PipelineConfig, PipelineConfigBuilder, PipelineError};
+pub use memmodel::MemoryReport;
+pub use output::{
+    partition_reads, partition_top_n, write_multi_partition, write_partitions, MultiPartition,
+    PartitionedReads,
+};
+pub use pipeline::{Pipeline, PipelineResult};
+pub use source::{ChunkSource, FileSource, MemorySource};
+pub use timings::{Step, StepTimings, TaskTimings};

@@ -1,0 +1,244 @@
+//! LocalCC: implicit read-graph edges from sorted tuples (paper §3.5).
+//!
+//! After LocalSort, tuples with equal canonical k-mers are adjacent. Each
+//! group of `f` tuples for one k-mer encodes `f - 1` star edges connecting
+//! the group's first read to every other read — the implicit read graph
+//! (the graph is never materialized). The k-mer frequency filter of §4.4
+//! drops groups whose size lies outside `lo..=hi` before edges are
+//! generated.
+
+use crate::kmergen::PipelineKmer;
+use metaprep_cc::ConcurrentDisjointSet;
+use metaprep_sort::Keyed;
+use rayon::prelude::*;
+
+/// Counters from one LocalCC invocation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct LocalCcStats {
+    /// k-mer groups scanned.
+    pub groups: u64,
+    /// Groups dropped by the k-mer frequency filter.
+    pub filtered_groups: u64,
+    /// Edges processed (stream of star edges).
+    pub edges: u64,
+    /// Edges that observed distinct roots and were buffered for
+    /// re-verification (paper Algorithm 1's `E_out`).
+    pub union_edges: u64,
+    /// Verification iterations performed over the buffered edges.
+    pub verify_iterations: u64,
+}
+
+impl LocalCcStats {
+    /// Accumulate another invocation's counters.
+    pub fn merge(&mut self, o: LocalCcStats) {
+        self.groups += o.groups;
+        self.filtered_groups += o.filtered_groups;
+        self.edges += o.edges;
+        self.union_edges += o.union_edges;
+        self.verify_iterations += o.verify_iterations;
+    }
+}
+
+/// Run LocalCC over sorted `tuples`, split at `thread_offsets` (the
+/// `T + 1` offsets of the per-thread sub-ranges; groups never straddle a
+/// boundary because boundaries are k-mer value cuts).
+pub fn localcc_pass<K: PipelineKmer>(
+    pool: &rayon::ThreadPool,
+    ds: &ConcurrentDisjointSet,
+    tuples: &[K::Tuple],
+    thread_offsets: &[usize],
+    kf_filter: Option<(u32, u32)>,
+) -> LocalCcStats {
+    debug_assert!(thread_offsets.windows(2).all(|w| w[0] <= w[1]));
+    debug_assert_eq!(*thread_offsets.last().unwrap_or(&0), tuples.len());
+
+    // Stream edges per thread sub-range, buffering edges that performed (or
+    // raced on) a union — Algorithm 1's first iteration.
+    let per_range: Vec<(LocalCcStats, Vec<(u32, u32)>)> = pool.install(|| {
+        thread_offsets
+            .par_windows(2)
+            .map(|w| scan_range::<K>(ds, &tuples[w[0]..w[1]], kf_filter))
+            .collect()
+    });
+
+    let mut stats = LocalCcStats::default();
+    let mut buffered = Vec::new();
+    for (s, mut b) in per_range {
+        stats.merge(s);
+        buffered.append(&mut b);
+    }
+    stats.union_edges = buffered.len() as u64;
+
+    // Re-verification iterations (Algorithm 1's loop).
+    stats.verify_iterations = pool.install(|| ds.process_edges_parallel(&buffered)) as u64;
+    stats
+}
+
+/// Scan one sorted sub-range: group equal k-mers, apply the frequency
+/// filter, stream star edges into the forest.
+fn scan_range<K: PipelineKmer>(
+    ds: &ConcurrentDisjointSet,
+    tuples: &[K::Tuple],
+    kf_filter: Option<(u32, u32)>,
+) -> (LocalCcStats, Vec<(u32, u32)>) {
+    let mut stats = LocalCcStats::default();
+    let mut buffered = Vec::new();
+    let mut i = 0usize;
+    while i < tuples.len() {
+        let key = tuples[i].key();
+        let mut j = i + 1;
+        while j < tuples.len() && tuples[j].key() == key {
+            j += 1;
+        }
+        let freq = (j - i) as u32;
+        stats.groups += 1;
+
+        let keep = match kf_filter {
+            Some((lo, hi)) => freq >= lo && freq <= hi,
+            None => true,
+        };
+        if !keep {
+            stats.filtered_groups += 1;
+        } else if freq >= 2 {
+            let anchor = K::tuple_read(&tuples[i]);
+            for t in &tuples[i + 1..j] {
+                let r = K::tuple_read(t);
+                if r != anchor {
+                    stats.edges += 1;
+                    if ds.process_edge(anchor, r) {
+                        buffered.push((anchor, r));
+                    }
+                }
+            }
+        }
+        i = j;
+    }
+    (stats, buffered)
+}
+
+/// Offsets of the per-thread sub-ranges within sorted `tuples`, from the
+/// plan's thread boundaries (k-mer values).
+pub fn thread_offsets_of<K: PipelineKmer>(
+    tuples: &[K::Tuple],
+    boundaries: &[<K as metaprep_kmer::Kmer>::Repr],
+) -> Vec<usize>
+where
+    <K as metaprep_kmer::Kmer>::Repr: Ord,
+{
+    let mut offs = Vec::with_capacity(boundaries.len() + 2);
+    offs.push(0);
+    for b in boundaries {
+        offs.push(tuples.partition_point(|t| t.key() < *b));
+    }
+    offs.push(tuples.len());
+    offs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaprep_kmer::{Kmer64, KmerReadTuple};
+
+    fn pool() -> rayon::ThreadPool {
+        rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap()
+    }
+
+    fn tuples(raw: &[(u64, u32)]) -> Vec<KmerReadTuple> {
+        let mut v: Vec<KmerReadTuple> =
+            raw.iter().map(|&(k, r)| KmerReadTuple::new(k, r)).collect();
+        v.sort_by_key(|t| (t.kmer, t.read));
+        v
+    }
+
+    fn run(
+        n: usize,
+        raw: &[(u64, u32)],
+        kf: Option<(u32, u32)>,
+    ) -> (Vec<u32>, LocalCcStats) {
+        let ts = tuples(raw);
+        let ds = ConcurrentDisjointSet::new(n);
+        let offs = vec![0, ts.len()];
+        let stats = localcc_pass::<Kmer64>(&pool(), &ds, &ts, &offs, kf);
+        (ds.to_component_array(), stats)
+    }
+
+    #[test]
+    fn shared_kmer_connects_reads() {
+        let (arr, stats) = run(3, &[(5, 0), (5, 1), (9, 2)], None);
+        assert_eq!(arr[0], arr[1]);
+        assert_ne!(arr[0], arr[2]);
+        assert_eq!(stats.groups, 2);
+        assert_eq!(stats.edges, 1);
+    }
+
+    #[test]
+    fn star_edges_connect_whole_group() {
+        let (arr, stats) = run(4, &[(7, 0), (7, 1), (7, 2), (7, 3)], None);
+        assert!(arr.iter().all(|&r| r == arr[0]));
+        assert_eq!(stats.edges, 3);
+    }
+
+    #[test]
+    fn duplicate_reads_in_group_add_no_edges() {
+        // Read 0 contains the k-mer twice.
+        let (arr, stats) = run(2, &[(7, 0), (7, 0), (7, 1)], None);
+        assert_eq!(arr[0], arr[1]);
+        assert_eq!(stats.edges, 1);
+    }
+
+    #[test]
+    fn kf_filter_drops_high_frequency_groups() {
+        // Group of 3 > hi=2 -> dropped; reads stay separate.
+        let (arr, stats) = run(3, &[(7, 0), (7, 1), (7, 2)], Some((1, 2)));
+        assert_ne!(arr[0], arr[1]);
+        assert_eq!(stats.filtered_groups, 1);
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn kf_filter_drops_low_frequency_groups() {
+        // freq 2 < lo=3 -> dropped.
+        let (arr, _) = run(2, &[(7, 0), (7, 1)], Some((3, 100)));
+        assert_ne!(arr[0], arr[1]);
+        // In range -> kept.
+        let (arr, _) = run(2, &[(7, 0), (7, 1)], Some((2, 100)));
+        assert_eq!(arr[0], arr[1]);
+    }
+
+    #[test]
+    fn transitivity_across_groups() {
+        // k-mer A connects 0-1; k-mer B connects 1-2 -> all one component.
+        let (arr, _) = run(3, &[(1, 0), (1, 1), (2, 1), (2, 2)], None);
+        assert!(arr.iter().all(|&r| r == arr[0]));
+    }
+
+    #[test]
+    fn multi_range_offsets_respect_boundaries() {
+        let ts = tuples(&[(1, 0), (1, 1), (10, 2), (10, 3), (20, 4), (20, 5)]);
+        let offs = thread_offsets_of::<Kmer64>(&ts, &[5u64, 15]);
+        assert_eq!(offs, vec![0, 2, 4, 6]);
+        let ds = ConcurrentDisjointSet::new(6);
+        localcc_pass::<Kmer64>(&pool(), &ds, &ts, &offs, None);
+        let arr = ds.to_component_array();
+        assert_eq!(arr[0], arr[1]);
+        assert_eq!(arr[2], arr[3]);
+        assert_eq!(arr[4], arr[5]);
+        assert_ne!(arr[0], arr[2]);
+    }
+
+    #[test]
+    fn empty_tuples() {
+        let ds = ConcurrentDisjointSet::new(2);
+        let stats = localcc_pass::<Kmer64>(&pool(), &ds, &[], &[0, 0], None);
+        assert_eq!(stats.groups, 0);
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn union_edges_counted() {
+        let (_, stats) = run(4, &[(7, 0), (7, 1), (8, 2), (8, 3)], None);
+        // Both edges performed unions.
+        assert_eq!(stats.union_edges, 2);
+        assert!(stats.verify_iterations >= 1);
+    }
+}

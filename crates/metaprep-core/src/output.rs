@@ -1,0 +1,221 @@
+//! Output partitioning (the tail of MergeCC, paper §3.6).
+//!
+//! The paper writes the reads of the largest component to one FASTQ file
+//! and all remaining reads to another, because a giant component forms on
+//! every dataset it examined. [`partition_reads`] does the split in memory;
+//! [`write_partitions`] writes `lc.fastq` / `other.fastq`.
+
+use metaprep_io::{write_fastq_path, ReadStore};
+use std::io;
+use std::path::Path;
+
+/// The two output read sets.
+#[derive(Clone, Debug)]
+pub struct PartitionedReads {
+    /// Reads whose fragment is in the largest component.
+    pub lc: ReadStore,
+    /// All other reads.
+    pub other: ReadStore,
+    /// Fraction of fragments in the largest component.
+    pub lc_fraction: f64,
+}
+
+/// Split `reads` by the final component labels (`labels[frag]`), putting
+/// fragments labeled `largest_root` into `lc`. Pairing is preserved: both
+/// mates of a fragment go to the same side.
+pub fn partition_reads(reads: &ReadStore, labels: &[u32], largest_root: u32) -> PartitionedReads {
+    assert_eq!(
+        labels.len(),
+        reads.num_fragments() as usize,
+        "labels must cover every fragment"
+    );
+    let lc = reads.filter_fragments(|f| labels[f as usize] == largest_root);
+    let other = reads.filter_fragments(|f| labels[f as usize] != largest_root);
+    let lc_fraction = if labels.is_empty() {
+        0.0
+    } else {
+        labels.iter().filter(|&&l| l == largest_root).count() as f64 / labels.len() as f64
+    };
+    PartitionedReads {
+        lc,
+        other,
+        lc_fraction,
+    }
+}
+
+/// Write the partition as `lc.fastq` and `other.fastq` under `dir`.
+pub fn write_partitions(dir: impl AsRef<Path>, parts: &PartitionedReads) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    write_fastq_path(dir.join("lc.fastq"), &parts.lc)?;
+    write_fastq_path(dir.join("other.fastq"), &parts.other)
+}
+
+/// A multi-way component split (the paper's §5 "alternate component-
+/// splitting strategies"): the `n` largest components each get their own
+/// read set; everything else (including components below `min_size`
+/// fragments) is pooled into `rest`. Each bucket can be fed to an
+/// assembler independently — the "assemble partitions in parallel" use
+/// case generalized beyond LC-vs-rest.
+#[derive(Clone, Debug)]
+pub struct MultiPartition {
+    /// `(component root, reads)` for the top components, largest first.
+    pub buckets: Vec<(u32, ReadStore)>,
+    /// Pooled remainder.
+    pub rest: ReadStore,
+}
+
+/// Split `reads` into the `n` largest components (each at least
+/// `min_size` fragments) plus a pooled remainder.
+pub fn partition_top_n(
+    reads: &ReadStore,
+    labels: &[u32],
+    n: usize,
+    min_size: usize,
+) -> MultiPartition {
+    assert_eq!(labels.len(), reads.num_fragments() as usize);
+    let mut size_of_root: std::collections::HashMap<u32, usize> = std::collections::HashMap::new();
+    for &l in labels {
+        *size_of_root.entry(l).or_insert(0) += 1;
+    }
+    let mut roots: Vec<(u32, usize)> = size_of_root
+        .into_iter()
+        .filter(|&(_, s)| s >= min_size)
+        .collect();
+    roots.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    roots.truncate(n);
+
+    let buckets: Vec<(u32, ReadStore)> = roots
+        .iter()
+        .map(|&(root, _)| (root, reads.filter_fragments(|f| labels[f as usize] == root)))
+        .collect();
+    let selected: std::collections::HashSet<u32> = roots.iter().map(|&(r, _)| r).collect();
+    let rest = reads.filter_fragments(|f| !selected.contains(&labels[f as usize]));
+    MultiPartition { buckets, rest }
+}
+
+/// Write a [`MultiPartition`] as `comp_<i>.fastq` files plus `rest.fastq`.
+pub fn write_multi_partition(dir: impl AsRef<Path>, parts: &MultiPartition) -> io::Result<()> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    for (i, (_, store)) in parts.buckets.iter().enumerate() {
+        write_fastq_path(dir.join(format!("comp_{i}.fastq")), store)?;
+    }
+    write_fastq_path(dir.join("rest.fastq"), &parts.rest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> ReadStore {
+        let mut s = ReadStore::new();
+        s.push_pair(b"AAAA", b"TTTT"); // frag 0
+        s.push_pair(b"CCCC", b"GGGG"); // frag 1
+        s.push_single(b"ACGT"); // frag 2
+        s
+    }
+
+    #[test]
+    fn splits_by_label() {
+        let s = store();
+        let labels = vec![7, 7, 2]; // frags 0,1 together
+        let parts = partition_reads(&s, &labels, 7);
+        assert_eq!(parts.lc.num_fragments(), 2);
+        assert_eq!(parts.lc.len(), 4);
+        assert_eq!(parts.other.num_fragments(), 1);
+        assert_eq!(parts.other.len(), 1);
+        assert!((parts.lc_fraction - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairs_stay_together() {
+        let s = store();
+        let parts = partition_reads(&s, &[5, 1, 5], 5);
+        // frag 0 (pair) and frag 2 (single) in LC.
+        assert_eq!(parts.lc.len(), 3);
+        assert_eq!(parts.lc.frag_id(0), parts.lc.frag_id(1));
+    }
+
+    #[test]
+    fn empty_labels_empty_store() {
+        let parts = partition_reads(&ReadStore::new(), &[], 0);
+        assert!(parts.lc.is_empty());
+        assert!(parts.other.is_empty());
+        assert_eq!(parts.lc_fraction, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn label_count_mismatch_rejected() {
+        partition_reads(&store(), &[0, 1], 0);
+    }
+
+    #[test]
+    fn top_n_buckets_ordered_and_disjoint() {
+        let mut s = ReadStore::new();
+        for _ in 0..10 {
+            s.push_single(b"ACGT");
+        }
+        // Components: {0..4} root 9, {5,6} root 7, {7} root 1, {8,9} root 3.
+        let labels = vec![9, 9, 9, 9, 9, 7, 7, 1, 3, 3];
+        // Remap to sizes 5, 2, 1, 2.
+        let parts = partition_top_n(&s, &labels, 2, 2);
+        assert_eq!(parts.buckets.len(), 2);
+        assert_eq!(parts.buckets[0].0, 9);
+        assert_eq!(parts.buckets[0].1.num_fragments(), 5);
+        assert_eq!(parts.buckets[1].1.num_fragments(), 2);
+        // rest = the other two components (sizes 1 + 2).
+        assert_eq!(parts.rest.num_fragments(), 3);
+        let total: u32 = parts
+            .buckets
+            .iter()
+            .map(|(_, b)| b.num_fragments())
+            .sum::<u32>()
+            + parts.rest.num_fragments();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn top_n_min_size_pools_small_components() {
+        let mut s = ReadStore::new();
+        for _ in 0..4 {
+            s.push_single(b"ACGT");
+        }
+        let labels = vec![0, 1, 2, 3]; // all singletons
+        let parts = partition_top_n(&s, &labels, 3, 2);
+        assert!(parts.buckets.is_empty());
+        assert_eq!(parts.rest.num_fragments(), 4);
+    }
+
+    #[test]
+    fn multi_partition_writes_files() {
+        let dir = std::env::temp_dir().join("metaprep_core_multipart_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut s = ReadStore::new();
+        for _ in 0..6 {
+            s.push_single(b"ACGT");
+        }
+        let labels = vec![5, 5, 5, 2, 2, 0];
+        let parts = partition_top_n(&s, &labels, 2, 2);
+        write_multi_partition(&dir, &parts).unwrap();
+        assert!(dir.join("comp_0.fastq").exists());
+        assert!(dir.join("comp_1.fastq").exists());
+        assert!(dir.join("rest.fastq").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn writes_both_files() {
+        let dir = std::env::temp_dir().join("metaprep_core_output_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let s = store();
+        let parts = partition_reads(&s, &[9, 9, 0], 9);
+        write_partitions(&dir, &parts).unwrap();
+        let lc = metaprep_io::parse_fastq_path(dir.join("lc.fastq"), false).unwrap();
+        let other = metaprep_io::parse_fastq_path(dir.join("other.fastq"), false).unwrap();
+        assert_eq!(lc.len(), 4);
+        assert_eq!(other.len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,772 @@
+//! Pipeline orchestration: the distributed METAPREP flow.
+
+use crate::config::{PipelineConfig, PipelineError};
+use crate::kmergen::{expected_incoming, kmergen_pass, PipelineKmer};
+use crate::source::{ChunkSource, FileSource, MemorySource};
+use crate::localcc::{localcc_pass, thread_offsets_of, LocalCcStats};
+use crate::memmodel::MemoryReport;
+use crate::timings::{Step, StepTimings, TaskTimings};
+use metaprep_cc::{absorb_parent_array, absorb_sparse_pairs, sparse_pairs, ComponentStats, ConcurrentDisjointSet};
+use metaprep_dist::collectives::{alltoall, broadcast};
+use metaprep_dist::{run_cluster, ClusterConfig, CommStats, Payload, TaskCtx};
+use metaprep_index::{FastqPart, MerHist, RangePlan};
+use metaprep_io::ReadStore;
+use metaprep_kmer::{Kmer128, Kmer64};
+use metaprep_sort::local_sort_with_boundaries;
+use std::time::Instant;
+
+/// Message type moved between simulated tasks.
+enum Msg<T> {
+    /// k-mer tuples (KmerGen-Comm).
+    Tuples(Vec<T>),
+    /// Component arrays (Merge-Comm and the final broadcast).
+    Parents(Vec<u32>),
+    /// Sparse `(vertex, root)` component pairs (Merge-Comm with the
+    /// `merge_sparse` option).
+    SparseParents(Vec<(u32, u32)>),
+}
+
+impl<T> Clone for Msg<T>
+where
+    T: Clone,
+{
+    fn clone(&self) -> Self {
+        match self {
+            Msg::Tuples(v) => Msg::Tuples(v.clone()),
+            Msg::Parents(v) => Msg::Parents(v.clone()),
+            Msg::SparseParents(v) => Msg::SparseParents(v.clone()),
+        }
+    }
+}
+
+impl<T: Send + 'static> Payload for Msg<T> {
+    fn size_bytes(&self) -> usize {
+        match self {
+            Msg::Tuples(v) => v.len() * std::mem::size_of::<T>(),
+            Msg::Parents(v) => v.len() * std::mem::size_of::<u32>(),
+            Msg::SparseParents(v) => v.len() * std::mem::size_of::<(u32, u32)>(),
+        }
+    }
+}
+
+/// Everything a METAPREP run produces.
+#[derive(Clone, Debug)]
+pub struct PipelineResult {
+    /// Component statistics of the final labeling.
+    pub components: ComponentStats,
+    /// Final component label per fragment (fully compressed).
+    pub labels: Vec<u32>,
+    /// Per-task, per-step timings plus IndexCreate.
+    pub timings: StepTimings,
+    /// Per-task communication volumes.
+    pub comm: Vec<CommStats>,
+    /// Modeled + measured per-task memory.
+    pub memory: MemoryReport,
+    /// Total tuples enumerated across all passes and tasks.
+    pub tuples_total: u64,
+    /// LocalCC counters summed over tasks and passes.
+    pub localcc: LocalCcStats,
+    /// Reads written to the largest-component output across tasks (CC-I/O).
+    pub lc_reads_written: u64,
+    /// Reads written to the "Other" output across tasks.
+    pub other_reads_written: u64,
+}
+
+impl PipelineResult {
+    /// Fraction of fragments in the largest component (Table 7's metric).
+    pub fn largest_component_fraction(&self) -> f64 {
+        self.components.largest_fraction()
+    }
+}
+
+/// A configured METAPREP pipeline.
+pub struct Pipeline {
+    cfg: PipelineConfig,
+}
+
+impl Pipeline {
+    /// Create a pipeline; validates the configuration eagerly.
+    pub fn new(cfg: PipelineConfig) -> Self {
+        cfg.validate().expect("invalid pipeline configuration");
+        Self { cfg }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.cfg
+    }
+
+    /// Run the full preprocessing pipeline over in-memory reads.
+    pub fn run_reads(&self, reads: &ReadStore) -> Result<PipelineResult, PipelineError> {
+        self.cfg
+            .validate()
+            .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
+        if reads.num_fragments() == u32::MAX {
+            return Err(PipelineError::InvalidInput(
+                "fragment count must be < u32::MAX".into(),
+            ));
+        }
+        // ---- IndexCreate (sequential, timed; paper Table 5) ----
+        let t_index = Instant::now();
+        let c = self.cfg.effective_chunks();
+        let merhist = MerHist::build(reads, self.cfg.k, self.cfg.m);
+        let fastqpart = FastqPart::build(reads, c, self.cfg.k, self.cfg.m);
+        let index_create = t_index.elapsed();
+        let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
+        let source = MemorySource::new(reads, specs);
+        if self.cfg.k <= 32 {
+            Ok(run_generic::<Kmer64, _>(
+                &self.cfg, &source, &merhist, &fastqpart, index_create,
+            ))
+        } else {
+            Ok(run_generic::<Kmer128, _>(
+                &self.cfg, &source, &merhist, &fastqpart, index_create,
+            ))
+        }
+    }
+
+    /// Run the pipeline directly over a FASTQ *file*: IndexCreate scans the
+    /// file once to build the chunk table, and every pass re-reads the
+    /// chunks from disk — the paper's actual multi-pass I/O behaviour.
+    /// `paired` treats the file as interleaved mate pairs.
+    pub fn run_fastq_file(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        paired: bool,
+    ) -> Result<PipelineResult, PipelineError> {
+        self.cfg
+            .validate()
+            .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
+        let path = path.as_ref();
+
+        // ---- IndexCreate from the file ----
+        let t_index = Instant::now();
+        let (merhist, fastqpart, total_seqs) = index_fastq_file(
+            path,
+            paired,
+            self.cfg.effective_chunks(),
+            self.cfg.k,
+            self.cfg.m,
+        )?;
+        let index_create = t_index.elapsed();
+
+        let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
+        let source = FileSource::new(path.to_path_buf(), specs, paired, total_seqs);
+        if self.cfg.k <= 32 {
+            Ok(run_generic::<Kmer64, _>(
+                &self.cfg, &source, &merhist, &fastqpart, index_create,
+            ))
+        } else {
+            Ok(run_generic::<Kmer128, _>(
+                &self.cfg, &source, &merhist, &fastqpart, index_create,
+            ))
+        }
+    }
+}
+
+/// Build the index tables by scanning a FASTQ file once: chunk it (pair-
+/// aligned when `paired`), then histogram each chunk's canonical k-mers.
+/// The global merHist is the bin-wise sum of the chunk histograms, so the
+/// two tables are consistent by construction.
+fn index_fastq_file(
+    path: &std::path::Path,
+    paired: bool,
+    c: usize,
+    k: usize,
+    m: usize,
+) -> Result<(MerHist, FastqPart, u32), PipelineError> {
+    use metaprep_index::fastqpart::ChunkRecord;
+    use metaprep_kmer::{for_each_canonical_kmer, Kmer, MmerSpace};
+
+    let bytes =
+        std::fs::read(path).map_err(|e| PipelineError::InvalidInput(format!("read {path:?}: {e}")))?;
+    let specs = if paired {
+        metaprep_io::chunk_fastq_bytes_paired(&bytes, c)
+    } else {
+        metaprep_io::chunk_fastq_bytes(&bytes, c)
+    };
+    let space = MmerSpace::new(k, m);
+    let mut global = vec![0u32; space.bins()];
+    let mut chunks = Vec::with_capacity(specs.len());
+    let mut total_seqs = 0u32;
+    for spec in specs {
+        let lo = spec.offset as usize;
+        let store = metaprep_io::parse_fastq(&bytes[lo..lo + spec.bytes as usize], false)
+            .map_err(|e| PipelineError::InvalidInput(format!("chunk at {lo}: {e}")))?;
+        total_seqs += store.len() as u32;
+        let mut hist = vec![0u32; space.bins()];
+        for (seq, _) in store.iter() {
+            if k <= 32 {
+                for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
+                    hist[space.bin_of(Kmer64::repr_to_u128(v)) as usize] += 1;
+                });
+            } else {
+                for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| {
+                    hist[space.bin_of(v) as usize] += 1;
+                });
+            }
+        }
+        for (g, &h) in global.iter_mut().zip(&hist) {
+            *g += h;
+        }
+        chunks.push(ChunkRecord { spec, hist });
+    }
+    Ok((
+        MerHist::from_parts(space, global),
+        FastqPart::from_parts(space, chunks),
+        total_seqs,
+    ))
+}
+
+/// Per-task return value from the cluster run.
+struct TaskOutput {
+    timings: TaskTimings,
+    labels: Option<Vec<u32>>,
+    tuples_emitted: u64,
+    peak_tuples: u64,
+    localcc: LocalCcStats,
+    lc_reads: u64,
+    other_reads: u64,
+}
+
+fn run_generic<K: PipelineKmer, S: ChunkSource>(
+    cfg: &PipelineConfig,
+    source: &S,
+    merhist: &MerHist,
+    fastqpart: &FastqPart,
+    index_create: std::time::Duration,
+) -> PipelineResult {
+    let plan = RangePlan::build(merhist, cfg.passes, cfg.tasks, cfg.threads);
+    let bin_owner = plan.bin_owner_table();
+
+    // Chunk ownership: round-robin over tasks (chunks are size-balanced by
+    // construction, so this is the paper's static assignment).
+    let owner_of_chunk: Vec<usize> = (0..fastqpart.len()).map(|i| i % cfg.tasks).collect();
+
+    let r = source.num_fragments() as usize;
+    let cluster = ClusterConfig::new(cfg.tasks, cfg.threads);
+    let run = run_cluster::<Msg<K::Tuple>, TaskOutput, _>(cluster, |ctx| {
+        task_body::<K, S>(ctx, cfg, source, fastqpart, &plan, &bin_owner, &owner_of_chunk, r)
+    });
+
+    // ---- assemble the result ----
+    let mut labels = None;
+    let mut per_task = Vec::with_capacity(cfg.tasks);
+    let mut tuples_total = 0u64;
+    let mut localcc = LocalCcStats::default();
+    let mut peak_tuples = 0u64;
+    let (mut lc_reads_written, mut other_reads_written) = (0u64, 0u64);
+    for out in run.results {
+        per_task.push(out.timings);
+        tuples_total += out.tuples_emitted;
+        localcc.merge(out.localcc);
+        peak_tuples = peak_tuples.max(out.peak_tuples);
+        lc_reads_written += out.lc_reads;
+        other_reads_written += out.other_reads;
+        if let Some(l) = out.labels {
+            labels = Some(l);
+        }
+    }
+    let labels = labels.expect("rank 0 must produce labels");
+    let components = ComponentStats::from_component_array(&labels);
+
+    let avg_chunk_bytes = if fastqpart.is_empty() {
+        0
+    } else {
+        fastqpart.chunks().iter().map(|ch| ch.spec.bytes).sum::<u64>() / fastqpart.len() as u64
+    };
+    let mut memory = MemoryReport::model(
+        cfg.m,
+        fastqpart.len(),
+        cfg.threads,
+        avg_chunk_bytes,
+        merhist.total(),
+        K::PACKED_TUPLE_BYTES,
+        cfg.passes,
+        cfg.tasks,
+        r as u64,
+    );
+    memory.record_peak(peak_tuples, std::mem::size_of::<K::Tuple>());
+
+    PipelineResult {
+        components,
+        labels,
+        timings: StepTimings {
+            index_create,
+            per_task,
+        },
+        comm: run.stats,
+        memory,
+        tuples_total,
+        localcc,
+        lc_reads_written,
+        other_reads_written,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn task_body<K: PipelineKmer, S: ChunkSource>(
+    ctx: &mut TaskCtx<Msg<K::Tuple>>,
+    cfg: &PipelineConfig,
+    source: &S,
+    fastqpart: &FastqPart,
+    plan: &RangePlan,
+    bin_owner: &[u32],
+    owner_of_chunk: &[usize],
+    r: usize,
+) -> TaskOutput {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let mut tm = TaskTimings::default();
+    let ds = ConcurrentDisjointSet::new(r);
+    let my_chunks: Vec<usize> = (0..fastqpart.len())
+        .filter(|&i| owner_of_chunk[i] == rank)
+        .collect();
+
+    let mut tuples_emitted = 0u64;
+    let mut peak_tuples = 0u64;
+    let mut cc_stats = LocalCcStats::default();
+    let key_bits = 2 * cfg.k as u32;
+
+    for pass in 0..cfg.passes {
+        // ---- KmerGen (+ simulated I/O) ----
+        let use_opt = cfg.cc_opt && pass > 0;
+        let gen = kmergen_pass::<K, S>(
+            ctx.pool(),
+            source,
+            fastqpart,
+            plan,
+            &my_chunks,
+            bin_owner,
+            pass,
+            cfg.use_x4_kmergen,
+            |frag| if use_opt { ds.find(frag) } else { frag },
+        );
+        tm.add(Step::KmerGenIo, std::time::Duration::from_nanos(gen.io_nanos));
+        tm.add(Step::KmerGen, std::time::Duration::from_nanos(gen.gen_nanos));
+        tuples_emitted += gen.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
+
+        // ---- KmerGen-Comm: the P-stage all-to-all ----
+        let t0 = Instant::now();
+        let outgoing: Vec<Msg<K::Tuple>> = gen.outgoing.into_iter().map(Msg::Tuples).collect();
+        let incoming = alltoall(ctx, outgoing);
+        let expected = expected_incoming(fastqpart, plan, pass, rank);
+        let mut tuples: Vec<K::Tuple> = Vec::with_capacity(expected as usize);
+        for msg in incoming {
+            match msg {
+                Msg::Tuples(v) => tuples.extend_from_slice(&v),
+                _ => unreachable!("no parent arrays during KmerGen-Comm"),
+            }
+        }
+        debug_assert_eq!(tuples.len() as u64, expected, "receive-count precomputation");
+        tm.add(Step::KmerGenComm, t0.elapsed());
+        peak_tuples = peak_tuples.max(2 * tuples.len() as u64); // data + scratch
+
+        // ---- LocalSort ----
+        let t0 = Instant::now();
+        let boundaries: Vec<<K as metaprep_kmer::Kmer>::Repr> = plan
+            .thread_boundaries(pass, rank)
+            .into_iter()
+            .map(K::repr_from_u128)
+            .collect();
+        let mut scratch = vec![K::Tuple::default(); tuples.len()];
+        ctx.pool().install(|| {
+            local_sort_with_boundaries(&mut tuples, &mut scratch, &boundaries, 8, key_bits)
+        });
+        drop(scratch);
+        tm.add(Step::LocalSort, t0.elapsed());
+
+        // ---- LocalCC ----
+        let t0 = Instant::now();
+        let offs = thread_offsets_of::<K>(&tuples, &boundaries);
+        let stats = localcc_pass::<K>(ctx.pool(), &ds, &tuples, &offs, cfg.kf_filter);
+        cc_stats.merge(stats);
+        tm.add(Step::LocalCc, t0.elapsed());
+    }
+
+    // ---- MergeCC: ceil(log2 P) pairwise rounds (Figure 4) ----
+    let mut local = ds.into_disjoint_set();
+    let mut stride = 1usize;
+    while stride < p {
+        if rank % (2 * stride) == stride {
+            // Send the compressed component information downhill, then
+            // retire from the merge.
+            let t0 = Instant::now();
+            if cfg.merge_sparse {
+                ctx.send(rank - stride, Msg::SparseParents(sparse_pairs(&mut local)));
+            } else {
+                let arr = local.component_array().to_vec();
+                ctx.send(rank - stride, Msg::Parents(arr));
+            }
+            tm.add(Step::MergeComm, t0.elapsed());
+            break;
+        } else if rank % (2 * stride) == 0 && rank + stride < p {
+            let t0 = Instant::now();
+            let msg = ctx.recv_from(rank + stride);
+            tm.add(Step::MergeComm, t0.elapsed());
+            let t0 = Instant::now();
+            match msg {
+                Msg::Parents(arr) => absorb_parent_array(&mut local, &arr),
+                Msg::SparseParents(pairs) => absorb_sparse_pairs(&mut local, &pairs),
+                Msg::Tuples(_) => unreachable!("no tuples during MergeCC"),
+            }
+            tm.add(Step::MergeCc, t0.elapsed());
+        }
+        stride *= 2;
+    }
+
+    // ---- CC-I/O: broadcast final labels; partition own chunks' reads ----
+    let t0 = Instant::now();
+    let final_labels = if rank == 0 {
+        let arr = local.component_array().to_vec();
+        broadcast(ctx, 0, Some(Msg::Parents(arr)))
+    } else {
+        broadcast(ctx, 0, None)
+    };
+    let final_labels = match final_labels {
+        Msg::Parents(arr) => arr,
+        _ => unreachable!("broadcast carries parent arrays"),
+    };
+    // Simulate the parallel FASTQ write: each task walks the reads of its
+    // own chunks and buckets them by component (the actual file write is
+    // `output::write_partitions`, outside the timed region in the paper's
+    // harness too — CC-I/O covers the broadcast + extraction).
+    let largest_root = largest_root_of(&final_labels);
+    let mut lc_reads = 0u64;
+    let mut other_reads = 0u64;
+    for &c in &my_chunks {
+        let spec = fastqpart.chunks()[c].spec;
+        let lo = spec.first_seq as usize;
+        for i in lo..lo + spec.seqs as usize {
+            if final_labels[source.frag_of_seq(i) as usize] == largest_root {
+                lc_reads += 1;
+            } else {
+                other_reads += 1;
+            }
+        }
+    }
+    tm.add(Step::CcIo, t0.elapsed());
+
+    TaskOutput {
+        timings: tm,
+        labels: (rank == 0).then_some(final_labels),
+        tuples_emitted,
+        peak_tuples,
+        localcc: cc_stats,
+        lc_reads,
+        other_reads,
+    }
+}
+
+/// Root label of the largest component in a compressed label array.
+fn largest_root_of(labels: &[u32]) -> u32 {
+    let mut counts = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0usize) += 1;
+    }
+    counts
+        .into_iter()
+        .max_by_key(|&(r, s)| (s, std::cmp::Reverse(r)))
+        .map(|(r, _)| r)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::PipelineConfig;
+    use metaprep_cc::DisjointSet;
+    use metaprep_kmer::{for_each_canonical_kmer, Kmer64 as K64};
+    use metaprep_synth::{simulate_community, CommunityProfile};
+    use std::collections::HashMap;
+
+    /// Brute-force reference: hash k-mers to read lists, union.
+    fn reference_labels(reads: &ReadStore, k: usize, kf: Option<(u32, u32)>) -> Vec<u32> {
+        let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+        for (seq, frag) in reads.iter() {
+            for_each_canonical_kmer::<K64>(seq, k, |v, _| {
+                groups.entry(v).or_default().push(frag);
+            });
+        }
+        let mut ds = DisjointSet::new(reads.num_fragments() as usize);
+        for (_, rs) in groups {
+            let freq = rs.len() as u32;
+            if let Some((lo, hi)) = kf {
+                if freq < lo || freq > hi {
+                    continue;
+                }
+            }
+            for w in rs.windows(2) {
+                ds.union(w[0], w[1]);
+            }
+        }
+        ds.into_component_array()
+    }
+
+    fn same_partition(a: &[u32], b: &[u32]) -> bool {
+        let mut fwd = HashMap::new();
+        let mut bwd = HashMap::new();
+        for (&x, &y) in a.iter().zip(b) {
+            if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn small_reads() -> ReadStore {
+        let mut p = CommunityProfile::quickstart();
+        p.read_pairs = 400;
+        p.species = 8;
+        simulate_community(&p, 17).reads
+    }
+
+    #[test]
+    fn matches_reference_single_task() {
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder().k(21).m(6).build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        let want = reference_labels(&reads, 21, None);
+        assert!(same_partition(&res.labels, &want));
+    }
+
+    #[test]
+    fn matches_reference_across_configs() {
+        let reads = small_reads();
+        let want = reference_labels(&reads, 21, None);
+        for (s, p, t) in [(1, 2, 2), (2, 1, 2), (2, 3, 1), (4, 2, 2), (1, 4, 1)] {
+            let cfg = PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .passes(s)
+                .tasks(p)
+                .threads(t)
+                .build();
+            let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+            assert!(
+                same_partition(&res.labels, &want),
+                "S={s} P={p} T={t} disagrees with reference"
+            );
+        }
+    }
+
+    #[test]
+    fn cc_opt_does_not_change_the_partition() {
+        let reads = small_reads();
+        let mk = |opt: bool| {
+            let cfg = PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .passes(3)
+                .tasks(2)
+                .threads(2)
+                .cc_opt(opt)
+                .build();
+            Pipeline::new(cfg).run_reads(&reads).unwrap().labels
+        };
+        assert!(same_partition(&mk(true), &mk(false)));
+    }
+
+    #[test]
+    fn kf_filter_matches_reference() {
+        let reads = small_reads();
+        let kf = (2, 10);
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .passes(2)
+            .tasks(2)
+            .threads(2)
+            .kf_filter(kf.0, kf.1)
+            .build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        let want = reference_labels(&reads, 21, Some(kf));
+        assert!(same_partition(&res.labels, &want));
+    }
+
+    #[test]
+    fn x4_kmergen_matches_scalar() {
+        let reads = small_reads();
+        let mk = |x4: bool| {
+            let cfg = PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .tasks(2)
+                .threads(2)
+                .x4_kmergen(x4)
+                .build();
+            Pipeline::new(cfg).run_reads(&reads).unwrap().labels
+        };
+        assert!(same_partition(&mk(true), &mk(false)));
+    }
+
+    #[test]
+    fn wide_kmers_run_and_reduce_connectivity() {
+        let reads = small_reads();
+        let frac = |k: usize| {
+            let cfg = PipelineConfig::builder().k(k).m(6).tasks(2).threads(2).build();
+            Pipeline::new(cfg)
+                .run_reads(&reads)
+                .unwrap()
+                .largest_component_fraction()
+        };
+        let f27 = frac(27);
+        let f63 = frac(63);
+        // Larger k can only remove edges (fewer shared k-mers).
+        assert!(f63 <= f27 + 1e-9, "f27={f27} f63={f63}");
+    }
+
+    #[test]
+    fn tuples_total_matches_kmer_count() {
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder().k(21).m(6).passes(2).tasks(2).build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        let mut count = 0u64;
+        for (seq, _) in reads.iter() {
+            for_each_canonical_kmer::<K64>(seq, 21, |_, _| count += 1);
+        }
+        assert_eq!(res.tuples_total, count);
+    }
+
+    #[test]
+    fn memory_peak_decreases_with_passes() {
+        let reads = small_reads();
+        let peak = |s: usize| {
+            let cfg = PipelineConfig::builder().k(21).m(6).passes(s).build();
+            Pipeline::new(cfg)
+                .run_reads(&reads)
+                .unwrap()
+                .memory
+                .measured_peak_tuples
+        };
+        let p1 = peak(1);
+        let p4 = peak(4);
+        assert!(p4 < p1, "p1={p1} p4={p4}");
+    }
+
+    #[test]
+    fn comm_bytes_zero_for_single_task() {
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder().k(21).m(6).build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        assert_eq!(res.comm[0].bytes_sent, 0);
+    }
+
+    #[test]
+    fn comm_bytes_positive_for_multi_task() {
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder().k(21).m(6).tasks(4).build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        assert!(res.comm.iter().any(|s| s.bytes_sent > 0));
+        // Every task participates in the merge or all-to-all.
+        assert!(res.comm.iter().all(|s| s.messages_sent > 0));
+    }
+
+    #[test]
+    fn sparse_merge_same_partition_fewer_bytes() {
+        // Sparse Merge-Comm pays off when each task's local forest touches
+        // a minority of the reads: short reads (few k-mers each) spread
+        // over many tasks. Build such a store explicitly.
+        let mut reads = ReadStore::new();
+        let mut x = 5u64;
+        for _ in 0..3000 {
+            let seq: Vec<u8> = (0..26)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    b"ACGT"[(x >> 61) as usize & 3]
+                })
+                .collect();
+            reads.push_single(&seq);
+        }
+        let mk = |sparse: bool| {
+            let cfg = PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .tasks(16)
+                .merge_sparse(sparse)
+                .build();
+            Pipeline::new(cfg).run_reads(&reads).unwrap()
+        };
+        let dense = mk(false);
+        let sparse = mk(true);
+        assert!(same_partition(&dense.labels, &sparse.labels));
+        let bytes = |r: &PipelineResult| r.comm.iter().map(|s| s.bytes_sent).sum::<u64>();
+        assert!(
+            bytes(&sparse) < bytes(&dense),
+            "sparse {} >= dense {}",
+            bytes(&sparse),
+            bytes(&dense)
+        );
+    }
+
+    #[test]
+    fn file_pipeline_matches_memory_pipeline() {
+        let reads = small_reads();
+        let dir = std::env::temp_dir().join("metaprep_core_filepipe_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fastq");
+        metaprep_io::write_fastq_path(&path, &reads).unwrap();
+
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(3)
+            .threads(2)
+            .passes(2)
+            .build();
+        let mem = Pipeline::new(cfg.clone()).run_reads(&reads).unwrap();
+        let file = Pipeline::new(cfg).run_fastq_file(&path, true).unwrap();
+        assert_eq!(file.labels.len(), mem.labels.len());
+        assert!(same_partition(&file.labels, &mem.labels));
+        assert_eq!(file.tuples_total, mem.tuples_total);
+        // File path measures real chunk reads.
+        assert!(file.timings.max_of(Step::KmerGenIo) > std::time::Duration::ZERO);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pipeline_unpaired() {
+        let reads = small_reads();
+        let mut single = ReadStore::new();
+        for (seq, _) in reads.iter().take(201) {
+            single.push_single(seq);
+        }
+        let dir = std::env::temp_dir().join("metaprep_core_filepipe_unpaired");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fastq");
+        metaprep_io::write_fastq_path(&path, &single).unwrap();
+        let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).build();
+        let mem = Pipeline::new(cfg.clone()).run_reads(&single).unwrap();
+        let file = Pipeline::new(cfg).run_fastq_file(&path, false).unwrap();
+        assert!(same_partition(&file.labels, &mem.labels));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pipeline_missing_file_errors() {
+        let cfg = PipelineConfig::builder().k(21).m(6).build();
+        assert!(Pipeline::new(cfg)
+            .run_fastq_file("/nonexistent/reads.fastq", true)
+            .is_err());
+    }
+
+    #[test]
+    fn timings_populated() {
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).threads(2).build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        assert_eq!(res.timings.per_task.len(), 2);
+        assert!(res.timings.index_create > std::time::Duration::ZERO);
+        assert!(res.timings.max_of(Step::KmerGen) > std::time::Duration::ZERO);
+        assert!(res.timings.max_of(Step::LocalSort) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cfg = PipelineConfig::builder().k(21).m(6).build();
+        let res = Pipeline::new(cfg).run_reads(&ReadStore::new()).unwrap();
+        assert_eq!(res.labels.len(), 0);
+        assert_eq!(res.components.components, 0);
+        assert_eq!(res.tuples_total, 0);
+    }
+}

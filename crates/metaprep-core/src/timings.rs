@@ -1,0 +1,201 @@
+//! Per-step, per-task timing — the raw material of every scaling figure.
+
+use std::time::Duration;
+
+/// The pipeline steps, named as in the paper's figures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Step {
+    /// Reading FASTQ chunk data (KmerGen-I/O).
+    KmerGenIo,
+    /// Enumerating `(k-mer, read)` tuples.
+    KmerGen,
+    /// The P-stage all-to-all (KmerGen-Comm).
+    KmerGenComm,
+    /// Range partition + per-thread serial radix sort.
+    LocalSort,
+    /// Concurrent union-find over the implicit edges (LocalCC / -Opt).
+    LocalCc,
+    /// Sending/receiving component arrays in the merge rounds (Merge-Comm).
+    MergeComm,
+    /// Absorbing received component arrays (MergeCC).
+    MergeCc,
+    /// Broadcasting final labels and partitioning output reads (CC-I/O).
+    CcIo,
+}
+
+impl Step {
+    /// All steps in pipeline order.
+    pub fn all() -> [Step; 8] {
+        [
+            Step::KmerGenIo,
+            Step::KmerGen,
+            Step::KmerGenComm,
+            Step::LocalSort,
+            Step::LocalCc,
+            Step::MergeComm,
+            Step::MergeCc,
+            Step::CcIo,
+        ]
+    }
+
+    /// Display name matching the paper's legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Step::KmerGenIo => "KmerGen-I/O",
+            Step::KmerGen => "KmerGen",
+            Step::KmerGenComm => "KmerGen-Comm",
+            Step::LocalSort => "LocalSort",
+            Step::LocalCc => "LocalCC-Opt",
+            Step::MergeComm => "Merge-Comm",
+            Step::MergeCc => "MergeCC",
+            Step::CcIo => "CC-I/O",
+        }
+    }
+}
+
+/// One task's accumulated time per step (summed over passes).
+#[derive(Clone, Debug, Default)]
+pub struct TaskTimings {
+    durations: [Duration; 8],
+}
+
+impl TaskTimings {
+    /// Add `d` to `step`.
+    pub fn add(&mut self, step: Step, d: Duration) {
+        self.durations[Self::idx(step)] += d;
+    }
+
+    /// Accumulated time of `step`.
+    pub fn get(&self, step: Step) -> Duration {
+        self.durations[Self::idx(step)]
+    }
+
+    /// Sum over all steps.
+    pub fn total(&self) -> Duration {
+        self.durations.iter().sum()
+    }
+
+    fn idx(step: Step) -> usize {
+        Step::all().iter().position(|&s| s == step).expect("known step")
+    }
+}
+
+/// Timings of a whole run: one [`TaskTimings`] per task, plus the
+/// sequential index-creation time.
+#[derive(Clone, Debug, Default)]
+pub struct StepTimings {
+    /// IndexCreate time (sequential, once per dataset; paper Table 5).
+    pub index_create: Duration,
+    /// Per-task step timings, indexed by rank.
+    pub per_task: Vec<TaskTimings>,
+}
+
+impl StepTimings {
+    /// Maximum (critical-path) time of a step across tasks — what the
+    /// stacked bars of Figures 5–7 show.
+    pub fn max_of(&self, step: Step) -> Duration {
+        self.per_task
+            .iter()
+            .map(|t| t.get(step))
+            .max()
+            .unwrap_or_default()
+    }
+
+    /// Five-number summary `(min, q1, median, q3, max)` of a step across
+    /// tasks — the box-plot data of Figure 8.
+    pub fn five_number_summary(&self, step: Step) -> (f64, f64, f64, f64, f64) {
+        let mut xs: Vec<f64> = self
+            .per_task
+            .iter()
+            .map(|t| t.get(step).as_secs_f64())
+            .collect();
+        if xs.is_empty() {
+            return (0.0, 0.0, 0.0, 0.0, 0.0);
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let q = |f: f64| -> f64 {
+            let pos = f * (xs.len() - 1) as f64;
+            let lo = pos.floor() as usize;
+            let hi = pos.ceil() as usize;
+            if lo == hi {
+                xs[lo]
+            } else {
+                xs[lo] + (pos - lo as f64) * (xs[hi] - xs[lo])
+            }
+        };
+        (q(0.0), q(0.25), q(0.5), q(0.75), q(1.0))
+    }
+
+    /// End-to-end pipeline time: max total across tasks (excludes
+    /// IndexCreate, which the paper reports separately).
+    pub fn total(&self) -> Duration {
+        self.per_task
+            .iter()
+            .map(|t| t.total())
+            .max()
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_get() {
+        let mut t = TaskTimings::default();
+        t.add(Step::LocalSort, Duration::from_millis(5));
+        t.add(Step::LocalSort, Duration::from_millis(7));
+        assert_eq!(t.get(Step::LocalSort), Duration::from_millis(12));
+        assert_eq!(t.get(Step::KmerGen), Duration::ZERO);
+        assert_eq!(t.total(), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn max_of_across_tasks() {
+        let mut a = TaskTimings::default();
+        a.add(Step::KmerGen, Duration::from_millis(10));
+        let mut b = TaskTimings::default();
+        b.add(Step::KmerGen, Duration::from_millis(30));
+        let st = StepTimings {
+            index_create: Duration::ZERO,
+            per_task: vec![a, b],
+        };
+        assert_eq!(st.max_of(Step::KmerGen), Duration::from_millis(30));
+        assert_eq!(st.total(), Duration::from_millis(30));
+    }
+
+    #[test]
+    fn five_number_summary_of_known_data() {
+        let per_task: Vec<TaskTimings> = (1..=5)
+            .map(|i| {
+                let mut t = TaskTimings::default();
+                t.add(Step::MergeCc, Duration::from_secs(i));
+                t
+            })
+            .collect();
+        let st = StepTimings {
+            index_create: Duration::ZERO,
+            per_task,
+        };
+        let (min, q1, med, q3, max) = st.five_number_summary(Step::MergeCc);
+        assert_eq!(min, 1.0);
+        assert_eq!(q1, 2.0);
+        assert_eq!(med, 3.0);
+        assert_eq!(q3, 4.0);
+        assert_eq!(max, 5.0);
+    }
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let st = StepTimings::default();
+        assert_eq!(st.five_number_summary(Step::CcIo), (0.0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(st.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn step_names_match_paper() {
+        assert_eq!(Step::KmerGenComm.name(), "KmerGen-Comm");
+        assert_eq!(Step::all().len(), 8);
+    }
+}

@@ -1,0 +1,271 @@
+//! Task spawning, per-pair channels, and the task context.
+
+use crate::stats::CommStats;
+use crate::Payload;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+/// Cluster shape: `tasks` simulated MPI ranks, each owning a rayon pool of
+/// `threads_per_task` threads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ClusterConfig {
+    /// Number of simulated MPI tasks (`P`).
+    pub tasks: usize,
+    /// Threads per task (`T`).
+    pub threads_per_task: usize,
+}
+
+impl ClusterConfig {
+    /// Convenience constructor.
+    pub fn new(tasks: usize, threads_per_task: usize) -> Self {
+        assert!(tasks >= 1 && threads_per_task >= 1);
+        Self {
+            tasks,
+            threads_per_task,
+        }
+    }
+}
+
+/// Results of a cluster run: per-task return values and communication
+/// statistics, both indexed by rank.
+#[derive(Debug)]
+pub struct ClusterResult<R> {
+    /// Per-task return values.
+    pub results: Vec<R>,
+    /// Per-task communication statistics.
+    pub stats: Vec<CommStats>,
+}
+
+struct SharedState {
+    barrier: Barrier,
+    bytes_sent: Vec<AtomicU64>,
+    messages_sent: Vec<AtomicU64>,
+}
+
+/// The view a task body gets of the cluster: its rank, its channels, its
+/// thread pool.
+pub struct TaskCtx<M: Payload> {
+    rank: usize,
+    size: usize,
+    /// senders[to] — channel into task `to`'s inbox from this task.
+    senders: Vec<Sender<M>>,
+    /// receivers[from] — this task's inbox from task `from`.
+    receivers: Vec<Receiver<M>>,
+    shared: Arc<SharedState>,
+    pool: rayon::ThreadPool,
+}
+
+impl<M: Payload> TaskCtx<M> {
+    /// This task's rank in `0..size`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of tasks `P`.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The task-local rayon pool (the "OpenMP threads" of this rank).
+    pub fn pool(&self) -> &rayon::ThreadPool {
+        &self.pool
+    }
+
+    /// Send `msg` to task `to`. Never blocks (channels are unbounded; the
+    /// simulation models volume, not backpressure).
+    pub fn send(&self, to: usize, msg: M) {
+        self.shared.bytes_sent[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
+        self.shared.messages_sent[self.rank].fetch_add(1, Ordering::Relaxed);
+        self.senders[to]
+            .send(msg)
+            .expect("receiving task exited before message was delivered");
+    }
+
+    /// Blocking receive of the next message from task `from`.
+    pub fn recv_from(&self, from: usize) -> M {
+        self.receivers[from]
+            .recv()
+            .expect("sending task exited before sending")
+    }
+
+    /// Synchronize all tasks.
+    pub fn barrier(&self) {
+        self.shared.barrier.wait();
+    }
+
+    /// Bytes this task has sent so far.
+    pub fn bytes_sent(&self) -> u64 {
+        self.shared.bytes_sent[self.rank].load(Ordering::Relaxed)
+    }
+}
+
+/// Run `body` on every rank of a simulated cluster and collect results.
+///
+/// Panics in any task propagate (the run fails loudly, like an MPI abort).
+pub fn run_cluster<M, R, F>(config: ClusterConfig, body: F) -> ClusterResult<R>
+where
+    M: Payload,
+    R: Send,
+    F: Fn(&mut TaskCtx<M>) -> R + Sync,
+{
+    let p = config.tasks;
+    // Channel matrix: matrix[from][to].
+    let mut senders: Vec<Vec<Sender<M>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<M>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for from in 0..p {
+        for to in 0..p {
+            let (s, r) = unbounded();
+            senders[from].push(s);
+            receivers[to][from] = Some(r);
+        }
+    }
+
+    let shared = Arc::new(SharedState {
+        barrier: Barrier::new(p),
+        bytes_sent: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        messages_sent: (0..p).map(|_| AtomicU64::new(0)).collect(),
+    });
+
+    let mut ctxs: Vec<TaskCtx<M>> = senders
+        .into_iter()
+        .zip(receivers)
+        .enumerate()
+        .map(|(rank, (s, r))| TaskCtx {
+            rank,
+            size: p,
+            senders: s,
+            receivers: r.into_iter().map(|o| o.expect("filled")).collect(),
+            shared: Arc::clone(&shared),
+            pool: rayon::ThreadPoolBuilder::new()
+                .num_threads(config.threads_per_task)
+                .build()
+                .expect("failed to build task thread pool"),
+        })
+        .collect();
+
+    let body = &body;
+    let results: Vec<R> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ctxs
+            .iter_mut()
+            .map(|ctx| scope.spawn(move || body(ctx)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("task panicked"))
+            .collect()
+    });
+
+    let stats = (0..p)
+        .map(|r| CommStats {
+            bytes_sent: shared.bytes_sent[r].load(Ordering::Relaxed),
+            messages_sent: shared.messages_sent[r].load(Ordering::Relaxed),
+        })
+        .collect();
+
+    ClusterResult { results, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_task_runs() {
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(1, 1), |ctx| {
+            assert_eq!(ctx.rank(), 0);
+            assert_eq!(ctx.size(), 1);
+            42usize
+        });
+        assert_eq!(r.results, vec![42]);
+        assert_eq!(r.stats[0].bytes_sent, 0);
+    }
+
+    #[test]
+    fn ranks_are_distinct_and_complete() {
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(8, 1), |ctx| ctx.rank());
+        let mut got = r.results.clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..8).collect::<Vec<_>>());
+        // results are rank-indexed
+        assert_eq!(r.results, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn point_to_point_roundtrip() {
+        let r = run_cluster::<Vec<u32>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1, 2, 3]);
+                ctx.recv_from(1)
+            } else {
+                let v = ctx.recv_from(0);
+                let doubled: Vec<u32> = v.iter().map(|x| x * 2).collect();
+                ctx.send(0, doubled.clone());
+                doubled
+            }
+        });
+        assert_eq!(r.results[0], vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let r = run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![0u64; 100]); // 800 bytes
+            } else {
+                let _ = ctx.recv_from(0);
+            }
+            ctx.barrier();
+        });
+        assert_eq!(r.stats[0].bytes_sent, 800);
+        assert_eq!(r.stats[0].messages_sent, 1);
+        assert_eq!(r.stats[1].bytes_sent, 0);
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let phase1 = AtomicUsize::new(0);
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(4, 1), |ctx| {
+            phase1.fetch_add(1, Ordering::SeqCst);
+            ctx.barrier();
+            // After the barrier every task must observe all 4 increments.
+            phase1.load(Ordering::SeqCst)
+        });
+        assert!(r.results.iter().all(|&x| x == 4));
+    }
+
+    #[test]
+    fn task_pools_have_requested_threads() {
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(2, 3), |ctx| {
+            ctx.pool().current_num_threads()
+        });
+        assert_eq!(r.results, vec![3, 3]);
+    }
+
+    #[test]
+    fn messages_queue_in_order() {
+        let r = run_cluster::<Vec<u32>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..10u32 {
+                    ctx.send(1, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..10).map(|_| ctx.recv_from(0)[0]).collect()
+            }
+        });
+        assert_eq!(r.results[1], (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    #[should_panic(expected = "task panicked")]
+    fn task_panic_propagates() {
+        run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            if ctx.rank() == 1 {
+                panic!("boom");
+            }
+        });
+    }
+}

@@ -1,0 +1,181 @@
+//! Collective operations over the simulated cluster.
+//!
+//! [`alltoall`] is the paper's custom all-to-all (§3.3): `P` stages, where
+//! in stage `i` task `p` sends its buffer for task `(p + i) mod P` and
+//! receives from `(p - i) mod P`. Stage 0 is the local "self-send" (no
+//! message). The staged schedule avoids the many-to-one hot spot of a
+//! naive simultaneous exchange — `bench_alltoall` measures the difference.
+
+use crate::cluster::TaskCtx;
+use crate::Payload;
+
+/// Custom P-stage all-to-all. `outgoing[q]` is this task's buffer destined
+/// for task `q`; returns `incoming` where `incoming[q]` came from task `q`.
+///
+/// Must be called collectively (by every task, with `outgoing.len() == P`).
+pub fn alltoall<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec<M> {
+    let p = ctx.size();
+    assert_eq!(outgoing.len(), p, "alltoall requires one buffer per task");
+    let rank = ctx.rank();
+
+    // Collect into Option slots so buffers can be moved out one by one.
+    let mut out: Vec<Option<M>> = outgoing.drain(..).map(Some).collect();
+    let mut incoming: Vec<Option<M>> = (0..p).map(|_| None).collect();
+
+    // Stage 0: keep own buffer.
+    incoming[rank] = out[rank].take();
+
+    for stage in 1..p {
+        let to = (rank + stage) % p;
+        let from = (rank + p - stage) % p;
+        ctx.send(to, out[to].take().expect("buffer already sent"));
+        incoming[from] = Some(ctx.recv_from(from));
+    }
+
+    incoming
+        .into_iter()
+        .map(|o| o.expect("missing incoming buffer"))
+        .collect()
+}
+
+/// Naive all-to-all: every task fires all its sends immediately, then
+/// drains its inbox. Kept as the ablation baseline for the staged schedule
+/// (all `P-1` messages per task land at once instead of one per stage).
+pub fn alltoall_naive<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec<M> {
+    let p = ctx.size();
+    assert_eq!(outgoing.len(), p, "alltoall requires one buffer per task");
+    let rank = ctx.rank();
+    let mut out: Vec<Option<M>> = outgoing.drain(..).map(Some).collect();
+    let mut incoming: Vec<Option<M>> = (0..p).map(|_| None).collect();
+    incoming[rank] = out[rank].take();
+    for to in 0..p {
+        if to != rank {
+            ctx.send(to, out[to].take().expect("buffer already sent"));
+        }
+    }
+    for (from, slot) in incoming.iter_mut().enumerate() {
+        if from != rank {
+            *slot = Some(ctx.recv_from(from));
+        }
+    }
+    incoming
+        .into_iter()
+        .map(|o| o.expect("missing incoming buffer"))
+        .collect()
+}
+
+/// Broadcast `msg` from `root` to all tasks; every task returns its copy.
+/// `msg` is only inspected on the root (others pass `None`).
+pub fn broadcast<M: Payload + Clone>(ctx: &TaskCtx<M>, root: usize, msg: Option<M>) -> M {
+    if ctx.rank() == root {
+        let m = msg.expect("root must provide the message");
+        for to in 0..ctx.size() {
+            if to != root {
+                ctx.send(to, m.clone());
+            }
+        }
+        m
+    } else {
+        ctx.recv_from(root)
+    }
+}
+
+/// Gather every task's `msg` at `root`; returns `Some(all)` (rank-indexed)
+/// on the root and `None` elsewhere.
+pub fn gather<M: Payload>(ctx: &TaskCtx<M>, root: usize, msg: M) -> Option<Vec<M>> {
+    if ctx.rank() == root {
+        let mut all: Vec<Option<M>> = (0..ctx.size()).map(|_| None).collect();
+        all[root] = Some(msg);
+        for from in 0..ctx.size() {
+            if from != root {
+                all[from] = Some(ctx.recv_from(from));
+            }
+        }
+        Some(all.into_iter().map(|o| o.expect("gathered")).collect())
+    } else {
+        ctx.send(root, msg);
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{run_cluster, ClusterConfig};
+
+    #[test]
+    fn alltoall_exchanges_correctly() {
+        for p in [1usize, 2, 3, 5, 8] {
+            let r = run_cluster::<Vec<u32>, _, _>(ClusterConfig::new(p, 1), |ctx| {
+                // Buffer for task q encodes (my rank, q).
+                let outgoing: Vec<Vec<u32>> = (0..ctx.size())
+                    .map(|q| vec![ctx.rank() as u32 * 100 + q as u32])
+                    .collect();
+                alltoall(ctx, outgoing)
+            });
+            for (rank, incoming) in r.results.iter().enumerate() {
+                for (from, buf) in incoming.iter().enumerate() {
+                    assert_eq!(
+                        buf,
+                        &vec![from as u32 * 100 + rank as u32],
+                        "p={p} rank={rank} from={from}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn alltoall_self_buffer_not_counted_as_traffic() {
+        let r = run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            let outgoing = vec![vec![0u64; 10], vec![0u64; 10]];
+            alltoall(ctx, outgoing);
+        });
+        // Each task sends exactly one remote buffer of 80 bytes.
+        assert_eq!(r.stats[0].bytes_sent, 80);
+        assert_eq!(r.stats[0].messages_sent, 1);
+    }
+
+    #[test]
+    fn alltoall_naive_matches_staged() {
+        for p in [2usize, 4, 7] {
+            let run = |staged: bool| {
+                run_cluster::<Vec<u32>, _, _>(ClusterConfig::new(p, 1), move |ctx| {
+                    let outgoing: Vec<Vec<u32>> = (0..ctx.size())
+                        .map(|q| vec![(ctx.rank() * 31 + q) as u32])
+                        .collect();
+                    if staged {
+                        alltoall(ctx, outgoing)
+                    } else {
+                        alltoall_naive(ctx, outgoing)
+                    }
+                })
+                .results
+            };
+            assert_eq!(run(true), run(false), "p={p}");
+        }
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone() {
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(4, 1), |ctx| {
+            let msg = if ctx.rank() == 2 {
+                Some(vec![7u8, 8, 9])
+            } else {
+                None
+            };
+            broadcast(ctx, 2, msg)
+        });
+        assert!(r.results.iter().all(|m| m == &vec![7u8, 8, 9]));
+    }
+
+    #[test]
+    fn gather_collects_rank_indexed() {
+        let r = run_cluster::<Vec<u32>, _, _>(ClusterConfig::new(4, 1), |ctx| {
+            gather(ctx, 0, vec![ctx.rank() as u32])
+        });
+        let at_root = r.results[0].as_ref().unwrap();
+        assert_eq!(at_root, &vec![vec![0], vec![1], vec![2], vec![3]]);
+        assert!(r.results[1].is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Per-task communication statistics.
+
+/// Communication volume a task generated during a cluster run.
+///
+/// These counters back the hardware-independent columns of the scaling
+/// experiments: on a 1-core container wall-clock speedup curves are flat,
+/// but bytes-on-the-wire per task reproduce the paper's communication
+/// behaviour exactly (see DESIGN.md, substitution table).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Total payload bytes sent by this task.
+    pub bytes_sent: u64,
+    /// Number of point-to-point messages sent by this task.
+    pub messages_sent: u64,
+}
+
+impl CommStats {
+    /// Combine two stats (e.g. across phases).
+    pub fn merged(self, other: CommStats) -> CommStats {
+        CommStats {
+            bytes_sent: self.bytes_sent + other.bytes_sent,
+            messages_sent: self.messages_sent + other.messages_sent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merged_adds_fields() {
+        let a = CommStats {
+            bytes_sent: 10,
+            messages_sent: 1,
+        };
+        let b = CommStats {
+            bytes_sent: 5,
+            messages_sent: 2,
+        };
+        assert_eq!(
+            a.merged(b),
+            CommStats {
+                bytes_sent: 15,
+                messages_sent: 3
+            }
+        );
+    }
+
+    #[test]
+    fn default_is_zero() {
+        assert_eq!(CommStats::default().bytes_sent, 0);
+    }
+}

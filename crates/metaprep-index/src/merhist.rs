@@ -1,0 +1,231 @@
+//! The global m-mer prefix histogram (`merHist`, paper §3.1.1).
+
+use metaprep_kmer::{for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
+use metaprep_io::ReadStore;
+
+/// Histogram of the length-`m` prefixes of all canonical k-mers of a
+/// dataset. `4^m` bins, `u32` counts (the paper stores 32-bit counts; we
+/// additionally keep the total as `u64` so overflow of the sum is not a
+/// concern).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MerHist {
+    space: MmerSpace,
+    counts: Vec<u32>,
+    total: u64,
+}
+
+impl MerHist {
+    /// Build from every read in `store` with k-mer length `k` and prefix
+    /// length `m`. Uses the 64-bit k-mer path for `k <= 32`, 128-bit above.
+    pub fn build(store: &ReadStore, k: usize, m: usize) -> Self {
+        let space = MmerSpace::new(k, m);
+        let mut counts = vec![0u32; space.bins()];
+        let mut total = 0u64;
+        let mut bump = |bin: u32| {
+            counts[bin as usize] = counts[bin as usize].saturating_add(1);
+            total += 1;
+        };
+        if k <= 32 {
+            for (seq, _) in store.iter() {
+                for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
+                    bump(space.bin_of(v as u128))
+                });
+            }
+        } else {
+            for (seq, _) in store.iter() {
+                for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| bump(space.bin_of(v)));
+            }
+        }
+        Self {
+            space,
+            counts,
+            total,
+        }
+    }
+
+    /// Parallel build: per-read-range partial histograms merged with a
+    /// tree reduction. The paper's IndexCreate is sequential because it
+    /// runs once per dataset (§4.3: "can be parallelized in the same
+    /// manner" as KmerGen); this is that parallelization.
+    pub fn build_parallel(store: &ReadStore, k: usize, m: usize) -> Self {
+        use rayon::prelude::*;
+        let space = MmerSpace::new(k, m);
+        let n = store.len();
+        let chunk = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+        let (counts, total) = ranges
+            .par_iter()
+            .map(|&(lo, hi)| {
+                let mut counts = vec![0u32; space.bins()];
+                let mut total = 0u64;
+                for i in lo..hi {
+                    let seq = store.seq(i);
+                    let bump = |counts: &mut Vec<u32>, bin: u32| {
+                        counts[bin as usize] = counts[bin as usize].saturating_add(1);
+                    };
+                    if k <= 32 {
+                        for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
+                            bump(&mut counts, space.bin_of(v as u128));
+                            total += 1;
+                        });
+                    } else {
+                        for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| {
+                            bump(&mut counts, space.bin_of(v));
+                            total += 1;
+                        });
+                    }
+                }
+                (counts, total)
+            })
+            .reduce(
+                || (vec![0u32; space.bins()], 0u64),
+                |(mut a, ta), (b, tb)| {
+                    for (x, y) in a.iter_mut().zip(&b) {
+                        *x = x.saturating_add(*y);
+                    }
+                    (a, ta + tb)
+                },
+            );
+        Self {
+            space,
+            counts,
+            total,
+        }
+    }
+
+    /// Construct from raw parts (deserialization, tests).
+    pub fn from_parts(space: MmerSpace, counts: Vec<u32>) -> Self {
+        assert_eq!(counts.len(), space.bins());
+        let total = counts.iter().map(|&c| c as u64).sum();
+        Self {
+            space,
+            counts,
+            total,
+        }
+    }
+
+    /// The `(k, m)` configuration.
+    pub fn space(&self) -> MmerSpace {
+        self.space
+    }
+
+    /// Bin counts (length `4^m`).
+    pub fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Total number of k-mers counted (= number of tuples the KmerGen step
+    /// will enumerate, the paper's upper bound `M`).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Memory footprint of the table in bytes (the paper's `4^{m+1}` term).
+    pub fn table_bytes(&self) -> usize {
+        self.counts.len() * std::mem::size_of::<u32>()
+    }
+
+    /// Sum of counts over the bin range `[lo, hi)`.
+    pub fn count_in_bins(&self, lo: usize, hi: usize) -> u64 {
+        self.counts[lo..hi].iter().map(|&c| c as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_of(seqs: &[&[u8]]) -> ReadStore {
+        let mut s = ReadStore::new();
+        for q in seqs {
+            s.push_single(q);
+        }
+        s
+    }
+
+    #[test]
+    fn total_counts_all_kmers() {
+        let s = store_of(&[b"ACGTACGT", b"TTTTT"]);
+        let h = MerHist::build(&s, 4, 2);
+        // 5 + 2 windows.
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.counts().iter().map(|&c| c as u64).sum::<u64>(), 7);
+    }
+
+    #[test]
+    fn bins_receive_canonical_prefixes() {
+        // Read "AAAA": canonical of AAAA is AAAA (vs TTTT) -> bin AA = 0.
+        let s = store_of(&[b"AAAA"]);
+        let h = MerHist::build(&s, 4, 2);
+        assert_eq!(h.counts()[0], 1);
+        assert_eq!(h.total(), 1);
+
+        // Read "TTTT": canonical is AAAA again -> same bin.
+        let s = store_of(&[b"TTTT"]);
+        let h = MerHist::build(&s, 4, 2);
+        assert_eq!(h.counts()[0], 1);
+    }
+
+    #[test]
+    fn n_windows_are_not_counted() {
+        let s = store_of(&[b"ACGNACG"]);
+        let h = MerHist::build(&s, 3, 1);
+        // Runs ACG and ACG -> 1 + 1 windows.
+        assert_eq!(h.total(), 2);
+    }
+
+    #[test]
+    fn k_above_32_uses_wide_path() {
+        let seq: Vec<u8> = b"ACGT".iter().cycle().take(80).copied().collect();
+        let mut s = ReadStore::new();
+        s.push_single(&seq);
+        let h = MerHist::build(&s, 63, 4);
+        assert_eq!(h.total(), (80 - 63 + 1) as u64);
+    }
+
+    #[test]
+    fn table_bytes_matches_paper_formula() {
+        let s = store_of(&[b"ACGT"]);
+        let h = MerHist::build(&s, 4, 3);
+        // 4^{m+1} bytes = 4^m bins * 4 bytes.
+        assert_eq!(h.table_bytes(), 4usize.pow(3 + 1));
+    }
+
+    #[test]
+    fn count_in_bins_partial_sums() {
+        let space = MmerSpace::new(4, 1);
+        let h = MerHist::from_parts(space, vec![1, 2, 3, 4]);
+        assert_eq!(h.count_in_bins(0, 4), 10);
+        assert_eq!(h.count_in_bins(1, 3), 5);
+        assert_eq!(h.count_in_bins(2, 2), 0);
+    }
+
+    #[test]
+    fn empty_store() {
+        let h = MerHist::build(&ReadStore::new(), 4, 2);
+        assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn parallel_build_matches_sequential() {
+        let mut store = ReadStore::new();
+        let mut x = 11u64;
+        for _ in 0..300 {
+            let seq: Vec<u8> = (0..45)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(5);
+                    b"ACGT"[(x >> 61) as usize & 3]
+                })
+                .collect();
+            store.push_single(&seq);
+        }
+        for (k, m) in [(11, 4), (35, 4)] {
+            let seq_h = MerHist::build(&store, k, m);
+            let par_h = MerHist::build_parallel(&store, k, m);
+            assert_eq!(seq_h, par_h, "k={k} m={m}");
+        }
+    }
+}

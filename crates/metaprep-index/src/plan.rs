@@ -1,0 +1,353 @@
+//! k-mer range planning for passes × tasks × threads.
+//!
+//! The k-mer value space `[0, 4^k)` is split, at m-mer bin granularity,
+//! into `S · P · T` contiguous units of approximately equal *tuple count*
+//! (weighted by the merHist bins). Units nest naturally:
+//!
+//! ```text
+//! pass s   = units [s·P·T, (s+1)·P·T)
+//! task p   = units [s·P·T + p·T, s·P·T + (p+1)·T)
+//! thread t = unit   s·P·T + p·T + t
+//! ```
+//!
+//! so a single boundary vector determines which pass enumerates a k-mer,
+//! which task owns it, and which thread's sub-range it sorts into. This is
+//! the static load balancing that replaces dynamic scheduling in METAPREP.
+
+use crate::merhist::MerHist;
+
+/// Split weighted bins into `units` contiguous groups of roughly equal
+/// total weight. Returns `units + 1` bin indices (first 0, last
+/// `weights.len()`), non-decreasing. Greedy cumulative split: boundary `j`
+/// is placed at the first bin where the prefix weight reaches
+/// `j / units` of the total.
+pub fn split_bins_by_weight(weights: &[u32], units: usize) -> Vec<usize> {
+    assert!(units >= 1);
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    let mut bounds = Vec::with_capacity(units + 1);
+    bounds.push(0usize);
+    let mut acc = 0u64;
+    let mut bin = 0usize;
+    for j in 1..units {
+        let target = (total * j as u64) / units as u64;
+        while bin < weights.len() && acc < target {
+            acc += weights[bin] as u64;
+            bin += 1;
+        }
+        bounds.push(bin);
+    }
+    bounds.push(weights.len());
+    bounds
+}
+
+/// The full execution plan for one dataset/configuration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RangePlan {
+    k: usize,
+    m: usize,
+    passes: usize,
+    tasks: usize,
+    threads: usize,
+    /// `S·P·T + 1` k-mer values; unit `u` owns `[bounds[u], bounds[u+1])`.
+    bounds: Vec<u128>,
+    /// Same boundaries expressed as m-mer bin indices (for histogram sums).
+    bin_bounds: Vec<usize>,
+}
+
+impl RangePlan {
+    /// Build a plan from the global m-mer histogram.
+    pub fn build(hist: &MerHist, passes: usize, tasks: usize, threads: usize) -> Self {
+        assert!(passes >= 1 && tasks >= 1 && threads >= 1);
+        let space = hist.space();
+        let units = passes * tasks * threads;
+        let bin_bounds = split_bins_by_weight(hist.counts(), units);
+        let bounds: Vec<u128> = bin_bounds
+            .iter()
+            .map(|&b| {
+                if b == space.bins() {
+                    space.bin_upper_bound(space.bins() as u32 - 1)
+                } else {
+                    space.bin_lower_bound(b as u32)
+                }
+            })
+            .collect();
+        Self {
+            k: space.k(),
+            m: space.m(),
+            passes,
+            tasks,
+            threads,
+            bounds,
+            bin_bounds,
+        }
+    }
+
+    /// k-mer length this plan was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Number of passes `S`.
+    pub fn passes(&self) -> usize {
+        self.passes
+    }
+
+    /// Number of tasks `P`.
+    pub fn tasks(&self) -> usize {
+        self.tasks
+    }
+
+    /// Threads per task `T`.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn unit(&self, pass: usize, task: usize, thread: usize) -> usize {
+        debug_assert!(pass < self.passes && task < self.tasks && thread < self.threads);
+        (pass * self.tasks + task) * self.threads + thread
+    }
+
+    /// k-mer value range `[lo, hi)` of one pass.
+    pub fn pass_range(&self, pass: usize) -> (u128, u128) {
+        let u0 = self.unit(pass, 0, 0);
+        let u1 = u0 + self.tasks * self.threads;
+        (self.bounds[u0], self.bounds[u1])
+    }
+
+    /// k-mer value range of one task within a pass.
+    pub fn task_range(&self, pass: usize, task: usize) -> (u128, u128) {
+        let u0 = self.unit(pass, task, 0);
+        let u1 = u0 + self.threads;
+        (self.bounds[u0], self.bounds[u1])
+    }
+
+    /// k-mer value range of one thread's sort sub-range.
+    pub fn thread_range(&self, pass: usize, task: usize, thread: usize) -> (u128, u128) {
+        let u = self.unit(pass, task, thread);
+        (self.bounds[u], self.bounds[u + 1])
+    }
+
+    /// Which task of `pass` owns k-mer value `v` (which must lie in the
+    /// pass's range).
+    pub fn owner_task(&self, pass: usize, v: u128) -> usize {
+        let u0 = self.unit(pass, 0, 0);
+        let u1 = u0 + self.tasks * self.threads;
+        debug_assert!(v >= self.bounds[u0] && v < self.bounds[u1].max(self.bounds[u0] + 1));
+        // partition_point over the task starts within this pass.
+        let mut lo = 0usize;
+        let mut hi = self.tasks;
+        while lo + 1 < hi {
+            let mid = (lo + hi) / 2;
+            if self.bounds[self.unit(pass, mid, 0)] <= v {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+
+    /// m-mer bin range `[lo, hi)` of one task within a pass — what the
+    /// pipeline sums over chunk histograms to precompute send counts.
+    pub fn task_bin_range(&self, pass: usize, task: usize) -> (usize, usize) {
+        let u0 = self.unit(pass, task, 0);
+        let u1 = u0 + self.threads;
+        (self.bin_bounds[u0], self.bin_bounds[u1])
+    }
+
+    /// m-mer bin range of one thread's sub-range.
+    pub fn thread_bin_range(&self, pass: usize, task: usize, thread: usize) -> (usize, usize) {
+        let u = self.unit(pass, task, thread);
+        (self.bin_bounds[u], self.bin_bounds[u + 1])
+    }
+
+    /// Boundaries (exclusive uppers) between thread sub-ranges of a task —
+    /// the input LocalSort's partitioning stage needs.
+    pub fn thread_boundaries(&self, pass: usize, task: usize) -> Vec<u128> {
+        (1..self.threads)
+            .map(|t| self.bounds[self.unit(pass, task, t)])
+            .collect()
+    }
+
+    /// Lookup table mapping every m-mer bin to its `(pass, task)` pair,
+    /// encoded as `pass * tasks + task`. KmerGen uses this for O(1) owner
+    /// dispatch per enumerated k-mer instead of a binary search.
+    pub fn bin_owner_table(&self) -> Vec<u32> {
+        let bins = *self.bin_bounds.last().expect("nonempty");
+        let mut table = vec![0u32; bins];
+        for s in 0..self.passes {
+            for p in 0..self.tasks {
+                let u0 = self.unit(s, p, 0);
+                let (blo, bhi) = (self.bin_bounds[u0], self.bin_bounds[u0 + self.threads]);
+                let code = (s * self.tasks + p) as u32;
+                for b in table.iter_mut().take(bhi).skip(blo) {
+                    *b = code;
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaprep_io::ReadStore;
+    use proptest::prelude::*;
+
+    #[test]
+    fn split_bins_even_weights() {
+        let b = split_bins_by_weight(&[1; 8], 4);
+        assert_eq!(b, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn split_bins_skewed_weights() {
+        // One huge bin: it ends up alone in a unit; other units may be
+        // empty but the cover is exact.
+        let b = split_bins_by_weight(&[100, 1, 1, 1], 2);
+        assert_eq!(b.first(), Some(&0));
+        assert_eq!(b.last(), Some(&4));
+        assert!(b.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn split_bins_single_unit() {
+        assert_eq!(split_bins_by_weight(&[3, 4], 1), vec![0, 2]);
+    }
+
+    #[test]
+    fn split_bins_more_units_than_bins() {
+        let b = split_bins_by_weight(&[5, 5], 4);
+        assert_eq!(b.len(), 5);
+        assert_eq!(*b.last().unwrap(), 2);
+    }
+
+    fn sample_hist() -> MerHist {
+        let mut store = ReadStore::new();
+        let mut x = 1u64;
+        for _ in 0..200 {
+            // Cheap LCG to vary sequences.
+            let seq: Vec<u8> = (0..50)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    b"ACGT"[(x >> 60) as usize & 3]
+                })
+                .collect();
+            store.push_single(&seq);
+        }
+        MerHist::build(&store, 11, 4)
+    }
+
+    #[test]
+    fn plan_ranges_tile_the_kmer_space() {
+        let h = sample_hist();
+        let plan = RangePlan::build(&h, 2, 3, 4);
+        // Pass ranges tile [0, 4^k).
+        assert_eq!(plan.pass_range(0).0, 0);
+        assert_eq!(plan.pass_range(1).1, 1u128 << (2 * 11));
+        assert_eq!(plan.pass_range(0).1, plan.pass_range(1).0);
+        // Task ranges tile each pass.
+        for s in 0..2 {
+            let (plo, phi) = plan.pass_range(s);
+            assert_eq!(plan.task_range(s, 0).0, plo);
+            assert_eq!(plan.task_range(s, 2).1, phi);
+            for p in 0..2 {
+                assert_eq!(plan.task_range(s, p).1, plan.task_range(s, p + 1).0);
+            }
+        }
+        // Thread ranges tile each task.
+        for s in 0..2 {
+            for p in 0..3 {
+                let (tlo, thi) = plan.task_range(s, p);
+                assert_eq!(plan.thread_range(s, p, 0).0, tlo);
+                assert_eq!(plan.thread_range(s, p, 3).1, thi);
+            }
+        }
+    }
+
+    #[test]
+    fn owner_task_is_consistent_with_ranges() {
+        let h = sample_hist();
+        let plan = RangePlan::build(&h, 2, 4, 2);
+        for s in 0..2 {
+            for p in 0..4 {
+                let (lo, hi) = plan.task_range(s, p);
+                if lo < hi {
+                    assert_eq!(plan.owner_task(s, lo), p, "pass {s} task {p} lo");
+                    assert_eq!(plan.owner_task(s, hi - 1), p, "pass {s} task {p} hi");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_plan_has_roughly_equal_task_weights() {
+        let h = sample_hist();
+        let plan = RangePlan::build(&h, 1, 4, 1);
+        let total = h.total() as f64;
+        for p in 0..4 {
+            let (blo, bhi) = plan.task_bin_range(0, p);
+            let w = h.count_in_bins(blo, bhi) as f64;
+            assert!(
+                (w / total - 0.25).abs() < 0.15,
+                "task {p} weight fraction {}",
+                w / total
+            );
+        }
+    }
+
+    #[test]
+    fn bin_owner_table_agrees_with_ranges() {
+        let h = sample_hist();
+        let plan = RangePlan::build(&h, 2, 3, 2);
+        let table = plan.bin_owner_table();
+        assert_eq!(table.len(), h.space().bins());
+        for s in 0..2 {
+            for p in 0..3 {
+                let (blo, bhi) = plan.task_bin_range(s, p);
+                for b in blo..bhi {
+                    assert_eq!(table[b], (s * 3 + p) as u32, "bin {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_boundaries_length() {
+        let h = sample_hist();
+        let plan = RangePlan::build(&h, 1, 2, 4);
+        assert_eq!(plan.thread_boundaries(0, 0).len(), 3);
+        assert_eq!(plan.thread_boundaries(0, 1).len(), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_split_bins_cover_and_monotone(
+            weights in proptest::collection::vec(0u32..50, 1..64),
+            units in 1usize..10,
+        ) {
+            let b = split_bins_by_weight(&weights, units);
+            prop_assert_eq!(b.len(), units + 1);
+            prop_assert_eq!(b[0], 0);
+            prop_assert_eq!(*b.last().unwrap(), weights.len());
+            prop_assert!(b.windows(2).all(|w| w[0] <= w[1]));
+        }
+
+        #[test]
+        fn prop_split_units_reasonably_balanced(
+            weights in proptest::collection::vec(1u32..10, 32..128),
+            units in 2usize..8,
+        ) {
+            // With bounded bin weights no unit exceeds total/units by more
+            // than the max bin weight.
+            let b = split_bins_by_weight(&weights, units);
+            let total: u64 = weights.iter().map(|&w| w as u64).sum();
+            let maxbin = *weights.iter().max().unwrap() as u64;
+            for w in b.windows(2) {
+                let s: u64 = weights[w[0]..w[1]].iter().map(|&x| x as u64).sum();
+                prop_assert!(s <= total / units as u64 + maxbin + 1);
+            }
+        }
+    }
+}

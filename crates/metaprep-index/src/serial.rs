@@ -1,0 +1,247 @@
+//! Binary (de)serialization of the index tables.
+//!
+//! The paper writes `merHist` and `FASTQPart` to disk in a binary format so
+//! they are built once per dataset and reused across runs and machines
+//! (§3.1, Table 5). The format here is little-endian, versioned, and
+//! self-describing enough to validate `(k, m)` on load.
+
+use crate::fastqpart::{ChunkRecord, FastqPart};
+use crate::merhist::MerHist;
+use bytes::{Buf, BufMut};
+use metaprep_io::ChunkSpec;
+use metaprep_kmer::MmerSpace;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MERHIST_MAGIC: u32 = 0x4D50_4D48; // "MPMH"
+const FASTQPART_MAGIC: u32 = 0x4D50_4650; // "MPFP"
+const VERSION: u32 = 1;
+
+/// Deserialization failure.
+#[derive(Debug)]
+pub enum IndexFormatError {
+    /// I/O failure.
+    Io(io::Error),
+    /// Structural problem in the bytes.
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for IndexFormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IndexFormatError::Io(e) => write!(f, "I/O error: {e}"),
+            IndexFormatError::Corrupt(what) => write!(f, "corrupt index file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for IndexFormatError {}
+
+impl From<io::Error> for IndexFormatError {
+    fn from(e: io::Error) -> Self {
+        IndexFormatError::Io(e)
+    }
+}
+
+fn check(cond: bool, what: &'static str) -> Result<(), IndexFormatError> {
+    if cond {
+        Ok(())
+    } else {
+        Err(IndexFormatError::Corrupt(what))
+    }
+}
+
+/// Serialize a [`MerHist`] into bytes.
+pub fn merhist_to_bytes(h: &MerHist) -> Vec<u8> {
+    let sp = h.space();
+    let mut buf = Vec::with_capacity(24 + 4 * h.counts().len());
+    buf.put_u32_le(MERHIST_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(sp.k() as u32);
+    buf.put_u32_le(sp.m() as u32);
+    buf.put_u64_le(h.counts().len() as u64);
+    for &c in h.counts() {
+        buf.put_u32_le(c);
+    }
+    buf
+}
+
+/// Deserialize a [`MerHist`] from bytes.
+pub fn merhist_from_bytes(mut buf: &[u8]) -> Result<MerHist, IndexFormatError> {
+    check(buf.remaining() >= 24, "merHist header truncated")?;
+    check(buf.get_u32_le() == MERHIST_MAGIC, "bad merHist magic")?;
+    check(buf.get_u32_le() == VERSION, "unsupported merHist version")?;
+    let k = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+    check(m >= 1 && m <= 16 && m <= k, "invalid (k, m)")?;
+    let n = buf.get_u64_le() as usize;
+    let space = MmerSpace::new(k, m);
+    check(n == space.bins(), "bin count mismatch")?;
+    check(buf.remaining() == 4 * n, "merHist payload size mismatch")?;
+    let counts = (0..n).map(|_| buf.get_u32_le()).collect();
+    Ok(MerHist::from_parts(space, counts))
+}
+
+/// Serialize a [`FastqPart`] into bytes.
+pub fn fastqpart_to_bytes(fp: &FastqPart) -> Vec<u8> {
+    let sp = fp.space();
+    let bins = sp.bins();
+    let mut buf = Vec::with_capacity(28 + fp.len() * (24 + 4 * bins));
+    buf.put_u32_le(FASTQPART_MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(sp.k() as u32);
+    buf.put_u32_le(sp.m() as u32);
+    buf.put_u64_le(fp.len() as u64);
+    for rec in fp.chunks() {
+        buf.put_u64_le(rec.spec.offset);
+        buf.put_u64_le(rec.spec.bytes);
+        buf.put_u32_le(rec.spec.first_seq);
+        buf.put_u32_le(rec.spec.seqs);
+        for &c in &rec.hist {
+            buf.put_u32_le(c);
+        }
+    }
+    buf
+}
+
+/// Deserialize a [`FastqPart`] from bytes.
+pub fn fastqpart_from_bytes(mut buf: &[u8]) -> Result<FastqPart, IndexFormatError> {
+    check(buf.remaining() >= 24, "FASTQPart header truncated")?;
+    check(buf.get_u32_le() == FASTQPART_MAGIC, "bad FASTQPart magic")?;
+    check(buf.get_u32_le() == VERSION, "unsupported FASTQPart version")?;
+    let k = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+    check(m >= 1 && m <= 16 && m <= k, "invalid (k, m)")?;
+    let space = MmerSpace::new(k, m);
+    let bins = space.bins();
+    let n = buf.get_u64_le() as usize;
+    check(
+        buf.remaining() == n * (24 + 4 * bins),
+        "FASTQPart payload size mismatch",
+    )?;
+    let mut chunks = Vec::with_capacity(n);
+    for _ in 0..n {
+        let spec = ChunkSpec {
+            offset: buf.get_u64_le(),
+            bytes: buf.get_u64_le(),
+            first_seq: buf.get_u32_le(),
+            seqs: buf.get_u32_le(),
+        };
+        let hist = (0..bins).map(|_| buf.get_u32_le()).collect();
+        chunks.push(ChunkRecord { spec, hist });
+    }
+    Ok(FastqPart::from_parts(space, chunks))
+}
+
+/// Write a [`MerHist`] to a file.
+pub fn write_merhist(path: impl AsRef<Path>, h: &MerHist) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&merhist_to_bytes(h))
+}
+
+/// Read a [`MerHist`] from a file.
+pub fn read_merhist(path: impl AsRef<Path>) -> Result<MerHist, IndexFormatError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    merhist_from_bytes(&buf)
+}
+
+/// Write a [`FastqPart`] to a file.
+pub fn write_fastqpart(path: impl AsRef<Path>, fp: &FastqPart) -> io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(&fastqpart_to_bytes(fp))
+}
+
+/// Read a [`FastqPart`] from a file.
+pub fn read_fastqpart(path: impl AsRef<Path>) -> Result<FastqPart, IndexFormatError> {
+    let mut buf = Vec::new();
+    std::fs::File::open(path)?.read_to_end(&mut buf)?;
+    fastqpart_from_bytes(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaprep_io::ReadStore;
+
+    fn sample_store() -> ReadStore {
+        let mut s = ReadStore::new();
+        for i in 0..20 {
+            let seq: Vec<u8> = b"ACGTTGCAGG"
+                .iter()
+                .cycle()
+                .skip(i % 10)
+                .take(35)
+                .copied()
+                .collect();
+            s.push_single(&seq);
+        }
+        s
+    }
+
+    #[test]
+    fn merhist_roundtrip() {
+        let h = MerHist::build(&sample_store(), 8, 3);
+        let bytes = merhist_to_bytes(&h);
+        let back = merhist_from_bytes(&bytes).unwrap();
+        assert_eq!(back, h);
+    }
+
+    #[test]
+    fn fastqpart_roundtrip() {
+        let fp = FastqPart::build(&sample_store(), 4, 8, 3);
+        let bytes = fastqpart_to_bytes(&fp);
+        let back = fastqpart_from_bytes(&bytes).unwrap();
+        assert_eq!(back, fp);
+    }
+
+    #[test]
+    fn merhist_rejects_bad_magic() {
+        let h = MerHist::build(&sample_store(), 8, 3);
+        let mut bytes = merhist_to_bytes(&h);
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            merhist_from_bytes(&bytes),
+            Err(IndexFormatError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn merhist_rejects_truncation() {
+        let h = MerHist::build(&sample_store(), 8, 3);
+        let bytes = merhist_to_bytes(&h);
+        for cut in [0, 10, bytes.len() - 1] {
+            assert!(merhist_from_bytes(&bytes[..cut]).is_err(), "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn fastqpart_rejects_wrong_magic_and_size() {
+        let fp = FastqPart::build(&sample_store(), 2, 8, 3);
+        let mut bytes = fastqpart_to_bytes(&fp);
+        bytes[0] ^= 1;
+        assert!(fastqpart_from_bytes(&bytes).is_err());
+        let bytes = fastqpart_to_bytes(&fp);
+        assert!(fastqpart_from_bytes(&bytes[..bytes.len() - 4]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("metaprep_index_serial_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let h = MerHist::build(&sample_store(), 8, 3);
+        let fp = FastqPart::build(&sample_store(), 3, 8, 3);
+        write_merhist(dir.join("mh.bin"), &h).unwrap();
+        write_fastqpart(dir.join("fp.bin"), &fp).unwrap();
+        assert_eq!(read_merhist(dir.join("mh.bin")).unwrap(), h);
+        assert_eq!(read_fastqpart(dir.join("fp.bin")).unwrap(), fp);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn cross_type_confusion_rejected() {
+        let h = MerHist::build(&sample_store(), 8, 3);
+        let bytes = merhist_to_bytes(&h);
+        assert!(fastqpart_from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,394 @@
+//! Logical FASTQ chunking (the `FASTQPart` prerequisite, paper §3.1.2).
+//!
+//! A FASTQ file is split into `C` byte ranges of approximately equal size
+//! whose boundaries land on record starts, so each chunk can be read
+//! independently. Every chunk records the global read id of its first read,
+//! which is what lets threads assign dense fragment ids without
+//! coordination.
+//!
+//! Two forms are provided:
+//!
+//! * [`chunk_fastq_bytes`] — operates on raw FASTQ bytes, locating record
+//!   boundaries with [`find_record_start`] exactly as a file-based tool
+//!   must;
+//! * [`chunk_store`] — operates on an in-memory [`ReadStore`] using modeled
+//!   record sizes, producing the same `ChunkSpec` shape for the in-memory
+//!   pipeline.
+
+use crate::store::ReadStore;
+
+/// One logical chunk of a FASTQ input (a row of the `FASTQPart` table minus
+/// its m-mer histogram, which lives in `metaprep-index`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ChunkSpec {
+    /// Byte offset of the chunk within the file (or modeled stream).
+    pub offset: u64,
+    /// Size of the chunk in bytes.
+    pub bytes: u64,
+    /// Global id of the first *sequence* in the chunk (sequence index, not
+    /// fragment id; mates are consecutive sequences).
+    pub first_seq: u32,
+    /// Number of sequences in the chunk.
+    pub seqs: u32,
+}
+
+/// Find the first FASTQ record start at or after `pos` in `data`.
+///
+/// A record start is a line beginning with `@` whose line-after-next begins
+/// with `+`. Quality lines may begin with `@`, but then the line two below
+/// is a sequence line (`A/C/G/T/N...`), never `+` — so the test is
+/// unambiguous for 4-line FASTQ.
+pub fn find_record_start(data: &[u8], pos: usize) -> Option<usize> {
+    if pos >= data.len() {
+        return None;
+    }
+    // Move to a line start.
+    let mut at = if pos == 0 {
+        0
+    } else {
+        memchr_from(data, pos - 1, b'\n')? + 1
+    };
+    loop {
+        if at >= data.len() {
+            return None;
+        }
+        if data[at] == b'@' {
+            // line+2 must start with '+'
+            let l1 = memchr_from(data, at, b'\n')? + 1;
+            let l2 = memchr_from(data, l1, b'\n')? + 1;
+            if l2 < data.len() && data[l2] == b'+' {
+                return Some(at);
+            }
+        }
+        at = memchr_from(data, at, b'\n')? + 1;
+    }
+}
+
+/// Index of the first `needle` at or after `from`.
+fn memchr_from(data: &[u8], from: usize, needle: u8) -> Option<usize> {
+    data.get(from..)?
+        .iter()
+        .position(|&b| b == needle)
+        .map(|i| from + i)
+}
+
+/// Split raw FASTQ bytes into up to `c` chunks of roughly equal byte size
+/// with boundaries on record starts. Fewer than `c` chunks are returned when
+/// the file has fewer records than `c`.
+pub fn chunk_fastq_bytes(data: &[u8], c: usize) -> Vec<ChunkSpec> {
+    assert!(c >= 1);
+    let mut boundaries = vec![0usize];
+    let target = data.len() / c;
+    for i in 1..c {
+        let want = i * target;
+        match find_record_start(data, want) {
+            Some(s) if s > *boundaries.last().expect("nonempty") => boundaries.push(s),
+            _ => {}
+        }
+    }
+    boundaries.push(data.len());
+
+    let mut specs = Vec::with_capacity(boundaries.len() - 1);
+    let mut seq_id = 0u32;
+    for w in boundaries.windows(2) {
+        let (lo, hi) = (w[0], w[1]);
+        if lo == hi {
+            continue;
+        }
+        let n = count_records(&data[lo..hi]);
+        specs.push(ChunkSpec {
+            offset: lo as u64,
+            bytes: (hi - lo) as u64,
+            first_seq: seq_id,
+            seqs: n,
+        });
+        seq_id += n;
+    }
+    specs
+}
+
+/// Byte offsets of every record start in `data`.
+fn record_starts(data: &[u8]) -> Vec<usize> {
+    let mut starts = Vec::new();
+    let mut at = 0usize;
+    while let Some(s) = find_record_start(data, at) {
+        starts.push(s);
+        at = s + 1;
+    }
+    starts
+}
+
+/// Split raw *interleaved paired-end* FASTQ bytes into up to `c` chunks of
+/// roughly equal byte size whose boundaries fall on even record indices —
+/// every chunk holds whole mate pairs. The paper's chunker does the same
+/// alignment work for paired inputs ("after finding the chunk offset in
+/// one FASTQ file, the same read has to be located in the other", §4.3;
+/// with interleaving the constraint becomes even-index boundaries).
+///
+/// # Panics
+/// Panics if the file holds an odd number of records.
+pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Vec<ChunkSpec> {
+    assert!(c >= 1);
+    let starts = record_starts(data);
+    let n = starts.len();
+    assert!(n % 2 == 0, "paired FASTQ must hold an even record count");
+    if n == 0 {
+        return Vec::new();
+    }
+
+    // Candidate boundaries: even record indices; pick the first candidate
+    // at or after each byte target.
+    let mut bounds: Vec<usize> = vec![0]; // record indices
+    for j in 1..c {
+        let target = j * data.len() / c;
+        let mut idx = starts.partition_point(|&s| s < target);
+        idx += idx % 2; // round up to even
+        let idx = idx.min(n);
+        if idx > *bounds.last().expect("nonempty") {
+            bounds.push(idx);
+        }
+    }
+    bounds.push(n);
+
+    bounds
+        .windows(2)
+        .filter(|w| w[0] < w[1])
+        .map(|w| {
+            let lo_byte = starts[w[0]];
+            let hi_byte = if w[1] == n { data.len() } else { starts[w[1]] };
+            ChunkSpec {
+                offset: lo_byte as u64,
+                bytes: (hi_byte - lo_byte) as u64,
+                first_seq: w[0] as u32,
+                seqs: (w[1] - w[0]) as u32,
+            }
+        })
+        .collect()
+}
+
+/// Number of FASTQ records in a byte slice that starts at a record boundary.
+fn count_records(data: &[u8]) -> u32 {
+    let mut lines = 0u64;
+    for &b in data {
+        if b == b'\n' {
+            lines += 1;
+        }
+    }
+    if !data.is_empty() && data.last() != Some(&b'\n') {
+        lines += 1;
+    }
+    (lines / 4) as u32
+}
+
+/// Chunk an in-memory store into up to `c` chunks of roughly equal *modeled*
+/// byte size (using [`ReadStore::record_bytes`]). Mates of one fragment are
+/// never split across chunks, mirroring how the file-based chunker keeps
+/// whole records together and the paper keeps paired files aligned.
+pub fn chunk_store(store: &ReadStore, c: usize) -> Vec<ChunkSpec> {
+    assert!(c >= 1);
+    let n = store.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let total: u64 = (0..n).map(|i| store.record_bytes(i) as u64).sum();
+    let target = (total / c as u64).max(1);
+
+    let mut specs = Vec::with_capacity(c);
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    let mut offset = 0u64;
+    for i in 0..n {
+        acc += store.record_bytes(i) as u64;
+        let next_is_same_frag = i + 1 < n && store.frag_id(i + 1) == store.frag_id(i);
+        if acc >= target && !next_is_same_frag && specs.len() + 1 < c {
+            specs.push(ChunkSpec {
+                offset,
+                bytes: acc,
+                first_seq: start as u32,
+                seqs: (i + 1 - start) as u32,
+            });
+            offset += acc;
+            start = i + 1;
+            acc = 0;
+        }
+    }
+    if start < n {
+        specs.push(ChunkSpec {
+            offset,
+            bytes: acc,
+            first_seq: start as u32,
+            seqs: (n - start) as u32,
+        });
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::write::write_fastq;
+
+    fn sample_bytes(n: usize) -> Vec<u8> {
+        let mut s = ReadStore::new();
+        for i in 0..n {
+            let seq: Vec<u8> = b"ACGT"
+                .iter()
+                .cycle()
+                .take(20 + (i % 7) * 3)
+                .copied()
+                .collect();
+            s.push_single(&seq);
+        }
+        let mut buf = Vec::new();
+        write_fastq(&mut buf, &s).unwrap();
+        buf
+    }
+
+    #[test]
+    fn find_record_start_at_zero() {
+        let data = sample_bytes(3);
+        assert_eq!(find_record_start(&data, 0), Some(0));
+    }
+
+    #[test]
+    fn find_record_start_skips_mid_record() {
+        let data = sample_bytes(3);
+        // From byte 1 we must land on the second record, not inside the first.
+        let s = find_record_start(&data, 1).unwrap();
+        assert!(s > 0);
+        assert_eq!(data[s], b'@');
+        // It must be a real record start: parse from here succeeds.
+        let store = crate::parse::parse_fastq(&data[s..], false).unwrap();
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn find_record_start_handles_qual_at_sign() {
+        // Quality line starting with '@' must not be taken for a header.
+        let data = b"@r0\nACGT\n+\n@@@@\n@r1\nGGGG\n+\nIIII\n";
+        let s = find_record_start(data, 1).unwrap();
+        assert_eq!(&data[s..s + 3], b"@r1");
+    }
+
+    #[test]
+    fn chunks_cover_all_bytes_and_records() {
+        let data = sample_bytes(40);
+        for c in [1, 2, 3, 7, 13] {
+            let specs = chunk_fastq_bytes(&data, c);
+            let total_bytes: u64 = specs.iter().map(|s| s.bytes).sum();
+            assert_eq!(total_bytes, data.len() as u64, "c={c}");
+            let total_seqs: u32 = specs.iter().map(|s| s.seqs).sum();
+            assert_eq!(total_seqs, 40, "c={c}");
+            // Chunks are contiguous and first_seq is cumulative.
+            let mut off = 0u64;
+            let mut seq = 0u32;
+            for s in &specs {
+                assert_eq!(s.offset, off);
+                assert_eq!(s.first_seq, seq);
+                off += s.bytes;
+                seq += s.seqs;
+            }
+        }
+    }
+
+    #[test]
+    fn each_chunk_parses_standalone() {
+        let data = sample_bytes(25);
+        let specs = chunk_fastq_bytes(&data, 4);
+        assert!(specs.len() >= 2);
+        for s in &specs {
+            let lo = s.offset as usize;
+            let hi = lo + s.bytes as usize;
+            let store = crate::parse::parse_fastq(&data[lo..hi], false).unwrap();
+            assert_eq!(store.len(), s.seqs as usize);
+        }
+    }
+
+    #[test]
+    fn more_chunks_than_records_collapses() {
+        let data = sample_bytes(2);
+        let specs = chunk_fastq_bytes(&data, 16);
+        let total: u32 = specs.iter().map(|s| s.seqs).sum();
+        assert_eq!(total, 2);
+        assert!(specs.len() <= 2);
+    }
+
+    #[test]
+    fn paired_chunks_hold_whole_pairs() {
+        let data = sample_bytes(40); // even count
+        for c in [1, 2, 3, 7, 13] {
+            let specs = chunk_fastq_bytes_paired(&data, c);
+            let total: u32 = specs.iter().map(|s| s.seqs).sum();
+            assert_eq!(total, 40, "c={c}");
+            let bytes: u64 = specs.iter().map(|s| s.bytes).sum();
+            assert_eq!(bytes, data.len() as u64, "c={c}");
+            for s in &specs {
+                assert_eq!(s.first_seq % 2, 0, "c={c}");
+                assert_eq!(s.seqs % 2, 0, "c={c}");
+            }
+            // contiguous
+            let mut off = 0u64;
+            for s in &specs {
+                assert_eq!(s.offset, off);
+                off += s.bytes;
+            }
+        }
+    }
+
+    #[test]
+    fn paired_chunks_parse_standalone() {
+        let data = sample_bytes(18);
+        for s in chunk_fastq_bytes_paired(&data, 4) {
+            let lo = s.offset as usize;
+            let store =
+                crate::parse::parse_fastq(&data[lo..lo + s.bytes as usize], true).unwrap();
+            assert_eq!(store.len(), s.seqs as usize);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn paired_chunker_rejects_odd_record_count() {
+        let data = sample_bytes(5);
+        let _ = chunk_fastq_bytes_paired(&data, 2);
+    }
+
+    #[test]
+    fn paired_chunker_empty_input() {
+        assert!(chunk_fastq_bytes_paired(b"", 3).is_empty());
+    }
+
+    #[test]
+    fn chunk_store_covers_everything() {
+        let mut s = ReadStore::new();
+        for _ in 0..10 {
+            s.push_pair(b"ACGTACGTACGT", b"TTGGCCAATTGG");
+        }
+        for c in [1, 2, 3, 5] {
+            let specs = chunk_store(&s, c);
+            let total: u32 = specs.iter().map(|x| x.seqs).sum();
+            assert_eq!(total, 20, "c={c}");
+            assert!(specs.len() <= c);
+        }
+    }
+
+    #[test]
+    fn chunk_store_never_splits_pairs() {
+        let mut s = ReadStore::new();
+        for _ in 0..50 {
+            s.push_pair(b"ACGTACGT", b"GGCCGGCC");
+        }
+        for c in [2, 3, 7] {
+            for spec in chunk_store(&s, c) {
+                // First sequence of a chunk must be mate 1 (even index here).
+                assert_eq!(spec.first_seq % 2, 0, "c={c}");
+                assert_eq!(spec.seqs % 2, 0, "c={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_store_empty() {
+        assert!(chunk_store(&ReadStore::new(), 4).is_empty());
+    }
+}

@@ -1,0 +1,157 @@
+//! FASTA input/output (contigs, reference genomes).
+//!
+//! The assembler emits contigs; downstream evaluation reads them back.
+//! Multi-line sequences are supported on input; output wraps at a fixed
+//! column width.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::Path;
+
+/// One FASTA record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FastaRecord {
+    /// Header without the leading `>`.
+    pub name: String,
+    /// Sequence bytes (newlines stripped).
+    pub seq: Vec<u8>,
+}
+
+/// Parse FASTA records from a reader.
+pub fn parse_fasta(reader: impl BufRead) -> io::Result<Vec<FastaRecord>> {
+    let mut records = Vec::new();
+    let mut name: Option<String> = None;
+    let mut seq: Vec<u8> = Vec::new();
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim_end();
+        if let Some(h) = line.strip_prefix('>') {
+            if let Some(n) = name.take() {
+                records.push(FastaRecord {
+                    name: n,
+                    seq: std::mem::take(&mut seq),
+                });
+            }
+            name = Some(h.to_string());
+        } else if !line.is_empty() {
+            if name.is_none() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "FASTA sequence before any '>' header",
+                ));
+            }
+            seq.extend_from_slice(line.as_bytes());
+        }
+    }
+    if let Some(n) = name {
+        records.push(FastaRecord { name: n, seq });
+    }
+    Ok(records)
+}
+
+/// Parse a FASTA file from a path.
+pub fn parse_fasta_path(path: impl AsRef<Path>) -> io::Result<Vec<FastaRecord>> {
+    parse_fasta(BufReader::new(std::fs::File::open(path)?))
+}
+
+/// Write records as FASTA, wrapping sequence lines at `width` columns.
+pub fn write_fasta(mut w: impl Write, records: &[FastaRecord], width: usize) -> io::Result<()> {
+    assert!(width >= 1);
+    for rec in records {
+        writeln!(w, ">{}", rec.name)?;
+        for chunk in rec.seq.chunks(width) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+        if rec.seq.is_empty() {
+            w.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+/// Write a FASTA file at `path` (80-column wrapped, buffered).
+pub fn write_fasta_path(path: impl AsRef<Path>, records: &[FastaRecord]) -> io::Result<()> {
+    let mut w = io::BufWriter::new(std::fs::File::create(path)?);
+    write_fasta(&mut w, records, 80)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_record() {
+        let recs = parse_fasta(&b">c1 len=8\nACGTACGT\n"[..]).unwrap();
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].name, "c1 len=8");
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+    }
+
+    #[test]
+    fn parses_multiline_sequences() {
+        let recs = parse_fasta(&b">c1\nACGT\nACGT\n>c2\nTTTT\n"[..]).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, b"ACGTACGT");
+        assert_eq!(recs[1].seq, b"TTTT");
+    }
+
+    #[test]
+    fn rejects_sequence_before_header() {
+        assert!(parse_fasta(&b"ACGT\n>c1\nAC\n"[..]).is_err());
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(parse_fasta(&b""[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn roundtrip_with_wrapping() {
+        let recs = vec![
+            FastaRecord {
+                name: "a".into(),
+                seq: b"ACGT".repeat(30),
+            },
+            FastaRecord {
+                name: "b".into(),
+                seq: b"TT".to_vec(),
+            },
+        ];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs, 50).unwrap();
+        let back = parse_fasta(&buf[..]).unwrap();
+        assert_eq!(back, recs);
+        // Wrapped lines are at most 50 columns.
+        for line in buf.split(|&b| b == b'\n') {
+            assert!(line.len() <= 51);
+        }
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("metaprep_io_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let recs = vec![FastaRecord {
+            name: "contig_0".into(),
+            seq: b"ACGTACGTGG".to_vec(),
+        }];
+        let path = dir.join("x.fa");
+        write_fasta_path(&path, &recs).unwrap();
+        assert_eq!(parse_fasta_path(&path).unwrap(), recs);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_sequence_record_roundtrips() {
+        let recs = vec![FastaRecord {
+            name: "empty".into(),
+            seq: vec![],
+        }];
+        let mut buf = Vec::new();
+        write_fasta(&mut buf, &recs, 80).unwrap();
+        let back = parse_fasta(&buf[..]).unwrap();
+        assert_eq!(back.len(), 1);
+        assert!(back[0].seq.is_empty());
+    }
+}

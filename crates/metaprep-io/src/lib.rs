@@ -1,0 +1,32 @@
+//! FASTQ input/output and logical file chunking for METAPREP.
+//!
+//! The pipeline's unit of input is a [`ReadStore`]: a flat, cache-friendly
+//! container of read sequences where every sequence carries a *fragment id*
+//! (global read id). Both mates of a paired-end read share one fragment id,
+//! which is how METAPREP preserves pairing through partitioning (paper
+//! §3.2). Stores can be built in memory (synthetic data) or parsed from
+//! FASTQ files ([`parse`]), and written back out as FASTQ ([`write`]).
+//!
+//! [`chunk`] implements the logical FASTQ chunking used by the `FASTQPart`
+//! index (paper §3.1.2): a file is split into `C` byte ranges of roughly
+//! equal size whose boundaries are aligned to record starts, so that threads
+//! can read chunks independently and in parallel.
+
+pub mod chunk;
+pub mod fasta;
+pub mod parse;
+pub mod store;
+pub mod trim;
+pub mod write;
+
+pub use chunk::{
+    chunk_fastq_bytes, chunk_fastq_bytes_paired, chunk_store, find_record_start, ChunkSpec,
+};
+pub use fasta::{parse_fasta, parse_fasta_path, write_fasta, write_fasta_path, FastaRecord};
+pub use parse::{
+    deinterleave, parse_fastq, parse_fastq_chunk, parse_fastq_pair_files, parse_fastq_path,
+    FastqError, FastqRecord,
+};
+pub use store::ReadStore;
+pub use trim::{trim_adapter, trim_quality, TrimStats};
+pub use write::{write_fastq, write_fastq_path};

@@ -1,0 +1,240 @@
+//! Read trimming: quality clipping and adapter removal.
+//!
+//! The paper's chunker handles "paired-end FASTQ files containing trimmed
+//! reads" (§4.3) — reads of uneven length produced by exactly these
+//! operations. This module provides the two standard ones:
+//!
+//! * [`trim_quality`] — clip the 3' end at the point that maximizes the
+//!   partial sum of `(qual - threshold)` (the BWA/cutadapt algorithm);
+//! * [`trim_adapter`] — remove a 3' adapter by longest suffix-prefix
+//!   overlap.
+//!
+//! Both preserve pairing: if any mate of a fragment falls below the
+//! minimum length, the whole fragment is dropped.
+
+use crate::store::ReadStore;
+
+/// Counters from a trimming pass.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct TrimStats {
+    /// Fragments kept.
+    pub kept_fragments: u64,
+    /// Fragments dropped (a mate became shorter than the minimum).
+    pub dropped_fragments: u64,
+    /// Total bases removed from kept reads.
+    pub bases_trimmed: u64,
+}
+
+/// 3' cut position by the maximum-partial-sum rule: scanning from the 3'
+/// end, keep the prefix `[0, argmax)` where `argmax` maximizes
+/// `sum(threshold - qual[i])` over the trimmed suffix — equivalently the
+/// standard BWA `-q` algorithm.
+fn quality_cutoff(qual: &[u8], threshold: u8) -> usize {
+    let mut best_pos = qual.len();
+    let mut best_sum = 0i64;
+    let mut sum = 0i64;
+    for i in (0..qual.len()).rev() {
+        sum += threshold as i64 - qual[i] as i64;
+        if sum > best_sum {
+            best_sum = sum;
+            best_pos = i;
+        }
+    }
+    best_pos
+}
+
+/// Quality-trim every read's 3' end. `threshold` is an ASCII quality byte
+/// (Phred+33: `b'#'` is Q2, `b'5'` is Q20). Reads without stored
+/// qualities are left untouched. Fragments with any mate shorter than
+/// `min_len` after trimming are dropped entirely.
+pub fn trim_quality(store: &ReadStore, threshold: u8, min_len: usize) -> (ReadStore, TrimStats) {
+    rebuild(store, min_len, |seq, qual| match qual {
+        Some(q) => quality_cutoff(q, threshold).min(seq.len()),
+        None => seq.len(),
+    })
+}
+
+/// Longest `overlap >= min_overlap` such that the read's suffix equals the
+/// adapter's prefix; returns the cut position (`seq.len()` = no cut).
+fn adapter_cutoff(seq: &[u8], adapter: &[u8], min_overlap: usize) -> usize {
+    let max_ov = adapter.len().min(seq.len());
+    for ov in (min_overlap..=max_ov).rev() {
+        if seq[seq.len() - ov..] == adapter[..ov] {
+            return seq.len() - ov;
+        }
+    }
+    seq.len()
+}
+
+/// Remove a 3' adapter from every read (suffix of the read matching a
+/// prefix of `adapter`, at least `min_overlap` bases). Fragments with any
+/// mate shorter than `min_len` afterwards are dropped.
+pub fn trim_adapter(
+    store: &ReadStore,
+    adapter: &[u8],
+    min_overlap: usize,
+    min_len: usize,
+) -> (ReadStore, TrimStats) {
+    assert!(min_overlap >= 1 && min_overlap <= adapter.len());
+    rebuild(store, min_len, |seq, _| {
+        adapter_cutoff(seq, adapter, min_overlap)
+    })
+}
+
+/// Shared fragment-wise rebuild: compute each sequence's cut, drop whole
+/// fragments whose any mate is too short, copy the rest.
+fn rebuild(
+    store: &ReadStore,
+    min_len: usize,
+    cut: impl Fn(&[u8], Option<&[u8]>) -> usize,
+) -> (ReadStore, TrimStats) {
+    let n = store.len();
+    let mut out = ReadStore::new();
+    let mut stats = TrimStats::default();
+    let mut i = 0usize;
+    while i < n {
+        let frag = store.frag_id(i);
+        let mut j = i + 1;
+        while j < n && store.frag_id(j) == frag {
+            j += 1;
+        }
+        let cuts: Vec<usize> = (i..j).map(|s| cut(store.seq(s), store.qual(s))).collect();
+        if cuts.iter().any(|&c| c < min_len) {
+            stats.dropped_fragments += 1;
+        } else {
+            let new_frag = out.num_fragments();
+            for (s, &c) in (i..j).zip(&cuts) {
+                stats.bases_trimmed += (store.seq(s).len() - c) as u64;
+                out.push_with_frag(&store.seq(s)[..c], new_frag);
+                if let Some(name) = store.name(s) {
+                    out.set_last_name(name);
+                }
+                if let Some(q) = store.qual(s) {
+                    out.set_last_qual(&q[..c]);
+                }
+            }
+            stats.kept_fragments += 1;
+        }
+        i = j;
+    }
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with_quals(items: &[(&[u8], &[u8])]) -> ReadStore {
+        let mut s = ReadStore::new();
+        for (seq, qual) in items {
+            s.push_single(seq);
+            s.set_last_qual(qual);
+        }
+        s
+    }
+
+    #[test]
+    fn quality_cutoff_clean_read_keeps_everything() {
+        assert_eq!(quality_cutoff(b"IIIII", b'5'), 5);
+    }
+
+    #[test]
+    fn quality_cutoff_bad_tail_is_cut() {
+        // Good (I = Q40) then bad (# = Q2) under threshold '5' (Q20).
+        assert_eq!(quality_cutoff(b"IIII####", b'5'), 4);
+    }
+
+    #[test]
+    fn quality_cutoff_all_bad_cuts_everything() {
+        assert_eq!(quality_cutoff(b"####", b'5'), 0);
+    }
+
+    #[test]
+    fn quality_cutoff_recovers_after_dip() {
+        // A short dip followed by strong quality should not trigger a cut
+        // before the dip (partial-sum rule, unlike naive first-bad-base).
+        assert_eq!(quality_cutoff(b"III#IIIIII", b'5'), 10);
+    }
+
+    #[test]
+    fn trim_quality_trims_and_keeps_pairs() {
+        let mut s = ReadStore::new();
+        s.push_pair(b"ACGTACGT", b"GGCCGGCC");
+        // qualities must be set per push; rebuild manually
+        let mut s2 = ReadStore::new();
+        s2.push_with_frag(b"ACGTACGT", 0);
+        s2.set_last_qual(b"IIII####");
+        s2.push_with_frag(b"GGCCGGCC", 0);
+        s2.set_last_qual(b"IIIIIIII");
+        let (out, stats) = trim_quality(&s2, b'5', 3);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.seq(0), b"ACGT");
+        assert_eq!(out.seq(1), b"GGCCGGCC");
+        assert_eq!(out.qual(0), Some(&b"IIII"[..]));
+        assert_eq!(stats.kept_fragments, 1);
+        assert_eq!(stats.bases_trimmed, 4);
+        let _ = s;
+    }
+
+    #[test]
+    fn trim_quality_drops_fragment_when_mate_too_short() {
+        let mut s = ReadStore::new();
+        s.push_with_frag(b"ACGTACGT", 0);
+        s.set_last_qual(b"########"); // fully trimmed
+        s.push_with_frag(b"GGCCGGCC", 0);
+        s.set_last_qual(b"IIIIIIII");
+        let (out, stats) = trim_quality(&s, b'5', 4);
+        assert!(out.is_empty());
+        assert_eq!(stats.dropped_fragments, 1);
+    }
+
+    #[test]
+    fn trim_quality_without_quals_is_identity() {
+        let mut s = ReadStore::new();
+        s.push_single(b"ACGT");
+        let (out, stats) = trim_quality(&s, b'5', 2);
+        assert_eq!(out.seq(0), b"ACGT");
+        assert_eq!(stats.bases_trimmed, 0);
+    }
+
+    #[test]
+    fn adapter_full_match_removed() {
+        let s = store_with_quals(&[(b"ACGTACGTAGATCGGA", b"IIIIIIIIIIIIIIII")]);
+        let (out, stats) = trim_adapter(&s, b"AGATCGGA", 4, 4);
+        assert_eq!(out.seq(0), b"ACGTACGT");
+        assert_eq!(stats.bases_trimmed, 8);
+        // qualities trimmed in step
+        assert_eq!(out.qual(0).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn adapter_partial_suffix_overlap_removed() {
+        // Only the first 5 bases of the adapter fit at the read end.
+        let s = store_with_quals(&[(b"ACGTACGTAGATC", b"IIIIIIIIIIIII")]);
+        let (out, _) = trim_adapter(&s, b"AGATCGGA", 4, 4);
+        assert_eq!(out.seq(0), b"ACGTACGT");
+    }
+
+    #[test]
+    fn adapter_below_min_overlap_kept() {
+        // Suffix "AGA" (3 bases) < min_overlap 4 -> untouched.
+        let s = store_with_quals(&[(b"ACGTACGTAGA", b"IIIIIIIIIII")]);
+        let (out, stats) = trim_adapter(&s, b"AGATCGGA", 4, 4);
+        assert_eq!(out.seq(0), b"ACGTACGTAGA");
+        assert_eq!(stats.bases_trimmed, 0);
+    }
+
+    #[test]
+    fn adapter_no_match_untouched() {
+        let s = store_with_quals(&[(b"ACGTACGT", b"IIIIIIII")]);
+        let (out, _) = trim_adapter(&s, b"TTTTTTTT", 4, 4);
+        assert_eq!(out.seq(0), b"ACGTACGT");
+    }
+
+    #[test]
+    fn empty_store() {
+        let (out, stats) = trim_quality(&ReadStore::new(), b'5', 10);
+        assert!(out.is_empty());
+        assert_eq!(stats, TrimStats::default());
+    }
+}

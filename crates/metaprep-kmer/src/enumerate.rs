@@ -1,0 +1,231 @@
+//! Scalar canonical k-mer enumeration over reads.
+//!
+//! A read may contain `N` (or other ambiguity codes); METAPREP never
+//! enumerates a k-mer containing such a position (paper §3.2). The
+//! enumerator therefore splits the read into maximal valid runs and rolls a
+//! k-mer window through each run.
+
+use crate::alphabet::encode_base_checked;
+use crate::kmer::Kmer;
+
+/// Call `f(canonical_value, offset)` for every canonical k-mer of `seq`,
+/// where `offset` is the 0-based position of the window's first base.
+///
+/// Windows overlapping an invalid byte (e.g. `N`) are skipped. Does nothing
+/// when `seq.len() < k`.
+#[inline]
+pub fn for_each_canonical_kmer<K: Kmer>(
+    seq: &[u8],
+    k: usize,
+    mut f: impl FnMut(K::Repr, usize),
+) {
+    assert!(k >= 1 && k <= K::MAX_K);
+    let mut i = 0;
+    while i < seq.len() {
+        // Find the next maximal run of valid bases starting at or after `i`.
+        while i < seq.len() && encode_base_checked(seq[i]).is_none() {
+            i += 1;
+        }
+        let start = i;
+        while i < seq.len() && encode_base_checked(seq[i]).is_some() {
+            i += 1;
+        }
+        let run = &seq[start..i];
+        if run.len() < k {
+            continue;
+        }
+        let mut km = K::zero(k);
+        for (j, &b) in run.iter().enumerate() {
+            km.roll(encode_base_checked(b).expect("run contains only valid bases"));
+            if j + 1 >= k {
+                f(km.canonical_value(), start + j + 1 - k);
+            }
+        }
+    }
+}
+
+/// Iterator form of [`for_each_canonical_kmer`], yielding
+/// `(canonical_value, offset)` pairs.
+///
+/// The closure form is faster in hot loops (no per-item state machine); the
+/// iterator form composes with adapter chains in tests and examples.
+pub struct CanonicalKmers<'a, K: Kmer> {
+    seq: &'a [u8],
+    k: usize,
+    /// Position of the next byte to consume.
+    pos: usize,
+    /// Number of consecutive valid bases currently inside the window.
+    filled: usize,
+    km: K,
+}
+
+impl<'a, K: Kmer> CanonicalKmers<'a, K> {
+    /// Create an enumerator over `seq` with k-mer length `k`.
+    pub fn new(seq: &'a [u8], k: usize) -> Self {
+        assert!(k >= 1 && k <= K::MAX_K);
+        Self {
+            seq,
+            k,
+            pos: 0,
+            filled: 0,
+            km: K::zero(k),
+        }
+    }
+}
+
+impl<'a, K: Kmer> Iterator for CanonicalKmers<'a, K> {
+    type Item = (K::Repr, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while self.pos < self.seq.len() {
+            let b = self.seq[self.pos];
+            self.pos += 1;
+            match encode_base_checked(b) {
+                Some(c) => {
+                    self.km.roll(c);
+                    self.filled += 1;
+                    if self.filled >= self.k {
+                        return Some((self.km.canonical_value(), self.pos - self.k));
+                    }
+                }
+                None => {
+                    self.filled = 0;
+                }
+            }
+        }
+        None
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = self.seq.len() - self.pos;
+        // At most one k-mer per remaining byte plus one for a full window.
+        (0, Some(remaining + usize::from(self.filled >= self.k)))
+    }
+}
+
+/// Count k-mers of `seq` that would be enumerated (i.e. valid windows).
+pub fn count_valid_kmers(seq: &[u8], k: usize) -> usize {
+    let mut n = 0usize;
+    for_each_canonical_kmer::<crate::Kmer128>(seq, k.min(63), |_, _| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmer::{Kmer128, Kmer64};
+    use proptest::prelude::*;
+
+    fn collect64(seq: &[u8], k: usize) -> Vec<(u64, usize)> {
+        let mut v = Vec::new();
+        for_each_canonical_kmer::<Kmer64>(seq, k, |x, o| v.push((x, o)));
+        v
+    }
+
+    /// Reference: canonical value via naive string construction per window.
+    fn naive(seq: &[u8], k: usize) -> Vec<(u64, usize)> {
+        let mut out = Vec::new();
+        if seq.len() < k {
+            return out;
+        }
+        'w: for o in 0..=seq.len() - k {
+            let win = &seq[o..o + k];
+            let mut codes = Vec::with_capacity(k);
+            for &b in win {
+                match encode_base_checked(b) {
+                    Some(c) => codes.push(c),
+                    None => continue 'w,
+                }
+            }
+            let km = Kmer64::from_codes(&codes);
+            out.push((km.canonical_value(), o));
+        }
+        out
+    }
+
+    #[test]
+    fn simple_sequence_counts() {
+        let v = collect64(b"ACGTACGT", 4);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v, naive(b"ACGTACGT", 4));
+    }
+
+    #[test]
+    fn skips_windows_with_n() {
+        let v = collect64(b"ACGNTACG", 3);
+        // Valid runs: ACG (1 window), TACG (2 windows).
+        assert_eq!(v.len(), 3);
+        assert_eq!(v, naive(b"ACGNTACG", 3));
+    }
+
+    #[test]
+    fn short_sequence_yields_nothing() {
+        assert!(collect64(b"ACG", 4).is_empty());
+        assert!(collect64(b"", 4).is_empty());
+        assert!(collect64(b"NNNNNNNN", 4).is_empty());
+    }
+
+    #[test]
+    fn run_shorter_than_k_is_skipped() {
+        // Runs: AC (too short), GGGG (one 4-window).
+        let v = collect64(b"ACNGGGG", 4);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].1, 3);
+    }
+
+    #[test]
+    fn iterator_matches_closure_form() {
+        let seq = b"ACGTNNACGTACGTTGCA";
+        let it: Vec<_> = CanonicalKmers::<Kmer64>::new(seq, 5).collect();
+        assert_eq!(it, collect64(seq, 5));
+    }
+
+    #[test]
+    fn offsets_are_window_starts() {
+        let v = collect64(b"AAAAA", 3);
+        assert_eq!(v.iter().map(|&(_, o)| o).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn kmer128_handles_large_k() {
+        let seq: Vec<u8> = b"ACGT".iter().cycle().take(80).copied().collect();
+        let mut v = Vec::new();
+        for_each_canonical_kmer::<Kmer128>(&seq, 63, |x, o| v.push((x, o)));
+        assert_eq!(v.len(), 80 - 63 + 1);
+        // All windows of a period-4 sequence at offsets ≡ mod 4 are equal.
+        assert_eq!(v[0].0, v[4].0);
+    }
+
+    #[test]
+    fn count_valid_kmers_counts_windows() {
+        assert_eq!(count_valid_kmers(b"ACGTACGT", 4), 5);
+        assert_eq!(count_valid_kmers(b"ACGNTACG", 3), 3);
+        assert_eq!(count_valid_kmers(b"NN", 1), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(
+            seq in proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..64),
+            k in 1usize..9,
+        ) {
+            prop_assert_eq!(collect64(&seq, k), naive(&seq, k));
+        }
+
+        #[test]
+        fn prop_reverse_complement_read_yields_same_multiset(
+            seq in proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 8..48),
+            k in 2usize..8,
+        ) {
+            let rc = crate::alphabet::reverse_complement_ascii(&seq);
+            let mut a: Vec<u64> = collect64(&seq, k).into_iter().map(|(x, _)| x).collect();
+            let mut b: Vec<u64> = collect64(&rc, k).into_iter().map(|(x, _)| x).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            // Canonicalization makes enumeration strand-independent.
+            prop_assert_eq!(a, b);
+        }
+    }
+}

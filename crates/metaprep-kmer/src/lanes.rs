@@ -1,0 +1,186 @@
+//! 4-lane batched canonical k-mer generation.
+//!
+//! Portable reimplementation of the paper's vectorized KmerGen (§3.2.1,
+//! Figure 3): four k-mer windows are started at equidistant points of the
+//! read and all four are advanced by one base per iteration. On the
+//! original system the four forward (and four reverse-complement) windows
+//! live in two 128-bit SIMD registers; here each lane is a scalar register
+//! and the loop body is written so the compiler can keep the eight words in
+//! registers and overlap the four independent dependency chains (ILP). The
+//! emission *order* differs from the scalar enumerator (lane-interleaved),
+//! which is irrelevant to the pipeline because tuples are sorted afterwards.
+
+use crate::alphabet::encode_base_checked;
+use crate::kmer::Kmer;
+
+/// Number of concurrent windows, matching the paper's 4×64-bit layout.
+pub const LANES: usize = 4;
+
+/// Call `f(canonical_value, offset)` for every canonical k-mer of `seq`
+/// using 4-lane batched generation. Produces exactly the same multiset of
+/// `(value, offset)` pairs as
+/// [`for_each_canonical_kmer`](crate::enumerate::for_each_canonical_kmer).
+pub fn for_each_canonical_kmer_x4<K: Kmer>(
+    seq: &[u8],
+    k: usize,
+    mut f: impl FnMut(K::Repr, usize),
+) {
+    assert!(k >= 1 && k <= K::MAX_K);
+    let mut i = 0;
+    while i < seq.len() {
+        while i < seq.len() && encode_base_checked(seq[i]).is_none() {
+            i += 1;
+        }
+        let start = i;
+        while i < seq.len() && encode_base_checked(seq[i]).is_some() {
+            i += 1;
+        }
+        let run = &seq[start..i];
+        if run.len() >= k {
+            run_x4::<K>(run, k, start, &mut f);
+        }
+    }
+}
+
+/// Process one maximal valid run (no `N`) of length `>= k`.
+fn run_x4<K: Kmer>(run: &[u8], k: usize, base_off: usize, f: &mut impl FnMut(K::Repr, usize)) {
+    let n = run.len() - k + 1; // number of windows
+    if n < 2 * LANES {
+        // Short runs: lane setup (4 full window initializations) would
+        // dominate; fall back to scalar rolling.
+        let mut km = K::zero(k);
+        for (j, &b) in run.iter().enumerate() {
+            km.roll(code(b));
+            if j + 1 >= k {
+                f(km.canonical_value(), base_off + j + 1 - k);
+            }
+        }
+        return;
+    }
+
+    // Segment the n windows into LANES contiguous chunks; lane L owns
+    // windows [seg_start[L], seg_start[L+1]).
+    let q = n / LANES;
+    let r = n % LANES;
+    let mut seg_start = [0usize; LANES + 1];
+    for l in 0..LANES {
+        seg_start[l + 1] = seg_start[l] + q + usize::from(l < r);
+    }
+
+    // Initialize each lane's first window.
+    let mut kms: [K; LANES] = std::array::from_fn(|l| {
+        let s = seg_start[l];
+        let mut km = K::zero(k);
+        for &b in &run[s..s + k] {
+            km.roll(code(b));
+        }
+        km
+    });
+
+    // Uniform phase: every lane has at least `q` windows, so the loop body
+    // is branch-free across lanes (four independent roll chains).
+    for step in 0..q {
+        for l in 0..LANES {
+            let w = seg_start[l] + step;
+            f(kms[l].canonical_value(), base_off + w);
+            // Prepare the next window unless this was the lane's last.
+            if step + 1 < seg_start[l + 1] - seg_start[l] {
+                kms[l].roll(code(run[w + k]));
+            }
+        }
+    }
+    // Remainder: the first `r` lanes own one extra window each.
+    for l in 0..r {
+        let w = seg_start[l] + q;
+        f(kms[l].canonical_value(), base_off + w);
+    }
+}
+
+#[inline(always)]
+fn code(b: u8) -> u8 {
+    encode_base_checked(b).expect("run contains only valid bases")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::enumerate::for_each_canonical_kmer;
+    use crate::kmer::{Kmer128, Kmer64};
+    use proptest::prelude::*;
+
+    fn sorted_pairs_x4(seq: &[u8], k: usize) -> Vec<(u64, usize)> {
+        let mut v = Vec::new();
+        for_each_canonical_kmer_x4::<Kmer64>(seq, k, |x, o| v.push((x, o)));
+        v.sort_unstable();
+        v
+    }
+
+    fn sorted_pairs_scalar(seq: &[u8], k: usize) -> Vec<(u64, usize)> {
+        let mut v = Vec::new();
+        for_each_canonical_kmer::<Kmer64>(seq, k, |x, o| v.push((x, o)));
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn matches_scalar_on_long_read() {
+        let seq: Vec<u8> = b"ACGTTGCAAGCTTAGCGCGCGATATATTTTGGGCCCAAACGTACGTACGT"
+            .iter()
+            .cycle()
+            .take(200)
+            .copied()
+            .collect();
+        assert_eq!(sorted_pairs_x4(&seq, 27), sorted_pairs_scalar(&seq, 27));
+    }
+
+    #[test]
+    fn matches_scalar_on_short_run_fallback() {
+        // n = l - k + 1 = 3 < 8 windows -> scalar fallback path.
+        let seq = b"ACGTACGTAC";
+        assert_eq!(sorted_pairs_x4(seq, 8), sorted_pairs_scalar(seq, 8));
+    }
+
+    #[test]
+    fn handles_n_runs() {
+        let seq = b"ACGTACGTACGTNNNACGTACGTACGTACGTACGTACGTACGT";
+        assert_eq!(sorted_pairs_x4(seq, 5), sorted_pairs_scalar(seq, 5));
+    }
+
+    #[test]
+    fn empty_and_too_short() {
+        assert!(sorted_pairs_x4(b"", 4).is_empty());
+        assert!(sorted_pairs_x4(b"ACG", 4).is_empty());
+    }
+
+    #[test]
+    fn boundary_exactly_two_lanes_worth() {
+        // n = 2 * LANES windows: smallest input on the lane path.
+        let k = 4;
+        let n = 2 * LANES;
+        let seq: Vec<u8> = b"ACGTTGCA".iter().cycle().take(n + k - 1).copied().collect();
+        assert_eq!(sorted_pairs_x4(&seq, k), sorted_pairs_scalar(&seq, k));
+    }
+
+    #[test]
+    fn kmer128_lane_path() {
+        let seq: Vec<u8> = b"ACGTTGCATTAGC".iter().cycle().take(300).copied().collect();
+        let mut a = Vec::new();
+        for_each_canonical_kmer_x4::<Kmer128>(&seq, 63, |x, o| a.push((x, o)));
+        let mut b = Vec::new();
+        for_each_canonical_kmer::<Kmer128>(&seq, 63, |x, o| b.push((x, o)));
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_x4_matches_scalar(
+            seq in proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..128),
+            k in 1usize..16,
+        ) {
+            prop_assert_eq!(sorted_pairs_x4(&seq, k), sorted_pairs_scalar(&seq, k));
+        }
+    }
+}

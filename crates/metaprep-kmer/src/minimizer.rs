@@ -1,0 +1,257 @@
+//! Minimizers and super-k-mers.
+//!
+//! Used by the KMC2-style comparison baseline (paper §4.2.1): consecutive
+//! k-mers sharing the same minimizer are grouped into a *super-k-mer* and
+//! binned by that minimizer, which compresses the Stage-1 output (each base
+//! is written once per super-k-mer rather than once per k-mer).
+//!
+//! The minimizer of a k-mer is its lexicographically smallest length-`w`
+//! substring, taken over both strands here (canonical minimizer), so that a
+//! read and its reverse complement land in the same bins.
+
+use crate::alphabet::encode_base_checked;
+use crate::kmer::{Kmer, Kmer64};
+
+/// A super-k-mer: a maximal run of consecutive k-mers of one read sharing a
+/// minimizer.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SuperKmer {
+    /// Packed canonical minimizer value (length `w`).
+    pub minimizer: u64,
+    /// Offset of the super-k-mer's first base within the read.
+    pub start: usize,
+    /// Length in bases. A super-k-mer of `c` consecutive k-mers has length
+    /// `k + c - 1`.
+    pub len: usize,
+}
+
+impl SuperKmer {
+    /// Number of k-mers contained in this super-k-mer.
+    pub fn kmer_count(&self, k: usize) -> usize {
+        self.len + 1 - k
+    }
+}
+
+/// Canonical minimizer (length `w`) of the window `seq[at..at+k]`.
+///
+/// Returns `None` if the window contains an invalid base. O(k·w) reference
+/// implementation used for testing; [`superkmers`] computes minimizers
+/// incrementally.
+pub fn minimizer_of(seq: &[u8], at: usize, k: usize, w: usize) -> Option<u64> {
+    assert!(w <= k);
+    let win = &seq[at..at + k];
+    let mut best: Option<u64> = None;
+    for o in 0..=k - w {
+        let mut km = Kmer64::zero(w);
+        for &b in &win[o..o + w] {
+            km.roll(encode_base_checked(b)?);
+        }
+        let c = km.canonical_value();
+        best = Some(match best {
+            Some(b) if b <= c => b,
+            _ => c,
+        });
+    }
+    best
+}
+
+/// Split `seq` into super-k-mers with k-mer length `k` and minimizer length
+/// `w` (`w <= k`). Windows containing invalid bases are skipped; a run of
+/// valid bases shorter than `k` produces nothing.
+pub fn superkmers(seq: &[u8], k: usize, w: usize) -> Vec<SuperKmer> {
+    assert!(w >= 1 && w <= k && k <= Kmer64::MAX_K);
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < seq.len() {
+        while i < seq.len() && encode_base_checked(seq[i]).is_none() {
+            i += 1;
+        }
+        let start = i;
+        while i < seq.len() && encode_base_checked(seq[i]).is_some() {
+            i += 1;
+        }
+        if i - start >= k {
+            run_superkmers(seq, start, i, k, w, &mut out);
+        }
+    }
+    out
+}
+
+/// Super-k-mer decomposition of one valid run `seq[run_start..run_end]`.
+fn run_superkmers(
+    seq: &[u8],
+    run_start: usize,
+    run_end: usize,
+    k: usize,
+    w: usize,
+    out: &mut Vec<SuperKmer>,
+) {
+    // All canonical w-mers of the run, indexed by offset.
+    let n_w = run_end - run_start - w + 1;
+    let mut wmers = Vec::with_capacity(n_w);
+    let mut km = Kmer64::zero(w);
+    for (j, &b) in seq[run_start..run_end].iter().enumerate() {
+        km.roll(encode_base_checked(b).expect("valid run"));
+        if j + 1 >= w {
+            wmers.push(km.canonical_value());
+        }
+    }
+
+    // Sliding-window minimum over `k - w + 1` consecutive w-mers using a
+    // monotone deque of offsets.
+    let win = k - w + 1;
+    let mut deque: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    let mut cur: Option<(u64, usize)> = None; // (minimizer, superkmer start window)
+    let n_k = run_end - run_start - k + 1;
+    for j in 0..wmers.len() {
+        while let Some(&back) = deque.back() {
+            if wmers[back] >= wmers[j] {
+                deque.pop_back();
+            } else {
+                break;
+            }
+        }
+        deque.push_back(j);
+        if j + 1 >= win {
+            let kmer_idx = j + 1 - win; // window index among the run's k-mers
+            // Evict offsets that fell out of the window [kmer_idx, kmer_idx + win).
+            while *deque.front().expect("nonempty") < kmer_idx {
+                deque.pop_front();
+            }
+            let m = wmers[*deque.front().expect("nonempty")];
+            match cur {
+                Some((cm, cs)) if cm == m => {
+                    // extend current super-k-mer
+                    let _ = (cm, cs);
+                }
+                Some((cm, cs)) => {
+                    out.push(SuperKmer {
+                        minimizer: cm,
+                        start: run_start + cs,
+                        len: (kmer_idx - cs) + k - 1,
+                    });
+                    cur = Some((m, kmer_idx));
+                }
+                None => cur = Some((m, kmer_idx)),
+            }
+        }
+    }
+    if let Some((cm, cs)) = cur {
+        out.push(SuperKmer {
+            minimizer: cm,
+            start: run_start + cs,
+            len: (n_k - cs) + k - 1,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference decomposition via per-window O(k·w) minimizers.
+    fn naive_superkmers(seq: &[u8], k: usize, w: usize) -> Vec<SuperKmer> {
+        let mut mins: Vec<(usize, u64)> = Vec::new();
+        if seq.len() >= k {
+            for o in 0..=seq.len() - k {
+                if let Some(m) = minimizer_of(seq, o, k, w) {
+                    mins.push((o, m));
+                }
+            }
+        }
+        let mut out: Vec<SuperKmer> = Vec::new();
+        for (o, m) in mins {
+            match out.last_mut() {
+                // Contiguity matters: a gap (N) must break the super-k-mer.
+                Some(last)
+                    if last.minimizer == m && last.start + last.len - k + 1 == o =>
+                {
+                    last.len += 1;
+                }
+                _ => out.push(SuperKmer {
+                    minimizer: m,
+                    start: o,
+                    len: k,
+                }),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn single_kmer_is_its_own_superkmer() {
+        let sks = superkmers(b"ACGT", 4, 2);
+        assert_eq!(sks.len(), 1);
+        assert_eq!(sks[0].start, 0);
+        assert_eq!(sks[0].len, 4);
+        assert_eq!(sks[0].kmer_count(4), 1);
+    }
+
+    #[test]
+    fn homopolymer_is_one_superkmer() {
+        let sks = superkmers(b"AAAAAAAAAA", 4, 2);
+        assert_eq!(sks.len(), 1);
+        assert_eq!(sks[0].kmer_count(4), 7);
+        assert_eq!(sks[0].len, 10);
+    }
+
+    #[test]
+    fn lengths_tile_the_kmers() {
+        let seq = b"ACGTTGCAAGCTTAGCGCGCGATATATTT";
+        let k = 6;
+        let sks = superkmers(seq, k, 3);
+        let total: usize = sks.iter().map(|s| s.kmer_count(k)).sum();
+        assert_eq!(total, seq.len() - k + 1);
+        // Starts strictly increase and segments are contiguous.
+        for pair in sks.windows(2) {
+            assert_eq!(pair[0].start + pair[0].len - k + 1, pair[1].start);
+        }
+    }
+
+    #[test]
+    fn n_breaks_superkmers() {
+        let sks = superkmers(b"AAAANAAAA", 4, 2);
+        assert_eq!(sks.len(), 2);
+        assert_eq!(sks[0].start, 0);
+        assert_eq!(sks[1].start, 5);
+    }
+
+    #[test]
+    fn matches_naive_on_fixed_input() {
+        let seq = b"ACGTACGTTAGCGCGCGCATTTACGGGACGTACGATCGAT";
+        for (k, w) in [(6, 3), (8, 4), (5, 2), (4, 4)] {
+            assert_eq!(superkmers(seq, k, w), naive_superkmers(seq, k, w), "k={k} w={w}");
+        }
+    }
+
+    #[test]
+    fn minimizer_none_on_window_with_n() {
+        assert_eq!(minimizer_of(b"ACNT", 0, 4, 2), None);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_matches_naive(
+            seq in proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T', b'N']), 0..80),
+            k in 3usize..10,
+            dw in 0usize..5,
+        ) {
+            let w = (k - dw.min(k - 1)).max(1);
+            prop_assert_eq!(superkmers(&seq, k, w), naive_superkmers(&seq, k, w));
+        }
+
+        #[test]
+        fn prop_kmer_counts_tile(
+            seq in proptest::collection::vec(
+                proptest::sample::select(vec![b'A', b'C', b'G', b'T']), 10..80),
+            k in 3usize..8,
+        ) {
+            let w = 3.min(k);
+            let sks = superkmers(&seq, k, w);
+            let total: usize = sks.iter().map(|s| s.kmer_count(k)).sum();
+            prop_assert_eq!(total, seq.len() - k + 1);
+        }
+    }
+}

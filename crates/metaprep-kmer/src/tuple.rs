@@ -1,0 +1,74 @@
+//! `(k-mer, read id)` tuples — the unit of work of the whole pipeline.
+//!
+//! The paper stores 12-byte tuples for `k <= 27` (64-bit k-mer + 32-bit
+//! global read id) and 20-byte tuples for `k <= 63` (§4.4). Rust's layout
+//! rules align `u64`/`u128` fields, so the in-memory sizes here are 16 and
+//! 32 bytes respectively; the *memory model* (metaprep-core) reports both
+//! the paper's packed sizes and the actual sizes.
+
+/// Tuple for `k <= 32`: packed canonical k-mer plus global read id.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KmerReadTuple {
+    /// Packed canonical k-mer value (sort key).
+    pub kmer: u64,
+    /// Global read id; both mates of a paired-end read share one id so that
+    /// pairing survives partitioning (paper §3.2).
+    pub read: u32,
+}
+
+impl KmerReadTuple {
+    /// Construct a tuple.
+    #[inline(always)]
+    pub fn new(kmer: u64, read: u32) -> Self {
+        Self { kmer, read }
+    }
+
+    /// Bytes per tuple in the paper's packed representation.
+    pub const PACKED_BYTES: usize = 12;
+}
+
+/// Tuple for `k <= 63`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KmerReadTuple128 {
+    /// Packed canonical k-mer value (sort key).
+    pub kmer: u128,
+    /// Global read id.
+    pub read: u32,
+}
+
+impl KmerReadTuple128 {
+    /// Construct a tuple.
+    #[inline(always)]
+    pub fn new(kmer: u128, read: u32) -> Self {
+        Self { kmer, read }
+    }
+
+    /// Bytes per tuple in the paper's packed representation (16 + 4).
+    pub const PACKED_BYTES: usize = 20;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_kmer_major() {
+        let a = KmerReadTuple::new(1, 99);
+        let b = KmerReadTuple::new(2, 0);
+        let c = KmerReadTuple::new(2, 1);
+        assert!(a < b);
+        assert!(b < c);
+    }
+
+    #[test]
+    fn packed_sizes_match_paper() {
+        assert_eq!(KmerReadTuple::PACKED_BYTES, 12);
+        assert_eq!(KmerReadTuple128::PACKED_BYTES, 20);
+    }
+
+    #[test]
+    fn actual_sizes_are_aligned() {
+        assert_eq!(std::mem::size_of::<KmerReadTuple>(), 16);
+        assert_eq!(std::mem::size_of::<KmerReadTuple128>(), 32);
+    }
+}

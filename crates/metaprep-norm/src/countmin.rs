@@ -1,0 +1,159 @@
+//! Count-min sketch over k-mer values.
+//!
+//! A `d x w` matrix of saturating `u16` counters with `d` pairwise
+//! independent multiply-shift hashes. Estimates never under-count
+//! (conservative update keeps over-counting small), which is the right
+//! bias for digital normalization: over-estimating abundance only makes
+//! the filter drop a redundant read slightly early.
+
+/// Count-min sketch for `u64`-packed k-mers.
+#[derive(Clone, Debug)]
+pub struct CountMinSketch {
+    width: usize,
+    rows: Vec<Vec<u16>>,
+    salts: Vec<u64>,
+}
+
+impl CountMinSketch {
+    /// Create a sketch with `depth` rows of `width` counters each.
+    /// `width` is rounded up to a power of two for mask indexing.
+    pub fn new(width: usize, depth: usize, seed: u64) -> Self {
+        assert!(width >= 16 && depth >= 1);
+        let width = width.next_power_of_two();
+        let salts = (0..depth)
+            .map(|i| {
+                // SplitMix64 over (seed, i) — odd constants for the
+                // multiply-shift family.
+                let mut z = seed
+                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                (z ^ (z >> 31)) | 1
+            })
+            .collect();
+        Self {
+            width,
+            rows: vec![vec![0u16; width]; depth],
+            salts,
+        }
+    }
+
+    #[inline]
+    fn index(&self, row: usize, item: u64) -> usize {
+        let h = item.wrapping_mul(self.salts[row]);
+        (h >> (64 - self.width.trailing_zeros())) as usize & (self.width - 1)
+    }
+
+    /// Add one occurrence of `item` with conservative update: only the
+    /// rows currently holding the minimum are incremented.
+    pub fn add(&mut self, item: u64) {
+        let est = self.estimate(item);
+        for row in 0..self.rows.len() {
+            let i = self.index(row, item);
+            let c = &mut self.rows[row][i];
+            if u64::from(*c) == est {
+                *c = c.saturating_add(1);
+            }
+        }
+    }
+
+    /// Estimated count of `item` (never an under-estimate).
+    pub fn estimate(&self, item: u64) -> u64 {
+        (0..self.rows.len())
+            .map(|row| u64::from(self.rows[row][self.index(row, item)]))
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total memory held by the counters, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.rows.len() * self.width * std::mem::size_of::<u16>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
+
+    #[test]
+    fn width_rounds_to_power_of_two() {
+        let s = CountMinSketch::new(1000, 2, 0);
+        assert_eq!(s.width, 1024);
+        assert_eq!(s.memory_bytes(), 2 * 1024 * 2);
+    }
+
+    #[test]
+    fn empty_sketch_estimates_zero() {
+        let s = CountMinSketch::new(64, 3, 1);
+        assert_eq!(s.estimate(42), 0);
+    }
+
+    #[test]
+    fn single_item_counts_exactly() {
+        let mut s = CountMinSketch::new(1024, 3, 2);
+        for _ in 0..7 {
+            s.add(99);
+        }
+        assert_eq!(s.estimate(99), 7);
+    }
+
+    #[test]
+    fn never_undercounts() {
+        let mut s = CountMinSketch::new(256, 4, 3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for _ in 0..2000 {
+            let x = rng.gen_range(0..500u64);
+            s.add(x);
+            *truth.entry(x).or_insert(0) += 1;
+        }
+        for (&x, &c) in &truth {
+            assert!(s.estimate(x) >= c, "item {x}: est {} < true {c}", s.estimate(x));
+        }
+    }
+
+    #[test]
+    fn large_sketch_is_nearly_exact() {
+        let mut s = CountMinSketch::new(1 << 16, 4, 5);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let items: Vec<u64> = (0..300).map(|_| rng.gen()).collect();
+        for (i, &x) in items.iter().enumerate() {
+            for _ in 0..=(i % 5) {
+                s.add(x);
+            }
+        }
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(s.estimate(x), (i % 5) as u64 + 1, "item {i}");
+        }
+    }
+
+    #[test]
+    fn counters_saturate_instead_of_wrapping() {
+        let mut s = CountMinSketch::new(64, 1, 7);
+        for _ in 0..70_000 {
+            s.add(1);
+        }
+        assert_eq!(s.estimate(1), u16::MAX as u64);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_estimate_at_least_truth(
+            adds in proptest::collection::vec(0u64..64, 0..500),
+        ) {
+            let mut s = CountMinSketch::new(128, 3, 8);
+            let mut truth = HashMap::new();
+            for &x in &adds {
+                s.add(x);
+                *truth.entry(x).or_insert(0u64) += 1;
+            }
+            for (&x, &c) in &truth {
+                prop_assert!(s.estimate(x) >= c);
+            }
+        }
+    }
+}

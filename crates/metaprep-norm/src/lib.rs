@@ -1,0 +1,19 @@
+//! Digital normalization — the *other* preprocessing strategy of Howe et
+//! al. (paper §2, citing Pell et al.'s probabilistic de Bruijn graphs).
+//!
+//! Digital normalization streams the reads once and drops any read whose
+//! estimated median k-mer abundance already exceeds a target coverage
+//! `C`: redundant deep-coverage data is discarded before assembly while
+//! low-coverage reads are kept verbatim. Abundances are estimated with a
+//! [count-min sketch](countmin) so memory stays fixed regardless of
+//! dataset size — the same trick khmer uses.
+//!
+//! METAPREP's paper applies only the *partitioning* strategy, but names
+//! normalization as the companion step; this crate completes the pair so
+//! the two can be composed (normalize, then partition).
+
+pub mod countmin;
+pub mod normalize;
+
+pub use countmin::CountMinSketch;
+pub use normalize::{normalize, NormalizeConfig, NormalizeResult};

@@ -1,0 +1,25 @@
+//! Radix sorts for k-mer tuples (LocalSort, paper §3.4).
+//!
+//! METAPREP sorts `(k-mer, read id)` tuples with the k-mer as key in two
+//! stages:
+//!
+//! 1. **Parallel partitioning** — tuples are scattered into `T` disjoint
+//!    k-mer sub-ranges so each can be sorted concurrently
+//!    ([`partition::partition_by_ranges`]);
+//! 2. **Serial radix sort** — each sub-range is sorted by a serial
+//!    out-of-place LSB radix sort, 8 bits per pass; the paper found 8-bit
+//!    digits faster than 16-bit because 256 bucket counters stay resident
+//!    in L1 ([`radix::lsb_radix_sort`] — digit width is a parameter here so
+//!    the ablation bench can reproduce that finding).
+//!
+//! [`parallel::parallel_lsb_sort`] is the fully-parallel stable LSB radix
+//! sort standing in for the NUMA-aware sort of Polychroniou & Ross that the
+//! paper benchmarks against (§4.2.2).
+
+pub mod parallel;
+pub mod partition;
+pub mod radix;
+
+pub use parallel::{local_sort, local_sort_with_boundaries, parallel_lsb_sort};
+pub use partition::{equal_boundaries_by_sample, partition_by_ranges};
+pub use radix::{is_sorted_by_key, lsb_radix_sort, Keyed, SortKey};

@@ -1,0 +1,274 @@
+//! Community profiles: the knobs of the simulator plus named, scaled
+//! stand-ins for the paper's four datasets (Table 2).
+
+/// Repeat-library parameters.
+///
+/// Repeat elements are shared across genomes with per-copy divergence. They
+/// are the synthetic analogue of the repeats that create high-frequency
+/// k-mers in real metagenomes — the glue of the giant component that the
+/// `KF` filter (paper Table 7) cuts.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RepeatSpec {
+    /// Number of distinct repeat elements in the library.
+    pub elements: usize,
+    /// Length of each element in bases.
+    pub element_len: usize,
+    /// Mean copies planted per genome (each genome gets a Poisson-ish count
+    /// in `[0, 2*mean]`).
+    pub copies_per_genome: f64,
+    /// Per-base substitution probability applied to each planted copy.
+    /// Divergence is what makes large `k` break repeat-induced edges
+    /// (paper Table 7: `k=63` shrinks the largest component).
+    pub divergence: f64,
+}
+
+impl Default for RepeatSpec {
+    fn default() -> Self {
+        Self {
+            elements: 4,
+            element_len: 400,
+            copies_per_genome: 2.0,
+            divergence: 0.01,
+        }
+    }
+}
+
+/// Scaled stand-ins for the paper's datasets.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum DatasetId {
+    /// Human gut (SRR341725): moderate diversity, moderate coverage.
+    Hg,
+    /// Lake Lanier (SRR947737): high diversity, low coverage — the dataset
+    /// with the smallest giant component in the paper.
+    Ll,
+    /// Mock microbial community (SRX200676): few species, very high
+    /// coverage — 99.5% giant component.
+    Mm,
+    /// Iowa continuous corn soil (JGI 402461): the large-scale dataset.
+    Is,
+}
+
+impl DatasetId {
+    /// Short lower-case name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetId::Hg => "HG",
+            DatasetId::Ll => "LL",
+            DatasetId::Mm => "MM",
+            DatasetId::Is => "IS",
+        }
+    }
+
+    /// All four ids in paper order.
+    pub fn all() -> [DatasetId; 4] {
+        [DatasetId::Hg, DatasetId::Ll, DatasetId::Mm, DatasetId::Is]
+    }
+}
+
+/// Full parameter set of one simulated community.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CommunityProfile {
+    /// Display name.
+    pub name: String,
+    /// Number of species (distinct genomes, counting strains separately).
+    pub species: usize,
+    /// Genome length range `[lo, hi)` sampled per species.
+    pub genome_len: (usize, usize),
+    /// σ of the log-normal abundance distribution (0 = uniform).
+    pub abundance_sigma: f64,
+    /// Number of read *pairs* to simulate.
+    pub read_pairs: usize,
+    /// Length of each mate in bases.
+    pub read_len: usize,
+    /// Mean outer distance between mate starts (insert size); sampled
+    /// uniformly in ±10%.
+    pub insert_size: usize,
+    /// Per-base substitution error probability.
+    pub error_rate: f64,
+    /// Per-base probability of an `N` call.
+    pub n_rate: f64,
+    /// Fraction of species that are strains of another species (pairs of
+    /// near-identical genomes).
+    pub strain_fraction: f64,
+    /// Strain divergence (per-base substitution vs the ancestor).
+    pub strain_divergence: f64,
+    /// Repeat library configuration.
+    pub repeats: RepeatSpec,
+}
+
+impl CommunityProfile {
+    /// Tiny profile for doc examples and smoke tests (< 1 s end-to-end).
+    pub fn quickstart() -> Self {
+        Self {
+            name: "quickstart".into(),
+            species: 6,
+            genome_len: (8_000, 12_000),
+            abundance_sigma: 0.5,
+            read_pairs: 2_000,
+            read_len: 100,
+            insert_size: 280,
+            error_rate: 0.003,
+            n_rate: 0.0005,
+            strain_fraction: 0.2,
+            strain_divergence: 0.02,
+            repeats: RepeatSpec::default(),
+        }
+    }
+
+    /// Total simulated bases (`M` in the paper's analysis).
+    pub fn total_bases(&self) -> usize {
+        self.read_pairs * 2 * self.read_len
+    }
+
+    /// Mean coverage depth implied by the profile (total read bases over
+    /// total genome bases, using the midpoint genome length).
+    pub fn mean_coverage(&self) -> f64 {
+        let gl = (self.genome_len.0 + self.genome_len.1) as f64 / 2.0;
+        self.total_bases() as f64 / (gl * self.species as f64)
+    }
+}
+
+/// Scaled stand-in profile for one of the paper's datasets.
+///
+/// `scale` multiplies the number of read pairs (and is meant for quick runs:
+/// `scale = 1.0` is the default experiment size, roughly 1/50 000 of the
+/// paper's base-pair counts, preserving the *relative* sizes HG < LL < MM
+/// << IS and each dataset's diversity/coverage character).
+pub fn scaled_profile(id: DatasetId, scale: f64) -> CommunityProfile {
+    assert!(scale > 0.0);
+    let pairs = |n: usize| ((n as f64 * scale) as usize).max(200);
+    match id {
+        // HG: moderate diversity, moderate coverage, some strains.
+        DatasetId::Hg => CommunityProfile {
+            name: "HG".into(),
+            species: 16,
+            genome_len: (15_000, 30_000),
+            abundance_sigma: 0.9,
+            read_pairs: pairs(15_000),
+            read_len: 100,
+            insert_size: 280,
+            error_rate: 0.004,
+            n_rate: 0.0005,
+            strain_fraction: 0.25,
+            strain_divergence: 0.015,
+            repeats: RepeatSpec {
+                elements: 5,
+                element_len: 400,
+                copies_per_genome: 2.5,
+                divergence: 0.004,
+            },
+        },
+        // LL: high diversity, low coverage -> smallest giant component.
+        DatasetId::Ll => CommunityProfile {
+            name: "LL".into(),
+            species: 90,
+            genome_len: (12_000, 30_000),
+            abundance_sigma: 1.4,
+            read_pairs: pairs(28_000),
+            read_len: 100,
+            insert_size: 280,
+            error_rate: 0.004,
+            n_rate: 0.0005,
+            strain_fraction: 0.1,
+            strain_divergence: 0.02,
+            repeats: RepeatSpec {
+                elements: 6,
+                element_len: 350,
+                copies_per_genome: 1.2,
+                divergence: 0.012,
+            },
+        },
+        // MM: few species, very high coverage -> ~everything connects.
+        DatasetId::Mm => CommunityProfile {
+            name: "MM".into(),
+            species: 10,
+            genome_len: (25_000, 40_000),
+            abundance_sigma: 0.6,
+            read_pairs: pairs(55_000),
+            read_len: 100,
+            insert_size: 280,
+            error_rate: 0.004,
+            n_rate: 0.0005,
+            strain_fraction: 0.15,
+            strain_divergence: 0.015,
+            repeats: RepeatSpec {
+                elements: 4,
+                element_len: 500,
+                copies_per_genome: 3.0,
+                divergence: 0.008,
+            },
+        },
+        // IS: the big one — many species, long tail of low coverage.
+        DatasetId::Is => CommunityProfile {
+            name: "IS".into(),
+            species: 300,
+            genome_len: (10_000, 35_000),
+            abundance_sigma: 1.3,
+            read_pairs: pairs(250_000),
+            read_len: 100,
+            insert_size: 280,
+            error_rate: 0.005,
+            n_rate: 0.001,
+            strain_fraction: 0.1,
+            strain_divergence: 0.02,
+            repeats: RepeatSpec {
+                elements: 8,
+                element_len: 350,
+                copies_per_genome: 1.5,
+                divergence: 0.012,
+            },
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quickstart_is_small() {
+        let p = CommunityProfile::quickstart();
+        assert!(p.total_bases() < 1_000_000);
+        assert!(p.mean_coverage() > 1.0);
+    }
+
+    #[test]
+    fn dataset_relative_sizes_match_paper_order() {
+        let sizes: Vec<usize> = DatasetId::all()
+            .iter()
+            .map(|&id| scaled_profile(id, 1.0).total_bases())
+            .collect();
+        // HG < LL < MM < IS, as in Table 2.
+        assert!(sizes[0] < sizes[1]);
+        assert!(sizes[1] < sizes[2]);
+        assert!(sizes[2] < sizes[3]);
+    }
+
+    #[test]
+    fn ll_has_highest_diversity_lowest_coverage() {
+        let hg = scaled_profile(DatasetId::Hg, 1.0);
+        let ll = scaled_profile(DatasetId::Ll, 1.0);
+        let mm = scaled_profile(DatasetId::Mm, 1.0);
+        assert!(ll.species > hg.species);
+        assert!(ll.mean_coverage() < mm.mean_coverage());
+    }
+
+    #[test]
+    fn scale_multiplies_pairs() {
+        let a = scaled_profile(DatasetId::Hg, 1.0);
+        let b = scaled_profile(DatasetId::Hg, 0.5);
+        assert!((b.read_pairs as f64 - a.read_pairs as f64 * 0.5).abs() < 2.0);
+    }
+
+    #[test]
+    fn scale_floors_at_minimum() {
+        let p = scaled_profile(DatasetId::Hg, 1e-9);
+        assert_eq!(p.read_pairs, 200);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DatasetId::Hg.name(), "HG");
+        assert_eq!(DatasetId::Is.name(), "IS");
+    }
+}

@@ -1,0 +1,31 @@
+//! Synthetic metagenome communities — the dataset substitute.
+//!
+//! The paper evaluates on four real metagenomes (HG, LL, MM, IS; Table 2)
+//! that we cannot redistribute or download here. This crate generates
+//! synthetic communities whose *read-graph structure* exercises the same
+//! pipeline behaviours:
+//!
+//! * per-species random genomes with **diverged repeat elements** shared
+//!   across species — high-frequency k-mers that glue the read graph into a
+//!   giant component exactly as genomic repeats do, and that a k-mer
+//!   frequency filter (or a larger `k`, because copies are diverged) cuts;
+//! * **strain pairs** (mutated copies of one ancestor genome) contributing
+//!   exact shared k-mers between distinct species labels;
+//! * log-normal species **abundance**, so coverage depth varies per species
+//!   (low-coverage species fall out of the giant component first);
+//! * a paired-end **read simulator** with substitution errors and occasional
+//!   `N` bases, producing frequency-1 error k-mers for the low-frequency
+//!   filter to remove.
+//!
+//! Every simulated fragment carries its true species label, which the test
+//! suite and experiment harnesses use to score partition quality.
+
+pub mod community;
+pub mod genome;
+pub mod quality;
+pub mod reads;
+
+pub use community::{scaled_profile, CommunityProfile, DatasetId, RepeatSpec};
+pub use genome::{random_genome, Genome};
+pub use quality::{score_partition, PartitionScore};
+pub use reads::{simulate_community, SimulatedData};

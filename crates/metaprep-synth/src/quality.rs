@@ -1,0 +1,151 @@
+//! Partition quality against the simulated ground truth.
+//!
+//! The paper's premise (after Howe et al.): a k-mer-based partition assigns
+//! "most reads belonging to a species to the same component". With
+//! synthetic data the species of every fragment is known, so that claim
+//! becomes measurable:
+//!
+//! * **co-clustering recall** — of all fragment pairs from the same
+//!   species, the fraction landing in the same component (high when species
+//!   are kept together);
+//! * **co-clustering precision** — of all fragment pairs sharing a
+//!   component, the fraction from the same species (low when a giant
+//!   component glues species together — exactly the paper's motivation for
+//!   the KF filter);
+//! * **per-species majority fraction** — for each species, the fraction of
+//!   its fragments inside its plurality component.
+//!
+//! Pair counts are computed from contingency tables, not by enumerating
+//! pairs, so scoring is linear in the number of fragments.
+
+use std::collections::HashMap;
+
+/// Partition-vs-truth scores.
+#[derive(Copy, Clone, Debug, Default, PartialEq)]
+pub struct PartitionScore {
+    /// Same-species pairs that share a component / all same-species pairs.
+    pub recall: f64,
+    /// Same-species pairs that share a component / all same-component pairs.
+    pub precision: f64,
+    /// Mean over species of (largest single-component share of the
+    /// species' fragments).
+    pub mean_majority_fraction: f64,
+}
+
+/// `n * (n - 1) / 2` without overflow for the sizes seen here.
+fn pairs(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Score `labels` (component per fragment) against `species` (true species
+/// per fragment). Slices must be equal length.
+pub fn score_partition(labels: &[u32], species: &[u16]) -> PartitionScore {
+    assert_eq!(labels.len(), species.len());
+    if labels.is_empty() {
+        return PartitionScore::default();
+    }
+
+    // Contingency counts.
+    let mut cell: HashMap<(u32, u16), u64> = HashMap::new();
+    let mut comp_size: HashMap<u32, u64> = HashMap::new();
+    let mut species_size: HashMap<u16, u64> = HashMap::new();
+    for (&l, &s) in labels.iter().zip(species) {
+        *cell.entry((l, s)).or_insert(0) += 1;
+        *comp_size.entry(l).or_insert(0) += 1;
+        *species_size.entry(s).or_insert(0) += 1;
+    }
+
+    let same_both: u64 = cell.values().map(|&n| pairs(n)).sum();
+    let same_comp: u64 = comp_size.values().map(|&n| pairs(n)).sum();
+    let same_species: u64 = species_size.values().map(|&n| pairs(n)).sum();
+
+    // Per-species plurality component share.
+    let mut best_of_species: HashMap<u16, u64> = HashMap::new();
+    for (&(_, s), &n) in &cell {
+        let e = best_of_species.entry(s).or_insert(0);
+        *e = (*e).max(n);
+    }
+    let mean_majority_fraction = best_of_species
+        .iter()
+        .map(|(s, &b)| b as f64 / species_size[s] as f64)
+        .sum::<f64>()
+        / species_size.len() as f64;
+
+    PartitionScore {
+        recall: if same_species == 0 {
+            1.0
+        } else {
+            same_both as f64 / same_species as f64
+        },
+        precision: if same_comp == 0 {
+            1.0
+        } else {
+            same_both as f64 / same_comp as f64
+        },
+        mean_majority_fraction,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_partition() {
+        // Components exactly equal species.
+        let labels = vec![0, 0, 1, 1, 2];
+        let species = vec![5u16, 5, 7, 7, 9];
+        let s = score_partition(&labels, &species);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.mean_majority_fraction, 1.0);
+    }
+
+    #[test]
+    fn giant_component_has_full_recall_low_precision() {
+        // Everything in one component, two species.
+        let labels = vec![0; 6];
+        let species = vec![1u16, 1, 1, 2, 2, 2];
+        let s = score_partition(&labels, &species);
+        assert_eq!(s.recall, 1.0);
+        // same-species pairs: 3 + 3 = 6 of 15 total pairs.
+        assert!((s.precision - 6.0 / 15.0).abs() < 1e-12);
+        assert_eq!(s.mean_majority_fraction, 1.0);
+    }
+
+    #[test]
+    fn shattered_partition_has_low_recall_full_precision() {
+        // Every fragment its own component.
+        let labels = vec![0, 1, 2, 3];
+        let species = vec![1u16, 1, 2, 2];
+        let s = score_partition(&labels, &species);
+        assert_eq!(s.recall, 0.0);
+        assert_eq!(s.precision, 1.0);
+        assert!((s.mean_majority_fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_species_majority_fraction() {
+        // One species split 3-1 across two components.
+        let labels = vec![0, 0, 0, 1];
+        let species = vec![4u16, 4, 4, 4];
+        let s = score_partition(&labels, &species);
+        assert!((s.mean_majority_fraction - 0.75).abs() < 1e-12);
+        // recall = pairs kept together (3 of 6).
+        assert!((s.recall - 3.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        let s = score_partition(&[], &[]);
+        assert_eq!(s, PartitionScore::default());
+    }
+
+    #[test]
+    fn single_fragment() {
+        let s = score_partition(&[0], &[3]);
+        assert_eq!(s.recall, 1.0);
+        assert_eq!(s.precision, 1.0);
+        assert_eq!(s.mean_majority_fraction, 1.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Multi-pass memory/time trade-off (paper §3.1, Table 3): sweep the pass
+//! count and watch per-task memory fall while KmerGen time rises.
+//!
+//! ```text
+//! cargo run --release --example multipass_memory
+//! ```
+
+use metaprep::core::{Pipeline, PipelineConfig, Step};
+use metaprep::synth::{scaled_profile, simulate_community, DatasetId};
+
+fn main() {
+    let data = simulate_community(&scaled_profile(DatasetId::Mm, 0.3), 5);
+    println!(
+        "MM-like dataset: {} pairs, {} bp\n",
+        data.reads.num_fragments(),
+        data.reads.total_bases()
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>14} {:>16}",
+        "passes", "KmerGen(s)", "Sort(s)", "CC(s)", "modeled MB", "measured MB"
+    );
+    for passes in [1usize, 2, 4, 8] {
+        let cfg = PipelineConfig::builder()
+            .k(27)
+            .passes(passes)
+            .tasks(2)
+            .threads(2)
+            .build();
+        let res = Pipeline::new(cfg).run_reads(&data.reads).expect("pipeline");
+        println!(
+            "{:>6} {:>10.3} {:>10.3} {:>10.3} {:>14.1} {:>16.1}",
+            passes,
+            res.timings.max_of(Step::KmerGen).as_secs_f64(),
+            res.timings.max_of(Step::LocalSort).as_secs_f64(),
+            res.timings.max_of(Step::LocalCc).as_secs_f64(),
+            res.memory.total_modeled() as f64 / 1e6,
+            res.memory.measured_peak_tuple_bytes as f64 / 1e6,
+        );
+    }
+    println!("\nmore passes -> smaller tuple buffers, re-read input each pass (paper Table 3)");
+}

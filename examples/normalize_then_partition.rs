@@ -1,0 +1,53 @@
+//! Compose the two Howe et al. preprocessing strategies the paper's §2
+//! describes: digital normalization first, then read-graph partitioning.
+//!
+//! Normalization strips redundant deep coverage (fewer tuples for every
+//! downstream step); partitioning then splits what remains.
+//!
+//! ```text
+//! cargo run --release --example normalize_then_partition
+//! ```
+
+use metaprep::core::{Pipeline, PipelineConfig};
+use metaprep::norm::{normalize, NormalizeConfig};
+use metaprep::synth::{scaled_profile, simulate_community, DatasetId};
+
+fn main() {
+    // MM is the deep-coverage dataset: normalization bites hardest there.
+    let data = simulate_community(&scaled_profile(DatasetId::Mm, 0.4), 3);
+    println!(
+        "input: {} pairs, {} bp",
+        data.reads.num_fragments(),
+        data.reads.total_bases()
+    );
+
+    let ncfg = NormalizeConfig {
+        k: 20,
+        target: 10,
+        sketch_width: 1 << 20,
+        sketch_depth: 4,
+        seed: 1,
+    };
+    let norm = normalize(&data.reads, ncfg);
+    println!(
+        "normalized to coverage {}: kept {:.1}% of fragments ({} of {})",
+        ncfg.target,
+        100.0 * norm.keep_fraction(),
+        norm.kept,
+        norm.kept + norm.dropped
+    );
+
+    let cfg = PipelineConfig::builder().k(27).tasks(2).threads(2).build();
+    for (label, reads) in [("raw       ", &data.reads), ("normalized", &norm.reads)] {
+        let res = Pipeline::new(cfg.clone()).run_reads(reads).expect("pipeline");
+        println!(
+            "partition [{label}]: {:>9} tuples, {:>5} components, LC {:>5.1}%, {:.2}s",
+            res.tuples_total,
+            res.components.components,
+            100.0 * res.largest_component_fraction(),
+            res.timings.total().as_secs_f64()
+        );
+    }
+    println!("\nnormalization shrinks the tuple stream before partitioning —");
+    println!("the composition Howe et al. proposed and the paper's §2 recounts.");
+}

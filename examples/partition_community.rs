@@ -1,0 +1,57 @@
+//! Partition a community with a k-mer frequency filter and write the
+//! output FASTQ files — the full METAPREP workflow of the paper's §4.4.
+//!
+//! ```text
+//! cargo run --release --example partition_community [out_dir]
+//! ```
+
+use metaprep::core::{partition_reads, write_partitions, Pipeline, PipelineConfig};
+use metaprep::synth::{scaled_profile, simulate_community, DatasetId};
+
+fn main() {
+    let out_dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "target/partition_out".to_string());
+
+    // An HG-like community at half the default experiment scale.
+    let profile = scaled_profile(DatasetId::Hg, 0.5);
+    let data = simulate_community(&profile, 7);
+    println!(
+        "dataset: {} pairs, {} bp, {} species",
+        data.reads.num_fragments(),
+        data.reads.total_bases(),
+        profile.species
+    );
+
+    // Sweep the paper's filter settings (Table 7).
+    for (label, kf) in [
+        ("no filter", None),
+        ("KF < 30", Some((1u32, 29u32))),
+        ("10 <= KF < 30", Some((10u32, 29u32))),
+    ] {
+        let mut b = PipelineConfig::builder().k(27).tasks(2).threads(2);
+        if let Some((lo, hi)) = kf {
+            b = b.kf_filter(lo, hi);
+        }
+        let result = Pipeline::new(b.build()).run_reads(&data.reads).expect("pipeline");
+        println!(
+            "[{label}] {} components, largest = {:.1}% of reads, {} groups filtered",
+            result.components.components,
+            100.0 * result.largest_component_fraction(),
+            result.localcc.filtered_groups
+        );
+
+        if kf == Some((10, 29)) {
+            // Write the filtered partition to disk as lc.fastq / other.fastq.
+            let parts = partition_reads(&data.reads, &result.labels, result.components.largest_root);
+            write_partitions(&out_dir, &parts).expect("write FASTQ partitions");
+            println!(
+                "wrote {}/lc.fastq ({} reads) and {}/other.fastq ({} reads)",
+                out_dir,
+                parts.lc.len(),
+                out_dir,
+                parts.other.len()
+            );
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! Cross-crate consistency: independent implementations must agree on
+//! shared quantities (k-mer totals, component partitions, filter effects).
+
+use metaprep::cc::{shiloach_vishkin, ComponentStats};
+use metaprep::core::{partition_reads, Pipeline, PipelineConfig};
+use metaprep::index::MerHist;
+use metaprep::kmc::{count_kmers, KmcConfig};
+use metaprep::kmer::{for_each_canonical_kmer, Kmer64};
+use metaprep::synth::{simulate_community, CommunityProfile};
+use std::collections::HashMap;
+
+fn community() -> metaprep::io::ReadStore {
+    let mut p = CommunityProfile::quickstart();
+    p.read_pairs = 800;
+    simulate_community(&p, 77).reads
+}
+
+#[test]
+fn kmc_total_equals_merhist_total_equals_pipeline_tuples() {
+    let reads = community();
+    let k = 21;
+
+    let kmc = count_kmers(
+        &reads,
+        KmcConfig {
+            k,
+            minimizer_len: 7,
+            bins: 64,
+        },
+    );
+    let mh = MerHist::build(&reads, k, 6);
+    let cfg = PipelineConfig::builder().k(k).m(6).tasks(2).build();
+    let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+
+    // Three independent counting paths, one answer.
+    assert_eq!(kmc.total_kmers, mh.total());
+    assert_eq!(res.tuples_total, mh.total());
+}
+
+#[test]
+fn pipeline_partition_agrees_with_shiloach_vishkin() {
+    let reads = community();
+    let k = 21;
+
+    let cfg = PipelineConfig::builder().k(k).m(6).tasks(4).passes(2).build();
+    let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+
+    // Build the explicit read graph and label it with SV.
+    let mut groups: HashMap<u64, Vec<u32>> = HashMap::new();
+    for (seq, frag) in reads.iter() {
+        for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
+            groups.entry(v).or_default().push(frag);
+        });
+    }
+    let mut edges = Vec::new();
+    for (_, rs) in groups {
+        for w in rs.windows(2) {
+            edges.push((w[0], w[1]));
+        }
+    }
+    let sv = shiloach_vishkin(reads.num_fragments() as usize, &edges);
+
+    let a = ComponentStats::from_component_array(&res.labels);
+    let b = ComponentStats::from_component_array(&sv.labels);
+    assert_eq!(a.components, b.components);
+    assert_eq!(a.sizes_desc, b.sizes_desc);
+}
+
+#[test]
+fn kf_filter_groups_match_kmc_spectrum() {
+    let reads = community();
+    let k = 21;
+    let (lo, hi) = (2u32, 5u32);
+
+    // Pipeline counts of kept/filtered groups...
+    let cfg = PipelineConfig::builder()
+        .k(k)
+        .m(6)
+        .tasks(2)
+        .kf_filter(lo, hi)
+        .build();
+    let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+
+    // ...must match the spectrum from the independent counter.
+    let kmc = count_kmers(
+        &reads,
+        KmcConfig {
+            k,
+            minimizer_len: 7,
+            bins: 64,
+        },
+    );
+    let distinct = kmc.distinct_kmers;
+    let outside: u64 = kmc
+        .counts_per_bin
+        .iter()
+        .flatten()
+        .filter(|&&(_, c)| c < lo || c > hi)
+        .count() as u64;
+
+    assert_eq!(res.localcc.groups, distinct);
+    assert_eq!(res.localcc.filtered_groups, outside);
+}
+
+#[test]
+fn assembling_partitions_covers_assembling_everything() {
+    use metaprep::assembly::{assemble, AssemblyConfig};
+    let reads = community();
+
+    let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).build();
+    let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+    let parts = partition_reads(&reads, &res.labels, res.components.largest_root);
+
+    let acfg = AssemblyConfig {
+        k: 15,
+        min_count: 1,
+        max_count: u32::MAX,
+        min_contig_len: 50,
+    };
+    let full = assemble(&reads, acfg);
+    let lc = assemble(&parts.lc, acfg);
+    let other = assemble(&parts.other, acfg);
+
+    // Partitions are k-mer-disjoint at the pipeline k; at the assembler's
+    // smaller k they may share a little, so compare loosely: partitioned
+    // assembly recovers at least 90% of the full assembly's bases.
+    let part_bases = lc.stats.total_bases + other.stats.total_bases;
+    assert!(
+        part_bases as f64 >= 0.9 * full.stats.total_bases as f64,
+        "partitioned {} vs full {}",
+        part_bases,
+        full.stats.total_bases
+    );
+}
+
+#[test]
+fn facade_reexports_are_usable() {
+    // The doc-quickstart path through the facade compiles and runs.
+    let data = simulate_community(&CommunityProfile::quickstart(), 42);
+    let cfg = PipelineConfig::builder().k(27).tasks(2).threads(2).build();
+    let result = Pipeline::new(cfg).run_reads(&data.reads).unwrap();
+    assert!(result.components.largest_fraction() > 0.0);
+}
