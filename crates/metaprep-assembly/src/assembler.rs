@@ -89,8 +89,15 @@ pub fn assemble_multik(reads: &ReadStore, ks: &[usize], cfg: AssemblyConfig) -> 
 /// Assemble with additional trusted sequences (`seeds`) whose k-mers are
 /// solid regardless of read support. Generic over the k-mer width so the
 /// same walker serves `k <= 32` (64-bit nodes) and `k <= 63`.
-fn assemble_with_seeds<K: Kmer>(reads: &ReadStore, seeds: &[Vec<u8>], cfg: AssemblyConfig) -> Assembly {
-    assert!(cfg.k >= 2 && cfg.k <= K::MAX_K, "k out of range for this width");
+fn assemble_with_seeds<K: Kmer>(
+    reads: &ReadStore,
+    seeds: &[Vec<u8>],
+    cfg: AssemblyConfig,
+) -> Assembly {
+    assert!(
+        cfg.k >= 2 && cfg.k <= K::MAX_K,
+        "k out of range for this width"
+    );
     assert!(cfg.min_count >= 1 && cfg.min_count <= cfg.max_count);
     let t0 = Instant::now();
 
@@ -131,8 +138,7 @@ fn assemble_with_seeds<K: Kmer>(reads: &ReadStore, seeds: &[Vec<u8>], cfg: Assem
         let left = extend::<K>(seed.flipped(), &solid, &mut visited);
 
         // Contig = revcomp(left walk) + seed + right walk.
-        let mut contig: Vec<u8> =
-            Vec::with_capacity(left.len() + cfg.k + right.len());
+        let mut contig: Vec<u8> = Vec::with_capacity(left.len() + cfg.k + right.len());
         for &b in left.iter().rev() {
             contig.push(decode_base(b ^ 3)); // complement of the rc-walk base
         }
@@ -454,9 +460,7 @@ mod tests {
         );
         assert_eq!(asm.contigs.len(), 1);
         assert_eq!(asm.contigs[0].len(), g.len());
-        assert!(
-            asm.contigs[0] == g || asm.contigs[0] == reverse_complement_ascii(&g)
-        );
+        assert!(asm.contigs[0] == g || asm.contigs[0] == reverse_complement_ascii(&g));
     }
 
     #[test]

@@ -37,7 +37,6 @@ impl AssemblyStats {
             n50,
         }
     }
-
 }
 
 #[cfg(test)]

@@ -35,12 +35,30 @@ fn bench(c: &mut Criterion) {
         })
     });
     g.bench_function("hg_4passes_ccopt_on", |b| {
-        let cfg = PipelineConfig::builder().k(27).passes(4).cc_opt(true).build();
-        b.iter(|| Pipeline::new(cfg.clone()).run_reads(&data.reads).unwrap().tuples_total)
+        let cfg = PipelineConfig::builder()
+            .k(27)
+            .passes(4)
+            .cc_opt(true)
+            .build();
+        b.iter(|| {
+            Pipeline::new(cfg.clone())
+                .run_reads(&data.reads)
+                .unwrap()
+                .tuples_total
+        })
     });
     g.bench_function("hg_4passes_ccopt_off", |b| {
-        let cfg = PipelineConfig::builder().k(27).passes(4).cc_opt(false).build();
-        b.iter(|| Pipeline::new(cfg.clone()).run_reads(&data.reads).unwrap().tuples_total)
+        let cfg = PipelineConfig::builder()
+            .k(27)
+            .passes(4)
+            .cc_opt(false)
+            .build();
+        b.iter(|| {
+            Pipeline::new(cfg.clone())
+                .run_reads(&data.reads)
+                .unwrap()
+                .tuples_total
+        })
     });
     g.finish();
 }

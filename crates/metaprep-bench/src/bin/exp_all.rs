@@ -22,5 +22,8 @@ fn main() {
     e::table8_9::run(scale);
     e::sparse_merge::run(scale);
     e::quality::run(scale);
-    println!("\nall experiments done in {:.1}s", t0.elapsed().as_secs_f64());
+    println!(
+        "\nall experiments done in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -49,6 +49,8 @@ pub fn run(scale: f64) {
     );
     println!(
         "  note: this container has {} hardware core(s); the paper reports 14.5x on 24 cores",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 }

@@ -50,10 +50,7 @@ pub fn run(scale: f64) {
             ]);
         }
         print_table(
-            &format!(
-                "Figure 6: multi-node scaling, {} (S={passes})",
-                id.name()
-            ),
+            &format!("Figure 6: multi-node scaling, {} (S={passes})", id.name()),
             &[
                 "Tasks",
                 "KmerGen",
@@ -70,5 +67,7 @@ pub fn run(scale: f64) {
             &rows,
         );
     }
-    println!("  note: wall-clock speedup is flat on 1 core; MB-sent columns are hardware-independent");
+    println!(
+        "  note: wall-clock speedup is flat on 1 core; MB-sent columns are hardware-independent"
+    );
 }

@@ -5,8 +5,8 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
-pub mod sort_throughput;
 pub mod quality;
+pub mod sort_throughput;
 pub mod sparse_merge;
 pub mod table2;
 pub mod table3;

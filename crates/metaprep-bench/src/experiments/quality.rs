@@ -21,7 +21,9 @@ pub fn run(scale: f64) {
         if let Some((lo, hi)) = kf {
             b = b.kf_filter(lo, hi);
         }
-        let res = Pipeline::new(b.build()).run_reads(&data.reads).expect("pipeline");
+        let res = Pipeline::new(b.build())
+            .run_reads(&data.reads)
+            .expect("pipeline");
         let score = score_partition(&res.labels, &data.species_of_fragment);
         rows.push(vec![
             name.to_string(),

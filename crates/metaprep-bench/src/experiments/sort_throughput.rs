@@ -19,7 +19,9 @@ pub fn run(scale: f64) {
     let input: Vec<KmerReadTuple> = (0..n)
         .map(|i| KmerReadTuple::new(rng.gen::<u64>() >> 10, i as u32))
         .collect();
-    let threads = std::thread::available_parallelism().map(|x| x.get()).unwrap_or(1);
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
 
     let mut rows = Vec::new();
     let mut measure = |name: &str, f: &mut dyn FnMut(&mut Vec<KmerReadTuple>)| {
@@ -27,7 +29,10 @@ pub fn run(scale: f64) {
         let t0 = Instant::now();
         f(&mut data);
         let dt = t0.elapsed().as_secs_f64();
-        assert!(data.windows(2).all(|w| w[0].kmer <= w[1].kmer), "{name} failed to sort");
+        assert!(
+            data.windows(2).all(|w| w[0].kmer <= w[1].kmer),
+            "{name} failed to sort"
+        );
         rows.push(vec![
             name.to_string(),
             format!("{dt:.3}"),

@@ -23,7 +23,11 @@ pub fn run(scale: f64) {
         let data = dataset(id, scale);
 
         // METAPREP end-to-end.
-        let cfg = PipelineConfig::builder().k(27).tasks(tasks).threads(1).build();
+        let cfg = PipelineConfig::builder()
+            .k(27)
+            .tasks(tasks)
+            .threads(1)
+            .build();
         let t0 = Instant::now();
         let res = Pipeline::new(cfg).run_reads(&data.reads).expect("pipeline");
         let mp_time = t0.elapsed();
@@ -68,7 +72,10 @@ pub fn run(scale: f64) {
             format!("{}", sv.iterations),
             format!("{}", (tasks as f64).log2().ceil() as usize),
             fmt_dur(adaptive_time),
-            format!("{:.1}", 100.0 * adaptive.bfs_reached as f64 / data.reads.num_fragments() as f64),
+            format!(
+                "{:.1}",
+                100.0 * adaptive.bfs_reached as f64 / data.reads.num_fragments() as f64
+            ),
         ]);
     }
     print_table(

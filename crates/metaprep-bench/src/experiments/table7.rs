@@ -8,8 +8,11 @@ use crate::harness::{dataset, print_table};
 use metaprep_core::{Pipeline, PipelineConfig};
 use metaprep_synth::DatasetId;
 
+/// One Table 7 row: (label, k, optional (min, max) k-mer-frequency filter).
+pub type Table7Setting = (&'static str, usize, Option<(u32, u32)>);
+
 /// The five filter/k settings of the paper's Table 7.
-pub fn settings() -> Vec<(&'static str, usize, Option<(u32, u32)>)> {
+pub fn settings() -> Vec<Table7Setting> {
     vec![
         ("k=27, None", 27, None),
         ("k=63, None", 63, None),
@@ -20,11 +23,7 @@ pub fn settings() -> Vec<(&'static str, usize, Option<(u32, u32)>)> {
 }
 
 /// Compute the LC percentage for one dataset/setting.
-pub fn lc_percent(
-    reads: &metaprep_io::ReadStore,
-    k: usize,
-    kf: Option<(u32, u32)>,
-) -> f64 {
+pub fn lc_percent(reads: &metaprep_io::ReadStore, k: usize, kf: Option<(u32, u32)>) -> f64 {
     let mut b = PipelineConfig::builder().k(k).tasks(2).threads(1);
     if let Some((lo, hi)) = kf {
         b = b.kf_filter(lo, hi);

@@ -73,7 +73,9 @@ pub fn run(scale: f64) {
             .threads(1)
             .kf_filter(1, 29)
             .build();
-        let res_f = Pipeline::new(cfg_f).run_reads(&data.reads).expect("pipeline");
+        let res_f = Pipeline::new(cfg_f)
+            .run_reads(&data.reads)
+            .expect("pipeline");
         let parts_f = partition_reads(&data.reads, &res_f.labels, res_f.components.largest_root);
         let mp_time_f = t0.elapsed();
         let lc_f = assemble_case(&format!("{} LC (KF<30)", id.name()), &parts_f.lc);

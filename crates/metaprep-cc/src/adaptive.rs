@@ -10,8 +10,8 @@
 //! Shiloach–Vishkin.
 
 use crate::seq::DisjointSet;
+use crate::sync::{AtomicBool, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, Ordering};
 
 /// Result of an adaptive CC run.
 #[derive(Clone, Debug)]
@@ -80,6 +80,10 @@ pub fn adaptive_components(n: usize, edges: &[(u32, u32)]) -> AdaptiveResult {
 
     // Phase 1: parallel BFS. label = seed for reached vertices.
     let visited: Vec<AtomicBool> = (0..n).map(|_| AtomicBool::new(false)).collect();
+    // ORDERING: Relaxed everywhere in the BFS — `swap` makes claiming a
+    // vertex atomic on the single `visited` word (no other memory is
+    // published through it), and the per-level rayon join fences order the
+    // levels against each other.
     visited[seed as usize].store(true, Ordering::Relaxed);
     let mut frontier = vec![seed];
     let mut reached = 1usize;
@@ -88,6 +92,7 @@ pub fn adaptive_components(n: usize, edges: &[(u32, u32)]) -> AdaptiveResult {
             .par_iter()
             .flat_map_iter(|&v| {
                 csr.neighbors(v).iter().copied().filter(|&w| {
+                    // ORDERING: Relaxed swap: see BFS comment above.
                     !visited[w as usize].swap(true, Ordering::Relaxed)
                 })
             })
@@ -100,6 +105,8 @@ pub fn adaptive_components(n: usize, edges: &[(u32, u32)]) -> AdaptiveResult {
     let mut ds = DisjointSet::new(n);
     let mut cleanup_edges = 0usize;
     for &(u, v) in edges {
+        // ORDERING: Relaxed: the BFS finished (scope joins fenced it); these
+        // are now effectively sequential reads.
         if !visited[u as usize].load(Ordering::Relaxed)
             || !visited[v as usize].load(Ordering::Relaxed)
         {
@@ -113,12 +120,14 @@ pub fn adaptive_components(n: usize, edges: &[(u32, u32)]) -> AdaptiveResult {
     // only contains unreached vertices and the two labelings can simply be
     // overlaid: reached vertices share one root (the max reached index, so
     // the label is a fixed point), unreached ones keep union-find roots.
+    // ORDERING: Relaxed: post-BFS sequential reads, as above.
     let giant_root: u32 = (0..n as u32)
         .filter(|&v| visited[v as usize].load(Ordering::Relaxed))
         .max()
         .unwrap_or(seed);
     let labels: Vec<u32> = (0..n as u32)
         .map(|v| {
+            // ORDERING: Relaxed: post-BFS sequential reads, as above.
             if visited[v as usize].load(Ordering::Relaxed) {
                 giant_root
             } else {

@@ -13,8 +13,10 @@
 //!   Cybenko's critical sections); iteration ends when no edge connects two
 //!   distinct roots.
 
+#[cfg(not(loom))]
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicU32, Ordering};
+
+use crate::sync::{AtomicU32, Ordering};
 
 /// A concurrent disjoint-set forest over vertices `0..n`.
 pub struct ConcurrentDisjointSet {
@@ -45,14 +47,20 @@ impl ConcurrentDisjointSet {
     #[inline]
     pub fn find(&self, mut x: u32) -> u32 {
         loop {
+            // ORDERING: Acquire pairs with the AcqRel link/split CASes so a
+            // parent value read here carries the edge that installed it.
             let p = self.parent[x as usize].load(Ordering::Acquire);
             if p == x {
                 return x;
             }
+            // ORDERING: Acquire as above; reading a stale grandparent only
+            // costs an extra hop, never correctness.
             let gp = self.parent[p as usize].load(Ordering::Acquire);
             if gp != p {
                 // Split: re-point x at its grandparent. A failed CAS just
                 // means someone else already moved it — keep walking.
+                // ORDERING: AcqRel publishes the shortcut; Relaxed on failure
+                // is fine because the loop re-reads via Acquire loads.
                 let _ = self.parent[x as usize].compare_exchange_weak(
                     p,
                     gp,
@@ -68,8 +76,11 @@ impl ConcurrentDisjointSet {
     /// if this call performed the link. Callers must pass *roots*; stale
     /// roots simply fail the CAS and the caller's edge gets re-verified.
     #[inline]
-    fn try_link(&self, ra: u32, rb: u32) -> bool {
+    pub fn try_link(&self, ra: u32, rb: u32) -> bool {
         let (lo, hi) = if ra < rb { (ra, rb) } else { (rb, ra) };
+        // ORDERING: AcqRel publishes the union to subsequent Acquire finds;
+        // Relaxed on failure because a lost race is handled by re-verifying
+        // the edge, not by inspecting the observed value.
         self.parent[lo as usize]
             .compare_exchange(lo, hi, Ordering::AcqRel, Ordering::Relaxed)
             .is_ok()
@@ -93,6 +104,7 @@ impl ConcurrentDisjointSet {
     /// re-processed until a full pass performs no unions. Returns the
     /// number of verification iterations executed (>= 1 for nonempty input;
     /// the paper notes the first iteration dominates the running time).
+    #[cfg(not(loom))]
     pub fn process_edges_parallel(&self, edges: &[(u32, u32)]) -> usize {
         if edges.is_empty() {
             return 0;
@@ -128,21 +140,19 @@ impl ConcurrentDisjointSet {
 
     /// Snapshot into a fully-compressed component array.
     pub fn to_component_array(&self) -> Vec<u32> {
-        (0..self.parent.len() as u32).map(|x| self.find(x)).collect()
+        (0..self.parent.len() as u32)
+            .map(|x| self.find(x))
+            .collect()
     }
 
     /// Consume into a sequential [`crate::seq::DisjointSet`].
     pub fn into_disjoint_set(self) -> crate::seq::DisjointSet {
-        let parent: Vec<u32> = self
-            .parent
-            .into_iter()
-            .map(|a| a.into_inner())
-            .collect();
+        let parent: Vec<u32> = self.parent.into_iter().map(|a| a.into_inner()).collect();
         crate::seq::DisjointSet::from_parent_array(parent)
     }
 }
 
-#[cfg(test)]
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use crate::seq::DisjointSet;

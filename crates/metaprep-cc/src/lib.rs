@@ -29,6 +29,7 @@ pub mod merge;
 pub mod seq;
 pub mod stats;
 pub mod sv;
+pub mod sync;
 
 pub use adaptive::{adaptive_components, AdaptiveResult};
 pub use concurrent::ConcurrentDisjointSet;

@@ -10,8 +10,8 @@
 //! smallest neighbouring label) followed by full pointer jumping
 //! (shortcutting), the classic CRCW formulation adapted to shared memory.
 
+use crate::sync::{AtomicBool, AtomicU32, Ordering};
 use rayon::prelude::*;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 /// Result of a Shiloach–Vishkin run.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -34,7 +34,12 @@ pub fn shiloach_vishkin(n: usize, edges: &[(u32, u32)]) -> SvResult {
         // Hooking: for every edge (u, v), try to hang the *root* of the
         // larger-labeled endpoint onto the smaller label. min-CAS keeps the
         // race benign: labels only ever decrease.
+        // ORDERING: Relaxed throughout the hook phase — labels only move
+        // monotonically downward via CAS, stale reads merely delay
+        // convergence, and the rayon scope join fence publishes the phase's
+        // writes before the jump phase reads them.
         edges.par_iter().for_each(|&(u, v)| {
+            // ORDERING: Relaxed loads: see phase comment above.
             let pu = parent[u as usize].load(Ordering::Relaxed);
             let pv = parent[v as usize].load(Ordering::Relaxed);
             if pu == pv {
@@ -42,10 +47,12 @@ pub fn shiloach_vishkin(n: usize, edges: &[(u32, u32)]) -> SvResult {
             }
             let (hi, lo) = if pu > pv { (pu, pv) } else { (pv, pu) };
             // Hook only roots (parent[hi] == hi), the SV "conditional hook".
+            // ORDERING: Relaxed CAS: see phase comment above.
             if parent[hi as usize]
                 .compare_exchange(hi, lo, Ordering::Relaxed, Ordering::Relaxed)
                 .is_ok()
             {
+                // ORDERING: Relaxed flag: read only after the scope joins.
                 changed.store(true, Ordering::Relaxed);
             }
         });
@@ -53,20 +60,27 @@ pub fn shiloach_vishkin(n: usize, edges: &[(u32, u32)]) -> SvResult {
         // Pointer jumping until every vertex points at a root ("shortcut").
         loop {
             let jumped = AtomicBool::new(false);
+            // ORDERING: Relaxed as in the hook phase — pointer jumping is
+            // monotone and each round is separated by a scope join fence.
             (0..n).into_par_iter().for_each(|i| {
+                // ORDERING: Relaxed: see the jump-phase comment above.
                 let p = parent[i].load(Ordering::Relaxed);
                 let gp = parent[p as usize].load(Ordering::Relaxed);
                 if p != gp {
+                    // ORDERING: Relaxed store/flag: monotone jump, read
+                    // only after the scope join fence.
                     parent[i].store(gp, Ordering::Relaxed);
                     jumped.store(true, Ordering::Relaxed);
                 }
             });
+            // ORDERING: Relaxed read after the scope join fence.
             if !jumped.load(Ordering::Relaxed) {
                 break;
             }
         }
 
         iterations += 1;
+        // ORDERING: Relaxed read after the scope join fence.
         if !changed.load(Ordering::Relaxed) {
             break;
         }

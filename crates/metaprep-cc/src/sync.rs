@@ -1,0 +1,19 @@
+//! Audited synchronization shim for this crate.
+//!
+//! Every atomic type used by the concurrent union-find code is imported
+//! from here, never from `std` directly. Under normal builds these are
+//! the `std::sync::atomic` types; under `RUSTFLAGS="--cfg loom"` they
+//! are the model-checked `loom` types, so the exact same algorithm
+//! source is explored exhaustively by `tests/loom.rs`.
+//!
+//! This file is one of the `ORDERING_AUDITED` shims known to
+//! `cargo xtask check`: naming a memory ordering anywhere else in the
+//! workspace requires a per-site `// ORDERING:` justification. The
+//! model checker explores sequential consistency only, so ordering
+//! choices are precisely what source review must still cover.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU32, AtomicUsize, Ordering};

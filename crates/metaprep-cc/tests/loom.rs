@@ -1,0 +1,185 @@
+//! Loom model tests for the concurrent union-find (paper Algorithm 1).
+//!
+//! Compiled only under `RUSTFLAGS="--cfg loom"`:
+//!
+//! ```text
+//! RUSTFLAGS="--cfg loom" cargo test -p metaprep-cc --test loom
+//! ```
+//!
+//! Under that cfg, `metaprep_cc::sync` re-exports the model-checked
+//! atomics, so `find` / `try_link` / `process_edge` below run against
+//! the *exact* production code while the model exhaustively enumerates
+//! every interleaving of their atomic operations. Each test body is
+//! re-executed once per distinct schedule; an assertion must hold in
+//! all of them.
+#![cfg(loom)]
+
+use loom::sync::Arc;
+use loom::thread;
+use metaprep_cc::concurrent::ConcurrentDisjointSet;
+use metaprep_cc::seq::DisjointSet;
+
+/// Partition-equality up to relabeling: `a` and `b` group indices
+/// identically iff label pairing is a bijection.
+fn same_partition(a: &[u32], b: &[u32]) -> bool {
+    assert_eq!(a.len(), b.len());
+    let mut fwd = std::collections::HashMap::new();
+    let mut bwd = std::collections::HashMap::new();
+    for (&x, &y) in a.iter().zip(b) {
+        if *fwd.entry(x).or_insert(y) != y || *bwd.entry(y).or_insert(x) != x {
+            return false;
+        }
+    }
+    true
+}
+
+fn reference(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+    let mut ds = DisjointSet::new(n);
+    for &(u, v) in edges {
+        ds.union(u, v);
+    }
+    ds.into_component_array()
+}
+
+/// Structural invariant of union-by-index that must hold in EVERY
+/// intermediate and final state: parents never decrease, so the forest
+/// is acyclic by construction and every `find` terminates.
+fn assert_monotone_parents(ds: &ConcurrentDisjointSet) {
+    for x in 0..ds.len() as u32 {
+        let r = ds.find(x);
+        assert!(r >= x, "union-by-index must point upward: find({x}) = {r}");
+        assert_eq!(ds.find(r), r, "find must return a root");
+    }
+}
+
+/// Two concurrent unions racing on the SHARED root 0: thread A links
+/// (0,1), thread B links (0,2). Exactly one CAS on `parent[0]` can win;
+/// the loser's edge reports "distinct roots" and is re-verified, which
+/// is the paper's replacement for Cybenko's critical sections. Across
+/// every interleaving the re-verified result must equal the sequential
+/// partition {0,1,2}.
+#[test]
+fn racing_unions_on_shared_root_converge() {
+    loom::model(|| {
+        let ds = Arc::new(ConcurrentDisjointSet::new(3));
+        let edges = [(0u32, 1u32), (0, 2)];
+
+        let handles: Vec<_> = edges
+            .iter()
+            .map(|&(u, v)| {
+                let ds = Arc::clone(&ds);
+                thread::spawn(move || ds.process_edge(u, v))
+            })
+            .collect();
+        let pending: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+
+        // The racing threads are done; the forest must already be a
+        // valid union-by-index forest (no cycles, no lost cells) …
+        assert_monotone_parents(&ds);
+
+        // … and at least one of the two unions must have landed: both
+        // observed root 0 for vertex 0, and the first CAS on a
+        // singleton root cannot fail.
+        let arr = ds.to_component_array();
+        let merged = arr.iter().filter(|&&r| r != arr[0]).count() < 2;
+        assert!(merged, "no union landed despite two attempts: {arr:?}");
+
+        // Re-verify surviving edges exactly as Algorithm 1 does, then
+        // the partition must be the sequential one.
+        let survivors: Vec<(u32, u32)> = edges
+            .iter()
+            .zip(&pending)
+            .filter(|(_, &p)| p)
+            .map(|(&e, _)| e)
+            .collect();
+        ds.process_edges_serial(&survivors);
+        assert!(
+            same_partition(&ds.to_component_array(), &reference(3, &edges)),
+            "diverged from sequential result"
+        );
+    });
+}
+
+/// Raw `try_link` race: both threads attempt to link the same pair of
+/// roots (0,1). Union-by-index CASes `parent[0]` from 0 to 1, so
+/// exactly one call may report having performed the link.
+#[test]
+fn try_link_on_same_roots_has_one_winner() {
+    loom::model(|| {
+        let ds = Arc::new(ConcurrentDisjointSet::new(2));
+        let handles: Vec<_> = (0..2)
+            .map(|_| {
+                let ds = Arc::clone(&ds);
+                thread::spawn(move || ds.try_link(0, 1))
+            })
+            .collect();
+        let wins: Vec<bool> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            wins.iter().filter(|&&w| w).count(),
+            1,
+            "exactly one CAS may win: {wins:?}"
+        );
+        assert_eq!(ds.find(0), 1);
+        assert_eq!(ds.find(1), 1);
+    });
+}
+
+/// Three threads, one `try_link` each, all touching overlapping roots
+/// of a chain: (0,1), (1,2), (0,2). Whatever the interleaving, the
+/// surviving forest must stay acyclic and monotone, and re-verifying
+/// the original edges must connect all of {0,1,2}.
+#[test]
+fn three_way_link_race_stays_acyclic() {
+    loom::model(|| {
+        let ds = Arc::new(ConcurrentDisjointSet::new(3));
+        let links = [(0u32, 1u32), (1, 2), (0, 2)];
+        let handles: Vec<_> = links
+            .iter()
+            .map(|&(a, b)| {
+                let ds = Arc::clone(&ds);
+                thread::spawn(move || ds.try_link(a, b))
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_monotone_parents(&ds);
+
+        // Algorithm 1 re-verifies every edge until none connects two
+        // distinct roots; afterwards this must be one component.
+        ds.process_edges_serial(&links);
+        let arr = ds.to_component_array();
+        assert!(
+            arr.iter().all(|&r| r == arr[0]),
+            "triangle must collapse to one component: {arr:?}"
+        );
+    });
+}
+
+/// `find` racing with a union on the path it is walking: thread A
+/// repeatedly resolves vertex 0 while thread B links (0,1) then (1,2).
+/// Every value A observes must be a then-or-earlier root of 0's
+/// component (0, 1, or 2) and the final resolution is 2.
+#[test]
+fn find_races_with_path_growth() {
+    loom::model(|| {
+        let ds = Arc::new(ConcurrentDisjointSet::new(3));
+        let finder = {
+            let ds = Arc::clone(&ds);
+            thread::spawn(move || ds.find(0))
+        };
+        let linker = {
+            let ds = Arc::clone(&ds);
+            thread::spawn(move || {
+                ds.try_link(0, 1);
+                let r = ds.find(1);
+                ds.try_link(r, 2);
+            })
+        };
+        let seen = finder.join().unwrap();
+        linker.join().unwrap();
+        assert!(seen <= 2, "find(0) returned a vertex outside the chain");
+        assert_eq!(ds.find(0), 2, "after both links, 0 resolves to 2");
+        assert_monotone_parents(&ds);
+    });
+}

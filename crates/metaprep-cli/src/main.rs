@@ -35,7 +35,8 @@ fn main() {
     }
 }
 
-const USAGE: &str = "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum> [--options]
+const USAGE: &str =
+    "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum> [--options]
 run `metaprep <command>` with missing options to see what each needs";
 
 fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -152,7 +153,11 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         100.0 * res.largest_component_fraction()
     );
     for step in Step::all() {
-        println!("  {:<13} {:.3}s", step.name(), res.timings.max_of(step).as_secs_f64());
+        println!(
+            "  {:<13} {:.3}s",
+            step.name(),
+            res.timings.max_of(step).as_secs_f64()
+        );
     }
     println!(
         "  IndexCreate   {:.3}s   comm {:.2} MB   modeled {:.1} MB/task",
@@ -165,7 +170,10 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if top > 0 {
         let parts = partition_top_n(&reads, &res.labels, top, args.get_or("min-size", 2usize)?);
         write_multi_partition(&outdir, &parts)?;
-        println!("wrote {} component files + rest.fastq to {outdir}", parts.buckets.len());
+        println!(
+            "wrote {} component files + rest.fastq to {outdir}",
+            parts.buckets.len()
+        );
     } else {
         let parts = partition_reads(&reads, &res.labels, res.components.largest_root);
         write_partitions(&outdir, &parts)?;

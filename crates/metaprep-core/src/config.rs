@@ -244,9 +244,19 @@ mod tests {
 
     #[test]
     fn rejects_bad_m() {
-        assert!(PipelineConfig::builder().k(6).m(7).build().validate().is_err());
+        assert!(PipelineConfig::builder()
+            .k(6)
+            .m(7)
+            .build()
+            .validate()
+            .is_err());
         assert!(PipelineConfig::builder().m(0).build().validate().is_err());
-        assert!(PipelineConfig::builder().k(27).m(16).build().validate().is_ok());
+        assert!(PipelineConfig::builder()
+            .k(27)
+            .m(16)
+            .build()
+            .validate()
+            .is_ok());
     }
 
     #[test]
@@ -270,8 +280,20 @@ mod tests {
 
     #[test]
     fn rejects_zero_parallelism() {
-        assert!(PipelineConfig::builder().passes(0).build().validate().is_err());
-        assert!(PipelineConfig::builder().tasks(0).build().validate().is_err());
-        assert!(PipelineConfig::builder().threads(0).build().validate().is_err());
+        assert!(PipelineConfig::builder()
+            .passes(0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .tasks(0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .threads(0)
+            .build()
+            .validate()
+            .is_err());
     }
 }

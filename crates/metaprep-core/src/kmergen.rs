@@ -119,6 +119,7 @@ pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
                 // FASTQBuffer.
                 let t_io = Instant::now();
                 let buffer = source.load_chunk(c);
+                // ORDERING: Relaxed — profiling counter, summed after join.
                 io_nanos.fetch_add(t_io.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
                 let t_gen = Instant::now();
@@ -138,6 +139,7 @@ pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
                         }
                     });
                 }
+                // ORDERING: Relaxed — profiling counter, summed after join.
                 gen_nanos.fetch_add(t_gen.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
                 // The index-table arithmetic must match the enumeration.
@@ -227,14 +229,25 @@ mod tests {
     #[test]
     fn all_tuples_emitted_across_passes_and_tasks() {
         let (s, fp, plan) = setup(11, 2, 3);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
         let table = plan.bin_owner_table();
         let all_chunks: Vec<usize> = (0..fp.len()).collect();
         let mut total = 0u64;
         for pass in 0..2 {
             let src = mem_source(&s, &fp);
             let out = kmergen_pass::<Kmer64, _>(
-                &pool, &src, &fp, &plan, &all_chunks, &table, pass, false, |r| r,
+                &pool,
+                &src,
+                &fp,
+                &plan,
+                &all_chunks,
+                &table,
+                pass,
+                false,
+                |r| r,
             );
             total += out.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
         }
@@ -244,12 +257,24 @@ mod tests {
     #[test]
     fn tuples_land_in_owner_range() {
         let (s, fp, plan) = setup(11, 1, 4);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let table = plan.bin_owner_table();
         let all_chunks: Vec<usize> = (0..fp.len()).collect();
         let src = mem_source(&s, &fp);
-        let out =
-            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |r| r);
+        let out = kmergen_pass::<Kmer64, _>(
+            &pool,
+            &src,
+            &fp,
+            &plan,
+            &all_chunks,
+            &table,
+            0,
+            false,
+            |r| r,
+        );
         for (q, buf) in out.outgoing.iter().enumerate() {
             let (lo, hi) = plan.task_range(0, q);
             for t in buf {
@@ -262,13 +287,24 @@ mod tests {
     #[test]
     fn expected_incoming_matches_actual() {
         let (s, fp, plan) = setup(11, 2, 3);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
         let table = plan.bin_owner_table();
         let all_chunks: Vec<usize> = (0..fp.len()).collect();
         for pass in 0..2 {
             let src = mem_source(&s, &fp);
             let out = kmergen_pass::<Kmer64, _>(
-                &pool, &src, &fp, &plan, &all_chunks, &table, pass, false, |r| r,
+                &pool,
+                &src,
+                &fp,
+                &plan,
+                &all_chunks,
+                &table,
+                pass,
+                false,
+                |r| r,
             );
             for q in 0..3 {
                 assert_eq!(
@@ -283,12 +319,24 @@ mod tests {
     #[test]
     fn x4_matches_scalar_multiset() {
         let (s, fp, plan) = setup(11, 1, 2);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let table = plan.bin_owner_table();
         let all_chunks: Vec<usize> = (0..fp.len()).collect();
         let src = mem_source(&s, &fp);
-        let a =
-            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |r| r);
+        let a = kmergen_pass::<Kmer64, _>(
+            &pool,
+            &src,
+            &fp,
+            &plan,
+            &all_chunks,
+            &table,
+            0,
+            false,
+            |r| r,
+        );
         let b =
             kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, true, |r| r);
         for q in 0..2 {
@@ -303,13 +351,25 @@ mod tests {
     #[test]
     fn read_label_substitution_applies() {
         let (s, fp, plan) = setup(11, 1, 1);
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let table = plan.bin_owner_table();
         let all_chunks: Vec<usize> = (0..fp.len()).collect();
         // Map every read to label 0 (as an extreme LocalCC-Opt would).
         let src = mem_source(&s, &fp);
-        let out =
-            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |_| 0);
+        let out = kmergen_pass::<Kmer64, _>(
+            &pool,
+            &src,
+            &fp,
+            &plan,
+            &all_chunks,
+            &table,
+            0,
+            false,
+            |_| 0,
+        );
         assert!(out.outgoing[0].iter().all(|t| t.read == 0));
     }
 
@@ -322,12 +382,24 @@ mod tests {
             let plan = RangePlan::build(&mh, 1, 2, 2);
             (s, fp, plan)
         };
-        let pool = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
         let table = plan.bin_owner_table();
         let all_chunks: Vec<usize> = (0..fp.len()).collect();
         let src = mem_source(&s, &fp);
-        let out =
-            kmergen_pass::<Kmer128, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, false, |r| r);
+        let out = kmergen_pass::<Kmer128, _>(
+            &pool,
+            &src,
+            &fp,
+            &plan,
+            &all_chunks,
+            &table,
+            0,
+            false,
+            |r| r,
+        );
         let total: u64 = out.outgoing.iter().map(|v| v.len() as u64).sum();
         assert_eq!(total, fp.total());
     }

@@ -140,7 +140,10 @@ mod tests {
     use metaprep_kmer::{Kmer64, KmerReadTuple};
 
     fn pool() -> rayon::ThreadPool {
-        rayon::ThreadPoolBuilder::new().num_threads(2).build().unwrap()
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap()
     }
 
     fn tuples(raw: &[(u64, u32)]) -> Vec<KmerReadTuple> {
@@ -150,11 +153,7 @@ mod tests {
         v
     }
 
-    fn run(
-        n: usize,
-        raw: &[(u64, u32)],
-        kf: Option<(u32, u32)>,
-    ) -> (Vec<u32>, LocalCcStats) {
+    fn run(n: usize, raw: &[(u64, u32)], kf: Option<(u32, u32)>) -> (Vec<u32>, LocalCcStats) {
         let ts = tuples(raw);
         let ds = ConcurrentDisjointSet::new(n);
         let offs = vec![0, ts.len()];

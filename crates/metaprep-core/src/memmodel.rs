@@ -111,7 +111,11 @@ mod tests {
             1_130_000_000, // R = 1.13e9
         );
         let gb = |x: u64| x as f64 / 1e9;
-        assert!((gb(r.fastqpart_bytes) - 6.4).abs() < 1.0, "{}", gb(r.fastqpart_bytes));
+        assert!(
+            (gb(r.fastqpart_bytes) - 6.4).abs() < 1.0,
+            "{}",
+            gb(r.fastqpart_bytes)
+        );
         assert!((gb(r.fastq_buffer_bytes) - 7.2).abs() < 0.5);
         assert!((gb(r.kmer_out_bytes) - 15.6).abs() < 2.0);
         assert!((gb(r.component_bytes) - 9.0).abs() < 1.0);
@@ -122,8 +126,7 @@ mod tests {
     #[test]
     fn more_passes_less_memory() {
         let mk = |s: usize| {
-            MemoryReport::model(8, 64, 4, 1 << 20, 100_000_000, 12, s, 4, 1_000_000)
-                .total_modeled()
+            MemoryReport::model(8, 64, 4, 1 << 20, 100_000_000, 12, s, 4, 1_000_000).total_modeled()
         };
         assert!(mk(2) < mk(1));
         assert!(mk(8) < mk(2));

@@ -2,11 +2,13 @@
 
 use crate::config::{PipelineConfig, PipelineError};
 use crate::kmergen::{expected_incoming, kmergen_pass, PipelineKmer};
-use crate::source::{ChunkSource, FileSource, MemorySource};
 use crate::localcc::{localcc_pass, thread_offsets_of, LocalCcStats};
 use crate::memmodel::MemoryReport;
+use crate::source::{ChunkSource, FileSource, MemorySource};
 use crate::timings::{Step, StepTimings, TaskTimings};
-use metaprep_cc::{absorb_parent_array, absorb_sparse_pairs, sparse_pairs, ComponentStats, ConcurrentDisjointSet};
+use metaprep_cc::{
+    absorb_parent_array, absorb_sparse_pairs, sparse_pairs, ComponentStats, ConcurrentDisjointSet,
+};
 use metaprep_dist::collectives::{alltoall, broadcast};
 use metaprep_dist::{run_cluster, ClusterConfig, CommStats, Payload, TaskCtx};
 use metaprep_index::{FastqPart, MerHist, RangePlan};
@@ -116,11 +118,19 @@ impl Pipeline {
         let source = MemorySource::new(reads, specs);
         if self.cfg.k <= 32 {
             Ok(run_generic::<Kmer64, _>(
-                &self.cfg, &source, &merhist, &fastqpart, index_create,
+                &self.cfg,
+                &source,
+                &merhist,
+                &fastqpart,
+                index_create,
             ))
         } else {
             Ok(run_generic::<Kmer128, _>(
-                &self.cfg, &source, &merhist, &fastqpart, index_create,
+                &self.cfg,
+                &source,
+                &merhist,
+                &fastqpart,
+                index_create,
             ))
         }
     }
@@ -154,11 +164,19 @@ impl Pipeline {
         let source = FileSource::new(path.to_path_buf(), specs, paired, total_seqs);
         if self.cfg.k <= 32 {
             Ok(run_generic::<Kmer64, _>(
-                &self.cfg, &source, &merhist, &fastqpart, index_create,
+                &self.cfg,
+                &source,
+                &merhist,
+                &fastqpart,
+                index_create,
             ))
         } else {
             Ok(run_generic::<Kmer128, _>(
-                &self.cfg, &source, &merhist, &fastqpart, index_create,
+                &self.cfg,
+                &source,
+                &merhist,
+                &fastqpart,
+                index_create,
             ))
         }
     }
@@ -178,8 +196,8 @@ fn index_fastq_file(
     use metaprep_index::fastqpart::ChunkRecord;
     use metaprep_kmer::{for_each_canonical_kmer, Kmer, MmerSpace};
 
-    let bytes =
-        std::fs::read(path).map_err(|e| PipelineError::InvalidInput(format!("read {path:?}: {e}")))?;
+    let bytes = std::fs::read(path)
+        .map_err(|e| PipelineError::InvalidInput(format!("read {path:?}: {e}")))?;
     let specs = if paired {
         metaprep_io::chunk_fastq_bytes_paired(&bytes, c)
     } else {
@@ -246,7 +264,16 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     let r = source.num_fragments() as usize;
     let cluster = ClusterConfig::new(cfg.tasks, cfg.threads);
     let run = run_cluster::<Msg<K::Tuple>, TaskOutput, _>(cluster, |ctx| {
-        task_body::<K, S>(ctx, cfg, source, fastqpart, &plan, &bin_owner, &owner_of_chunk, r)
+        task_body::<K, S>(
+            ctx,
+            cfg,
+            source,
+            fastqpart,
+            &plan,
+            &bin_owner,
+            &owner_of_chunk,
+            r,
+        )
     });
 
     // ---- assemble the result ----
@@ -273,7 +300,12 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     let avg_chunk_bytes = if fastqpart.is_empty() {
         0
     } else {
-        fastqpart.chunks().iter().map(|ch| ch.spec.bytes).sum::<u64>() / fastqpart.len() as u64
+        fastqpart
+            .chunks()
+            .iter()
+            .map(|ch| ch.spec.bytes)
+            .sum::<u64>()
+            / fastqpart.len() as u64
     };
     let mut memory = MemoryReport::model(
         cfg.m,
@@ -342,8 +374,14 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             cfg.use_x4_kmergen,
             |frag| if use_opt { ds.find(frag) } else { frag },
         );
-        tm.add(Step::KmerGenIo, std::time::Duration::from_nanos(gen.io_nanos));
-        tm.add(Step::KmerGen, std::time::Duration::from_nanos(gen.gen_nanos));
+        tm.add(
+            Step::KmerGenIo,
+            std::time::Duration::from_nanos(gen.io_nanos),
+        );
+        tm.add(
+            Step::KmerGen,
+            std::time::Duration::from_nanos(gen.gen_nanos),
+        );
         tuples_emitted += gen.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
 
         // ---- KmerGen-Comm: the P-stage all-to-all ----
@@ -358,7 +396,11 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
                 _ => unreachable!("no parent arrays during KmerGen-Comm"),
             }
         }
-        debug_assert_eq!(tuples.len() as u64, expected, "receive-count precomputation");
+        debug_assert_eq!(
+            tuples.len() as u64,
+            expected,
+            "receive-count precomputation"
+        );
         tm.add(Step::KmerGenComm, t0.elapsed());
         peak_tuples = peak_tuples.max(2 * tuples.len() as u64); // data + scratch
 
@@ -604,7 +646,12 @@ mod tests {
     fn wide_kmers_run_and_reduce_connectivity() {
         let reads = small_reads();
         let frac = |k: usize| {
-            let cfg = PipelineConfig::builder().k(k).m(6).tasks(2).threads(2).build();
+            let cfg = PipelineConfig::builder()
+                .k(k)
+                .m(6)
+                .tasks(2)
+                .threads(2)
+                .build();
             Pipeline::new(cfg)
                 .run_reads(&reads)
                 .unwrap()
@@ -619,7 +666,12 @@ mod tests {
     #[test]
     fn tuples_total_matches_kmer_count() {
         let reads = small_reads();
-        let cfg = PipelineConfig::builder().k(21).m(6).passes(2).tasks(2).build();
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .passes(2)
+            .tasks(2)
+            .build();
         let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
         let mut count = 0u64;
         for (seq, _) in reads.iter() {
@@ -753,7 +805,12 @@ mod tests {
     #[test]
     fn timings_populated() {
         let reads = small_reads();
-        let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).threads(2).build();
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(2)
+            .threads(2)
+            .build();
         let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
         assert_eq!(res.timings.per_task.len(), 2);
         assert!(res.timings.index_create > std::time::Duration::ZERO);

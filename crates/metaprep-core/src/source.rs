@@ -74,7 +74,9 @@ impl FileSource {
         if paired {
             assert_eq!(total_seqs % 2, 0, "paired input needs an even read count");
             assert!(
-                specs.iter().all(|s| s.first_seq % 2 == 0 && s.seqs % 2 == 0),
+                specs
+                    .iter()
+                    .all(|s| s.first_seq % 2 == 0 && s.seqs % 2 == 0),
                 "paired chunks must hold whole pairs"
             );
         }
@@ -150,11 +152,11 @@ mod tests {
         let specs = chunk_store(&s, 3);
         let src = MemorySource::new(&s, specs.clone());
         let mut total = 0;
-        for c in 0..specs.len() {
+        for (c, spec) in specs.iter().enumerate() {
             let chunk = src.load_chunk(c);
-            assert_eq!(chunk.len(), specs[c].seqs as usize);
+            assert_eq!(chunk.len(), spec.seqs as usize);
             for (j, (seq, frag)) in chunk.iter().enumerate() {
-                let i = specs[c].first_seq as usize + j;
+                let i = spec.first_seq as usize + j;
                 assert_eq!(&seq[..], s.seq(i));
                 assert_eq!(*frag, s.frag_id(i));
             }

@@ -76,7 +76,10 @@ impl TaskTimings {
     }
 
     fn idx(step: Step) -> usize {
-        Step::all().iter().position(|&s| s == step).expect("known step")
+        Step::all()
+            .iter()
+            .position(|&s| s == step)
+            .expect("known step")
     }
 }
 
@@ -189,7 +192,10 @@ mod tests {
     #[test]
     fn empty_summary_is_zero() {
         let st = StepTimings::default();
-        assert_eq!(st.five_number_summary(Step::CcIo), (0.0, 0.0, 0.0, 0.0, 0.0));
+        assert_eq!(
+            st.five_number_summary(Step::CcIo),
+            (0.0, 0.0, 0.0, 0.0, 0.0)
+        );
         assert_eq!(st.total(), Duration::ZERO);
     }
 

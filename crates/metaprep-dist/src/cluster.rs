@@ -1,10 +1,36 @@
 //! Task spawning, per-pair channels, and the task context.
+//!
+//! # Concurrency correctness
+//!
+//! The simulator carries its own runtime misuse detectors (tentpole of
+//! the concurrency-correctness layer; see DESIGN.md "Safety &
+//! verification"):
+//!
+//! * **Deadlock watchdog** — every blocking receive polls with a short
+//!   timeout and publishes the task's state (running / at barrier /
+//!   blocked on a specific peer). When a poll expires, the task checks
+//!   whether *every* live task is blocked while every awaited inbox is
+//!   empty — a condition that is stable (a blocked task cannot send), so
+//!   observing it once proves no future progress. Instead of hanging,
+//!   the run aborts with a per-task state report.
+//! * **Message conservation** — sends and receives are counted per
+//!   task; at the end of a run the harness asserts
+//!   `sent == received + still-queued`, so a lost or duplicated message
+//!   in the channel layer cannot go unnoticed.
+//! * **Schedule exploration** — [`explore_schedules`] re-runs a cluster
+//!   body under deterministic per-task timing jitter so that
+//!   order-dependent bugs surface without a model checker; the
+//!   exhaustive version of the same idea lives in `tests/loom.rs`
+//!   against the `crate::sync` loom shim.
 
 use crate::stats::CommStats;
+#[cfg(not(loom))]
+use crate::sync::channel::{DepthProbe, RecvTimeoutError};
+use crate::sync::channel::{Receiver, Sender};
+use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use crate::Payload;
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
+use std::cell::Cell;
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Cluster shape: `tasks` simulated MPI ranks, each owning a rayon pool of
 /// `threads_per_task` threads.
@@ -37,10 +63,140 @@ pub struct ClusterResult<R> {
     pub stats: Vec<CommStats>,
 }
 
+/// Task-state word: the task is executing user code.
+const STATE_RUNNING: u64 = u64::MAX;
+/// Task-state word: the task body returned.
+const STATE_DONE: u64 = u64::MAX - 1;
+/// Task-state word: the task is waiting at the cluster barrier.
+const STATE_AT_BARRIER: u64 = u64::MAX - 2;
+// Any other value `v` means "blocked receiving from rank `v`".
+
+/// Watchdog poll interval for blocking receives.
+#[cfg(not(loom))]
+const WATCHDOG_POLL: std::time::Duration = std::time::Duration::from_millis(25);
+
+/// A barrier whose waiters poll an abort flag, so a watchdog-triggered
+/// abort also unwinds tasks parked at a barrier instead of hanging the
+/// scope join. (`std::sync::Barrier` waits are uninterruptible.)
+struct AbortableBarrier {
+    lock: Mutex<BarrierGen>,
+    cv: Condvar,
+    parties: usize,
+}
+
+struct BarrierGen {
+    arrived: usize,
+    generation: u64,
+}
+
+impl AbortableBarrier {
+    fn new(parties: usize) -> Self {
+        Self {
+            lock: Mutex::new(BarrierGen {
+                arrived: 0,
+                generation: 0,
+            }),
+            cv: Condvar::new(),
+            parties,
+        }
+    }
+
+    /// Wait for all parties; panics (releasing the caller) if `aborted`
+    /// becomes true while waiting.
+    fn wait(&self, aborted: &AtomicBool) {
+        let mut g = self.lock.lock().expect("barrier lock poisoned");
+        g.arrived += 1;
+        if g.arrived == self.parties {
+            g.arrived = 0;
+            g.generation += 1;
+            self.cv.notify_all();
+            return;
+        }
+        let gen = g.generation;
+        while g.generation == gen {
+            // ORDERING: Relaxed — the abort flag is a monitoring signal; no
+            // data is published through it.
+            if aborted.load(Ordering::Relaxed) {
+                drop(g);
+                panic!("cluster aborted while task waited at barrier");
+            }
+            let (guard, _timeout) = self
+                .cv
+                .wait_timeout(g, std::time::Duration::from_millis(25))
+                .expect("barrier lock poisoned");
+            g = guard;
+        }
+    }
+}
+
 struct SharedState {
-    barrier: Barrier,
+    barrier: AbortableBarrier,
     bytes_sent: Vec<AtomicU64>,
     messages_sent: Vec<AtomicU64>,
+    messages_received: Vec<AtomicU64>,
+    /// Per-task state word (see the `STATE_*` constants).
+    task_state: Vec<AtomicU64>,
+    /// Set by the watchdog (or a panicking task) to release every
+    /// blocked task so the scope join can complete.
+    aborted: AtomicBool,
+    /// `inbox_depth[to][from]`: queue-depth probe of the channel from
+    /// `from` into `to`, readable by the watchdog from any task.
+    #[cfg(not(loom))]
+    inbox_depth: Vec<Vec<DepthProbe>>,
+}
+
+impl SharedState {
+    /// Deadlock test, run by a task whose receive just timed out.
+    ///
+    /// Returns a report if **every** task is done or blocked while every
+    /// recv-blocked task's awaited inbox is empty. The condition is
+    /// stable once observed: a blocked or done task sends nothing, so no
+    /// awaited inbox can become non-empty — the cluster can never make
+    /// progress again and aborting is sound. (A task observed RUNNING
+    /// may still send, so the watchdog stays quiet and retries.)
+    #[cfg(not(loom))]
+    fn deadlock_report(&self) -> Option<String> {
+        let p = self.task_state.len();
+        let mut any_blocked_recv = false;
+        // ORDERING: Relaxed — state words and depth probes are monitoring
+        // data; the decision only needs each value to be *eventually*
+        // current, and the re-poll loop provides that.
+        for rank in 0..p {
+            // ORDERING: Relaxed — monitoring only, as above.
+            match self.task_state[rank].load(Ordering::Relaxed) {
+                STATE_DONE | STATE_AT_BARRIER => {}
+                STATE_RUNNING => return None,
+                from => {
+                    if !self.inbox_depth[rank][from as usize].is_empty() {
+                        return None; // a message is waiting; progress possible
+                    }
+                    any_blocked_recv = true;
+                }
+            }
+        }
+        if !any_blocked_recv {
+            // Everyone is done or at the barrier; barriers complete on
+            // their own once all live tasks arrive.
+            return None;
+        }
+        let mut lines =
+            vec!["cluster DEADLOCK: all tasks blocked, all awaited inboxes empty".to_string()];
+        for rank in 0..p {
+            // ORDERING: Relaxed — report rendering; monitoring only.
+            let desc = match self.task_state[rank].load(Ordering::Relaxed) {
+                STATE_DONE => "done".to_string(),
+                STATE_RUNNING => "running".to_string(),
+                STATE_AT_BARRIER => "waiting at barrier".to_string(),
+                from => format!(
+                    "blocked on recv from task {from} (inbox empty, {} sent / {} received)",
+                    self.messages_sent[rank].load(Ordering::Relaxed),
+                    self.messages_received[rank].load(Ordering::Relaxed),
+                ),
+            };
+            lines.push(format!("  task {rank}: {desc}"));
+        }
+        Some(lines.join("\n"))
+    }
 }
 
 /// The view a task body gets of the cluster: its rank, its channels, its
@@ -54,6 +210,8 @@ pub struct TaskCtx<M: Payload> {
     receivers: Vec<Receiver<M>>,
     shared: Arc<SharedState>,
     pool: rayon::ThreadPool,
+    /// Schedule-jitter PRNG state; 0 disables jitter (the default).
+    jitter: Cell<u64>,
 }
 
 impl<M: Payload> TaskCtx<M> {
@@ -72,10 +230,33 @@ impl<M: Payload> TaskCtx<M> {
         &self.pool
     }
 
+    /// Under [`explore_schedules`], perturb OS scheduling with a burst of
+    /// deterministic-length yields before a visible operation.
+    fn jitter_point(&self) {
+        let s = self.jitter.get();
+        if s == 0 {
+            return;
+        }
+        // xorshift64* step — deterministic per (seed, call sequence).
+        let mut x = s;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.jitter.set(x);
+        for _ in 0..(x % 4) {
+            std::thread::yield_now();
+        }
+    }
+
     /// Send `msg` to task `to`. Never blocks (channels are unbounded; the
     /// simulation models volume, not backpressure).
     pub fn send(&self, to: usize, msg: M) {
+        self.jitter_point();
+        // ORDERING: Relaxed — pure statistics counters; the channel itself
+        // synchronizes the payload, and counters are only read after the
+        // thread scope joins (or by the monitoring-only watchdog).
         self.shared.bytes_sent[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
+        // ORDERING: Relaxed — statistics counter, as above.
         self.shared.messages_sent[self.rank].fetch_add(1, Ordering::Relaxed);
         self.senders[to]
             .send(msg)
@@ -83,20 +264,83 @@ impl<M: Payload> TaskCtx<M> {
     }
 
     /// Blocking receive of the next message from task `from`.
+    ///
+    /// Never hangs on a deadlocked cluster: the receive polls, publishes
+    /// this task's blocked state, and runs the watchdog's deadlock test
+    /// on every expiry (see the module docs). A detected deadlock aborts
+    /// the run with a per-task report.
+    #[cfg(not(loom))]
     pub fn recv_from(&self, from: usize) -> M {
-        self.receivers[from]
+        self.jitter_point();
+        // ORDERING: Relaxed on all state words — monitoring only; see
+        // `SharedState::deadlock_report` for why stale reads are safe.
+        self.shared.task_state[self.rank].store(from as u64, Ordering::Relaxed);
+        let msg = loop {
+            match self.receivers[from].recv_timeout(WATCHDOG_POLL) {
+                Ok(m) => break m,
+                Err(RecvTimeoutError::Timeout) => {
+                    // ORDERING: Relaxed — abort flag is poll-only; the
+                    // panic/unwind path needs no payload ordering.
+                    if self.shared.aborted.load(Ordering::Relaxed) {
+                        panic!("cluster aborted while task {} waited on recv", self.rank);
+                    }
+                    if let Some(report) = self.shared.deadlock_report() {
+                        // First observer wins; others unwind via `aborted`.
+                        // ORDERING: Relaxed — peers poll the flag, as above.
+                        self.shared.aborted.store(true, Ordering::Relaxed);
+                        panic!("{report}");
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    panic!("sending task exited before sending")
+                }
+            }
+        };
+        // ORDERING: Relaxed — monitoring state word + statistics counter;
+        // the channel synchronized the payload itself.
+        self.shared.task_state[self.rank].store(STATE_RUNNING, Ordering::Relaxed);
+        self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
+        msg
+    }
+
+    /// Blocking receive under the loom model: the model's scheduler does
+    /// the deadlock detection (it reports when every modeled thread is
+    /// blocked), so the runtime watchdog machinery is not needed.
+    #[cfg(loom)]
+    pub fn recv_from(&self, from: usize) -> M {
+        let msg = self.receivers[from]
             .recv()
-            .expect("sending task exited before sending")
+            .expect("sending task exited before sending");
+        // ORDERING: Relaxed — statistics counter, as in `send`.
+        self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
+        msg
     }
 
     /// Synchronize all tasks.
     pub fn barrier(&self) {
-        self.shared.barrier.wait();
+        self.jitter_point();
+        // ORDERING: Relaxed — monitoring-only state word, as in recv_from.
+        self.shared.task_state[self.rank].store(STATE_AT_BARRIER, Ordering::Relaxed);
+        self.shared.barrier.wait(&self.shared.aborted);
+        self.shared.task_state[self.rank].store(STATE_RUNNING, Ordering::Relaxed);
     }
 
     /// Bytes this task has sent so far.
     pub fn bytes_sent(&self) -> u64 {
+        // ORDERING: Relaxed — reading own counter on the writing thread.
         self.shared.bytes_sent[self.rank].load(Ordering::Relaxed)
+    }
+}
+
+/// Best-effort view of a panic payload as a string (for classifying
+/// secondary "cluster aborted" unwinds when re-raising a task failure).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        ""
     }
 }
 
@@ -109,23 +353,53 @@ where
     R: Send,
     F: Fn(&mut TaskCtx<M>) -> R + Sync,
 {
+    run_cluster_with_jitter(config, 0, body)
+}
+
+/// [`run_cluster`] with deterministic schedule jitter: when `seed != 0`,
+/// every task yields a pseudo-random number of times before each send,
+/// receive, and barrier, perturbing the interleaving reproducibly.
+pub fn run_cluster_with_jitter<M, R, F>(
+    config: ClusterConfig,
+    seed: u64,
+    body: F,
+) -> ClusterResult<R>
+where
+    M: Payload,
+    R: Send,
+    F: Fn(&mut TaskCtx<M>) -> R + Sync,
+{
     let p = config.tasks;
     // Channel matrix: matrix[from][to].
     let mut senders: Vec<Vec<Sender<M>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
     let mut receivers: Vec<Vec<Option<Receiver<M>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for from in 0..p {
-        for to in 0..p {
-            let (s, r) = unbounded();
+        for rx_row in receivers.iter_mut() {
+            let (s, r) = crate::sync::channel::unbounded();
             senders[from].push(s);
-            receivers[to][from] = Some(r);
+            rx_row[from] = Some(r);
         }
     }
+    #[cfg(not(loom))]
+    let inbox_depth: Vec<Vec<DepthProbe>> = receivers
+        .iter()
+        .map(|row| {
+            row.iter()
+                .map(|r| r.as_ref().expect("filled").depth_probe())
+                .collect()
+        })
+        .collect();
 
     let shared = Arc::new(SharedState {
-        barrier: Barrier::new(p),
+        barrier: AbortableBarrier::new(p),
         bytes_sent: (0..p).map(|_| AtomicU64::new(0)).collect(),
         messages_sent: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        messages_received: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        task_state: (0..p).map(|_| AtomicU64::new(STATE_RUNNING)).collect(),
+        aborted: AtomicBool::new(false),
+        #[cfg(not(loom))]
+        inbox_depth,
     });
 
     let mut ctxs: Vec<TaskCtx<M>> = senders
@@ -142,29 +416,119 @@ where
                 .num_threads(config.threads_per_task)
                 .build()
                 .expect("failed to build task thread pool"),
+            // Distinct non-zero stream per task (splitmix-style spread);
+            // seed 0 disables jitter entirely.
+            jitter: Cell::new(if seed == 0 {
+                0
+            } else {
+                seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            }),
         })
         .collect();
 
     let body = &body;
+    let shared_for_tasks = &shared;
     let results: Vec<R> = std::thread::scope(|scope| {
         let handles: Vec<_> = ctxs
             .iter_mut()
-            .map(|ctx| scope.spawn(move || body(ctx)))
+            .map(|ctx| {
+                scope.spawn(move || {
+                    let rank = ctx.rank;
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(ctx)));
+                    // ORDERING: Relaxed — monitoring-only state word.
+                    shared_for_tasks.task_state[rank].store(STATE_DONE, Ordering::Relaxed);
+                    if out.is_err() {
+                        // Release peers blocked in recv/barrier so the scope
+                        // join below completes and the panic propagates.
+                        shared_for_tasks.aborted.store(true, Ordering::Relaxed);
+                    }
+                    out
+                })
+            })
             .collect();
-        handles
+        let outs: Vec<std::thread::Result<R>> = handles
             .into_iter()
-            .map(|h| h.join().expect("task panicked"))
+            .map(|h| h.join().expect("task thread died"))
+            .collect();
+        if outs.iter().any(Result::is_err) {
+            // Re-raise the root cause: prefer any payload that is NOT a
+            // secondary "cluster aborted" unwind (tasks released by the
+            // abort flag after another task already failed).
+            let mut secondary = None;
+            for out in outs {
+                if let Err(payload) = out {
+                    // `&*payload`: downcast the payload itself, not the Box.
+                    if panic_message(&*payload).starts_with("cluster aborted") {
+                        secondary.get_or_insert(payload);
+                    } else {
+                        std::panic::resume_unwind(payload);
+                    }
+                }
+            }
+            std::panic::resume_unwind(secondary.expect("some task panicked"));
+        }
+        outs.into_iter()
+            .map(|o| o.expect("checked above"))
             .collect()
     });
 
+    // Message conservation: every send was either received or is still
+    // queued in an inbox. A failure here is a channel-layer bug, never a
+    // user error, so it asserts unconditionally.
+    #[cfg(not(loom))]
+    {
+        // ORDERING: Relaxed — the thread scope join above is the
+        // synchronization point; these reads are sequential afterwards.
+        let sent: u64 = (0..p)
+            .map(|r| shared.messages_sent[r].load(Ordering::Relaxed))
+            .sum();
+        // ORDERING: Relaxed — sequential read after the join, as above.
+        let received: u64 = (0..p)
+            .map(|r| shared.messages_received[r].load(Ordering::Relaxed))
+            .sum();
+        let queued: u64 = shared
+            .inbox_depth
+            .iter()
+            .flatten()
+            .map(|d| d.len() as u64)
+            .sum();
+        assert_eq!(
+            sent,
+            received + queued,
+            "message conservation violated: {sent} sent != {received} received + {queued} queued"
+        );
+    }
+
     let stats = (0..p)
         .map(|r| CommStats {
+            // ORDERING: Relaxed — read after the scope join, as above.
             bytes_sent: shared.bytes_sent[r].load(Ordering::Relaxed),
             messages_sent: shared.messages_sent[r].load(Ordering::Relaxed),
         })
         .collect();
 
     ClusterResult { results, stats }
+}
+
+/// Run `body` once per seed under deterministic schedule jitter and
+/// return every run's result. The caller asserts cross-run invariants
+/// (e.g. that results are schedule-independent); the harness itself
+/// already enforces deadlock-freedom and message conservation on every
+/// run via the watchdog machinery above.
+pub fn explore_schedules<M, R, F>(
+    config: ClusterConfig,
+    seeds: &[u64],
+    body: F,
+) -> Vec<ClusterResult<R>>
+where
+    M: Payload,
+    R: Send,
+    F: Fn(&mut TaskCtx<M>) -> R + Sync,
+{
+    seeds
+        .iter()
+        .map(|&s| run_cluster_with_jitter(config, s.max(1), &body))
+        .collect()
 }
 
 #[cfg(test)]
@@ -228,6 +592,8 @@ mod tests {
         use std::sync::atomic::{AtomicUsize, Ordering};
         let phase1 = AtomicUsize::new(0);
         let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(4, 1), |ctx| {
+            // ORDERING: SeqCst — this test asserts cross-task visibility
+            // through the barrier alone, so the counter must not reorder.
             phase1.fetch_add(1, Ordering::SeqCst);
             ctx.barrier();
             // After the barrier every task must observe all 4 increments.
@@ -260,12 +626,71 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "task panicked")]
+    #[should_panic(expected = "boom")]
     fn task_panic_propagates() {
         run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(2, 1), |ctx| {
             if ctx.rank() == 1 {
                 panic!("boom");
             }
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "DEADLOCK")]
+    fn cross_recv_deadlock_is_reported_not_hung() {
+        // Both tasks wait for a message the other never sends. The
+        // watchdog must turn the hang into a per-task report.
+        run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            let peer = 1 - ctx.rank();
+            let _ = ctx.recv_from(peer);
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "DEADLOCK")]
+    fn recv_vs_barrier_deadlock_is_reported() {
+        // Task 0 waits at the barrier, task 1 waits for a message from
+        // task 0: neither can proceed.
+        run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.barrier();
+            } else {
+                let _ = ctx.recv_from(0);
+            }
+        });
+    }
+
+    #[test]
+    fn watchdog_quiet_on_slow_but_live_cluster() {
+        // A sender that dawdles past several watchdog polls must not be
+        // declared deadlocked: its RUNNING state keeps the watchdog off.
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(2, 1), |ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(120));
+                ctx.send(1, vec![9]);
+                0u8
+            } else {
+                ctx.recv_from(0)[0]
+            }
+        });
+        assert_eq!(r.results, vec![0, 9]);
+    }
+
+    #[test]
+    fn jittered_runs_agree() {
+        let all = explore_schedules::<Vec<u32>, _, _>(
+            ClusterConfig::new(3, 1),
+            &[1, 2, 3, 4, 5, 6, 7, 8],
+            |ctx| {
+                // Ring exchange: send rank to the right, receive from left.
+                let right = (ctx.rank() + 1) % ctx.size();
+                let left = (ctx.rank() + ctx.size() - 1) % ctx.size();
+                ctx.send(right, vec![ctx.rank() as u32]);
+                ctx.recv_from(left)[0]
+            },
+        );
+        for run in &all {
+            assert_eq!(run.results, vec![2, 0, 1]);
+        }
     }
 }

@@ -9,6 +9,17 @@
 use crate::cluster::TaskCtx;
 use crate::Payload;
 
+/// Peers of task `rank` in stage `stage` of the staged all-to-all:
+/// `(to, from)` where this task sends to `(rank + stage) mod P` and
+/// receives from `(rank - stage) mod P`.
+///
+/// Factored out so the loom model test (`tests/loom.rs`) explores the
+/// exact schedule [`alltoall`] executes, not a reimplementation.
+pub fn stage_peers(rank: usize, p: usize, stage: usize) -> (usize, usize) {
+    debug_assert!(rank < p && stage < p);
+    ((rank + stage) % p, (rank + p - stage) % p)
+}
+
 /// Custom P-stage all-to-all. `outgoing[q]` is this task's buffer destined
 /// for task `q`; returns `incoming` where `incoming[q]` came from task `q`.
 ///
@@ -26,8 +37,7 @@ pub fn alltoall<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec<M> {
     incoming[rank] = out[rank].take();
 
     for stage in 1..p {
-        let to = (rank + stage) % p;
-        let from = (rank + p - stage) % p;
+        let (to, from) = stage_peers(rank, p, stage);
         ctx.send(to, out[to].take().expect("buffer already sent"));
         incoming[from] = Some(ctx.recv_from(from));
     }
@@ -48,9 +58,9 @@ pub fn alltoall_naive<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec
     let mut out: Vec<Option<M>> = outgoing.drain(..).map(Some).collect();
     let mut incoming: Vec<Option<M>> = (0..p).map(|_| None).collect();
     incoming[rank] = out[rank].take();
-    for to in 0..p {
+    for (to, buf) in out.iter_mut().enumerate() {
         if to != rank {
-            ctx.send(to, out[to].take().expect("buffer already sent"));
+            ctx.send(to, buf.take().expect("buffer already sent"));
         }
     }
     for (from, slot) in incoming.iter_mut().enumerate() {
@@ -86,9 +96,9 @@ pub fn gather<M: Payload>(ctx: &TaskCtx<M>, root: usize, msg: M) -> Option<Vec<M
     if ctx.rank() == root {
         let mut all: Vec<Option<M>> = (0..ctx.size()).map(|_| None).collect();
         all[root] = Some(msg);
-        for from in 0..ctx.size() {
+        for (from, slot) in all.iter_mut().enumerate() {
             if from != root {
-                all[from] = Some(ctx.recv_from(from));
+                *slot = Some(ctx.recv_from(from));
             }
         }
         Some(all.into_iter().map(|o| o.expect("gathered")).collect())

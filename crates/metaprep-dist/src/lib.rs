@@ -22,8 +22,12 @@ pub mod cluster;
 pub mod collectives;
 pub mod netmodel;
 pub mod stats;
+pub mod sync;
 
-pub use cluster::{run_cluster, ClusterConfig, ClusterResult, TaskCtx};
+pub use cluster::{
+    explore_schedules, run_cluster, run_cluster_with_jitter, ClusterConfig, ClusterResult, TaskCtx,
+};
+pub use collectives::stage_peers;
 pub use netmodel::NetworkModel;
 pub use stats::CommStats;
 

@@ -1,0 +1,40 @@
+//! Audited synchronization shim for this crate.
+//!
+//! The cluster simulator's atomics and channels are imported from here,
+//! never from `std`/`crossbeam` directly. Under normal builds these are
+//! the real primitives; under `RUSTFLAGS="--cfg loom"` they are the
+//! model-checked `loom` types, so `tests/loom.rs` can exhaustively
+//! explore interleavings of the exact channel operations the simulator
+//! performs.
+//!
+//! This file is one of the `ORDERING_AUDITED` shims known to
+//! `cargo xtask check`: naming a memory ordering anywhere else in the
+//! workspace requires a per-site `// ORDERING:` justification.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+
+/// Channel used for simulated MPI message passing. Normally the
+/// crossbeam channel (with queue-depth probes for the watchdog); under
+/// `--cfg loom`, a modeled channel whose sends/receives are scheduling
+/// points.
+#[cfg(not(loom))]
+pub mod channel {
+    pub use crossbeam::channel::{
+        unbounded, DepthProbe, Receiver, RecvError, RecvTimeoutError, SendError, Sender,
+        TryRecvError,
+    };
+}
+
+#[cfg(loom)]
+pub mod channel {
+    pub use loom::sync::mpsc::{Receiver, RecvError, SendError, Sender, TryRecvError};
+
+    /// Create an unbounded modeled channel (loom spelling adapter).
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        loom::sync::mpsc::channel()
+    }
+}

@@ -1,7 +1,7 @@
 //! The `FASTQPart` chunk table (paper §3.1.2, Figure 2).
 
-use metaprep_kmer::{for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
 use metaprep_io::{chunk_store, ChunkSpec, ReadStore};
+use metaprep_kmer::{for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
 
 /// One row of the `FASTQPart` table: a logical chunk plus its own m-mer
 /// histogram.
@@ -126,9 +126,7 @@ mod tests {
         assert_eq!(fp.total(), mh.total());
         // Bin-wise: sum of chunk hists equals global hist.
         for b in 0..mh.space().bins() {
-            let sum: u64 = (0..fp.len())
-                .map(|c| fp.chunks()[c].hist[b] as u64)
-                .sum();
+            let sum: u64 = (0..fp.len()).map(|c| fp.chunks()[c].hist[b] as u64).sum();
             assert_eq!(sum, mh.counts()[b] as u64, "bin {b}");
         }
     }

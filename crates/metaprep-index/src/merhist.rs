@@ -1,7 +1,7 @@
 //! The global m-mer prefix histogram (`merHist`, paper §3.1.1).
 
-use metaprep_kmer::{for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
 use metaprep_io::ReadStore;
+use metaprep_kmer::{for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
 
 /// Histogram of the length-`m` prefixes of all canonical k-mers of a
 /// dataset. `4^m` bins, `u32` counts (the paper stores 32-bit counts; we
@@ -27,9 +27,7 @@ impl MerHist {
         };
         if k <= 32 {
             for (seq, _) in store.iter() {
-                for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
-                    bump(space.bin_of(v as u128))
-                });
+                for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| bump(space.bin_of(v as u128)));
             }
         } else {
             for (seq, _) in store.iter() {

@@ -230,7 +230,9 @@ mod tests {
             // Cheap LCG to vary sequences.
             let seq: Vec<u8> = (0..50)
                 .map(|_| {
-                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    x = x
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     b"ACGT"[(x >> 60) as usize & 3]
                 })
                 .collect();
@@ -306,8 +308,8 @@ mod tests {
         for s in 0..2 {
             for p in 0..3 {
                 let (blo, bhi) = plan.task_bin_range(s, p);
-                for b in blo..bhi {
-                    assert_eq!(table[b], (s * 3 + p) as u32, "bin {b}");
+                for (b, &owner) in table.iter().enumerate().take(bhi).skip(blo) {
+                    assert_eq!(owner, (s * 3 + p) as u32, "bin {b}");
                 }
             }
         }

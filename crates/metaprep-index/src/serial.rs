@@ -73,7 +73,7 @@ pub fn merhist_from_bytes(mut buf: &[u8]) -> Result<MerHist, IndexFormatError> {
     check(buf.get_u32_le() == VERSION, "unsupported merHist version")?;
     let k = buf.get_u32_le() as usize;
     let m = buf.get_u32_le() as usize;
-    check(m >= 1 && m <= 16 && m <= k, "invalid (k, m)")?;
+    check((1..=16).contains(&m) && m <= k, "invalid (k, m)")?;
     let n = buf.get_u64_le() as usize;
     let space = MmerSpace::new(k, m);
     check(n == space.bins(), "bin count mismatch")?;
@@ -111,7 +111,7 @@ pub fn fastqpart_from_bytes(mut buf: &[u8]) -> Result<FastqPart, IndexFormatErro
     check(buf.get_u32_le() == VERSION, "unsupported FASTQPart version")?;
     let k = buf.get_u32_le() as usize;
     let m = buf.get_u32_le() as usize;
-    check(m >= 1 && m <= 16 && m <= k, "invalid (k, m)")?;
+    check((1..=16).contains(&m) && m <= k, "invalid (k, m)")?;
     let space = MmerSpace::new(k, m);
     let bins = space.bins();
     let n = buf.get_u64_le() as usize;

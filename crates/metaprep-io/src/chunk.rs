@@ -131,7 +131,10 @@ pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Vec<ChunkSpec> {
     assert!(c >= 1);
     let starts = record_starts(data);
     let n = starts.len();
-    assert!(n % 2 == 0, "paired FASTQ must hold an even record count");
+    assert!(
+        n.is_multiple_of(2),
+        "paired FASTQ must hold an even record count"
+    );
     if n == 0 {
         return Vec::new();
     }
@@ -340,8 +343,7 @@ mod tests {
         let data = sample_bytes(18);
         for s in chunk_fastq_bytes_paired(&data, 4) {
             let lo = s.offset as usize;
-            let store =
-                crate::parse::parse_fastq(&data[lo..lo + s.bytes as usize], true).unwrap();
+            let store = crate::parse::parse_fastq(&data[lo..lo + s.bytes as usize], true).unwrap();
             assert_eq!(store.len(), s.seqs as usize);
         }
     }

@@ -181,11 +181,7 @@ pub fn parse_fastq_pair_files(
     if r1.len() != r2.len() {
         return Err(FastqError::Malformed {
             record: r1.len().min(r2.len()) + 1,
-            what: format!(
-                "mate files disagree: {} vs {} records",
-                r1.len(),
-                r2.len()
-            ),
+            what: format!("mate files disagree: {} vs {} records", r1.len(), r2.len()),
         });
     }
     let mut out = ReadStore::new();
@@ -354,8 +350,16 @@ mod tests {
     fn pair_files_interleave_and_roundtrip() {
         let dir = std::env::temp_dir().join("metaprep_io_pairfiles_test");
         std::fs::create_dir_all(&dir).unwrap();
-        std::fs::write(dir.join("r1.fastq"), "@a/1\nACGT\n+\nIIII\n@b/1\nGGGG\n+\nJJJJ\n").unwrap();
-        std::fs::write(dir.join("r2.fastq"), "@a/2\nTTTT\n+\nKKKK\n@b/2\nCCCC\n+\nLLLL\n").unwrap();
+        std::fs::write(
+            dir.join("r1.fastq"),
+            "@a/1\nACGT\n+\nIIII\n@b/1\nGGGG\n+\nJJJJ\n",
+        )
+        .unwrap();
+        std::fs::write(
+            dir.join("r2.fastq"),
+            "@a/2\nTTTT\n+\nKKKK\n@b/2\nCCCC\n+\nLLLL\n",
+        )
+        .unwrap();
         let s = parse_fastq_pair_files(dir.join("r1.fastq"), dir.join("r2.fastq")).unwrap();
         assert_eq!(s.len(), 4);
         assert_eq!(s.num_fragments(), 2);

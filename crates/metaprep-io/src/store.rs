@@ -284,7 +284,11 @@ mod tests {
         let v: Vec<_> = s.iter().map(|(q, f)| (q.to_vec(), f)).collect();
         assert_eq!(
             v,
-            vec![(b"AA".to_vec(), 0), (b"CC".to_vec(), 0), (b"GG".to_vec(), 1)]
+            vec![
+                (b"AA".to_vec(), 0),
+                (b"CC".to_vec(), 0),
+                (b"GG".to_vec(), 1)
+            ]
         );
     }
 

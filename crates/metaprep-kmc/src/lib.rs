@@ -302,7 +302,10 @@ mod tests {
             },
         );
         let want = naive_counts(&s, 5);
-        assert_eq!(res.total_kmers, want.values().map(|&c| c as u64).sum::<u64>());
+        assert_eq!(
+            res.total_kmers,
+            want.values().map(|&c| c as u64).sum::<u64>()
+        );
     }
 
     #[test]

@@ -14,11 +14,7 @@ use crate::kmer::Kmer;
 /// Windows overlapping an invalid byte (e.g. `N`) are skipped. Does nothing
 /// when `seq.len() < k`.
 #[inline]
-pub fn for_each_canonical_kmer<K: Kmer>(
-    seq: &[u8],
-    k: usize,
-    mut f: impl FnMut(K::Repr, usize),
-) {
+pub fn for_each_canonical_kmer<K: Kmer>(seq: &[u8], k: usize, mut f: impl FnMut(K::Repr, usize)) {
     assert!(k >= 1 && k <= K::MAX_K);
     let mut i = 0;
     while i < seq.len() {

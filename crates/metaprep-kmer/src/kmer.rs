@@ -31,15 +31,7 @@ use crate::alphabet::complement_code;
 /// ```
 pub trait Kmer: Copy + Clone + Eq + Ord + std::fmt::Debug + Send + Sync + 'static {
     /// Unsigned integer type holding the packed value.
-    type Repr: Copy
-        + Clone
-        + Eq
-        + Ord
-        + std::hash::Hash
-        + std::fmt::Debug
-        + Send
-        + Sync
-        + 'static;
+    type Repr: Copy + Clone + Eq + Ord + std::hash::Hash + std::fmt::Debug + Send + Sync + 'static;
 
     /// Largest supported `k` for this width.
     const MAX_K: usize;
@@ -129,7 +121,7 @@ macro_rules! impl_kmer {
 
             #[inline]
             fn zero(k: usize) -> Self {
-                assert!(k >= 1 && k <= Self::MAX_K, "k={k} out of range");
+                assert!((1..=Self::MAX_K).contains(&k), "k={k} out of range");
                 // `AA..A` reverse-complements to `TT..T`.
                 Self {
                     fwd: 0,
@@ -276,13 +268,13 @@ mod tests {
     #[test]
     fn max_k_masks_do_not_overflow() {
         // k = 32 for Kmer64 uses the full 64 bits.
-        let s: Vec<u8> = std::iter::repeat(b'T').take(32).collect();
+        let s: Vec<u8> = std::iter::repeat_n(b'T', 32).collect();
         let km = Kmer64::from_codes(&codes(&s));
         assert_eq!(km.value(), u64::MAX);
         assert_eq!(km.rc_value(), 0); // RC of T^32 is A^32
 
         // k = 63 for Kmer128 uses 126 of the 128 bits.
-        let s: Vec<u8> = std::iter::repeat(b'T').take(63).collect();
+        let s: Vec<u8> = std::iter::repeat_n(b'T', 63).collect();
         let km = Kmer128::from_codes(&codes(&s));
         assert_eq!(km.value(), (1u128 << 126) - 1);
         assert_eq!(km.rc_value(), 0);
@@ -367,8 +359,8 @@ mod tests {
             k in 2usize..8,
         ) {
             let mut km = Kmer64::from_codes(&s[..k]);
-            for i in k..s.len() {
-                km.roll(s[i]);
+            for &code in &s[k..] {
+                km.roll(code);
             }
             let want = Kmer64::from_codes(&s[s.len() - k..]);
             prop_assert_eq!(km.value(), want.value());

@@ -157,7 +157,12 @@ mod tests {
         // n = 2 * LANES windows: smallest input on the lane path.
         let k = 4;
         let n = 2 * LANES;
-        let seq: Vec<u8> = b"ACGTTGCA".iter().cycle().take(n + k - 1).copied().collect();
+        let seq: Vec<u8> = b"ACGTTGCA"
+            .iter()
+            .cycle()
+            .take(n + k - 1)
+            .copied()
+            .collect();
         assert_eq!(sorted_pairs_x4(&seq, k), sorted_pairs_scalar(&seq, k));
     }
 

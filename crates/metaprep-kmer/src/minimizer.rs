@@ -114,7 +114,7 @@ fn run_superkmers(
         deque.push_back(j);
         if j + 1 >= win {
             let kmer_idx = j + 1 - win; // window index among the run's k-mers
-            // Evict offsets that fell out of the window [kmer_idx, kmer_idx + win).
+                                        // Evict offsets that fell out of the window [kmer_idx, kmer_idx + win).
             while *deque.front().expect("nonempty") < kmer_idx {
                 deque.pop_front();
             }
@@ -164,9 +164,7 @@ mod tests {
         for (o, m) in mins {
             match out.last_mut() {
                 // Contiguity matters: a gap (N) must break the super-k-mer.
-                Some(last)
-                    if last.minimizer == m && last.start + last.len - k + 1 == o =>
-                {
+                Some(last) if last.minimizer == m && last.start + last.len - k + 1 == o => {
                     last.len += 1;
                 }
                 _ => out.push(SuperKmer {
@@ -221,7 +219,11 @@ mod tests {
     fn matches_naive_on_fixed_input() {
         let seq = b"ACGTACGTTAGCGCGCGCATTTACGGGACGTACGATCGAT";
         for (k, w) in [(6, 3), (8, 4), (5, 2), (4, 4)] {
-            assert_eq!(superkmers(seq, k, w), naive_superkmers(seq, k, w), "k={k} w={w}");
+            assert_eq!(
+                superkmers(seq, k, w),
+                naive_superkmers(seq, k, w),
+                "k={k} w={w}"
+            );
         }
     }
 

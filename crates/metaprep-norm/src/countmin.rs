@@ -24,8 +24,7 @@ impl CountMinSketch {
             .map(|i| {
                 // SplitMix64 over (seed, i) — odd constants for the
                 // multiply-shift family.
-                let mut z = seed
-                    .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
+                let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1));
                 z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
                 z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
                 (z ^ (z >> 31)) | 1
@@ -112,7 +111,11 @@ mod tests {
             *truth.entry(x).or_insert(0) += 1;
         }
         for (&x, &c) in &truth {
-            assert!(s.estimate(x) >= c, "item {x}: est {} < true {c}", s.estimate(x));
+            assert!(
+                s.estimate(x) >= c,
+                "item {x}: est {} < true {c}",
+                s.estimate(x)
+            );
         }
     }
 

@@ -116,7 +116,7 @@ pub fn parallel_lsb_sort<T: Keyed + Default>(
         let totals: Vec<usize> = (0..buckets)
             .map(|b| hists.iter().map(|h| h[b]).sum())
             .collect();
-        if totals.iter().any(|&t| t == n) {
+        if totals.contains(&n) {
             continue;
         }
 

@@ -17,24 +17,59 @@ use std::cell::UnsafeCell;
 /// pair owns a precomputed, non-overlapping destination window.
 pub(crate) struct SharedSlice<'a, T> {
     cell: &'a [UnsafeCell<T>],
+    /// Debug-build scatter tracker: one "written" flag per slot, so the
+    /// disjointness contract is *asserted* under `cfg(debug_assertions)`
+    /// instead of merely trusted (two writers on one slot trip it in
+    /// whatever order they interleave).
+    #[cfg(debug_assertions)]
+    written: Vec<std::sync::atomic::AtomicBool>,
 }
 
+// SAFETY: the only mutation path is `write`, whose contract (enforced in
+// debug builds by the `written` flags) is that each index is written by
+// at most one thread and never read during the scatter; `T: Send` makes
+// moving the values across threads sound. No `&T` to a cell is ever
+// handed out while the scatter runs.
 unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+// SAFETY: as above — concurrent `&SharedSlice` use only touches disjoint
+// cells, so sharing the wrapper across threads is sound.
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
     pub(crate) fn new(slice: &'a mut [T]) -> Self {
-        // SAFETY: [T] and [UnsafeCell<T>] have identical layout.
+        #[cfg(debug_assertions)]
+        let written = (0..slice.len())
+            .map(|_| std::sync::atomic::AtomicBool::new(false))
+            .collect();
+        // SAFETY: [T] and [UnsafeCell<T>] have identical layout, and the
+        // exclusive borrow of `slice` is held by `self` for 'a, so no
+        // other access to the underlying memory exists.
         let cell = unsafe { &*(slice as *mut [T] as *const [UnsafeCell<T>]) };
-        Self { cell }
+        Self {
+            cell,
+            #[cfg(debug_assertions)]
+            written,
+        }
     }
 
     /// Write `value` at `i`.
     ///
     /// SAFETY: caller must ensure no other thread reads or writes index `i`
-    /// during the scatter.
+    /// during the scatter. Debug builds verify the "at most one writer per
+    /// slot" half of the contract (and bounds) at runtime.
     #[inline(always)]
     pub(crate) unsafe fn write(&self, i: usize, value: T) {
+        #[cfg(debug_assertions)]
+        {
+            assert!(i < self.cell.len(), "scatter write out of bounds");
+            // ORDERING: Relaxed — the flag carries no data, it only has
+            // to make two swaps on the same slot observe each other,
+            // which a single RMW cell guarantees at any ordering.
+            let prior = self.written[i].swap(true, std::sync::atomic::Ordering::Relaxed);
+            assert!(!prior, "two scatter writers hit slot {i}: windows overlap");
+        }
+        // SAFETY: per the caller contract, this thread exclusively owns
+        // slot `i` for the duration of the scatter; `cell[i]` bounds-checks.
         *self.cell[i].get() = value;
     }
 }
@@ -59,9 +94,15 @@ pub fn partition_by_ranges<T: Keyed>(
     boundaries: &[T::Key],
 ) -> Vec<usize> {
     assert_eq!(src.len(), dst.len());
-    assert!(boundaries.windows(2).all(|w| w[0] <= w[1]), "boundaries must be sorted");
+    assert!(
+        boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "boundaries must be sorted"
+    );
     let ranges = boundaries.len() + 1;
-    let chunk_size = src.len().div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let chunk_size = src
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(1);
     let chunks: Vec<&[T]> = src.chunks(chunk_size).collect();
 
     // Per-chunk histograms.

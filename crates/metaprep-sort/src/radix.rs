@@ -141,7 +141,7 @@ pub fn lsb_radix_sort<T: Keyed>(data: &mut [T], scratch: &mut [T], bits: u32, ke
         }
         // Skip passes where every key shares one digit (all elements land
         // in one bucket): the permutation would be the identity.
-        if counts.iter().any(|&c| c == src.len()) {
+        if counts.contains(&src.len()) {
             continue;
         }
         // Exclusive prefix sum -> write cursors.

@@ -22,12 +22,7 @@ pub fn random_genome(len: usize, rng: &mut SmallRng) -> Vec<u8> {
 /// opposed to inserting) keeps genome length fixed, which keeps coverage
 /// math exact; biologically this models a mobile element landing in
 /// otherwise unconstrained sequence.
-pub fn plant_repeat(
-    genome: &mut [u8],
-    element: &[u8],
-    divergence: f64,
-    rng: &mut SmallRng,
-) {
+pub fn plant_repeat(genome: &mut [u8], element: &[u8], divergence: f64, rng: &mut SmallRng) {
     if genome.len() < element.len() {
         return;
     }
@@ -99,7 +94,7 @@ mod tests {
     fn plant_repeat_keeps_length_and_embeds_element() {
         let mut rng = derive_rng(2, 0);
         let mut g = random_genome(500, &mut rng);
-        let elem: Vec<u8> = std::iter::repeat(b'A').take(50).collect();
+        let elem: Vec<u8> = std::iter::repeat_n(b'A', 50).collect();
         plant_repeat(&mut g, &elem, 0.0, &mut rng);
         assert_eq!(g.len(), 500);
         // Zero divergence: the exact element must appear.
@@ -123,7 +118,7 @@ mod tests {
     fn plant_repeat_on_too_short_genome_is_noop() {
         let mut rng = derive_rng(4, 0);
         let mut g = vec![b'C'; 10];
-        plant_repeat(&mut g, &vec![b'A'; 20], 0.0, &mut rng);
+        plant_repeat(&mut g, &[b'A'; 20], 0.0, &mut rng);
         assert_eq!(g, vec![b'C'; 10]);
     }
 

@@ -84,12 +84,7 @@ fn build_genomes(profile: &CommunityProfile, seed: u64) -> Vec<Genome> {
     genomes
 }
 
-fn plant_repeats(
-    seq: &mut [u8],
-    lib: &[Vec<u8>],
-    profile: &CommunityProfile,
-    rng: &mut SmallRng,
-) {
+fn plant_repeats(seq: &mut [u8], lib: &[Vec<u8>], profile: &CommunityProfile, rng: &mut SmallRng) {
     if lib.is_empty() {
         return;
     }
@@ -235,8 +230,12 @@ mod tests {
         assert_eq!(a.species_of_fragment, b.species_of_fragment);
         let c = simulate_community(&tiny(), 10);
         assert_ne!(
-            (0..a.reads.len()).map(|i| a.reads.seq(i).to_vec()).collect::<Vec<_>>(),
-            (0..c.reads.len()).map(|i| c.reads.seq(i).to_vec()).collect::<Vec<_>>()
+            (0..a.reads.len())
+                .map(|i| a.reads.seq(i).to_vec())
+                .collect::<Vec<_>>(),
+            (0..c.reads.len())
+                .map(|i| c.reads.seq(i).to_vec())
+                .collect::<Vec<_>>()
         );
     }
 

@@ -39,7 +39,9 @@ fn main() {
 
     let cfg = PipelineConfig::builder().k(27).tasks(2).threads(2).build();
     for (label, reads) in [("raw       ", &data.reads), ("normalized", &norm.reads)] {
-        let res = Pipeline::new(cfg.clone()).run_reads(reads).expect("pipeline");
+        let res = Pipeline::new(cfg.clone())
+            .run_reads(reads)
+            .expect("pipeline");
         println!(
             "partition [{label}]: {:>9} tuples, {:>5} components, LC {:>5.1}%, {:.2}s",
             res.tuples_total,

@@ -33,7 +33,9 @@ fn main() {
         if let Some((lo, hi)) = kf {
             b = b.kf_filter(lo, hi);
         }
-        let result = Pipeline::new(b.build()).run_reads(&data.reads).expect("pipeline");
+        let result = Pipeline::new(b.build())
+            .run_reads(&data.reads)
+            .expect("pipeline");
         println!(
             "[{label}] {} components, largest = {:.1}% of reads, {} groups filtered",
             result.components.components,
@@ -43,7 +45,8 @@ fn main() {
 
         if kf == Some((10, 29)) {
             // Write the filtered partition to disk as lc.fastq / other.fastq.
-            let parts = partition_reads(&data.reads, &result.labels, result.components.largest_root);
+            let parts =
+                partition_reads(&data.reads, &result.labels, result.components.largest_root);
             write_partitions(&out_dir, &parts).expect("write FASTQ partitions");
             println!(
                 "wrote {}/lc.fastq ({} reads) and {}/other.fastq ({} reads)",

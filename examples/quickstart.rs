@@ -44,5 +44,8 @@ fn main() {
     //    Count fragment pairs of the same species that share a component.
     let lr = result.components.largest_root;
     let in_lc = result.labels.iter().filter(|&&l| l == lr).count();
-    println!("largest component: {in_lc} of {} fragments", result.labels.len());
+    println!(
+        "largest component: {in_lc} of {} fragments",
+        result.labels.len()
+    );
 }

@@ -42,7 +42,12 @@ fn pipeline_partition_agrees_with_shiloach_vishkin() {
     let reads = community();
     let k = 21;
 
-    let cfg = PipelineConfig::builder().k(k).m(6).tasks(4).passes(2).build();
+    let cfg = PipelineConfig::builder()
+        .k(k)
+        .m(6)
+        .tasks(4)
+        .passes(2)
+        .build();
     let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
 
     // Build the explicit read graph and label it with SV.

@@ -39,7 +39,12 @@ fn fastq_file_roundtrip_preserves_pipeline_result() {
 #[test]
 fn partition_outputs_reparse_and_cover_input() {
     let data = small_community();
-    let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).threads(2).build();
+    let cfg = PipelineConfig::builder()
+        .k(21)
+        .m(6)
+        .tasks(2)
+        .threads(2)
+        .build();
     let res = Pipeline::new(cfg).run_reads(&data.reads).unwrap();
     let parts = partition_reads(&data.reads, &res.labels, res.components.largest_root);
 

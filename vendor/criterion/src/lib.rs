@@ -1,0 +1,211 @@
+//! Offline vendored shim for the subset of `criterion` used by
+//! `metaprep-bench`. It keeps benchmark sources compiling and running
+//! (timing loops with median-of-samples reporting to stdout) without the
+//! real crate's statistics, plotting, or CLI.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from eliding a value (shim of
+/// `criterion::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`] (ignored by the shim).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    last_median: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` repeatedly; records the median sample.
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+
+    /// Time `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            times.push(t0.elapsed());
+        }
+        times.sort_unstable();
+        self.last_median = times[times.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate per-iteration throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Set the number of timing samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<N: Into<String>>(
+        &mut self,
+        id: N,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(full, self.sample_size, self.throughput, f);
+        let _ = &self.criterion;
+        self
+    }
+
+    /// Finish the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level driver (shim of `criterion::Criterion`).
+#[derive(Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Open a benchmark group.
+    pub fn benchmark_group<N: Into<String>>(&mut self, name: N) -> BenchmarkGroup<'_> {
+        let sample_size = if self.sample_size == 0 {
+            10
+        } else {
+            self.sample_size
+        };
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function(&mut self, id: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_one(id.to_string(), 10, None, f);
+        self
+    }
+}
+
+fn run_one(
+    id: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        samples,
+        last_median: Duration::ZERO,
+    };
+    f(&mut b);
+    let med = b.last_median;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) if med > Duration::ZERO => {
+            format!(
+                "  {:.1} MiB/s",
+                n as f64 / med.as_secs_f64() / (1 << 20) as f64
+            )
+        }
+        Some(Throughput::Elements(n)) if med > Duration::ZERO => {
+            format!("  {:.2} Melem/s", n as f64 / med.as_secs_f64() / 1e6)
+        }
+        _ => String::new(),
+    };
+    println!("bench {id:<50} median {med:?}{rate}");
+}
+
+/// Shim of `criterion_group!`: collects benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Shim of `criterion_main!`: runs the groups from `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(100));
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0u64..100).sum::<u64>()));
+        g.bench_function("batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 100],
+                |v| v.into_iter().sum::<u64>(),
+                BatchSize::LargeInput,
+            )
+        });
+        g.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn group_macro_runs() {
+        benches();
+    }
+}

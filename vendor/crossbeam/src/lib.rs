@@ -1,0 +1,184 @@
+//! Offline vendored shim for `crossbeam::channel`, backed by
+//! `std::sync::mpsc`.
+//!
+//! Beyond the crossbeam API subset the workspace uses (`unbounded`,
+//! `Sender::send`, `Receiver::recv`/`recv_timeout`/`try_recv`, `len`),
+//! the shim maintains an atomic queue-depth counter per channel and
+//! exposes it as a cheap shared probe ([`Receiver::depth_probe`]).
+//! `metaprep-dist`'s deadlock watchdog uses the probes to test "every
+//! inbox is empty" without taking ownership of the receivers.
+
+pub mod channel {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{mpsc, Arc};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// Shared queue-depth counter for one channel. The count is updated
+    /// after enqueue and after dequeue, so a reading of `0` can be stale
+    /// only in the direction of "a message is in flight" — the watchdog
+    /// re-samples before declaring deadlock.
+    #[derive(Clone, Debug)]
+    pub struct DepthProbe(Arc<AtomicUsize>);
+
+    impl DepthProbe {
+        /// Current number of queued messages.
+        pub fn len(&self) -> usize {
+            // ORDERING: monitoring only — the probe never synchronizes
+            // message payloads, so relaxed reads suffice.
+            self.0.load(Ordering::Relaxed)
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Sending half (shim of `crossbeam::channel::Sender`).
+    pub struct Sender<T> {
+        tx: mpsc::Sender<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Self {
+                tx: self.tx.clone(),
+                depth: Arc::clone(&self.depth),
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueue `value`; fails only if the receiver was dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            // ORDERING: the mpsc channel itself synchronizes the payload;
+            // the depth counter is monitoring-only.
+            self.depth.fetch_add(1, Ordering::Relaxed);
+            let r = self.tx.send(value);
+            if r.is_err() {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+            }
+            r
+        }
+
+        /// Number of queued messages (crossbeam API).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    /// Receiving half (shim of `crossbeam::channel::Receiver`).
+    pub struct Receiver<T> {
+        rx: mpsc::Receiver<T>,
+        depth: Arc<AtomicUsize>,
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let v = self.rx.recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
+        }
+
+        /// Receive with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let v = self.rx.recv_timeout(timeout)?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let v = self.rx.try_recv()?;
+            self.depth.fetch_sub(1, Ordering::Relaxed);
+            Ok(v)
+        }
+
+        /// Number of queued messages (crossbeam API).
+        pub fn len(&self) -> usize {
+            self.depth.load(Ordering::Relaxed)
+        }
+
+        /// True if no messages are queued.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
+        /// Clone of this channel's queue-depth counter (shim extension;
+        /// not part of the real crossbeam API).
+        pub fn depth_probe(&self) -> DepthProbe {
+            DepthProbe(Arc::clone(&self.depth))
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        let depth = Arc::new(AtomicUsize::new(0));
+        (
+            Sender {
+                tx,
+                depth: Arc::clone(&depth),
+            },
+            Receiver { rx, depth },
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_fifo() {
+            let (tx, rx) = unbounded();
+            for i in 0..10 {
+                tx.send(i).unwrap();
+            }
+            assert_eq!(rx.len(), 10);
+            for i in 0..10 {
+                assert_eq!(rx.recv().unwrap(), i);
+            }
+            assert!(rx.is_empty());
+        }
+
+        #[test]
+        fn depth_probe_tracks_queue() {
+            let (tx, rx) = unbounded();
+            let probe = rx.depth_probe();
+            assert!(probe.is_empty());
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+            assert_eq!(probe.len(), 2);
+            rx.recv().unwrap();
+            assert_eq!(probe.len(), 1);
+        }
+
+        #[test]
+        fn recv_timeout_times_out() {
+            let (tx, rx) = unbounded::<u8>();
+            let err = rx.recv_timeout(Duration::from_millis(5)).unwrap_err();
+            assert_eq!(err, RecvTimeoutError::Timeout);
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(5)).unwrap_err(),
+                RecvTimeoutError::Disconnected
+            );
+        }
+
+        #[test]
+        fn works_across_threads() {
+            let (tx, rx) = unbounded();
+            std::thread::spawn(move || tx.send(99).unwrap());
+            assert_eq!(rx.recv().unwrap(), 99);
+        }
+    }
+}

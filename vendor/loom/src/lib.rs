@@ -1,0 +1,47 @@
+//! Offline vendored **mini-loom**: a model checker that exhaustively
+//! explores thread interleavings of programs whose cross-thread
+//! communication goes through this crate's atomics and channels.
+//!
+//! The API mirrors the subset of the real `loom` crate this workspace
+//! uses (`model`, `thread::spawn`/`yield_now`, `sync::atomic`,
+//! `sync::mpsc`), so code written against the workspace `sync` shims
+//! compiles unchanged under `--cfg loom`.
+//!
+//! # How it works
+//!
+//! Execution is fully **serialized by a token scheduler**: exactly one
+//! modeled thread runs at a time, and every *visible operation* (atomic
+//! access, channel send/receive, `yield_now`, thread join/exit) is a
+//! scheduling point. At each point the scheduler consults a DFS
+//! enumeration state and either follows a replay prefix or extends it,
+//! so successive calls of the model body walk every reachable
+//! interleaving of visible operations.
+//!
+//! Blocking operations (empty-channel receive, join on a live thread)
+//! deschedule the thread. If every live thread is descheduled the model
+//! **reports the deadlock** — per-thread state included — instead of
+//! hanging, mirroring the runtime watchdog in `metaprep-dist::cluster`.
+//!
+//! # Fidelity
+//!
+//! The explored semantics are **sequential consistency**. Memory
+//! orderings are accepted and ignored: every interleaving of visible
+//! ops is explored, but relaxed/acquire-release *reorderings* are not
+//! modeled (the real loom models them partially; a full C11 model needs
+//! CDSChecker-style machinery). The ordering-audit lint in `xtask`
+//! exists precisely because this gap must be covered by review.
+
+pub mod model;
+pub mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use model::model;
+
+/// Spin-loop hint (schedule point under the model).
+pub mod hint {
+    /// Yields to the scheduler, like `std::hint::spin_loop` in spirit.
+    pub fn spin_loop() {
+        crate::sched::with_scheduler(|s, me| s.schedule_point(me));
+    }
+}

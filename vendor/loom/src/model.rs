@@ -1,0 +1,233 @@
+//! The exploration driver: runs the model body under every reachable
+//! schedule (depth-first over scheduling decisions) until the space is
+//! exhausted, a failure is found, or the iteration cap is hit.
+
+use crate::sched::{clear_ctx, next_prefix, set_ctx, Scheduler};
+use std::sync::Arc;
+
+/// Default cap on explored schedules; override with `LOOM_MAX_ITERS`.
+const DEFAULT_MAX_ITERS: usize = 250_000;
+
+/// Exploration configuration (subset of real loom's `model::Builder`).
+/// Use for scenarios whose exhaustive schedule count is known to exceed
+/// the default cap — prefer shrinking the scenario when possible.
+#[derive(Clone, Debug)]
+pub struct Builder {
+    /// Cap on explored schedules before the driver gives up.
+    pub max_iters: usize,
+}
+
+impl Default for Builder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Builder {
+    /// A builder with the default (env-overridable) iteration cap.
+    pub fn new() -> Self {
+        let max_iters = std::env::var("LOOM_MAX_ITERS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .unwrap_or(DEFAULT_MAX_ITERS);
+        Self { max_iters }
+    }
+
+    /// Explore `f` under this configuration (see [`model`]).
+    pub fn check<F>(&self, f: F)
+    where
+        F: Fn(),
+    {
+        model_with_cap(self.max_iters, f)
+    }
+}
+
+/// Exhaustively explore the interleavings of `f`'s visible operations.
+///
+/// `f` is executed once per schedule; it must be deterministic apart
+/// from scheduling (same visible-op structure given the same decision
+/// sequence), which the replay machinery asserts. On failure the
+/// driver prints the schedule that exposed it and re-raises the panic;
+/// a modeled deadlock is a failure with a per-thread report.
+pub fn model<F>(f: F)
+where
+    F: Fn(),
+{
+    Builder::new().check(f)
+}
+
+fn model_with_cap<F>(max_iters: usize, f: F)
+where
+    F: Fn(),
+{
+    let mut prefix: Vec<usize> = Vec::new();
+    let mut iters: usize = 0;
+    loop {
+        iters += 1;
+        let sched = Arc::new(Scheduler::new(prefix.clone()));
+        let main_tid = sched.register_thread();
+        debug_assert_eq!(main_tid, 0, "main model thread must register first");
+        set_ctx(Arc::clone(&sched), main_tid);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        if let Err(payload) = out {
+            sched.record_panic(payload);
+        }
+        sched.finish_thread(main_tid);
+        let (trace, payload) = sched.wait_all_done();
+        clear_ctx();
+
+        if let Some(payload) = payload {
+            eprintln!(
+                "loom (shim): failure on schedule #{iters}; decisions (chosen/options): {trace:?}"
+            );
+            std::panic::resume_unwind(payload);
+        }
+        match next_prefix(&trace) {
+            Some(p) => prefix = p,
+            None => {
+                eprintln!("loom (shim): explored {iters} schedules, all passed");
+                return;
+            }
+        }
+        assert!(
+            iters < max_iters,
+            "loom (shim): exceeded {max_iters} schedules (set LOOM_MAX_ITERS to raise); \
+             shrink the modeled scenario instead of raising the cap if possible"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::model;
+    use crate::sync::atomic::{AtomicUsize, Ordering};
+    use crate::sync::mpsc;
+    use crate::sync::Arc;
+    use crate::thread;
+    use std::sync::atomic::AtomicUsize as StdAtomicUsize;
+    use std::sync::atomic::Ordering as StdOrdering;
+
+    #[test]
+    fn explores_both_orders_of_two_stores() {
+        // Two racing stores: the final value must take each of the two
+        // possibilities in some explored schedule.
+        let saw = Arc::new(StdAtomicUsize::new(0));
+        let saw2 = Arc::clone(&saw);
+        model(move || {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || a2.store(1, Ordering::SeqCst));
+            a.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+            let v = a.load(Ordering::SeqCst);
+            saw2.fetch_or(1 << v, StdOrdering::Relaxed);
+        });
+        assert_eq!(saw.load(StdOrdering::Relaxed), (1 << 1) | (1 << 2));
+    }
+
+    #[test]
+    fn racing_increments_never_lose_updates() {
+        model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    thread::spawn(move || a.fetch_add(1, Ordering::SeqCst))
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    #[test]
+    fn finds_lost_update_with_nonatomic_rmw() {
+        // load-then-store (a broken increment) must lose an update in
+        // SOME schedule: the model's job is to find it.
+        let res = std::panic::catch_unwind(|| {
+            model(|| {
+                let a = Arc::new(AtomicUsize::new(0));
+                let handles: Vec<_> = (0..2)
+                    .map(|_| {
+                        let a = Arc::clone(&a);
+                        thread::spawn(move || {
+                            let v = a.load(Ordering::SeqCst);
+                            a.store(v + 1, Ordering::SeqCst);
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    h.join().unwrap();
+                }
+                assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+            });
+        });
+        assert!(res.is_err(), "model must expose the lost update");
+    }
+
+    #[test]
+    fn channel_delivers_across_schedules() {
+        model(|| {
+            let (tx, rx) = mpsc::channel();
+            let t = thread::spawn(move || {
+                tx.send(41usize).unwrap();
+                tx.send(1usize).unwrap();
+            });
+            let a = rx.recv().unwrap();
+            let b = rx.recv().unwrap();
+            assert_eq!(a + b, 42);
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn channel_disconnect_reported() {
+        model(|| {
+            let (tx, rx) = mpsc::channel::<usize>();
+            let t = thread::spawn(move || {
+                tx.send(7).unwrap();
+                // tx dropped here: receiver must see Err after draining.
+            });
+            assert_eq!(rx.recv().unwrap(), 7);
+            assert!(rx.recv().is_err());
+            t.join().unwrap();
+        });
+    }
+
+    #[test]
+    fn deadlock_is_reported_not_hung() {
+        // Two receivers waiting on each other's (never-sent) messages.
+        let res = std::panic::catch_unwind(|| {
+            model(|| {
+                let (tx_a, rx_a) = mpsc::channel::<usize>();
+                let (tx_b, rx_b) = mpsc::channel::<usize>();
+                let t = thread::spawn(move || {
+                    let v = rx_a.recv().unwrap();
+                    tx_b.send(v).unwrap();
+                });
+                // Main waits for B before ever feeding A: deadlock.
+                let v = rx_b.recv().unwrap();
+                tx_a.send(v).unwrap();
+                t.join().unwrap();
+            });
+        });
+        let err = res.expect_err("deadlock must abort the model");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("DEADLOCK"), "report missing: {msg}");
+        assert!(msg.contains("blocked on recv"), "report missing: {msg}");
+    }
+
+    #[test]
+    fn yield_now_is_schedulable() {
+        model(|| {
+            let t = thread::spawn(|| {
+                thread::yield_now();
+                3usize
+            });
+            thread::yield_now();
+            assert_eq!(t.join().unwrap(), 3);
+        });
+    }
+}

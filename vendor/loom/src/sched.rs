@@ -1,0 +1,374 @@
+//! The token scheduler: serializes modeled threads and enumerates
+//! scheduling decisions depth-first.
+//!
+//! Invariant: at any instant exactly one modeled thread is *running*
+//! (holds the token); all others are parked inside this module. Every
+//! visible operation calls [`Scheduler::schedule_point`], which makes
+//! one enumerated decision: which thread performs its next visible
+//! operation. Replaying a recorded decision prefix therefore replays
+//! the exact execution.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// What a finished run yields: the decision trace (chosen, options) and,
+/// if the run failed, the first panic payload.
+pub(crate) type RunOutcome = (Vec<(usize, usize)>, Option<Box<dyn Any + Send>>);
+
+/// Why a thread is descheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockReason {
+    /// Waiting for a message on the channel with this id.
+    Recv(usize),
+    /// Waiting for the thread with this id to finish.
+    Join(usize),
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    /// Runnable (running, or parked waiting for the token).
+    Ready,
+    /// Descheduled until the event in the reason occurs.
+    Blocked(BlockReason),
+    /// Finished.
+    Done,
+}
+
+/// Marker panic payload used to unwind parked threads when a run aborts.
+pub(crate) struct ModelAbort;
+
+struct State {
+    status: Vec<Status>,
+    current: usize,
+    /// Replay prefix of decision indices for this run.
+    prefix: Vec<usize>,
+    pos: usize,
+    /// (chosen index, number of options) per decision this run.
+    trace: Vec<(usize, usize)>,
+    aborting: bool,
+    panic_payload: Option<Box<dyn Any + Send>>,
+    live: usize,
+    next_chan: usize,
+}
+
+/// One run's scheduler. A fresh `Scheduler` is built per explored
+/// schedule; [`crate::model::model`] drives the enumeration across runs.
+pub struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Install the (scheduler, tid) pair for the current OS thread.
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, tid: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, tid)));
+}
+
+/// Remove the context (end of a model run on the driving thread).
+pub(crate) fn clear_ctx() {
+    CTX.with(|c| *c.borrow_mut() = None);
+}
+
+/// Run `f` with the current thread's scheduler context. Panics if the
+/// calling thread is not inside `loom::model`.
+pub fn with_scheduler<R>(f: impl FnOnce(&Arc<Scheduler>, usize) -> R) -> R {
+    CTX.with(|c| {
+        let b = c.borrow();
+        let (sched, tid) = b
+            .as_ref()
+            .expect("loom (shim) primitive used outside loom::model");
+        f(sched, *tid)
+    })
+}
+
+/// True if the current OS thread is a modeled thread.
+pub fn in_model() -> bool {
+    CTX.with(|c| c.borrow().is_some())
+}
+
+impl Scheduler {
+    /// Maximum decisions per run — guards against visible-op livelock.
+    const MAX_TRACE: usize = 1 << 20;
+
+    pub(crate) fn new(prefix: Vec<usize>) -> Self {
+        Self {
+            state: Mutex::new(State {
+                status: Vec::new(),
+                current: 0,
+                prefix,
+                pos: 0,
+                trace: Vec::new(),
+                aborting: false,
+                panic_payload: None,
+                live: 0,
+                next_chan: 0,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register a new modeled thread; returns its tid.
+    pub(crate) fn register_thread(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let tid = st.status.len();
+        st.status.push(Status::Ready);
+        st.live += 1;
+        tid
+    }
+
+    /// Allocate a channel id (used in block reasons and reports).
+    pub(crate) fn new_chan_id(&self) -> usize {
+        let mut st = self.state.lock().unwrap();
+        let id = st.next_chan;
+        st.next_chan += 1;
+        id
+    }
+
+    /// Decision: pick which Ready thread performs the next visible op.
+    /// Caller must hold the token. Returns with the token re-acquired.
+    pub fn schedule_point(self: &Arc<Self>, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        debug_assert_eq!(st.current, me, "schedule point without token");
+        let chosen = Self::decide(&mut st);
+        if chosen != me {
+            st.current = chosen;
+            self.cv.notify_all();
+            while st.current != me {
+                if st.aborting {
+                    drop(st);
+                    std::panic::panic_any(ModelAbort);
+                }
+                st = self.cv.wait(st).unwrap();
+            }
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+        }
+    }
+
+    /// Wait for the token before running any user code (new threads).
+    pub(crate) fn park_start(&self, me: usize) -> Result<(), ()> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.aborting {
+                return Err(());
+            }
+            if st.current == me {
+                return Ok(());
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Deschedule `me` with `reason`, hand the token to another Ready
+    /// thread, and return once `me` is Ready again and holds the token.
+    ///
+    /// For `Join` reasons, returns immediately (without descheduling) if
+    /// the joined thread is already Done — the check and the transition
+    /// share one critical section, so the wakeup cannot be lost.
+    pub fn block(self: &Arc<Self>, me: usize, reason: BlockReason) {
+        let mut st = self.state.lock().unwrap();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(ModelAbort);
+        }
+        debug_assert_eq!(st.current, me, "block without token");
+        if let BlockReason::Join(tid) = reason {
+            if st.status[tid] == Status::Done {
+                return;
+            }
+        }
+        st.status[me] = Status::Blocked(reason);
+        match Self::try_decide(&mut st) {
+            Some(chosen) => {
+                st.current = chosen;
+                self.cv.notify_all();
+            }
+            None => {
+                // Every live thread is blocked: deadlock. Report and
+                // abort the run instead of hanging.
+                let report = Self::deadlock_report(&st);
+                st.aborting = true;
+                if st.panic_payload.is_none() {
+                    st.panic_payload = Some(Box::new(report.clone()));
+                }
+                self.cv.notify_all();
+                drop(st);
+                panic!("{report}");
+            }
+        }
+        while !(st.current == me && st.status[me] == Status::Ready) {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            st = self.cv.wait(st).unwrap();
+        }
+    }
+
+    /// Mark Ready every thread blocked for a reason matching `pred`.
+    /// Callable from any thread holding no model locks.
+    pub fn unblock_where(&self, pred: impl Fn(BlockReason) -> bool) {
+        let mut st = self.state.lock().unwrap();
+        for s in st.status.iter_mut() {
+            if let Status::Blocked(r) = *s {
+                if pred(r) {
+                    *s = Status::Ready;
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// True if thread `tid` has finished.
+    pub fn is_done(&self, tid: usize) -> bool {
+        self.state.lock().unwrap().status[tid] == Status::Done
+    }
+
+    /// Record a panic from a modeled thread (first wins) and switch the
+    /// run into abort mode so parked threads unwind.
+    pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
+        let mut st = self.state.lock().unwrap();
+        if payload.downcast_ref::<ModelAbort>().is_none() && st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        st.aborting = true;
+        self.cv.notify_all();
+    }
+
+    /// Mark `me` finished, wake its joiners, and hand off the token.
+    pub(crate) fn finish_thread(&self, me: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.status[me] = Status::Done;
+        st.live -= 1;
+        for s in st.status.iter_mut() {
+            if *s == Status::Blocked(BlockReason::Join(me)) {
+                *s = Status::Ready;
+            }
+        }
+        if st.live == 0 || st.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        if st.current == me {
+            match Self::try_decide(&mut st) {
+                Some(chosen) => st.current = chosen,
+                None => {
+                    let report = Self::deadlock_report(&st);
+                    st.aborting = true;
+                    if st.panic_payload.is_none() {
+                        st.panic_payload = Some(Box::new(report.clone()));
+                    }
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// Block until every modeled thread finished; returns the decision
+    /// trace and, if the run failed, the first panic payload.
+    pub(crate) fn wait_all_done(&self) -> RunOutcome {
+        let mut st = self.state.lock().unwrap();
+        while st.live > 0 {
+            st = self.cv.wait(st).unwrap();
+        }
+        (st.trace.clone(), st.panic_payload.take())
+    }
+
+    fn decide(st: &mut State) -> usize {
+        Self::try_decide(st).expect("decide: no runnable thread (caller must be Ready)")
+    }
+
+    fn try_decide(st: &mut State) -> Option<usize> {
+        let options: Vec<usize> = st
+            .status
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == Status::Ready)
+            .map(|(i, _)| i)
+            .collect();
+        if options.is_empty() {
+            return None;
+        }
+        assert!(
+            st.trace.len() < Self::MAX_TRACE,
+            "loom (shim): run exceeded {} decisions — visible-op livelock?",
+            Self::MAX_TRACE
+        );
+        let c = if st.pos < st.prefix.len() {
+            st.prefix[st.pos]
+        } else {
+            0
+        };
+        assert!(
+            c < options.len(),
+            "loom (shim): replay diverged (model body is non-deterministic \
+             beyond scheduling: decision {} chose {c} of {} options)",
+            st.pos,
+            options.len()
+        );
+        st.trace.push((c, options.len()));
+        st.pos += 1;
+        Some(options[c])
+    }
+
+    fn deadlock_report(st: &State) -> String {
+        let mut lines = vec!["loom (shim): DEADLOCK — all live threads blocked".to_string()];
+        for (tid, s) in st.status.iter().enumerate() {
+            let desc = match s {
+                Status::Ready => "ready".to_string(),
+                Status::Done => "done".to_string(),
+                Status::Blocked(BlockReason::Recv(c)) => {
+                    format!("blocked on recv (channel #{c}, queue empty)")
+                }
+                Status::Blocked(BlockReason::Join(t)) => format!("blocked joining thread {t}"),
+            };
+            lines.push(format!("  thread {tid}: {desc}"));
+        }
+        lines.push(format!("  decision trace so far: {:?}", st.trace));
+        lines.join("\n")
+    }
+}
+
+/// Compute the next DFS prefix after a run with `trace`; `None` when the
+/// space is exhausted.
+pub(crate) fn next_prefix(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
+    for i in (0..trace.len()).rev() {
+        let (c, k) = trace[i];
+        if c + 1 < k {
+            let mut prefix: Vec<usize> = trace[..i].iter().map(|&(c, _)| c).collect();
+            prefix.push(c + 1);
+            return Some(prefix);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::next_prefix;
+
+    #[test]
+    fn next_prefix_enumerates_dfs() {
+        // Two binary decisions: 00 -> 01 -> 10 -> 11 -> done.
+        assert_eq!(next_prefix(&[(0, 2), (0, 2)]), Some(vec![0, 1]));
+        assert_eq!(next_prefix(&[(0, 2), (1, 2)]), Some(vec![1]));
+        assert_eq!(next_prefix(&[(1, 2), (0, 2)]), Some(vec![1, 1]));
+        assert_eq!(next_prefix(&[(1, 2), (1, 2)]), None);
+    }
+
+    #[test]
+    fn next_prefix_skips_forced_decisions() {
+        assert_eq!(next_prefix(&[(0, 1), (0, 1)]), None);
+        assert_eq!(next_prefix(&[(0, 1), (0, 3)]), Some(vec![0, 1]));
+    }
+}

