@@ -17,6 +17,7 @@ fn main() {
     e::sort_throughput::run(scale);
     e::table4::run(scale);
     e::table5::run(scale);
+    e::index_create::run(scale);
     e::table6::run(scale);
     e::table7::run(scale);
     e::table8_9::run(scale);

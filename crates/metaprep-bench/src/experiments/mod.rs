@@ -5,6 +5,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod index_create;
 pub mod quality;
 pub mod sort_throughput;
 pub mod sparse_merge;

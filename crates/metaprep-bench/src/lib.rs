@@ -17,6 +17,7 @@
 //! individual binaries share one implementation; [`harness`] holds the
 //! dataset cache and table printer.
 
+pub mod allocpeak;
 pub mod experiments;
 pub mod harness;
 

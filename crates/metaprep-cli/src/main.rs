@@ -3,8 +3,10 @@
 //! ```text
 //! metaprep simulate  --dataset hg --scale 0.5 --seed 1 --output reads.fastq
 //! metaprep index     --input reads.fastq --k 27 --m 8 --chunks 64 --outdir idx/
+//!                    [--stream] [--index-window 65536] [--threads 4]
 //! metaprep partition --input reads.fastq --k 27 --tasks 4 --threads 2
 //!                    [--passes 2] [--kf 10:29] [--top 4] [--sparse] --outdir parts/
+//!                    [--stream] [--index-window 65536]
 //! metaprep normalize --input reads.fastq --target 20 --output norm.fastq
 //! metaprep trim      --input reads.fastq --quality 20 --min-len 50
 //!                    [--adapter AGATCGGAAGAGC] --output trimmed.fastq
@@ -87,28 +89,45 @@ fn cmd_simulate(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     use metaprep_index::serial::{write_fastqpart, write_merhist};
     use metaprep_index::{FastqPart, MerHist};
-    let reads = load_reads(args)?;
     let k = args.get_or("k", 27usize)?;
     let m = args.get_or("m", 8usize)?;
     let chunks = args.get_or("chunks", 64usize)?;
     let outdir = std::path::PathBuf::from(args.get_or("outdir", "metaprep_index".to_string())?);
     std::fs::create_dir_all(&outdir)?;
 
-    let t0 = std::time::Instant::now();
-    let mh = MerHist::build(&reads, k, m);
-    let t_mh = t0.elapsed();
-    let t0 = std::time::Instant::now();
-    let fp = FastqPart::build(&reads, chunks, k, m);
-    let t_fp = t0.elapsed();
+    let (mh, fp, elapsed) = if args.flag("stream") {
+        // Streaming path: never materializes the input file; memory is
+        // O(window + in-flight chunk bytes) per thread.
+        use metaprep_index::{index_fastq_file_streaming, StreamingOptions};
+        let input = args.req("input")?;
+        let paired = !args.flag("unpaired");
+        let opts = StreamingOptions {
+            window: args.get_or("index-window", 0usize)?,
+            threads: args.get_or("threads", 0usize)?,
+        };
+        let t0 = std::time::Instant::now();
+        let (mh, fp, _total) = index_fastq_file_streaming(&input, paired, chunks, k, m, opts)?;
+        (mh, fp, t0.elapsed())
+    } else {
+        let reads = load_reads(args)?;
+        let t0 = std::time::Instant::now();
+        let mh = MerHist::build(&reads, k, m);
+        let fp = FastqPart::build(&reads, chunks, k, m);
+        (mh, fp, t0.elapsed())
+    };
 
     write_merhist(outdir.join("merhist.bin"), &mh)?;
     write_fastqpart(outdir.join("fastqpart.bin"), &fp)?;
     println!(
-        "indexed {} k-mers into {} chunks (merHist {:.2}s, FASTQPart {:.2}s) -> {}",
+        "indexed {} k-mers into {} chunks ({:.2}s{}) -> {}",
         mh.total(),
         fp.len(),
-        t_mh.as_secs_f64(),
-        t_fp.as_secs_f64(),
+        elapsed.as_secs_f64(),
+        if args.flag("stream") {
+            ", streaming"
+        } else {
+            ""
+        },
         outdir.display()
     );
     Ok(())
@@ -128,7 +147,6 @@ fn parse_kf(spec: &str) -> Result<(u32, u32), ArgError> {
 }
 
 fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
-    let reads = load_reads(args)?;
     let mut b = PipelineConfig::builder()
         .k(args.get_or("k", 27usize)?)
         .m(args.get_or("m", 8usize)?)
@@ -136,7 +154,8 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .tasks(args.get_or("tasks", 1usize)?)
         .threads(args.get_or("threads", 1usize)?)
         .merge_sparse(args.flag("sparse"))
-        .x4_kmergen(args.flag("x4"));
+        .x4_kmergen(args.flag("x4"))
+        .index_window(args.get_or("index-window", 0usize)?);
     if let Some(spec) = args.opt("kf") {
         let (lo, hi) = parse_kf(&spec)?;
         b = b.kf_filter(lo, hi);
@@ -145,7 +164,17 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     cfg.validate()?;
     let outdir = args.get_or("outdir", "metaprep_parts".to_string())?;
 
-    let res = Pipeline::new(cfg).run_reads(&reads)?;
+    // `--stream` drives the whole pipeline from the file (streaming
+    // IndexCreate, per-chunk reads) instead of loading reads up front —
+    // but the partition output step still needs the reads in memory.
+    let reads = load_reads(args)?;
+    let res = if args.flag("stream") {
+        let input = args.req("input")?;
+        let paired = !args.flag("unpaired");
+        Pipeline::new(cfg).run_fastq_file(&input, paired)?
+    } else {
+        Pipeline::new(cfg).run_reads(&reads)?
+    };
     println!(
         "{} fragments -> {} components; largest = {:.2}% of reads",
         res.labels.len(),

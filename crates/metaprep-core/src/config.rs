@@ -57,6 +57,11 @@ pub struct PipelineConfig {
     /// §5 cites (Iverson et al.). Reduces Merge-Comm bytes when tasks touch
     /// only a slice of the read set; identical final components.
     pub merge_sparse: bool,
+    /// Probe/read window in bytes for the streaming file IndexCreate
+    /// (0 = auto, `metaprep_io::DEFAULT_INDEX_WINDOW`). Indexing memory per
+    /// thread is O(window + chunk bytes); the window only needs to span a
+    /// few FASTQ records.
+    pub index_window: usize,
 }
 
 impl Default for PipelineConfig {
@@ -72,6 +77,7 @@ impl Default for PipelineConfig {
             cc_opt: true,
             use_x4_kmergen: false,
             merge_sparse: false,
+            index_window: 0,
         }
     }
 }
@@ -187,6 +193,12 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Set the streaming IndexCreate probe/read window in bytes (0 = auto).
+    pub fn index_window(mut self, bytes: usize) -> Self {
+        self.cfg.index_window = bytes;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> PipelineConfig {
         self.cfg
@@ -214,6 +226,7 @@ mod tests {
             .kf_filter(10, 29)
             .cc_opt(false)
             .x4_kmergen(true)
+            .index_window(1 << 20)
             .build();
         assert_eq!(c.k, 63);
         assert_eq!(c.m, 10);
@@ -224,6 +237,7 @@ mod tests {
         assert_eq!(c.kf_filter, Some((10, 29)));
         assert!(!c.cc_opt);
         assert!(c.use_x4_kmergen);
+        assert_eq!(c.index_window, 1 << 20);
         assert!(c.validate().is_ok());
     }
 

@@ -149,7 +149,7 @@ impl Pipeline {
             .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
         let path = path.as_ref();
 
-        // ---- IndexCreate from the file ----
+        // ---- IndexCreate from the file (streaming, thread-parallel) ----
         let t_index = Instant::now();
         let (merhist, fastqpart, total_seqs) = index_fastq_file(
             path,
@@ -157,6 +157,8 @@ impl Pipeline {
             self.cfg.effective_chunks(),
             self.cfg.k,
             self.cfg.m,
+            self.cfg.index_window,
+            self.cfg.tasks * self.cfg.threads,
         )?;
         let index_create = t_index.elapsed();
 
@@ -182,58 +184,42 @@ impl Pipeline {
     }
 }
 
-/// Build the index tables by scanning a FASTQ file once: chunk it (pair-
-/// aligned when `paired`), then histogram each chunk's canonical k-mers.
-/// The global merHist is the bin-wise sum of the chunk histograms, so the
-/// two tables are consistent by construction.
+/// Build the index tables by scanning a FASTQ file once with the streaming
+/// chunker: boundaries are located through bounded probe windows, chunks
+/// are histogrammed thread-parallel from byte-range reads, and the file is
+/// never materialized whole (`metaprep_index::index_fastq_file_streaming`).
+/// The sequence count is range-checked into the pipeline's 32-bit id space.
+#[allow(clippy::too_many_arguments)]
 fn index_fastq_file(
     path: &std::path::Path,
     paired: bool,
     c: usize,
     k: usize,
     m: usize,
+    window: usize,
+    threads: usize,
 ) -> Result<(MerHist, FastqPart, u32), PipelineError> {
-    use metaprep_index::fastqpart::ChunkRecord;
-    use metaprep_kmer::{for_each_canonical_kmer, Kmer, MmerSpace};
+    use metaprep_index::{index_fastq_file_streaming, StreamingOptions};
+    let (merhist, fastqpart, total_seqs) =
+        index_fastq_file_streaming(path, paired, c, k, m, StreamingOptions { window, threads })
+            .map_err(|e| PipelineError::InvalidInput(format!("index {path:?}: {e}")))?;
+    let total_seqs = guard_total_seqs(total_seqs, paired)?;
+    Ok((merhist, fastqpart, total_seqs))
+}
 
-    let bytes = std::fs::read(path)
-        .map_err(|e| PipelineError::InvalidInput(format!("read {path:?}: {e}")))?;
-    let specs = if paired {
-        metaprep_io::chunk_fastq_bytes_paired(&bytes, c)
-    } else {
-        metaprep_io::chunk_fastq_bytes(&bytes, c)
-    };
-    let space = MmerSpace::new(k, m);
-    let mut global = vec![0u32; space.bins()];
-    let mut chunks = Vec::with_capacity(specs.len());
-    let mut total_seqs = 0u32;
-    for spec in specs {
-        let lo = spec.offset as usize;
-        let store = metaprep_io::parse_fastq(&bytes[lo..lo + spec.bytes as usize], false)
-            .map_err(|e| PipelineError::InvalidInput(format!("chunk at {lo}: {e}")))?;
-        total_seqs += store.len() as u32;
-        let mut hist = vec![0u32; space.bins()];
-        for (seq, _) in store.iter() {
-            if k <= 32 {
-                for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
-                    hist[space.bin_of(Kmer64::repr_to_u128(v)) as usize] += 1;
-                });
-            } else {
-                for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| {
-                    hist[space.bin_of(v) as usize] += 1;
-                });
-            }
-        }
-        for (g, &h) in global.iter_mut().zip(&hist) {
-            *g += h;
-        }
-        chunks.push(ChunkRecord { spec, hist });
+/// Checked conversion of a streamed sequence count into the pipeline's
+/// 32-bit id space, mirroring `run_reads`' `u32::MAX` fragment guard. The
+/// old code accumulated `total_seqs += store.len() as u32`, which silently
+/// wrapped in release builds on >4Gi-read inputs.
+fn guard_total_seqs(total_seqs: u64, paired: bool) -> Result<u32, PipelineError> {
+    let fragments = if paired { total_seqs / 2 } else { total_seqs };
+    if total_seqs > u32::MAX as u64 || fragments >= u32::MAX as u64 {
+        return Err(PipelineError::InvalidInput(format!(
+            "input has {total_seqs} sequences ({fragments} fragments); \
+             fragment count must be < u32::MAX"
+        )));
     }
-    Ok((
-        MerHist::from_parts(space, global),
-        FastqPart::from_parts(space, chunks),
-        total_seqs,
-    ))
+    Ok(total_seqs as u32)
 }
 
 /// Per-task return value from the cluster run.
@@ -382,7 +368,8 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             Step::KmerGen,
             std::time::Duration::from_nanos(gen.gen_nanos),
         );
-        tuples_emitted += gen.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
+        let out_tuples: u64 = gen.outgoing.iter().map(|v| v.len() as u64).sum();
+        tuples_emitted += out_tuples;
 
         // ---- KmerGen-Comm: the P-stage all-to-all ----
         let t0 = Instant::now();
@@ -402,7 +389,13 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             "receive-count precomputation"
         );
         tm.add(Step::KmerGenComm, t0.elapsed());
-        peak_tuples = peak_tuples.max(2 * tuples.len() as u64); // data + scratch
+        // Per-pass tuple residency peaks twice: during the all-to-all the
+        // outgoing send buffers coexist with the received tuples (out + in
+        // — the old `2 * in` accounting missed the send side and under-
+        // reported), and during LocalSort the received data coexists with
+        // its scratch copy (2 * in).
+        peak_tuples = peak_tuples.max(out_tuples + tuples.len() as u64);
+        peak_tuples = peak_tuples.max(2 * tuples.len() as u64);
 
         // ---- LocalSort ----
         let t0 = Instant::now();
@@ -825,5 +818,104 @@ mod tests {
         assert_eq!(res.labels.len(), 0);
         assert_eq!(res.components.components, 0);
         assert_eq!(res.tuples_total, 0);
+    }
+
+    #[test]
+    fn guard_total_seqs_accepts_in_range_counts() {
+        assert_eq!(guard_total_seqs(0, false).unwrap(), 0);
+        assert_eq!(guard_total_seqs(0, true).unwrap(), 0);
+        assert_eq!(guard_total_seqs(1_000_000, false).unwrap(), 1_000_000);
+        // Largest even paired count that fits the 32-bit sequence-id space.
+        let max_paired = u32::MAX as u64 - 1;
+        assert_eq!(
+            guard_total_seqs(max_paired, true).unwrap(),
+            max_paired as u32
+        );
+        // Largest unpaired count: u32::MAX sequences would be u32::MAX
+        // fragments, which collides with the sentinel — must be rejected,
+        // one below must pass.
+        assert_eq!(
+            guard_total_seqs(u32::MAX as u64 - 1, false).unwrap(),
+            u32::MAX - 1
+        );
+    }
+
+    #[test]
+    fn guard_total_seqs_rejects_overflowing_counts() {
+        // Sequence count itself over u32::MAX: the old `as u32` accumulation
+        // silently wrapped here.
+        assert!(matches!(
+            guard_total_seqs(u32::MAX as u64 + 1, true),
+            Err(PipelineError::InvalidInput(_))
+        ));
+        assert!(matches!(
+            guard_total_seqs(u64::MAX, false),
+            Err(PipelineError::InvalidInput(_))
+        ));
+        // Fragment count hitting u32::MAX exactly is also out of id space
+        // (unpaired: fragments == sequences).
+        assert!(guard_total_seqs(u32::MAX as u64, false).is_err());
+        // Paired inputs overflow via the sequence-count check: two
+        // sequences per fragment means any fragment overflow implies
+        // total_seqs > u32::MAX first.
+        assert!(guard_total_seqs(2 * u32::MAX as u64, true).is_err());
+    }
+
+    #[test]
+    fn measured_peak_covers_outgoing_and_incoming_tuples() {
+        // Regression for the peak-accounting bug: with a single task the
+        // KmerGen outgoing buffers hold every tuple of the pass at the
+        // moment the (local) exchange delivers them, so the true peak per
+        // pass is `out + in = 2 * pass_tuples`. The old accounting only
+        // tracked the received side (`pass_tuples`).
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder().k(21).m(6).passes(2).build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        assert!(res.tuples_total > 0);
+
+        // Pigeonhole: the heaviest of the 2 passes carries at least
+        // ceil(total / 2) tuples, so the fixed peak (2 * heaviest pass) is
+        // at least tuples_total. The buggy accounting reported roughly
+        // tuples_total / 2 on this evenly-distributed input.
+        assert!(
+            res.memory.measured_peak_tuples >= res.tuples_total,
+            "peak {} < total {}",
+            res.memory.measured_peak_tuples,
+            res.tuples_total
+        );
+
+        // And the measured peak must dominate the modeled per-pass tuple
+        // footprint (send + receive buffers) from the memory report.
+        let modeled = res.memory.kmer_out_bytes + res.memory.kmer_in_bytes;
+        assert!(
+            res.memory.measured_peak_tuple_bytes >= modeled,
+            "measured {} < modeled {}",
+            res.memory.measured_peak_tuple_bytes,
+            modeled
+        );
+    }
+
+    #[test]
+    fn file_pipeline_with_tiny_index_window() {
+        // A window far smaller than any chunk forces the streaming probe to
+        // take its doubling path; the partition must not change.
+        let reads = small_reads();
+        let dir = std::env::temp_dir().join("metaprep_core_filepipe_window");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fastq");
+        metaprep_io::write_fastq_path(&path, &reads).unwrap();
+        let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).build();
+        let mem = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        let cfg_small_window = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(2)
+            .index_window(64)
+            .build();
+        let file = Pipeline::new(cfg_small_window)
+            .run_fastq_file(&path, true)
+            .unwrap();
+        assert!(same_partition(&file.labels, &mem.labels));
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

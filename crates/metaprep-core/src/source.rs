@@ -176,7 +176,7 @@ mod tests {
         let path = dir.join("reads.fastq");
         std::fs::write(&path, &bytes).unwrap();
 
-        let specs = metaprep_io::chunk_fastq_bytes(&bytes, 1); // single chunk
+        let specs = metaprep_io::chunk_fastq_bytes(&bytes, 1).unwrap(); // single chunk
         let src = FileSource::new(path, specs.clone(), true, s.len() as u32);
         let chunk = src.load_chunk(0);
         assert_eq!(chunk.len(), s.len());

@@ -20,7 +20,9 @@ pub mod fastqpart;
 pub mod merhist;
 pub mod plan;
 pub mod serial;
+pub mod streaming;
 
 pub use fastqpart::{ChunkRecord, FastqPart};
 pub use merhist::MerHist;
 pub use plan::{split_bins_by_weight, RangePlan};
+pub use streaming::{index_fastq_bytes, index_fastq_file_streaming, StreamingOptions};

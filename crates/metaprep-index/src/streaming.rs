@@ -1,0 +1,398 @@
+//! Streaming, thread-parallel IndexCreate (paper §3.1 at file scale).
+//!
+//! [`index_fastq_bytes`] is the in-memory reference: chunk the whole byte
+//! slice, then histogram each chunk sequentially — O(file) memory, exactly
+//! what the file pipeline used to do after `std::fs::read`.
+//!
+//! [`index_fastq_file_streaming`] produces byte-identical `MerHist` and
+//! `FastqPart` tables without ever materializing the file:
+//!
+//! 1. a [`StreamChunker`] locates chunk boundaries by seeking to byte
+//!    targets and probing bounded windows (O(window) memory);
+//! 2. per-chunk m-mer histogramming is dispatched over a rayon thread
+//!    pool, each worker reading its chunk via a byte-range read into a
+//!    thread-recycled buffer.
+//!
+//! Peak memory is O(threads × max-chunk-bytes + chunks × 4^m), never
+//! O(file) — the bound the `index_create` bench (`BENCH_index.json`)
+//! demonstrates with a counting allocator. Equivalence of the two paths is
+//! property-tested in `tests/streaming_matches_inmemory.rs`.
+
+use crate::fastqpart::ChunkRecord;
+use crate::{FastqPart, MerHist};
+use metaprep_io::stream::{StreamChunk, StreamChunker};
+use metaprep_io::{count_record_starts, count_records, parse_fastq, ChunkSpec, FastqError};
+use metaprep_kmer::{for_each_canonical_kmer, Kmer, Kmer128, Kmer64, MmerSpace};
+use rayon::prelude::*;
+use std::cell::RefCell;
+use std::fs::File;
+use std::path::Path;
+
+/// Options for [`index_fastq_file_streaming`].
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StreamingOptions {
+    /// Probe/read window in bytes (0 = `metaprep_io::DEFAULT_INDEX_WINDOW`).
+    pub window: usize,
+    /// Threads for per-chunk histogramming (0 = the rayon default).
+    pub threads: usize,
+}
+
+thread_local! {
+    // One recycled read buffer per worker thread: a thread histograms its
+    // chunks one after another into the same allocation, so in-flight
+    // bytes are bounded by threads × max-chunk-size.
+    static CHUNK_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Histogram the canonical k-mers of every sequence in `store` into
+/// `space`'s m-mer bins (the per-chunk histogram of `FASTQPart`).
+fn hist_of_store(store: &metaprep_io::ReadStore, space: MmerSpace, k: usize) -> Vec<u32> {
+    let mut hist = vec![0u32; space.bins()];
+    for (seq, _) in store.iter() {
+        if k <= 32 {
+            for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
+                hist[space.bin_of(Kmer64::repr_to_u128(v)) as usize] += 1;
+            });
+        } else {
+            for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| {
+                hist[space.bin_of(v) as usize] += 1;
+            });
+        }
+    }
+    hist
+}
+
+/// Shift a malformed-record index so per-chunk errors report file-global
+/// record numbers.
+fn offset_record(e: FastqError, by: u64) -> FastqError {
+    match e {
+        FastqError::Malformed { record, what } => FastqError::Malformed {
+            record: record + by as usize,
+            what,
+        },
+        other => other,
+    }
+}
+
+fn fit_u32(v: u64, what: &str) -> Result<u32, FastqError> {
+    u32::try_from(v).map_err(|_| FastqError::Malformed {
+        record: usize::MAX,
+        what: format!("{what} {v} exceeds the u32 id space"),
+    })
+}
+
+/// Assemble the final tables from per-chunk `(spec, hist)` rows: the global
+/// merHist is the bin-wise sum of the chunk histograms, so the two tables
+/// are consistent by construction.
+fn assemble(
+    space: MmerSpace,
+    rows: Vec<(ChunkSpec, Vec<u32>)>,
+) -> Result<(MerHist, FastqPart, u64), FastqError> {
+    let mut global = vec![0u32; space.bins()];
+    let mut chunks = Vec::with_capacity(rows.len());
+    let mut total_seqs = 0u64;
+    for (spec, hist) in rows {
+        for (g, &h) in global.iter_mut().zip(&hist) {
+            *g += h;
+        }
+        total_seqs += spec.seqs as u64;
+        chunks.push(ChunkRecord { spec, hist });
+    }
+    Ok((
+        MerHist::from_parts(space, global),
+        FastqPart::from_parts(space, chunks),
+        total_seqs,
+    ))
+}
+
+/// In-memory reference indexer: identical tables computed from the whole
+/// file bytes — O(file) memory. Kept as the differential-testing oracle
+/// for the streaming path and as the slurp baseline in the bench.
+pub fn index_fastq_bytes(
+    bytes: &[u8],
+    paired: bool,
+    c: usize,
+    k: usize,
+    m: usize,
+) -> Result<(MerHist, FastqPart, u64), FastqError> {
+    let specs = if paired {
+        metaprep_io::chunk_fastq_bytes_paired(bytes, c)?
+    } else {
+        metaprep_io::chunk_fastq_bytes(bytes, c)?
+    };
+    let space = MmerSpace::new(k, m);
+    let mut rows = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let lo = spec.offset as usize;
+        let store = parse_fastq(&bytes[lo..lo + spec.bytes as usize], false)
+            .map_err(|e| offset_record(e, spec.first_seq as u64))?;
+        rows.push((spec, hist_of_store(&store, space, k)));
+    }
+    assemble(space, rows)
+}
+
+fn pool_of(threads: usize) -> rayon::ThreadPool {
+    let n = if threads == 0 {
+        rayon::current_num_threads()
+    } else {
+        threads
+    };
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build()
+        .expect("vendored rayon pool build cannot fail")
+}
+
+/// Count the records of each byte range in parallel (pass A of the paired
+/// flow). Each worker reads its range into the thread-local buffer.
+fn par_count_records(
+    path: &Path,
+    ranges: &[(u64, u64)],
+    pool: &rayon::ThreadPool,
+) -> Result<Vec<u64>, FastqError> {
+    let results: Vec<Result<u64, FastqError>> = pool.install(|| {
+        ranges
+            .par_iter()
+            .map(|&(lo, hi)| {
+                CHUNK_BUF.with(|b| {
+                    let mut buf = b.borrow_mut();
+                    let mut f = File::open(path)?;
+                    StreamChunker::read_range_into(&mut f, lo, hi, &mut buf)?;
+                    Ok(count_record_starts(&buf))
+                })
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Parse + histogram each resolved chunk in parallel (the KmerGen-style
+/// fan-out of IndexCreate). `paired` chunks already know their record
+/// count (from pass A) and are validated against it; unpaired chunks are
+/// counted here with the strict 4-line counter, exactly as
+/// `chunk_fastq_bytes` does in memory.
+fn par_histogram(
+    path: &Path,
+    chunks: &[StreamChunk],
+    space: MmerSpace,
+    k: usize,
+    paired: bool,
+    pool: &rayon::ThreadPool,
+) -> Result<Vec<(u64, Vec<u32>)>, FastqError> {
+    let results: Vec<Result<(u64, Vec<u32>), FastqError>> = pool.install(|| {
+        chunks
+            .par_iter()
+            .map(|ch| {
+                CHUNK_BUF.with(|b| {
+                    let mut buf = b.borrow_mut();
+                    let mut f = File::open(path)?;
+                    StreamChunker::read_range_into(
+                        &mut f,
+                        ch.offset,
+                        ch.offset + ch.bytes,
+                        &mut buf,
+                    )?;
+                    let n = if paired {
+                        ch.seqs
+                    } else {
+                        count_records(&buf).map_err(|e| offset_record(e, ch.first_seq))? as u64
+                    };
+                    let store =
+                        parse_fastq(&buf[..], false).map_err(|e| offset_record(e, ch.first_seq))?;
+                    if store.len() as u64 != n {
+                        return Err(FastqError::Malformed {
+                            record: ch.first_seq as usize + store.len(),
+                            what: format!(
+                                "chunk at byte {} parsed {} records but the chunker counted {n}",
+                                ch.offset,
+                                store.len()
+                            ),
+                        });
+                    }
+                    Ok((n, hist_of_store(&store, space, k)))
+                })
+            })
+            .collect()
+    });
+    results.into_iter().collect()
+}
+
+/// Streaming, thread-parallel IndexCreate over a FASTQ file. Produces the
+/// same `(MerHist, FastqPart, total_seqs)` as [`index_fastq_bytes`] on the
+/// file's contents, with peak memory O(threads × chunk + histograms).
+pub fn index_fastq_file_streaming(
+    path: impl AsRef<Path>,
+    paired: bool,
+    c: usize,
+    k: usize,
+    m: usize,
+    opts: StreamingOptions,
+) -> Result<(MerHist, FastqPart, u64), FastqError> {
+    let path = path.as_ref();
+    let space = MmerSpace::new(k, m);
+    let mut chunker = StreamChunker::open(path, opts.window)?;
+    let pool = pool_of(opts.threads);
+
+    let chunks: Vec<StreamChunk> = if paired {
+        // Two passes: count records per tentative range (parallel), then
+        // stitch pair-aligned boundaries at the record-index level.
+        let tentative = chunker.tentative_ranges_paired(c)?;
+        let counts = par_count_records(path, &tentative, &pool)?;
+        chunker.resolve_paired(&tentative, &counts)?
+    } else {
+        chunker
+            .ranges(c)?
+            .into_iter()
+            .map(|(lo, hi)| StreamChunk {
+                offset: lo,
+                bytes: hi - lo,
+                first_seq: 0, // filled in after the parallel count below
+                seqs: 0,
+            })
+            .collect()
+    };
+    drop(chunker);
+
+    let per_chunk = par_histogram(path, &chunks, space, k, paired, &pool)?;
+
+    // Sequential stitch: prefix-sum first_seq (unpaired) and narrow to the
+    // u32 id space used by `ChunkSpec`.
+    let mut rows = Vec::with_capacity(chunks.len());
+    let mut first = 0u64;
+    for (ch, (n, hist)) in chunks.iter().zip(per_chunk) {
+        let first_seq = if paired { ch.first_seq } else { first };
+        let spec = ChunkSpec {
+            offset: ch.offset,
+            bytes: ch.bytes,
+            first_seq: fit_u32(first_seq, "first sequence id")?,
+            seqs: fit_u32(n, "chunk record count")?,
+        };
+        first = first_seq + n;
+        rows.push((spec, hist));
+    }
+    fit_u32(first, "total sequence count")?;
+    assemble(space, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use metaprep_io::{write_fastq, ReadStore};
+
+    fn sample_store(n: usize) -> ReadStore {
+        let mut s = ReadStore::new();
+        let mut x = 7u64;
+        for _ in 0..n {
+            let seq: Vec<u8> = (0..30 + (x % 25) as usize)
+                .map(|_| {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(11);
+                    b"ACGT"[(x >> 61) as usize & 3]
+                })
+                .collect();
+            s.push_single(&seq);
+        }
+        s
+    }
+
+    fn write_temp(name: &str, bytes: &[u8]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("metaprep_index_streaming_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, bytes).unwrap();
+        path
+    }
+
+    #[test]
+    fn streaming_matches_reference_unpaired() {
+        let mut bytes = Vec::new();
+        write_fastq(&mut bytes, &sample_store(37)).unwrap();
+        let path = write_temp("unpaired.fastq", &bytes);
+        for c in [1, 3, 8] {
+            let want = index_fastq_bytes(&bytes, false, c, 11, 4).unwrap();
+            for (window, threads) in [(17, 1), (64, 3), (0, 0)] {
+                let got = index_fastq_file_streaming(
+                    &path,
+                    false,
+                    c,
+                    11,
+                    4,
+                    StreamingOptions { window, threads },
+                )
+                .unwrap();
+                assert_eq!(got.0, want.0, "merhist c={c} window={window}");
+                assert_eq!(got.1, want.1, "fastqpart c={c} window={window}");
+                assert_eq!(got.2, want.2, "total c={c} window={window}");
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_matches_reference_paired() {
+        let mut bytes = Vec::new();
+        write_fastq(&mut bytes, &sample_store(24)).unwrap();
+        let path = write_temp("paired.fastq", &bytes);
+        for c in [1, 2, 5, 9] {
+            let want = index_fastq_bytes(&bytes, true, c, 11, 4).unwrap();
+            let got = index_fastq_file_streaming(
+                &path,
+                true,
+                c,
+                11,
+                4,
+                StreamingOptions {
+                    window: 19,
+                    threads: 2,
+                },
+            )
+            .unwrap();
+            assert_eq!(got.0, want.0, "merhist c={c}");
+            assert_eq!(got.1, want.1, "fastqpart c={c}");
+            assert_eq!(got.2, want.2, "total c={c}");
+        }
+    }
+
+    #[test]
+    fn streaming_rejects_odd_paired_file() {
+        let mut bytes = Vec::new();
+        write_fastq(&mut bytes, &sample_store(5)).unwrap();
+        let path = write_temp("odd.fastq", &bytes);
+        assert!(
+            index_fastq_file_streaming(&path, true, 2, 11, 4, StreamingOptions::default()).is_err()
+        );
+    }
+
+    #[test]
+    fn streaming_rejects_malformed_file() {
+        let path = write_temp("blank.fastq", b"@r0\nACGT\n+\nIIII\n\n");
+        assert!(
+            index_fastq_file_streaming(&path, false, 2, 11, 4, StreamingOptions::default())
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let r = index_fastq_file_streaming(
+            "/nonexistent/reads.fastq",
+            false,
+            2,
+            11,
+            4,
+            StreamingOptions::default(),
+        );
+        assert!(matches!(r, Err(FastqError::Io(_))));
+    }
+
+    #[test]
+    fn empty_file_yields_empty_tables() {
+        let path = write_temp("empty.fastq", b"");
+        for paired in [false, true] {
+            let (mh, fp, total) =
+                index_fastq_file_streaming(&path, paired, 4, 11, 4, StreamingOptions::default())
+                    .unwrap();
+            assert_eq!(mh.total(), 0, "paired={paired}");
+            assert!(fp.is_empty(), "paired={paired}");
+            assert_eq!(total, 0, "paired={paired}");
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based differential test: the streaming file indexer must
+//! produce byte-identical index tables (`MerHist`, `FastqPart`, sequence
+//! count) to the in-memory reference path for random FASTQ inputs —
+//! paired and unpaired, with and without a trailing newline, including
+//! N bases, across probe windows small enough to force the chunker's
+//! window-doubling path.
+
+use metaprep_index::{index_fastq_bytes, index_fastq_file_streaming, StreamingOptions};
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Serialize a read list as strict 4-line FASTQ records.
+fn fastq_bytes(reads: &[Vec<u8>], trailing_newline: bool) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, seq) in reads.iter().enumerate() {
+        out.extend_from_slice(format!("@r{i}\n").as_bytes());
+        out.extend_from_slice(seq);
+        out.push(b'\n');
+        out.extend_from_slice(b"+\n");
+        out.extend(std::iter::repeat_n(b'J', seq.len()));
+        out.push(b'\n');
+    }
+    if !trailing_newline && out.ends_with(b"\n") {
+        out.pop();
+    }
+    out
+}
+
+/// Unique temp path per proptest case (cases run within one process).
+fn temp_fastq(bytes: &[u8]) -> std::path::PathBuf {
+    // ORDERING: Relaxed suffices — the counter only needs uniqueness, no
+    // ordering with other memory operations.
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    let path = std::env::temp_dir().join(format!(
+        "metaprep_stream_prop_{}_{n}.fastq",
+        std::process::id()
+    ));
+    std::fs::write(&path, bytes).expect("write temp FASTQ");
+    path
+}
+
+fn base() -> impl Strategy<Value = u8> {
+    proptest::sample::select(vec![b'A', b'C', b'G', b'T', b'N'])
+}
+
+proptest! {
+    #[test]
+    fn prop_streaming_matches_in_memory(
+        mut reads in proptest::collection::vec(
+            proptest::collection::vec(base(), 1..60), 0..40),
+        c in 1usize..10,
+        k in proptest::sample::select(vec![5usize, 21, 33]),
+        paired in proptest::bool::ANY,
+        trailing_newline in proptest::bool::ANY,
+    ) {
+        if paired && reads.len() % 2 == 1 {
+            reads.pop();
+        }
+        let m = 4;
+        let bytes = fastq_bytes(&reads, trailing_newline);
+        let path = temp_fastq(&bytes);
+
+        let want = index_fastq_bytes(&bytes, paired, c, k, m)
+            .expect("in-memory reference indexing");
+
+        // 16 is the chunker's minimum window; 17 exercises odd, repeatedly
+        // doubled windows; 4096 usually covers the whole file in one probe.
+        for window in [16usize, 17, 4096] {
+            let opts = StreamingOptions { window, threads: 2 };
+            let got = index_fastq_file_streaming(&path, paired, c, k, m, opts)
+                .expect("streaming indexing");
+            prop_assert_eq!(&got.0, &want.0, "MerHist, window {}", window);
+            prop_assert_eq!(&got.1, &want.1, "FastqPart, window {}", window);
+            prop_assert_eq!(got.2, want.2, "total_seqs, window {}", window);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -15,6 +15,7 @@
 //!   record sizes, producing the same `ChunkSpec` shape for the in-memory
 //!   pipeline.
 
+use crate::parse::FastqError;
 use crate::store::ReadStore;
 
 /// One logical chunk of a FASTQ input (a row of the `FASTQPart` table minus
@@ -74,8 +75,10 @@ fn memchr_from(data: &[u8], from: usize, needle: u8) -> Option<usize> {
 
 /// Split raw FASTQ bytes into up to `c` chunks of roughly equal byte size
 /// with boundaries on record starts. Fewer than `c` chunks are returned when
-/// the file has fewer records than `c`.
-pub fn chunk_fastq_bytes(data: &[u8], c: usize) -> Vec<ChunkSpec> {
+/// the file has fewer records than `c`. Errors if the input is not strict
+/// 4-line FASTQ (blank lines, wrapped records, truncation) — counting such
+/// input would silently shift every downstream `first_seq`.
+pub fn chunk_fastq_bytes(data: &[u8], c: usize) -> Result<Vec<ChunkSpec>, FastqError> {
     assert!(c >= 1);
     let mut boundaries = vec![0usize];
     let target = data.len() / c;
@@ -95,7 +98,7 @@ pub fn chunk_fastq_bytes(data: &[u8], c: usize) -> Vec<ChunkSpec> {
         if lo == hi {
             continue;
         }
-        let n = count_records(&data[lo..hi]);
+        let n = count_records(&data[lo..hi]).map_err(|e| offset_record(e, seq_id as usize))?;
         specs.push(ChunkSpec {
             offset: lo as u64,
             bytes: (hi - lo) as u64,
@@ -104,7 +107,19 @@ pub fn chunk_fastq_bytes(data: &[u8], c: usize) -> Vec<ChunkSpec> {
         });
         seq_id += n;
     }
-    specs
+    Ok(specs)
+}
+
+/// Shift a [`FastqError::Malformed`] record index by `by` so errors from a
+/// per-chunk scan report file-global record numbers.
+fn offset_record(e: FastqError, by: usize) -> FastqError {
+    match e {
+        FastqError::Malformed { record, what } => FastqError::Malformed {
+            record: record + by,
+            what,
+        },
+        other => other,
+    }
 }
 
 /// Byte offsets of every record start in `data`.
@@ -118,6 +133,19 @@ fn record_starts(data: &[u8]) -> Vec<usize> {
     starts
 }
 
+/// Number of record starts in `data` — the length [`record_starts`] would
+/// return, computed without storing the positions. The streaming chunker
+/// uses this to count records per byte range in O(1) memory.
+pub fn count_record_starts(data: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut at = 0usize;
+    while let Some(s) = find_record_start(data, at) {
+        count += 1;
+        at = s + 1;
+    }
+    count
+}
+
 /// Split raw *interleaved paired-end* FASTQ bytes into up to `c` chunks of
 /// roughly equal byte size whose boundaries fall on even record indices —
 /// every chunk holds whole mate pairs. The paper's chunker does the same
@@ -125,18 +153,20 @@ fn record_starts(data: &[u8]) -> Vec<usize> {
 /// one FASTQ file, the same read has to be located in the other", §4.3;
 /// with interleaving the constraint becomes even-index boundaries).
 ///
-/// # Panics
-/// Panics if the file holds an odd number of records.
-pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Vec<ChunkSpec> {
+/// Errors if the file holds an odd number of records (mates cannot be
+/// interleaved).
+pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Result<Vec<ChunkSpec>, FastqError> {
     assert!(c >= 1);
     let starts = record_starts(data);
     let n = starts.len();
-    assert!(
-        n.is_multiple_of(2),
-        "paired FASTQ must hold an even record count"
-    );
+    if !n.is_multiple_of(2) {
+        return Err(FastqError::Malformed {
+            record: n,
+            what: "paired FASTQ must hold an even record count".into(),
+        });
+    }
     if n == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
 
     // Candidate boundaries: even record indices; pick the first candidate
@@ -153,7 +183,7 @@ pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Vec<ChunkSpec> {
     }
     bounds.push(n);
 
-    bounds
+    Ok(bounds
         .windows(2)
         .filter(|w| w[0] < w[1])
         .map(|w| {
@@ -166,21 +196,71 @@ pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Vec<ChunkSpec> {
                 seqs: (w[1] - w[0]) as u32,
             }
         })
-        .collect()
+        .collect())
 }
 
-/// Number of FASTQ records in a byte slice that starts at a record boundary.
-fn count_records(data: &[u8]) -> u32 {
-    let mut lines = 0u64;
-    for &b in data {
-        if b == b'\n' {
-            lines += 1;
+/// Count and validate the FASTQ records in a byte slice that starts at a
+/// record boundary. The slice must be strict 4-line FASTQ: blank lines
+/// (including trailing ones), wrapped multi-line records, and truncated
+/// records are rejected — the old `lines / 4` count silently miscounted
+/// them, shifting every downstream `first_seq`.
+pub fn count_records(data: &[u8]) -> Result<u32, FastqError> {
+    let mut records = 0u32;
+    let mut line_in_record = 0u8; // 0 header, 1 seq, 2 plus, 3 qual
+    let mut at = 0usize;
+    while at < data.len() {
+        let end = memchr_from(data, at, b'\n').unwrap_or(data.len());
+        let mut line = &data[at..end];
+        if line.last() == Some(&b'\r') {
+            line = &line[..line.len() - 1];
         }
+        let record = records as usize + 1;
+        match line_in_record {
+            0 if line.is_empty() => {
+                return Err(FastqError::Malformed {
+                    record,
+                    what: "blank line between records (strict 4-line FASTQ required)".into(),
+                });
+            }
+            0 if line[0] != b'@' => {
+                return Err(FastqError::Malformed {
+                    record,
+                    what: format!(
+                        "header must start with '@', got {:?} (wrapped multi-line \
+                         records are not supported)",
+                        line[0] as char
+                    ),
+                });
+            }
+            2 if line.first() != Some(&b'+') => {
+                return Err(FastqError::Malformed {
+                    record,
+                    what: "third line must start with '+' (wrapped multi-line records \
+                           are not supported)"
+                        .into(),
+                });
+            }
+            _ => {}
+        }
+        line_in_record += 1;
+        if line_in_record == 4 {
+            line_in_record = 0;
+            records = records
+                .checked_add(1)
+                .ok_or_else(|| FastqError::Malformed {
+                    record,
+                    what: "more than u32::MAX records in one chunk".into(),
+                })?;
+        }
+        at = end + 1;
     }
-    if !data.is_empty() && data.last() != Some(&b'\n') {
-        lines += 1;
+    if line_in_record != 0 {
+        return Err(FastqError::Malformed {
+            record: records as usize + 1,
+            what: format!("truncated record ({line_in_record} of 4 lines)"),
+        });
     }
-    (lines / 4) as u32
+    Ok(records)
 }
 
 /// Chunk an in-memory store into up to `c` chunks of roughly equal *modeled*
@@ -277,7 +357,7 @@ mod tests {
     fn chunks_cover_all_bytes_and_records() {
         let data = sample_bytes(40);
         for c in [1, 2, 3, 7, 13] {
-            let specs = chunk_fastq_bytes(&data, c);
+            let specs = chunk_fastq_bytes(&data, c).unwrap();
             let total_bytes: u64 = specs.iter().map(|s| s.bytes).sum();
             assert_eq!(total_bytes, data.len() as u64, "c={c}");
             let total_seqs: u32 = specs.iter().map(|s| s.seqs).sum();
@@ -297,7 +377,7 @@ mod tests {
     #[test]
     fn each_chunk_parses_standalone() {
         let data = sample_bytes(25);
-        let specs = chunk_fastq_bytes(&data, 4);
+        let specs = chunk_fastq_bytes(&data, 4).unwrap();
         assert!(specs.len() >= 2);
         for s in &specs {
             let lo = s.offset as usize;
@@ -310,7 +390,7 @@ mod tests {
     #[test]
     fn more_chunks_than_records_collapses() {
         let data = sample_bytes(2);
-        let specs = chunk_fastq_bytes(&data, 16);
+        let specs = chunk_fastq_bytes(&data, 16).unwrap();
         let total: u32 = specs.iter().map(|s| s.seqs).sum();
         assert_eq!(total, 2);
         assert!(specs.len() <= 2);
@@ -320,7 +400,7 @@ mod tests {
     fn paired_chunks_hold_whole_pairs() {
         let data = sample_bytes(40); // even count
         for c in [1, 2, 3, 7, 13] {
-            let specs = chunk_fastq_bytes_paired(&data, c);
+            let specs = chunk_fastq_bytes_paired(&data, c).unwrap();
             let total: u32 = specs.iter().map(|s| s.seqs).sum();
             assert_eq!(total, 40, "c={c}");
             let bytes: u64 = specs.iter().map(|s| s.bytes).sum();
@@ -341,7 +421,7 @@ mod tests {
     #[test]
     fn paired_chunks_parse_standalone() {
         let data = sample_bytes(18);
-        for s in chunk_fastq_bytes_paired(&data, 4) {
+        for s in chunk_fastq_bytes_paired(&data, 4).unwrap() {
             let lo = s.offset as usize;
             let store = crate::parse::parse_fastq(&data[lo..lo + s.bytes as usize], true).unwrap();
             assert_eq!(store.len(), s.seqs as usize);
@@ -349,15 +429,86 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
     fn paired_chunker_rejects_odd_record_count() {
         let data = sample_bytes(5);
-        let _ = chunk_fastq_bytes_paired(&data, 2);
+        assert!(matches!(
+            chunk_fastq_bytes_paired(&data, 2),
+            Err(FastqError::Malformed { .. })
+        ));
     }
 
     #[test]
     fn paired_chunker_empty_input() {
-        assert!(chunk_fastq_bytes_paired(b"", 3).is_empty());
+        assert!(chunk_fastq_bytes_paired(b"", 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn trailing_blank_line_rejected() {
+        let mut data = sample_bytes(3);
+        data.push(b'\n');
+        // The old `lines / 4` count would silently report 3 records here
+        // while shifting byte accounting; now it is a hard error.
+        assert!(matches!(
+            chunk_fastq_bytes(&data, 2),
+            Err(FastqError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn wrapped_record_rejected() {
+        let data = b"@r0\nACGT\nACGT\n+\nIIIIIIII\n";
+        match chunk_fastq_bytes(data, 1) {
+            Err(FastqError::Malformed { record, what }) => {
+                assert_eq!(record, 1);
+                assert!(what.contains("'+'"), "{what}");
+            }
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_record_rejected() {
+        let data = b"@r0\nACGT\n+\n";
+        assert!(matches!(
+            chunk_fastq_bytes(data, 1),
+            Err(FastqError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn crlf_records_count_cleanly() {
+        let data = b"@r0\r\nACGT\r\n+\r\nIIII\r\n";
+        let specs = chunk_fastq_bytes(data, 1).unwrap();
+        assert_eq!(specs.len(), 1);
+        assert_eq!(specs[0].seqs, 1);
+    }
+
+    #[test]
+    fn no_trailing_newline_still_counts() {
+        let data = b"@r0\nACGT\n+\nIIII\n@r1\nGG\n+\nII";
+        let specs = chunk_fastq_bytes(data, 1).unwrap();
+        assert_eq!(specs[0].seqs, 2);
+    }
+
+    #[test]
+    fn malformed_error_reports_global_record_index() {
+        // Second record is wrapped; with one chunk the error must name
+        // record 2, not a chunk-local index.
+        let data = b"@r0\nACGT\n+\nIIII\n@r1\nAC\nGT\n+\nIIII\n";
+        match chunk_fastq_bytes(data, 1) {
+            Err(FastqError::Malformed { record, .. }) => assert_eq!(record, 2),
+            other => panic!("expected malformed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn count_record_starts_matches_record_starts() {
+        let data = sample_bytes(9);
+        assert_eq!(
+            count_record_starts(&data),
+            record_starts(&data).len() as u64
+        );
+        assert_eq!(count_record_starts(b""), 0);
     }
 
     #[test]

@@ -16,11 +16,13 @@ pub mod chunk;
 pub mod fasta;
 pub mod parse;
 pub mod store;
+pub mod stream;
 pub mod trim;
 pub mod write;
 
 pub use chunk::{
-    chunk_fastq_bytes, chunk_fastq_bytes_paired, chunk_store, find_record_start, ChunkSpec,
+    chunk_fastq_bytes, chunk_fastq_bytes_paired, chunk_store, count_record_starts, count_records,
+    find_record_start, ChunkSpec,
 };
 pub use fasta::{parse_fasta, parse_fasta_path, write_fasta, write_fasta_path, FastaRecord};
 pub use parse::{
@@ -28,5 +30,6 @@ pub use parse::{
     FastqError, FastqRecord,
 };
 pub use store::ReadStore;
+pub use stream::{StreamChunk, StreamChunker, DEFAULT_INDEX_WINDOW};
 pub use trim::{trim_adapter, trim_quality, TrimStats};
 pub use write::{write_fastq, write_fastq_path};

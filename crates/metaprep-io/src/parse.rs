@@ -418,7 +418,7 @@ mod tests {
         let path = dir.join("reads.fastq");
         std::fs::write(&path, &bytes).unwrap();
 
-        let specs = chunk_fastq_bytes(&bytes, 4);
+        let specs = chunk_fastq_bytes(&bytes, 4).unwrap();
         let mut total = 0usize;
         for spec in &specs {
             let chunk = super::parse_fastq_chunk(&path, spec, false).unwrap();

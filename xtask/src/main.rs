@@ -7,6 +7,10 @@
 //!   `--miri` / `--tsan` additionally run the gated dynamic checkers
 //!   when the toolchain provides them (skipped with a notice otherwise).
 //! * `lint` — just the custom lint pass.
+//! * `bench-smoke` — builds and runs the `index_create` experiment on a
+//!   small synthetic file and validates the emitted
+//!   `target/BENCH_index.json`; CI uploads the file as an artifact so
+//!   the streaming-IndexCreate perf trajectory accumulates per commit.
 //!
 //! The custom pass is a line scanner (no rustc plumbing, no external
 //! deps) enforcing three policies on workspace sources:
@@ -60,14 +64,16 @@ fn main() -> ExitCode {
     match cmd {
         "lint" => run_lint_pass(),
         "check" => run_check(&flags),
+        "bench-smoke" => run_bench_smoke(),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: cargo xtask [check|lint] [--miri] [--tsan] [--skip-clippy] [--skip-fmt]"
+                "usage: cargo xtask [check|lint|bench-smoke] \
+                 [--miri] [--tsan] [--skip-clippy] [--skip-fmt]"
             );
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("xtask: unknown command `{other}` (try `check` or `lint`)");
+            eprintln!("xtask: unknown command `{other}` (try `check`, `lint`, or `bench-smoke`)");
             ExitCode::FAILURE
         }
     }
@@ -125,6 +131,45 @@ fn run_check(flags: &[&str]) -> ExitCode {
         eprintln!("xtask check: ok");
         ExitCode::SUCCESS
     }
+}
+
+/// Run the `index_create` experiment on a small synthetic dataset and
+/// sanity-check the JSON it writes to `target/BENCH_index.json`.
+fn run_bench_smoke() -> ExitCode {
+    let root = workspace_root();
+    let out = root.join("target").join("BENCH_index.json");
+    std::fs::remove_file(&out).ok();
+
+    eprintln!("== xtask: bench smoke (index_create) ==");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-bench",
+            "--bin",
+            "exp_index_create",
+        ])
+        .env("METAPREP_SCALE", "0.05")
+        .env("METAPREP_BENCH_OUT", &out)
+        .status();
+    if !matches!(status, Ok(s) if s.success()) {
+        eprintln!("xtask bench-smoke: exp_index_create failed");
+        return ExitCode::FAILURE;
+    }
+
+    let Ok(json) = std::fs::read_to_string(&out) else {
+        eprintln!("xtask bench-smoke: {} was not written", out.display());
+        return ExitCode::FAILURE;
+    };
+    for needle in ["\"index_create\"", "\"runs\"", "\"stream-t4\""] {
+        if !json.contains(needle) {
+            eprintln!("xtask bench-smoke: {} missing {needle}", out.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask bench-smoke: ok ({})", out.display());
+    ExitCode::SUCCESS
 }
 
 fn run_cargo(args: &[&str]) -> bool {
