@@ -1,0 +1,6 @@
+//! Telemetry export smoke test; see crate docs.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::trace_smoke::run(scale);
+}

@@ -16,3 +16,4 @@ pub mod table5;
 pub mod table6;
 pub mod table7;
 pub mod table8_9;
+pub mod trace_smoke;

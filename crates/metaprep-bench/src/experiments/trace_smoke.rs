@@ -1,0 +1,101 @@
+//! Trace smoke: run a small pipeline with the in-memory recorder, write
+//! the Chrome trace + JSONL stream, and validate both.
+//!
+//! This is the observability layer's end-to-end gate (driven by
+//! `cargo xtask bench-smoke`): the Chrome export must pass the schema
+//! validator (Perfetto-loadable by construction), the JSONL stream must
+//! round-trip through the parser, and the report rebuilt from the events
+//! must reproduce the run's own `StepTimings` to the nanosecond.
+
+use crate::{harness, print_table};
+use metaprep_core::{Pipeline, PipelineConfig, Step};
+use metaprep_obs::export::{parse_jsonl, validate_chrome, write_chrome, write_jsonl};
+use metaprep_obs::{CounterKind, Event, MemRecorder, RunSummary};
+use metaprep_synth::DatasetId;
+
+/// Run the smoke check; panics (fails the driver) on any validation
+/// error. Writes `BENCH_trace.json` (Chrome) and `BENCH_trace.jsonl`
+/// next to it; the base path comes from `METAPREP_BENCH_OUT`.
+pub fn run(scale: f64) {
+    let tasks = 4usize;
+    let data = harness::dataset(DatasetId::Is, scale);
+    let cfg = PipelineConfig::builder()
+        .k(21)
+        .m(6)
+        .tasks(tasks)
+        .threads(2)
+        .passes(2)
+        .build();
+    let rec = MemRecorder::new(tasks);
+    let res = Pipeline::new(cfg)
+        .run_reads_recorded(&data.reads, &rec)
+        .expect("smoke pipeline must run");
+
+    let mut events = rec.into_events();
+    if let Some(hwm) = crate::allocpeak::vm_hwm_bytes() {
+        events.push(Event::Counter {
+            task: 0,
+            kind: CounterKind::VmHwmBytes,
+            value: hwm,
+        });
+    }
+
+    // Chrome export must satisfy the schema validator.
+    let chrome = write_chrome(&events);
+    validate_chrome(&chrome).expect("chrome trace must validate");
+
+    // JSONL must round-trip, and the rebuilt report must agree with the
+    // run's own timings exactly.
+    let jsonl = write_jsonl(&events);
+    let parsed = parse_jsonl(&jsonl).expect("jsonl must parse");
+    let summary = RunSummary::from_events(&parsed);
+    assert_eq!(
+        summary.index_create_ns,
+        res.timings.index_create.as_nanos() as u64,
+        "IndexCreate drift between report and run"
+    );
+    for step in Step::all() {
+        let per_task = summary.step_task_ns(step.name()).unwrap_or(&[]);
+        for (task, tt) in res.timings.per_task.iter().enumerate() {
+            assert_eq!(
+                per_task.get(task).copied().unwrap_or(0),
+                tt.get(step).as_nanos() as u64,
+                "step {} task {task} drift between report and run",
+                step.name()
+            );
+        }
+    }
+
+    let out = std::env::var("METAPREP_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("target/BENCH_trace.json"));
+    if let Some(dir) = out.parent() {
+        std::fs::create_dir_all(dir).ok();
+    }
+    std::fs::write(&out, &chrome).expect("write chrome trace");
+    let jsonl_path = out.with_extension("jsonl");
+    std::fs::write(&jsonl_path, &jsonl).expect("write jsonl trace");
+
+    let span_events = events
+        .iter()
+        .filter(|e| matches!(e, Event::Span { .. }))
+        .count();
+    let rows = vec![
+        vec!["tasks".to_string(), summary.tasks.to_string()],
+        vec!["span events".to_string(), span_events.to_string()],
+        vec![
+            "tuples".to_string(),
+            summary
+                .counter_total(CounterKind::TuplesEmitted)
+                .to_string(),
+        ],
+        vec![
+            "comm bytes".to_string(),
+            summary.counter_total(CounterKind::BytesSent).to_string(),
+        ],
+        vec!["chrome".to_string(), out.display().to_string()],
+        vec!["jsonl".to_string(), jsonl_path.display().to_string()],
+    ];
+    print_table("trace_smoke: telemetry export validation", &["", ""], &rows);
+    println!("\n{}", summary.render());
+}

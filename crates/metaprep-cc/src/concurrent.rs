@@ -18,6 +18,29 @@ use rayon::prelude::*;
 
 use crate::sync::{AtomicU32, Ordering};
 
+/// Union-find operation counts, accumulated thread-locally by the
+/// `_tracked` entry points below (no atomics — each worker owns its own
+/// stats and the caller merges them), then surfaced as telemetry
+/// counters by the pipeline.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct UfOpStats {
+    /// `find` calls executed.
+    pub finds: u64,
+    /// Successful path-splitting CASes inside `find`.
+    pub path_splits: u64,
+    /// Successful link CASes (each reduces the component count by 1).
+    pub unions: u64,
+}
+
+impl UfOpStats {
+    /// Fold `other` into `self` (merging per-thread partials).
+    pub fn merge(&mut self, other: UfOpStats) {
+        self.finds += other.finds;
+        self.path_splits += other.path_splits;
+        self.unions += other.unions;
+    }
+}
+
 /// A concurrent disjoint-set forest over vertices `0..n`.
 pub struct ConcurrentDisjointSet {
     parent: Vec<AtomicU32>,
@@ -45,7 +68,23 @@ impl ConcurrentDisjointSet {
     /// Root of `x`'s component with CAS-guarded path splitting. Safe to
     /// call from many threads concurrently.
     #[inline]
-    pub fn find(&self, mut x: u32) -> u32 {
+    pub fn find(&self, x: u32) -> u32 {
+        // The no-op split hook inlines away: `find` compiles to the same
+        // loop it always was, while `find_tracked` shares this one body.
+        self.find_with(x, || {})
+    }
+
+    /// [`ConcurrentDisjointSet::find`] that also counts the operation and
+    /// its successful path-splitting CASes into `ops`.
+    #[inline]
+    pub fn find_tracked(&self, x: u32, ops: &mut UfOpStats) -> u32 {
+        ops.finds += 1;
+        let splits = &mut ops.path_splits;
+        self.find_with(x, || *splits += 1)
+    }
+
+    #[inline]
+    fn find_with(&self, mut x: u32, mut on_split: impl FnMut()) -> u32 {
         loop {
             // ORDERING: Acquire pairs with the AcqRel link/split CASes so a
             // parent value read here carries the edge that installed it.
@@ -61,12 +100,12 @@ impl ConcurrentDisjointSet {
                 // means someone else already moved it — keep walking.
                 // ORDERING: AcqRel publishes the shortcut; Relaxed on failure
                 // is fine because the loop re-reads via Acquire loads.
-                let _ = self.parent[x as usize].compare_exchange_weak(
-                    p,
-                    gp,
-                    Ordering::AcqRel,
-                    Ordering::Relaxed,
-                );
+                if self.parent[x as usize]
+                    .compare_exchange_weak(p, gp, Ordering::AcqRel, Ordering::Relaxed)
+                    .is_ok()
+                {
+                    on_split();
+                }
             }
             x = p;
         }
@@ -99,6 +138,21 @@ impl ConcurrentDisjointSet {
         true
     }
 
+    /// [`ConcurrentDisjointSet::process_edge`] counting finds, path
+    /// splits and successful unions into `ops`.
+    #[inline]
+    pub fn process_edge_tracked(&self, u: u32, v: u32, ops: &mut UfOpStats) -> bool {
+        let ru = self.find_tracked(u, ops);
+        let rv = self.find_tracked(v, ops);
+        if ru == rv {
+            return false;
+        }
+        if self.try_link(ru, rv) {
+            ops.unions += 1;
+        }
+        true
+    }
+
     /// Algorithm 1 of the paper, parallelized with rayon: process all
     /// edges; edges that observed distinct roots are buffered and
     /// re-processed until a full pass performs no unions. Returns the
@@ -128,6 +182,58 @@ impl ConcurrentDisjointSet {
                 .collect();
         }
         iterations
+    }
+
+    /// [`ConcurrentDisjointSet::process_edges_parallel`] with operation
+    /// counting: edges are split into one chunk per pool thread, each
+    /// chunk accumulates a thread-local [`UfOpStats`] (no shared counters
+    /// on the per-edge path), and the partials merge into `ops` after
+    /// every pass.
+    #[cfg(not(loom))]
+    pub fn process_edges_parallel_tracked(
+        &self,
+        edges: &[(u32, u32)],
+        ops: &mut UfOpStats,
+    ) -> usize {
+        if edges.is_empty() {
+            return 0;
+        }
+        let mut iterations = 1usize;
+        let mut pending = self.tracked_pass(edges, ops);
+        while !pending.is_empty() {
+            iterations += 1;
+            let next = self.tracked_pass(&pending, ops);
+            pending = next;
+        }
+        iterations
+    }
+
+    /// One tracked verification pass: returns the edges that observed
+    /// distinct roots and must be re-verified.
+    #[cfg(not(loom))]
+    fn tracked_pass(&self, edges: &[(u32, u32)], ops: &mut UfOpStats) -> Vec<(u32, u32)> {
+        let nthreads = rayon::current_num_threads().max(1);
+        let chunk_len = edges.len().div_ceil(nthreads).max(1);
+        let chunks: Vec<&[(u32, u32)]> = edges.chunks(chunk_len).collect();
+        let partials: Vec<(Vec<(u32, u32)>, UfOpStats)> = chunks
+            .par_iter()
+            .map(|part| {
+                let mut local = UfOpStats::default();
+                let mut keep = Vec::new();
+                for &(u, v) in *part {
+                    if self.process_edge_tracked(u, v, &mut local) {
+                        keep.push((u, v));
+                    }
+                }
+                (keep, local)
+            })
+            .collect();
+        let mut pending = Vec::new();
+        for (keep, local) in partials {
+            pending.extend(keep);
+            ops.merge(local);
+        }
+        pending
     }
 
     /// Sequential edge processing (used by tests and small merges).
@@ -274,6 +380,53 @@ mod tests {
         // Concurrent finds after convergence all agree.
         let roots: Vec<u32> = (0..n).into_par_iter().map(|x| cds.find(x)).collect();
         assert!(roots.iter().all(|&r| r == roots[0]));
+    }
+
+    #[test]
+    fn tracked_matches_untracked_and_counts_unions_exactly() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for trial in 0..10 {
+            let n = rng.gen_range(2..400);
+            let m = rng.gen_range(0..2 * n);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n) as u32, rng.gen_range(0..n) as u32))
+                .collect();
+            let cds = ConcurrentDisjointSet::new(n);
+            let mut ops = UfOpStats::default();
+            let iterations = cds.process_edges_parallel_tracked(&edges, &mut ops);
+            let got = cds.to_component_array();
+            let want = reference_array(n, &edges);
+            assert!(same_partition(&got, &want), "trial {trial}");
+            // Every successful link merges exactly two components, so the
+            // union count equals the drop in component count.
+            let components = {
+                let mut roots = got.clone();
+                roots.sort_unstable();
+                roots.dedup();
+                roots.len()
+            };
+            assert_eq!(ops.unions, (n - components) as u64, "trial {trial}");
+            // Each processed edge performs exactly two finds per pass.
+            assert!(ops.finds >= 2 * m as u64, "trial {trial}");
+            if m > 0 {
+                assert!(iterations >= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn tracked_find_counts() {
+        let ds = ConcurrentDisjointSet::new(4);
+        let mut ops = UfOpStats::default();
+        // Build a chain 0->1->2 manually, then find(0) must split paths.
+        assert!(ds.try_link(0, 1));
+        assert!(ds.try_link(1, 2));
+        assert_eq!(ds.find_tracked(0, &mut ops), 2);
+        assert_eq!(ops.finds, 1);
+        assert!(ops.path_splits >= 1);
+        let mut more = UfOpStats::default();
+        more.merge(ops);
+        assert_eq!(more, ops);
     }
 
     proptest! {

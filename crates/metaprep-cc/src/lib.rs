@@ -32,7 +32,7 @@ pub mod sv;
 pub mod sync;
 
 pub use adaptive::{adaptive_components, AdaptiveResult};
-pub use concurrent::ConcurrentDisjointSet;
+pub use concurrent::{ConcurrentDisjointSet, UfOpStats};
 pub use merge::{absorb_parent_array, absorb_sparse_pairs, merge_all, sparse_pairs};
 pub use seq::DisjointSet;
 pub use stats::ComponentStats;

@@ -12,10 +12,17 @@
 //!                    [--adapter AGATCGGAAGAGC] --output trimmed.fastq
 //! metaprep assemble  --input reads.fastq --k 21 --min-count 2 --output contigs.fa
 //! metaprep spectrum  --input reads.fastq --k 27
+//! metaprep report    --trace trace.jsonl
 //! ```
 //!
 //! All FASTQ inputs are treated as interleaved paired-end unless
 //! `--unpaired` is given.
+//!
+//! `index` and `partition` accept `--trace-out <path>` (plus
+//! `--trace-format jsonl|chrome`): the run's spans and counters are
+//! exported either as a JSONL event stream (feed it back to
+//! `metaprep report`) or as Chrome `trace_event` JSON loadable in
+//! Perfetto / `chrome://tracing`.
 
 mod args;
 
@@ -25,6 +32,7 @@ use metaprep_core::{
     PipelineConfig, Step,
 };
 use metaprep_io::{parse_fastq_path, write_fastq_path, ReadStore};
+use metaprep_obs::{export, CounterKind, Event, MemRecorder, Recorder, RunSummary, SpanEvent};
 use std::io::Write as _;
 
 fn main() {
@@ -38,7 +46,7 @@ fn main() {
 }
 
 const USAGE: &str =
-    "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum> [--options]
+    "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum|report> [--options]
 run `metaprep <command>` with missing options to see what each needs";
 
 fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
@@ -51,8 +59,66 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "trim" => cmd_trim(&args),
         "assemble" => cmd_assemble(&args),
         "spectrum" => cmd_spectrum(&args),
+        "report" => cmd_report(&args),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
     }
+}
+
+/// Trace sink requested via `--trace-out` / `--trace-format`.
+struct TraceOpts {
+    path: String,
+    chrome: bool,
+}
+
+fn trace_opts(args: &Args) -> Result<Option<TraceOpts>, ArgError> {
+    let Some(path) = args.opt("trace-out") else {
+        return Ok(None);
+    };
+    let fmt = args.get_or("trace-format", "jsonl".to_string())?;
+    let chrome = match fmt.as_str() {
+        "jsonl" => false,
+        "chrome" => true,
+        other => {
+            return Err(ArgError(format!(
+                "--trace-format must be jsonl or chrome, got {other:?}"
+            )))
+        }
+    };
+    Ok(Some(TraceOpts { path, chrome }))
+}
+
+/// Drain the recorder and write the trace file. The process's VmHWM (when
+/// the kernel exposes it) rides along as a counter so the report can put
+/// the memory model next to a real measurement.
+fn write_trace(rec: MemRecorder, opts: &TraceOpts) -> Result<(), Box<dyn std::error::Error>> {
+    let mut events = rec.into_events();
+    if let Some(hwm) = metaprep_bench::allocpeak::vm_hwm_bytes() {
+        events.push(Event::Counter {
+            task: 0,
+            kind: CounterKind::VmHwmBytes,
+            value: hwm,
+        });
+    }
+    let text = if opts.chrome {
+        export::write_chrome(&events)
+    } else {
+        export::write_jsonl(&events)
+    };
+    std::fs::write(&opts.path, text)?;
+    println!(
+        "wrote trace ({}) -> {}",
+        if opts.chrome { "chrome" } else { "jsonl" },
+        opts.path
+    );
+    Ok(())
+}
+
+fn cmd_report(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.req("trace")?;
+    let src = std::fs::read_to_string(&path)?;
+    let events = export::parse_jsonl(&src).map_err(ArgError)?;
+    print!("{}", RunSummary::from_events(&events).render());
+    Ok(())
 }
 
 fn load_reads(args: &Args) -> Result<ReadStore, Box<dyn std::error::Error>> {
@@ -94,28 +160,42 @@ fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let chunks = args.get_or("chunks", 64usize)?;
     let outdir = std::path::PathBuf::from(args.get_or("outdir", "metaprep_index".to_string())?);
     std::fs::create_dir_all(&outdir)?;
+    let trace = trace_opts(args)?;
+    // IndexCreate runs on one (driver) "task"; sub-phases of the streaming
+    // path show up as their own spans.
+    let rec = MemRecorder::new(1);
 
     let (mh, fp, elapsed) = if args.flag("stream") {
         // Streaming path: never materializes the input file; memory is
         // O(window + in-flight chunk bytes) per thread.
-        use metaprep_index::{index_fastq_file_streaming, StreamingOptions};
+        use metaprep_index::{index_fastq_file_streaming_recorded, StreamingOptions};
         let input = args.req("input")?;
         let paired = !args.flag("unpaired");
         let opts = StreamingOptions {
             window: args.get_or("index-window", 0usize)?,
             threads: args.get_or("threads", 0usize)?,
         };
-        let t0 = std::time::Instant::now();
-        let (mh, fp, _total) = index_fastq_file_streaming(&input, paired, chunks, k, m, opts)?;
-        (mh, fp, t0.elapsed())
+        let clock = rec.clock();
+        let t0 = clock.now_ns();
+        let (mh, fp, _total) =
+            index_fastq_file_streaming_recorded(&input, paired, chunks, k, m, opts, &rec)?;
+        let t1 = clock.now_ns();
+        record_index_span(&rec, t0, t1);
+        (mh, fp, std::time::Duration::from_nanos(t1 - t0))
     } else {
         let reads = load_reads(args)?;
-        let t0 = std::time::Instant::now();
+        let clock = rec.clock();
+        let t0 = clock.now_ns();
         let mh = MerHist::build(&reads, k, m);
         let fp = FastqPart::build(&reads, chunks, k, m);
-        (mh, fp, t0.elapsed())
+        let t1 = clock.now_ns();
+        record_index_span(&rec, t0, t1);
+        (mh, fp, std::time::Duration::from_nanos(t1 - t0))
     };
 
+    if let Some(t) = &trace {
+        write_trace(rec, t)?;
+    }
     write_merhist(outdir.join("merhist.bin"), &mh)?;
     write_fastqpart(outdir.join("fastqpart.bin"), &fp)?;
     println!(
@@ -131,6 +211,18 @@ fn cmd_index(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         outdir.display()
     );
     Ok(())
+}
+
+/// Stamp the whole IndexCreate phase as a driver-side span.
+fn record_index_span(rec: &MemRecorder, t0_ns: u64, t1_ns: u64) {
+    rec.record_span(SpanEvent {
+        task: 0,
+        name: metaprep_obs::event::INDEX_CREATE,
+        pass: None,
+        detail: None,
+        start_ns: t0_ns,
+        end_ns: t1_ns,
+    });
 }
 
 fn parse_kf(spec: &str) -> Result<(u32, u32), ArgError> {
@@ -164,16 +256,33 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     cfg.validate()?;
     let outdir = args.get_or("outdir", "metaprep_parts".to_string())?;
 
+    let trace = trace_opts(args)?;
+    let tasks = cfg.tasks;
+
     // `--stream` drives the whole pipeline from the file (streaming
     // IndexCreate, per-chunk reads) instead of loading reads up front —
     // but the partition output step still needs the reads in memory.
     let reads = load_reads(args)?;
-    let res = if args.flag("stream") {
-        let input = args.req("input")?;
-        let paired = !args.flag("unpaired");
-        Pipeline::new(cfg).run_fastq_file(&input, paired)?
-    } else {
-        Pipeline::new(cfg).run_reads(&reads)?
+    let pipe = Pipeline::new(cfg);
+    let run_with = |rec: &dyn Recorder| -> Result<_, Box<dyn std::error::Error>> {
+        if args.flag("stream") {
+            let input = args.req("input")?;
+            let paired = !args.flag("unpaired");
+            Ok(pipe.run_fastq_file_recorded(&input, paired, rec)?)
+        } else {
+            Ok(pipe.run_reads_recorded(&reads, rec)?)
+        }
+    };
+    let res = match &trace {
+        // Only collect events when a trace was asked for — the default
+        // path keeps the zero-cost no-op recorder.
+        Some(t) => {
+            let rec = MemRecorder::new(tasks);
+            let res = run_with(&rec)?;
+            write_trace(rec, t)?;
+            res
+        }
+        None => run_with(&metaprep_obs::NoopRecorder::new())?,
     };
     println!(
         "{} fragments -> {} components; largest = {:.2}% of reads",

@@ -8,7 +8,7 @@
 //! generated.
 
 use crate::kmergen::PipelineKmer;
-use metaprep_cc::ConcurrentDisjointSet;
+use metaprep_cc::{ConcurrentDisjointSet, UfOpStats};
 use metaprep_sort::Keyed;
 use rayon::prelude::*;
 
@@ -26,6 +26,9 @@ pub struct LocalCcStats {
     pub union_edges: u64,
     /// Verification iterations performed over the buffered edges.
     pub verify_iterations: u64,
+    /// Union-find operation counts (finds, path splits, unions) across
+    /// the streaming scan and every verification iteration.
+    pub uf: UfOpStats,
 }
 
 impl LocalCcStats {
@@ -36,6 +39,7 @@ impl LocalCcStats {
         self.edges += o.edges;
         self.union_edges += o.union_edges;
         self.verify_iterations += o.verify_iterations;
+        self.uf.merge(o.uf);
     }
 }
 
@@ -70,7 +74,10 @@ pub fn localcc_pass<K: PipelineKmer>(
     stats.union_edges = buffered.len() as u64;
 
     // Re-verification iterations (Algorithm 1's loop).
-    stats.verify_iterations = pool.install(|| ds.process_edges_parallel(&buffered)) as u64;
+    let mut verify_ops = UfOpStats::default();
+    stats.verify_iterations =
+        pool.install(|| ds.process_edges_parallel_tracked(&buffered, &mut verify_ops)) as u64;
+    stats.uf.merge(verify_ops);
     stats
 }
 
@@ -105,7 +112,7 @@ fn scan_range<K: PipelineKmer>(
                 let r = K::tuple_read(t);
                 if r != anchor {
                     stats.edges += 1;
-                    if ds.process_edge(anchor, r) {
+                    if ds.process_edge_tracked(anchor, r, &mut stats.uf) {
                         buffered.push((anchor, r));
                     }
                 }
@@ -239,5 +246,14 @@ mod tests {
         // Both edges performed unions.
         assert_eq!(stats.union_edges, 2);
         assert!(stats.verify_iterations >= 1);
+    }
+
+    #[test]
+    fn uf_op_counters_populated() {
+        let (_, stats) = run(4, &[(7, 0), (7, 1), (7, 2), (7, 3)], None);
+        // 3 star edges, 2 finds each in the scan, plus re-verification.
+        assert!(stats.uf.finds >= 6, "finds = {}", stats.uf.finds);
+        // The group collapses 4 reads into 1 component: 3 unions.
+        assert_eq!(stats.uf.unions, 3);
     }
 }

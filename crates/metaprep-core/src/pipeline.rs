@@ -9,13 +9,15 @@ use crate::timings::{Step, StepTimings, TaskTimings};
 use metaprep_cc::{
     absorb_parent_array, absorb_sparse_pairs, sparse_pairs, ComponentStats, ConcurrentDisjointSet,
 };
-use metaprep_dist::collectives::{alltoall, broadcast};
+use metaprep_dist::collectives::{alltoall_obs, broadcast};
 use metaprep_dist::{run_cluster, ClusterConfig, CommStats, Payload, TaskCtx};
 use metaprep_index::{FastqPart, MerHist, RangePlan};
 use metaprep_io::ReadStore;
 use metaprep_kmer::{Kmer128, Kmer64};
+use metaprep_obs::event::INDEX_CREATE;
+use metaprep_obs::{CounterKind, NoopRecorder, Recorder, SpanEvent, TaskObs};
 use metaprep_sort::local_sort_with_boundaries;
-use std::time::Instant;
+use std::time::Duration;
 
 /// Message type moved between simulated tasks.
 enum Msg<T> {
@@ -100,6 +102,17 @@ impl Pipeline {
 
     /// Run the full preprocessing pipeline over in-memory reads.
     pub fn run_reads(&self, reads: &ReadStore) -> Result<PipelineResult, PipelineError> {
+        self.run_reads_recorded(reads, &NoopRecorder::new())
+    }
+
+    /// [`Pipeline::run_reads`] with telemetry: every step of every task
+    /// becomes a recorded span (the returned `StepTimings` are *derived*
+    /// from those spans) and work/comm/memory counters flow into `rec`.
+    pub fn run_reads_recorded(
+        &self,
+        reads: &ReadStore,
+        rec: &dyn Recorder,
+    ) -> Result<PipelineResult, PipelineError> {
         self.cfg
             .validate()
             .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
@@ -109,11 +122,23 @@ impl Pipeline {
             ));
         }
         // ---- IndexCreate (sequential, timed; paper Table 5) ----
-        let t_index = Instant::now();
+        let clock = rec.clock();
+        let t0_ns = clock.now_ns();
         let c = self.cfg.effective_chunks();
         let merhist = MerHist::build(reads, self.cfg.k, self.cfg.m);
         let fastqpart = FastqPart::build(reads, c, self.cfg.k, self.cfg.m);
-        let index_create = t_index.elapsed();
+        let t1_ns = clock.now_ns();
+        // Derive the duration from the span's own endpoints so a report
+        // built from the exported events reproduces it exactly.
+        let index_create = Duration::from_nanos(t1_ns.saturating_sub(t0_ns));
+        rec.record_span(SpanEvent {
+            task: 0,
+            name: INDEX_CREATE,
+            pass: None,
+            detail: None,
+            start_ns: t0_ns,
+            end_ns: t1_ns,
+        });
         let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
         let source = MemorySource::new(reads, specs);
         if self.cfg.k <= 32 {
@@ -123,6 +148,7 @@ impl Pipeline {
                 &merhist,
                 &fastqpart,
                 index_create,
+                rec,
             ))
         } else {
             Ok(run_generic::<Kmer128, _>(
@@ -131,6 +157,7 @@ impl Pipeline {
                 &merhist,
                 &fastqpart,
                 index_create,
+                rec,
             ))
         }
     }
@@ -144,13 +171,25 @@ impl Pipeline {
         path: impl AsRef<std::path::Path>,
         paired: bool,
     ) -> Result<PipelineResult, PipelineError> {
+        self.run_fastq_file_recorded(path, paired, &NoopRecorder::new())
+    }
+
+    /// [`Pipeline::run_fastq_file`] with telemetry (see
+    /// [`Pipeline::run_reads_recorded`]).
+    pub fn run_fastq_file_recorded(
+        &self,
+        path: impl AsRef<std::path::Path>,
+        paired: bool,
+        rec: &dyn Recorder,
+    ) -> Result<PipelineResult, PipelineError> {
         self.cfg
             .validate()
             .map_err(|e| PipelineError::InvalidConfig(e.to_string()))?;
         let path = path.as_ref();
 
         // ---- IndexCreate from the file (streaming, thread-parallel) ----
-        let t_index = Instant::now();
+        let clock = rec.clock();
+        let t0_ns = clock.now_ns();
         let (merhist, fastqpart, total_seqs) = index_fastq_file(
             path,
             paired,
@@ -159,8 +198,18 @@ impl Pipeline {
             self.cfg.m,
             self.cfg.index_window,
             self.cfg.tasks * self.cfg.threads,
+            rec,
         )?;
-        let index_create = t_index.elapsed();
+        let t1_ns = clock.now_ns();
+        let index_create = Duration::from_nanos(t1_ns.saturating_sub(t0_ns));
+        rec.record_span(SpanEvent {
+            task: 0,
+            name: INDEX_CREATE,
+            pass: None,
+            detail: None,
+            start_ns: t0_ns,
+            end_ns: t1_ns,
+        });
 
         let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
         let source = FileSource::new(path.to_path_buf(), specs, paired, total_seqs);
@@ -171,6 +220,7 @@ impl Pipeline {
                 &merhist,
                 &fastqpart,
                 index_create,
+                rec,
             ))
         } else {
             Ok(run_generic::<Kmer128, _>(
@@ -179,6 +229,7 @@ impl Pipeline {
                 &merhist,
                 &fastqpart,
                 index_create,
+                rec,
             ))
         }
     }
@@ -198,11 +249,19 @@ fn index_fastq_file(
     m: usize,
     window: usize,
     threads: usize,
+    rec: &dyn Recorder,
 ) -> Result<(MerHist, FastqPart, u32), PipelineError> {
-    use metaprep_index::{index_fastq_file_streaming, StreamingOptions};
-    let (merhist, fastqpart, total_seqs) =
-        index_fastq_file_streaming(path, paired, c, k, m, StreamingOptions { window, threads })
-            .map_err(|e| PipelineError::InvalidInput(format!("index {path:?}: {e}")))?;
+    use metaprep_index::{index_fastq_file_streaming_recorded, StreamingOptions};
+    let (merhist, fastqpart, total_seqs) = index_fastq_file_streaming_recorded(
+        path,
+        paired,
+        c,
+        k,
+        m,
+        StreamingOptions { window, threads },
+        rec,
+    )
+    .map_err(|e| PipelineError::InvalidInput(format!("index {path:?}: {e}")))?;
     let total_seqs = guard_total_seqs(total_seqs, paired)?;
     Ok((merhist, fastqpart, total_seqs))
 }
@@ -239,6 +298,7 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     merhist: &MerHist,
     fastqpart: &FastqPart,
     index_create: std::time::Duration,
+    rec: &dyn Recorder,
 ) -> PipelineResult {
     let plan = RangePlan::build(merhist, cfg.passes, cfg.tasks, cfg.threads);
     let bin_owner = plan.bin_owner_table();
@@ -259,6 +319,7 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
             &bin_owner,
             &owner_of_chunk,
             r,
+            rec,
         )
     });
 
@@ -306,6 +367,26 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     );
     memory.record_peak(peak_tuples, std::mem::size_of::<K::Tuple>());
 
+    // Driver-side counters: communication volume comes from the cluster's
+    // own byte/message accounting (the single source of truth — the
+    // collectives record stage *spans* only), and the memory model's
+    // totals ride along so a report can show modeled vs measured.
+    if rec.enabled() {
+        for (task, s) in run.stats.iter().enumerate() {
+            let task = task as u32;
+            rec.record_counter(task, CounterKind::BytesSent, s.bytes_sent);
+            rec.record_counter(task, CounterKind::MessagesSent, s.messages_sent);
+            rec.record_counter(task, CounterKind::BytesReceived, s.bytes_received);
+            rec.record_counter(task, CounterKind::MessagesReceived, s.messages_received);
+        }
+        rec.record_counter(0, CounterKind::MemModeledBytes, memory.total_modeled());
+        rec.record_counter(
+            0,
+            CounterKind::MemPeakTupleBytes,
+            memory.measured_peak_tuple_bytes,
+        );
+    }
+
     PipelineResult {
         components,
         labels,
@@ -332,10 +413,14 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     bin_owner: &[u32],
     owner_of_chunk: &[usize],
     r: usize,
+    rec: &dyn Recorder,
 ) -> TaskOutput {
     let rank = ctx.rank();
     let p = ctx.size();
-    let mut tm = TaskTimings::default();
+    // Every step is recorded as a span; `TaskTimings` is derived from the
+    // spans at the end so the exported trace and the in-process timings
+    // can never disagree.
+    let mut obs = TaskObs::new(rec, rank as u32);
     let ds = ConcurrentDisjointSet::new(r);
     let my_chunks: Vec<usize> = (0..fastqpart.len())
         .filter(|&i| owner_of_chunk[i] == rank)
@@ -347,7 +432,12 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     let key_bits = 2 * cfg.k as u32;
 
     for pass in 0..cfg.passes {
+        let pass_u32 = pass as u32;
         // ---- KmerGen (+ simulated I/O) ----
+        // I/O and generation time are CPU-nanos summed across the pool's
+        // threads, not one wall interval — anchor them back-to-back at the
+        // pass start so the trace still shows where the pass's time went.
+        let pass_start = obs.open();
         let use_opt = cfg.cc_opt && pass > 0;
         let gen = kmergen_pass::<K, S>(
             ctx.pool(),
@@ -360,21 +450,26 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             cfg.use_x4_kmergen,
             |frag| if use_opt { ds.find(frag) } else { frag },
         );
-        tm.add(
-            Step::KmerGenIo,
-            std::time::Duration::from_nanos(gen.io_nanos),
+        let after_io = obs.span_with_dur(
+            pass_start,
+            gen.io_nanos,
+            Step::KmerGenIo.name(),
+            Some(pass_u32),
         );
-        tm.add(
-            Step::KmerGen,
-            std::time::Duration::from_nanos(gen.gen_nanos),
+        obs.span_with_dur(
+            after_io,
+            gen.gen_nanos,
+            Step::KmerGen.name(),
+            Some(pass_u32),
         );
         let out_tuples: u64 = gen.outgoing.iter().map(|v| v.len() as u64).sum();
         tuples_emitted += out_tuples;
+        obs.add(CounterKind::TuplesEmitted, out_tuples);
 
         // ---- KmerGen-Comm: the P-stage all-to-all ----
-        let t0 = Instant::now();
+        let t0 = obs.open();
         let outgoing: Vec<Msg<K::Tuple>> = gen.outgoing.into_iter().map(Msg::Tuples).collect();
-        let incoming = alltoall(ctx, outgoing);
+        let incoming = alltoall_obs(ctx, outgoing, &mut obs, Some(pass_u32));
         let expected = expected_incoming(fastqpart, plan, pass, rank);
         let mut tuples: Vec<K::Tuple> = Vec::with_capacity(expected as usize);
         for msg in incoming {
@@ -388,7 +483,8 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             expected,
             "receive-count precomputation"
         );
-        tm.add(Step::KmerGenComm, t0.elapsed());
+        obs.close(t0, Step::KmerGenComm.name(), Some(pass_u32));
+        obs.add(CounterKind::TuplesReceived, tuples.len() as u64);
         // Per-pass tuple residency peaks twice: during the all-to-all the
         // outgoing send buffers coexist with the received tuples (out + in
         // — the old `2 * in` accounting missed the send side and under-
@@ -398,7 +494,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         peak_tuples = peak_tuples.max(2 * tuples.len() as u64);
 
         // ---- LocalSort ----
-        let t0 = Instant::now();
+        let t0 = obs.open();
         let boundaries: Vec<<K as metaprep_kmer::Kmer>::Repr> = plan
             .thread_boundaries(pass, rank)
             .into_iter()
@@ -409,49 +505,57 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             local_sort_with_boundaries(&mut tuples, &mut scratch, &boundaries, 8, key_bits)
         });
         drop(scratch);
-        tm.add(Step::LocalSort, t0.elapsed());
+        obs.close(t0, Step::LocalSort.name(), Some(pass_u32));
+        obs.add(CounterKind::SortElements, tuples.len() as u64);
 
         // ---- LocalCC ----
-        let t0 = Instant::now();
+        let t0 = obs.open();
         let offs = thread_offsets_of::<K>(&tuples, &boundaries);
         let stats = localcc_pass::<K>(ctx.pool(), &ds, &tuples, &offs, cfg.kf_filter);
+        obs.close(t0, Step::LocalCc.name(), Some(pass_u32));
+        obs.add(CounterKind::UfFinds, stats.uf.finds);
+        obs.add(CounterKind::UfUnions, stats.uf.unions);
+        obs.add(CounterKind::UfPathSplits, stats.uf.path_splits);
         cc_stats.merge(stats);
-        tm.add(Step::LocalCc, t0.elapsed());
     }
 
     // ---- MergeCC: ceil(log2 P) pairwise rounds (Figure 4) ----
     let mut local = ds.into_disjoint_set();
     let mut stride = 1usize;
+    let mut round = 0u32;
     while stride < p {
         if rank % (2 * stride) == stride {
             // Send the compressed component information downhill, then
             // retire from the merge.
-            let t0 = Instant::now();
-            if cfg.merge_sparse {
-                ctx.send(rank - stride, Msg::SparseParents(sparse_pairs(&mut local)));
+            let t0 = obs.open();
+            let msg = if cfg.merge_sparse {
+                Msg::SparseParents(sparse_pairs(&mut local))
             } else {
-                let arr = local.component_array().to_vec();
-                ctx.send(rank - stride, Msg::Parents(arr));
-            }
-            tm.add(Step::MergeComm, t0.elapsed());
+                Msg::Parents(local.component_array().to_vec())
+            };
+            obs.add(CounterKind::MergeBytes, msg.size_bytes() as u64);
+            ctx.send(rank - stride, msg);
+            obs.close_detail(t0, Step::MergeComm.name(), None, Some(round));
             break;
         } else if rank % (2 * stride) == 0 && rank + stride < p {
-            let t0 = Instant::now();
+            let t0 = obs.open();
             let msg = ctx.recv_from(rank + stride);
-            tm.add(Step::MergeComm, t0.elapsed());
-            let t0 = Instant::now();
+            obs.close_detail(t0, Step::MergeComm.name(), None, Some(round));
+            obs.add(CounterKind::MergeBytes, msg.size_bytes() as u64);
+            let t0 = obs.open();
             match msg {
                 Msg::Parents(arr) => absorb_parent_array(&mut local, &arr),
                 Msg::SparseParents(pairs) => absorb_sparse_pairs(&mut local, &pairs),
                 Msg::Tuples(_) => unreachable!("no tuples during MergeCC"),
             }
-            tm.add(Step::MergeCc, t0.elapsed());
+            obs.close_detail(t0, Step::MergeCc.name(), None, Some(round));
         }
         stride *= 2;
+        round += 1;
     }
 
     // ---- CC-I/O: broadcast final labels; partition own chunks' reads ----
-    let t0 = Instant::now();
+    let t0 = obs.open();
     let final_labels = if rank == 0 {
         let arr = local.component_array().to_vec();
         broadcast(ctx, 0, Some(Msg::Parents(arr)))
@@ -480,7 +584,10 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             }
         }
     }
-    tm.add(Step::CcIo, t0.elapsed());
+    obs.close(t0, Step::CcIo.name(), None);
+
+    let tm = TaskTimings::from_spans(obs.spans());
+    obs.finish();
 
     TaskOutput {
         timings: tm,
@@ -809,6 +916,115 @@ mod tests {
         assert!(res.timings.index_create > std::time::Duration::ZERO);
         assert!(res.timings.max_of(Step::KmerGen) > std::time::Duration::ZERO);
         assert!(res.timings.max_of(Step::LocalSort) > std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn span_derived_report_reproduces_timings_exactly() {
+        // The acceptance bar for the telemetry layer: a report rebuilt
+        // from the exported event stream must agree with the in-process
+        // `StepTimings` to the nanosecond — both are derived from the
+        // same spans, so any drift is a wiring bug.
+        use metaprep_obs::{MemRecorder, RunSummary};
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(3)
+            .threads(2)
+            .passes(2)
+            .build();
+        let rec = MemRecorder::new(3);
+        let res = Pipeline::new(cfg).run_reads_recorded(&reads, &rec).unwrap();
+        let events = rec.into_events();
+        let s = RunSummary::from_events(&events);
+
+        assert_eq!(s.tasks, 3);
+        assert_eq!(
+            s.index_create_ns,
+            res.timings.index_create.as_nanos() as u64
+        );
+        for step in Step::all() {
+            let per_task = s.step_task_ns(step.name()).unwrap_or(&[]);
+            for (task, tt) in res.timings.per_task.iter().enumerate() {
+                let want = tt.get(step).as_nanos() as u64;
+                let got = per_task.get(task).copied().unwrap_or(0);
+                assert_eq!(got, want, "step {} task {task}", step.name());
+            }
+        }
+        // Communication counters mirror the cluster's own accounting.
+        for (task, cs) in res.comm.iter().enumerate() {
+            let task = task as u32;
+            assert_eq!(s.counter(task, CounterKind::BytesSent), cs.bytes_sent);
+            assert_eq!(
+                s.counter(task, CounterKind::BytesReceived),
+                cs.bytes_received
+            );
+            assert_eq!(s.counter(task, CounterKind::MessagesSent), cs.messages_sent);
+            assert_eq!(
+                s.counter(task, CounterKind::MessagesReceived),
+                cs.messages_received
+            );
+        }
+        // Work and memory counters match the run's own totals.
+        assert_eq!(
+            s.counter_total(CounterKind::TuplesEmitted),
+            res.tuples_total
+        );
+        assert_eq!(
+            s.counter_total(CounterKind::TuplesReceived),
+            res.tuples_total
+        );
+        assert_eq!(
+            s.counter_total(CounterKind::UfUnions),
+            res.localcc.uf.unions
+        );
+        assert_eq!(
+            s.counter_total(CounterKind::MemModeledBytes),
+            res.memory.total_modeled()
+        );
+        assert_eq!(
+            s.counter_total(CounterKind::MemPeakTupleBytes),
+            res.memory.measured_peak_tuple_bytes
+        );
+        // Per-pass breakdown covers both passes, and the rendered report
+        // mentions every paper step.
+        assert_eq!(s.passes(), vec![0, 1]);
+        let text = s.render();
+        for step in Step::all() {
+            assert!(text.contains(step.name()), "report missing {}", step.name());
+        }
+    }
+
+    #[test]
+    fn file_pipeline_records_streaming_index_spans() {
+        use metaprep_obs::{Event, MemRecorder};
+        let reads = small_reads();
+        let dir = std::env::temp_dir().join("metaprep_core_filepipe_trace");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("reads.fastq");
+        metaprep_io::write_fastq_path(&path, &reads).unwrap();
+        let cfg = PipelineConfig::builder().k(21).m(6).tasks(2).build();
+        let rec = MemRecorder::new(2);
+        Pipeline::new(cfg)
+            .run_fastq_file_recorded(&path, true, &rec)
+            .unwrap();
+        let events = rec.into_events();
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { name, .. } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert!(names.contains(&"IndexCreate"));
+        assert!(names.contains(&"index-chunking"));
+        assert!(names.contains(&"index-histogram"));
+        let streamed = events.iter().any(|e| {
+            matches!(e, Event::Counter { kind, value, .. }
+                if *kind == CounterKind::ChunkRecordsStreamed && *value > 0)
+        });
+        assert!(streamed, "ChunkRecordsStreamed counter missing");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Per-step, per-task timing — the raw material of every scaling figure.
 
+use metaprep_obs::SpanEvent;
 use std::time::Duration;
 
 /// The pipeline steps, named as in the paper's figures.
@@ -51,6 +52,11 @@ impl Step {
             Step::CcIo => "CC-I/O",
         }
     }
+
+    /// Inverse of [`Step::name`] — used to rebuild timings from spans.
+    pub fn from_name(name: &str) -> Option<Step> {
+        Step::all().into_iter().find(|s| s.name() == name)
+    }
 }
 
 /// One task's accumulated time per step (summed over passes).
@@ -75,11 +81,34 @@ impl TaskTimings {
         self.durations.iter().sum()
     }
 
+    /// Direct index into `durations`; must agree with [`Step::all`]
+    /// order (asserted by a test below).
     fn idx(step: Step) -> usize {
-        Step::all()
-            .iter()
-            .position(|&s| s == step)
-            .expect("known step")
+        match step {
+            Step::KmerGenIo => 0,
+            Step::KmerGen => 1,
+            Step::KmerGenComm => 2,
+            Step::LocalSort => 3,
+            Step::LocalCc => 4,
+            Step::MergeComm => 5,
+            Step::MergeCc => 6,
+            Step::CcIo => 7,
+        }
+    }
+
+    /// Rebuild one task's timings from its recorded step spans: every
+    /// span whose name matches a paper step adds its duration. This is
+    /// how the pipeline derives `StepTimings` from telemetry — spans are
+    /// the source of truth, and a differential test in `pipeline.rs`
+    /// pins this to the historical ad-hoc accumulation.
+    pub fn from_spans(spans: &[SpanEvent]) -> TaskTimings {
+        let mut t = TaskTimings::default();
+        for span in spans {
+            if let Some(step) = Step::from_name(span.name) {
+                t.add(step, Duration::from_nanos(span.dur_ns()));
+            }
+        }
+        t
     }
 }
 
@@ -115,7 +144,7 @@ impl StepTimings {
         if xs.is_empty() {
             return (0.0, 0.0, 0.0, 0.0, 0.0);
         }
-        xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        xs.sort_by(f64::total_cmp);
         let q = |f: f64| -> f64 {
             let pos = f * (xs.len() - 1) as f64;
             let lo = pos.floor() as usize;
@@ -203,5 +232,69 @@ mod tests {
     fn step_names_match_paper() {
         assert_eq!(Step::KmerGenComm.name(), "KmerGen-Comm");
         assert_eq!(Step::all().len(), 8);
+    }
+
+    #[test]
+    fn idx_agrees_with_step_all_order() {
+        for (i, step) in Step::all().into_iter().enumerate() {
+            assert_eq!(TaskTimings::idx(step), i, "idx({step:?})");
+        }
+    }
+
+    #[test]
+    fn step_names_match_obs_step_names() {
+        let ours: Vec<&str> = Step::all().iter().map(|s| s.name()).collect();
+        assert_eq!(ours, metaprep_obs::event::STEP_NAMES.to_vec());
+        for step in Step::all() {
+            assert_eq!(Step::from_name(step.name()), Some(step));
+        }
+        assert_eq!(Step::from_name("NotAStep"), None);
+    }
+
+    #[test]
+    fn five_number_summary_sort_is_total_order() {
+        // Regression: the sort used partial_cmp(..).expect("no NaN");
+        // total_cmp gives a total order over every f64, including zeros
+        // and subnormals, so summaries never panic on edge values.
+        let per_task: Vec<TaskTimings> = [0u64, u64::from(u32::MAX), 1, 0, 500]
+            .iter()
+            .map(|&ns| {
+                let mut t = TaskTimings::default();
+                t.add(Step::KmerGenIo, Duration::from_nanos(ns));
+                t
+            })
+            .collect();
+        let st = StepTimings {
+            index_create: Duration::ZERO,
+            per_task,
+        };
+        let (min, _, med, _, max) = st.five_number_summary(Step::KmerGenIo);
+        assert_eq!(min, 0.0);
+        // Sorted: [0, 0, 1, 500, u32::MAX] ns — the median is the 1 ns
+        // sample (an exact rank, no interpolation).
+        assert_eq!(med, 1e-9);
+        assert_eq!(max, u32::MAX as f64 * 1e-9);
+    }
+
+    #[test]
+    fn from_spans_accumulates_matching_names_only() {
+        let mk = |name, start_ns, end_ns| SpanEvent {
+            task: 0,
+            name,
+            pass: Some(0),
+            detail: None,
+            start_ns,
+            end_ns,
+        };
+        let spans = [
+            mk("KmerGen", 0, 100),
+            mk("KmerGen", 200, 250),
+            mk("alltoall-stage", 300, 400), // sub-span: not a step
+            mk("LocalSort", 400, 450),
+        ];
+        let t = TaskTimings::from_spans(&spans);
+        assert_eq!(t.get(Step::KmerGen), Duration::from_nanos(150));
+        assert_eq!(t.get(Step::LocalSort), Duration::from_nanos(50));
+        assert_eq!(t.total(), Duration::from_nanos(200));
     }
 }

@@ -133,6 +133,7 @@ struct SharedState {
     barrier: AbortableBarrier,
     bytes_sent: Vec<AtomicU64>,
     messages_sent: Vec<AtomicU64>,
+    bytes_received: Vec<AtomicU64>,
     messages_received: Vec<AtomicU64>,
     /// Per-task state word (see the `STATE_*` constants).
     task_state: Vec<AtomicU64>,
@@ -296,10 +297,12 @@ impl<M: Payload> TaskCtx<M> {
                 }
             }
         };
-        // ORDERING: Relaxed — monitoring state word + statistics counter;
+        // ORDERING: Relaxed — monitoring state word + statistics counters;
         // the channel synchronized the payload itself.
         self.shared.task_state[self.rank].store(STATE_RUNNING, Ordering::Relaxed);
         self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — statistics counter, same reasoning as above.
+        self.shared.bytes_received[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
         msg
     }
 
@@ -311,8 +314,10 @@ impl<M: Payload> TaskCtx<M> {
         let msg = self.receivers[from]
             .recv()
             .expect("sending task exited before sending");
-        // ORDERING: Relaxed — statistics counter, as in `send`.
+        // ORDERING: Relaxed — statistics counters, as in `send`.
         self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
+        // ORDERING: Relaxed — statistics counter, same reasoning as above.
+        self.shared.bytes_received[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
         msg
     }
 
@@ -395,6 +400,7 @@ where
         barrier: AbortableBarrier::new(p),
         bytes_sent: (0..p).map(|_| AtomicU64::new(0)).collect(),
         messages_sent: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        bytes_received: (0..p).map(|_| AtomicU64::new(0)).collect(),
         messages_received: (0..p).map(|_| AtomicU64::new(0)).collect(),
         task_state: (0..p).map(|_| AtomicU64::new(STATE_RUNNING)).collect(),
         aborted: AtomicBool::new(false),
@@ -497,6 +503,24 @@ where
             received + queued,
             "message conservation violated: {sent} sent != {received} received + {queued} queued"
         );
+        // Byte conservation: once every inbox drained, every sent byte
+        // was received exactly once. (With messages still queued the
+        // byte totals legitimately differ — the depth probes count
+        // messages, not payload bytes.)
+        if queued == 0 {
+            // ORDERING: Relaxed — sequential read after the join, as above.
+            let bytes_sent: u64 = (0..p)
+                .map(|r| shared.bytes_sent[r].load(Ordering::Relaxed))
+                .sum();
+            // ORDERING: Relaxed — sequential read after the join, as above.
+            let bytes_received: u64 = (0..p)
+                .map(|r| shared.bytes_received[r].load(Ordering::Relaxed))
+                .sum();
+            assert_eq!(
+                bytes_sent, bytes_received,
+                "byte conservation violated: {bytes_sent} sent != {bytes_received} received"
+            );
+        }
     }
 
     let stats = (0..p)
@@ -504,6 +528,8 @@ where
             // ORDERING: Relaxed — read after the scope join, as above.
             bytes_sent: shared.bytes_sent[r].load(Ordering::Relaxed),
             messages_sent: shared.messages_sent[r].load(Ordering::Relaxed),
+            bytes_received: shared.bytes_received[r].load(Ordering::Relaxed),
+            messages_received: shared.messages_received[r].load(Ordering::Relaxed),
         })
         .collect();
 
@@ -585,6 +611,13 @@ mod tests {
         assert_eq!(r.stats[0].bytes_sent, 800);
         assert_eq!(r.stats[0].messages_sent, 1);
         assert_eq!(r.stats[1].bytes_sent, 0);
+        // Receive side mirrors it on the other rank.
+        assert_eq!(r.stats[1].bytes_received, 800);
+        assert_eq!(r.stats[1].messages_received, 1);
+        assert_eq!(r.stats[0].bytes_received, 0);
+        let sent: u64 = r.stats.iter().map(|s| s.bytes_sent).sum();
+        let received: u64 = r.stats.iter().map(|s| s.bytes_received).sum();
+        assert_eq!(sent, received);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::cluster::TaskCtx;
 use crate::Payload;
+use metaprep_obs::{event::ALLTOALL_STAGE, TaskObs};
 
 /// Peers of task `rank` in stage `stage` of the staged all-to-all:
 /// `(to, from)` where this task sends to `(rank + stage) mod P` and
@@ -24,7 +25,32 @@ pub fn stage_peers(rank: usize, p: usize, stage: usize) -> (usize, usize) {
 /// for task `q`; returns `incoming` where `incoming[q]` came from task `q`.
 ///
 /// Must be called collectively (by every task, with `outgoing.len() == P`).
-pub fn alltoall<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec<M> {
+pub fn alltoall<M: Payload>(ctx: &TaskCtx<M>, outgoing: Vec<M>) -> Vec<M> {
+    alltoall_inner(ctx, outgoing, None, None)
+}
+
+/// [`alltoall`] with telemetry: when the recorder is enabled, each of the
+/// `P-1` communicating stages becomes an [`ALLTOALL_STAGE`] sub-span
+/// (`detail` = stage index). Byte/message counters are *not* recorded
+/// here — the cluster's own [`crate::CommStats`] accounting (which also
+/// covers merge rounds and broadcasts) is the single source of truth for
+/// communication volume, and the pipeline surfaces it as counters after
+/// the run.
+pub fn alltoall_obs<M: Payload>(
+    ctx: &TaskCtx<M>,
+    outgoing: Vec<M>,
+    obs: &mut TaskObs<'_>,
+    pass: Option<u32>,
+) -> Vec<M> {
+    alltoall_inner(ctx, outgoing, Some(obs), pass)
+}
+
+fn alltoall_inner<M: Payload>(
+    ctx: &TaskCtx<M>,
+    mut outgoing: Vec<M>,
+    mut obs: Option<&mut TaskObs<'_>>,
+    pass: Option<u32>,
+) -> Vec<M> {
     let p = ctx.size();
     assert_eq!(outgoing.len(), p, "alltoall requires one buffer per task");
     let rank = ctx.rank();
@@ -38,8 +64,16 @@ pub fn alltoall<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec<M> {
 
     for stage in 1..p {
         let (to, from) = stage_peers(rank, p, stage);
+        let open = obs
+            .as_deref()
+            .filter(|o| o.export_enabled())
+            .map(|o| o.open());
         ctx.send(to, out[to].take().expect("buffer already sent"));
-        incoming[from] = Some(ctx.recv_from(from));
+        let received = ctx.recv_from(from);
+        if let (Some(o), Some(open)) = (obs.as_deref_mut(), open) {
+            o.close_detail(open, ALLTOALL_STAGE, pass, Some(stage as u32));
+        }
+        incoming[from] = Some(received);
     }
 
     incoming
@@ -163,6 +197,56 @@ mod tests {
                 .results
             };
             assert_eq!(run(true), run(false), "p={p}");
+        }
+    }
+
+    #[test]
+    fn alltoall_obs_records_stage_spans_and_receive_bytes() {
+        use metaprep_obs::{Event, MemRecorder};
+        let p = 4usize;
+        let rec = MemRecorder::new(p);
+        let rec_ref: &MemRecorder = &rec;
+        let r = run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(p, 1), move |ctx| {
+            let mut obs = TaskObs::new(rec_ref, ctx.rank() as u32);
+            let outgoing: Vec<Vec<u64>> = (0..ctx.size()).map(|_| vec![0u64; 8]).collect();
+            let incoming = alltoall_obs(ctx, outgoing, &mut obs, Some(0));
+            obs.finish();
+            incoming.len()
+        });
+        for (rank, &n) in r.results.iter().enumerate() {
+            assert_eq!(n, p);
+            // 3 remote buffers of 64 bytes each land on every task —
+            // accounted by the cluster itself, not by the collective.
+            assert_eq!(r.stats[rank].bytes_received, 192);
+        }
+        let events = rec.into_events();
+        let stage_spans = events
+            .iter()
+            .filter(|e| matches!(e, Event::Span { name, .. } if name == ALLTOALL_STAGE))
+            .count();
+        assert_eq!(stage_spans, p * (p - 1));
+    }
+
+    #[test]
+    fn alltoall_obs_noop_records_no_spans() {
+        use metaprep_obs::NoopRecorder;
+        let rec = NoopRecorder::new();
+        let rec_ref: &NoopRecorder = &rec;
+        let r = run_cluster::<Vec<u32>, _, _>(ClusterConfig::new(3, 1), move |ctx| {
+            let mut obs = TaskObs::new(rec_ref, ctx.rank() as u32);
+            let outgoing: Vec<Vec<u32>> = (0..ctx.size())
+                .map(|q| vec![ctx.rank() as u32 * 100 + q as u32])
+                .collect();
+            let incoming = alltoall_obs(ctx, outgoing, &mut obs, None);
+            let n_spans = obs.spans().len();
+            obs.finish();
+            (incoming, n_spans)
+        });
+        for (rank, (incoming, n_spans)) in r.results.iter().enumerate() {
+            assert_eq!(*n_spans, 0, "no sub-spans when disabled");
+            for (from, buf) in incoming.iter().enumerate() {
+                assert_eq!(buf, &vec![from as u32 * 100 + rank as u32]);
+            }
         }
     }
 

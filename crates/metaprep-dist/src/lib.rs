@@ -27,7 +27,7 @@ pub mod sync;
 pub use cluster::{
     explore_schedules, run_cluster, run_cluster_with_jitter, ClusterConfig, ClusterResult, TaskCtx,
 };
-pub use collectives::stage_peers;
+pub use collectives::{alltoall, alltoall_naive, alltoall_obs, broadcast, gather, stage_peers};
 pub use netmodel::NetworkModel;
 pub use stats::CommStats;
 

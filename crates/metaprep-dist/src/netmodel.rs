@@ -75,6 +75,7 @@ mod tests {
         let t = m.time_for(&CommStats {
             bytes_sent: 8_000_000_000, // 1 s at 8 GB/s
             messages_sent: 1,
+            ..CommStats::default()
         });
         assert!((t.as_secs_f64() - 1.0).abs() < 1e-3);
     }
@@ -85,6 +86,7 @@ mod tests {
         let t = m.time_for(&CommStats {
             bytes_sent: 1000,
             messages_sent: 100_000, // 3 s at 30 us each
+            ..CommStats::default()
         });
         assert!((t.as_secs_f64() - 3.0).abs() < 0.01);
     }
@@ -96,10 +98,12 @@ mod tests {
             CommStats {
                 bytes_sent: 100,
                 messages_sent: 1,
+                ..CommStats::default()
             },
             CommStats {
                 bytes_sent: 8_000_000,
                 messages_sent: 10,
+                ..CommStats::default()
             },
         ];
         assert_eq!(m.critical_path(&stats), m.time_for(&stats[1]));
@@ -110,6 +114,7 @@ mod tests {
         let s = CommStats {
             bytes_sent: 1_000_000_000,
             messages_sent: 100,
+            ..CommStats::default()
         };
         assert!(NetworkModel::edison().time_for(&s) < NetworkModel::ten_gbe().time_for(&s));
     }

@@ -6,12 +6,20 @@
 /// experiments: on a 1-core container wall-clock speedup curves are flat,
 /// but bytes-on-the-wire per task reproduce the paper's communication
 /// behaviour exactly (see DESIGN.md, substitution table).
+///
+/// Both directions are counted: across all tasks of a run, total sent
+/// must equal total received once every queue drains — the cluster's
+/// message-conservation watchdog asserts this at shutdown.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CommStats {
     /// Total payload bytes sent by this task.
     pub bytes_sent: u64,
     /// Number of point-to-point messages sent by this task.
     pub messages_sent: u64,
+    /// Total payload bytes received by this task.
+    pub bytes_received: u64,
+    /// Number of point-to-point messages received by this task.
+    pub messages_received: u64,
 }
 
 impl CommStats {
@@ -20,6 +28,8 @@ impl CommStats {
         CommStats {
             bytes_sent: self.bytes_sent + other.bytes_sent,
             messages_sent: self.messages_sent + other.messages_sent,
+            bytes_received: self.bytes_received + other.bytes_received,
+            messages_received: self.messages_received + other.messages_received,
         }
     }
 }
@@ -33,22 +43,31 @@ mod tests {
         let a = CommStats {
             bytes_sent: 10,
             messages_sent: 1,
+            bytes_received: 4,
+            messages_received: 2,
         };
         let b = CommStats {
             bytes_sent: 5,
             messages_sent: 2,
+            bytes_received: 6,
+            messages_received: 3,
         };
         assert_eq!(
             a.merged(b),
             CommStats {
                 bytes_sent: 15,
-                messages_sent: 3
+                messages_sent: 3,
+                bytes_received: 10,
+                messages_received: 5,
             }
         );
     }
 
     #[test]
     fn default_is_zero() {
-        assert_eq!(CommStats::default().bytes_sent, 0);
+        let d = CommStats::default();
+        assert_eq!(d.bytes_sent, 0);
+        assert_eq!(d.bytes_received, 0);
+        assert_eq!(d.messages_received, 0);
     }
 }

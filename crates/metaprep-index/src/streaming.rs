@@ -23,6 +23,7 @@ use crate::{FastqPart, MerHist};
 use metaprep_io::stream::{StreamChunk, StreamChunker};
 use metaprep_io::{count_record_starts, count_records, parse_fastq, ChunkSpec, FastqError};
 use metaprep_kmer::{for_each_canonical_kmer, Kmer, Kmer128, Kmer64, MmerSpace};
+use metaprep_obs::{CounterKind, NoopRecorder, Recorder, SpanEvent};
 use rayon::prelude::*;
 use std::cell::RefCell;
 use std::fs::File;
@@ -228,11 +229,43 @@ pub fn index_fastq_file_streaming(
     m: usize,
     opts: StreamingOptions,
 ) -> Result<(MerHist, FastqPart, u64), FastqError> {
+    index_fastq_file_streaming_recorded(path, paired, c, k, m, opts, &NoopRecorder::new())
+}
+
+/// [`index_fastq_file_streaming`] with telemetry: the chunk-boundary scan
+/// and the parallel histogram fan-out become sub-spans (`index-chunking`,
+/// `index-histogram`, attributed to task 0 — IndexCreate runs on the
+/// driver thread before the cluster exists, so events go through the
+/// recorder's driver-side API), and the number of records streamed lands
+/// in the [`CounterKind::ChunkRecordsStreamed`] counter.
+pub fn index_fastq_file_streaming_recorded(
+    path: impl AsRef<Path>,
+    paired: bool,
+    c: usize,
+    k: usize,
+    m: usize,
+    opts: StreamingOptions,
+    rec: &dyn Recorder,
+) -> Result<(MerHist, FastqPart, u64), FastqError> {
     let path = path.as_ref();
     let space = MmerSpace::new(k, m);
+    let clock = rec.clock();
+    let span = |name: &'static str, start_ns: u64, end_ns: u64| {
+        if rec.enabled() {
+            rec.record_span(SpanEvent {
+                task: 0,
+                name,
+                pass: None,
+                detail: None,
+                start_ns,
+                end_ns,
+            });
+        }
+    };
     let mut chunker = StreamChunker::open(path, opts.window)?;
     let pool = pool_of(opts.threads);
 
+    let t0 = clock.now_ns();
     let chunks: Vec<StreamChunk> = if paired {
         // Two passes: count records per tentative range (parallel), then
         // stitch pair-aligned boundaries at the record-index level.
@@ -252,8 +285,11 @@ pub fn index_fastq_file_streaming(
             .collect()
     };
     drop(chunker);
+    span("index-chunking", t0, clock.now_ns());
 
+    let t0 = clock.now_ns();
     let per_chunk = par_histogram(path, &chunks, space, k, paired, &pool)?;
+    span("index-histogram", t0, clock.now_ns());
 
     // Sequential stitch: prefix-sum first_seq (unpaired) and narrow to the
     // u32 id space used by `ChunkSpec`.
@@ -271,7 +307,11 @@ pub fn index_fastq_file_streaming(
         rows.push((spec, hist));
     }
     fit_u32(first, "total sequence count")?;
-    assemble(space, rows)
+    let (merhist, fastqpart, total_seqs) = assemble(space, rows)?;
+    if rec.enabled() {
+        rec.record_counter(0, CounterKind::ChunkRecordsStreamed, total_seqs);
+    }
+    Ok((merhist, fastqpart, total_seqs))
 }
 
 #[cfg(test)]

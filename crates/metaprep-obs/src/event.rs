@@ -1,0 +1,203 @@
+//! The event model: spans, counters, and the owned event stream.
+
+/// Span names of the eight paper pipeline steps, in pipeline order.
+/// Mirrors `metaprep_core::Step::all()` (asserted by a test over there);
+/// kept here so exporters and reports can order rows without depending on
+/// the pipeline crate.
+pub const STEP_NAMES: [&str; 8] = [
+    "KmerGen-I/O",
+    "KmerGen",
+    "KmerGen-Comm",
+    "LocalSort",
+    "LocalCC-Opt",
+    "Merge-Comm",
+    "MergeCC",
+    "CC-I/O",
+];
+
+/// Span name of the sequential index-construction phase (paper Table 5).
+pub const INDEX_CREATE: &str = "IndexCreate";
+
+/// Span name of one stage of the staged all-to-all (`detail` = stage).
+pub const ALLTOALL_STAGE: &str = "alltoall-stage";
+
+/// One recorded interval: `step × task × pass`, with start/end timestamps
+/// in nanoseconds against the run-relative monotonic clock.
+///
+/// `name` is a `&'static str` so recording a span never allocates; events
+/// parsed back from a file use the owned [`Event::Span`] form instead.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Simulated task (MPI rank) the span belongs to.
+    pub task: u32,
+    /// Step or phase name (one of [`STEP_NAMES`], [`INDEX_CREATE`], …).
+    pub name: &'static str,
+    /// Pass index for multi-pass steps, if applicable.
+    pub pass: Option<u32>,
+    /// Extra discriminator: all-to-all stage, merge round, …
+    pub detail: Option<u32>,
+    /// Start, nanoseconds since the run clock's origin.
+    pub start_ns: u64,
+    /// End, nanoseconds since the run clock's origin.
+    pub end_ns: u64,
+}
+
+impl SpanEvent {
+    /// Span duration in nanoseconds (0 if end precedes start).
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+}
+
+macro_rules! counter_kinds {
+    ($($variant:ident => $name:literal),+ $(,)?) => {
+        /// Everything the pipeline counts, one monotonically-accumulated
+        /// value per `(task, kind)`.
+        #[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+        pub enum CounterKind {
+            $(
+                #[doc = $name]
+                $variant,
+            )+
+        }
+
+        impl CounterKind {
+            /// All kinds, in declaration order.
+            pub const ALL: [CounterKind; counter_kinds!(@count $($variant)+)] =
+                [$(CounterKind::$variant),+];
+
+            /// Stable wire name (JSONL `kind` field).
+            pub fn as_str(&self) -> &'static str {
+                match self {
+                    $(CounterKind::$variant => $name),+
+                }
+            }
+
+            /// Parse a wire name back into a kind.
+            // Option-returning lookup, not a FromStr parse with errors.
+            #[allow(clippy::should_implement_trait)]
+            pub fn from_str(s: &str) -> Option<CounterKind> {
+                match s {
+                    $($name => Some(CounterKind::$variant),)+
+                    _ => None,
+                }
+            }
+        }
+    };
+    (@count $($tok:ident)+) => { [$(counter_kinds!(@unit $tok)),+].len() };
+    (@unit $tok:ident) => { () };
+}
+
+counter_kinds! {
+    TuplesEmitted => "tuples_emitted",
+    TuplesReceived => "tuples_received",
+    SortElements => "sort_elements",
+    UfFinds => "uf_finds",
+    UfUnions => "uf_unions",
+    UfPathSplits => "uf_path_splits",
+    MergeBytes => "merge_bytes",
+    ChunkRecordsStreamed => "chunk_records_streamed",
+    BytesSent => "bytes_sent",
+    BytesReceived => "bytes_received",
+    MessagesSent => "messages_sent",
+    MessagesReceived => "messages_received",
+    MemModeledBytes => "mem_modeled_bytes",
+    MemPeakTupleBytes => "mem_peak_tuple_bytes",
+    VmHwmBytes => "vm_hwm_bytes",
+}
+
+impl CounterKind {
+    /// Dense index into per-task counter arrays.
+    pub fn idx(&self) -> usize {
+        *self as usize
+    }
+}
+
+/// An owned run event — what exporters consume and the JSONL parser
+/// produces. [`SpanEvent`]s convert losslessly into [`Event::Span`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// Run header: number of simulated tasks.
+    Meta {
+        /// Simulated task count `P`.
+        tasks: u32,
+    },
+    /// A completed interval (owned-name form of [`SpanEvent`]).
+    Span {
+        /// Simulated task the span belongs to.
+        task: u32,
+        /// Step or phase name.
+        name: String,
+        /// Pass index, if applicable.
+        pass: Option<u32>,
+        /// Stage / round discriminator, if applicable.
+        detail: Option<u32>,
+        /// Start ns since the run origin.
+        start_ns: u64,
+        /// End ns since the run origin.
+        end_ns: u64,
+    },
+    /// Final accumulated value of one `(task, kind)` counter.
+    Counter {
+        /// Simulated task the counter belongs to.
+        task: u32,
+        /// What was counted.
+        kind: CounterKind,
+        /// Accumulated value.
+        value: u64,
+    },
+}
+
+impl From<SpanEvent> for Event {
+    fn from(s: SpanEvent) -> Event {
+        Event::Span {
+            task: s.task,
+            name: s.name.to_string(),
+            pass: s.pass,
+            detail: s.detail,
+            start_ns: s.start_ns,
+            end_ns: s.end_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_kind_roundtrip() {
+        for k in CounterKind::ALL {
+            assert_eq!(CounterKind::from_str(k.as_str()), Some(k));
+        }
+        assert_eq!(CounterKind::from_str("nonsense"), None);
+    }
+
+    #[test]
+    fn counter_idx_is_dense() {
+        for (i, k) in CounterKind::ALL.iter().enumerate() {
+            assert_eq!(k.idx(), i);
+        }
+    }
+
+    #[test]
+    fn span_duration_saturates() {
+        let s = SpanEvent {
+            task: 0,
+            name: "KmerGen",
+            pass: None,
+            detail: None,
+            start_ns: 10,
+            end_ns: 4,
+        };
+        assert_eq!(s.dur_ns(), 0);
+    }
+
+    #[test]
+    fn step_names_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for n in STEP_NAMES {
+            assert!(seen.insert(n), "duplicate step name {n}");
+        }
+    }
+}

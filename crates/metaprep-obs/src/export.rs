@@ -1,0 +1,437 @@
+//! Exporters: JSONL event stream and Chrome `trace_event` JSON.
+//!
+//! JSONL is the lossless format (exact nanosecond integers; `metaprep
+//! report` consumes it and reproduces `StepTimings` totals bit-for-bit).
+//! The Chrome format targets Perfetto / `chrome://tracing`: one
+//! "process" per simulated task, one named thread row per step, complete
+//! (`ph:"X"`) events with microsecond `ts`/`dur`, and final counter
+//! values as `ph:"C"` events at the end of the trace.
+
+use crate::event::{CounterKind, Event, ALLTOALL_STAGE, INDEX_CREATE, STEP_NAMES};
+use crate::json::{self, Value};
+use std::fmt::Write as _;
+
+/// Serialize events as one JSON object per line.
+///
+/// Wire schema (`version` 1):
+/// `{"type":"meta","version":1,"tasks":N}`
+/// `{"type":"span","task":T,"name":"KmerGen","pass":P,"detail":D,"start_ns":A,"end_ns":B}`
+/// (`pass`/`detail` omitted when absent)
+/// `{"type":"counter","task":T,"kind":"tuples_emitted","value":V}`
+pub fn write_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for ev in events {
+        match ev {
+            Event::Meta { tasks } => {
+                let _ = writeln!(out, "{{\"type\":\"meta\",\"version\":1,\"tasks\":{tasks}}}");
+            }
+            Event::Span {
+                task,
+                name,
+                pass,
+                detail,
+                start_ns,
+                end_ns,
+            } => {
+                let _ = write!(out, "{{\"type\":\"span\",\"task\":{task},\"name\":");
+                json::escape_into(&mut out, name);
+                if let Some(p) = pass {
+                    let _ = write!(out, ",\"pass\":{p}");
+                }
+                if let Some(d) = detail {
+                    let _ = write!(out, ",\"detail\":{d}");
+                }
+                let _ = writeln!(out, ",\"start_ns\":{start_ns},\"end_ns\":{end_ns}}}");
+            }
+            Event::Counter { task, kind, value } => {
+                let _ = writeln!(
+                    out,
+                    "{{\"type\":\"counter\",\"task\":{task},\"kind\":\"{}\",\"value\":{value}}}",
+                    kind.as_str()
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse a JSONL event stream written by [`write_jsonl`].
+///
+/// Unknown counter kinds and unknown `type`s are skipped (forward
+/// compatibility); malformed lines are errors.
+pub fn parse_jsonl(src: &str) -> Result<Vec<Event>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in src.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let v = json::parse(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let typ = v
+            .get("type")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("line {}: missing \"type\"", lineno + 1))?;
+        let field_u64 = |name: &str| -> Result<u64, String> {
+            v.get(name)
+                .and_then(Value::as_u64)
+                .ok_or_else(|| format!("line {}: missing integer \"{name}\"", lineno + 1))
+        };
+        match typ {
+            "meta" => events.push(Event::Meta {
+                tasks: field_u64("tasks")? as u32,
+            }),
+            "span" => {
+                let name = v
+                    .get("name")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {}: missing \"name\"", lineno + 1))?
+                    .to_string();
+                events.push(Event::Span {
+                    task: field_u64("task")? as u32,
+                    name,
+                    pass: v.get("pass").and_then(Value::as_u64).map(|p| p as u32),
+                    detail: v.get("detail").and_then(Value::as_u64).map(|d| d as u32),
+                    start_ns: field_u64("start_ns")?,
+                    end_ns: field_u64("end_ns")?,
+                });
+            }
+            "counter" => {
+                let kind = v
+                    .get("kind")
+                    .and_then(Value::as_str)
+                    .ok_or_else(|| format!("line {}: missing \"kind\"", lineno + 1))?;
+                if let Some(kind) = CounterKind::from_str(kind) {
+                    events.push(Event::Counter {
+                        task: field_u64("task")? as u32,
+                        kind,
+                        value: field_u64("value")?,
+                    });
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(events)
+}
+
+/// Stable thread-row order inside each task's "process": the eight paper
+/// steps, then IndexCreate, then all-to-all stage sub-spans, then
+/// anything else in order of first appearance.
+fn known_row(name: &str) -> Option<usize> {
+    STEP_NAMES.iter().position(|&s| s == name).or(match name {
+        INDEX_CREATE => Some(STEP_NAMES.len()),
+        ALLTOALL_STAGE => Some(STEP_NAMES.len() + 1),
+        _ => None,
+    })
+}
+
+/// Serialize events as Chrome `trace_event` JSON (the "JSON object
+/// format": `{"traceEvents":[...]}`), loadable in Perfetto and
+/// `chrome://tracing`. `pid` = simulated task, `tid` = step row, `ts` and
+/// `dur` in microseconds; `ph:"X"` events are emitted in non-decreasing
+/// `ts` order.
+pub fn write_chrome(events: &[Event]) -> String {
+    // Assign rows and collect the tasks that actually appear.
+    let mut row_names: Vec<&str> = STEP_NAMES.to_vec();
+    row_names.push(INDEX_CREATE);
+    row_names.push(ALLTOALL_STAGE);
+    let mut tasks: Vec<u32> = Vec::new();
+    let mut spans: Vec<(&Event, usize)> = Vec::new();
+    let mut counters: Vec<&Event> = Vec::new();
+    for ev in events {
+        match ev {
+            Event::Meta { tasks: n } => {
+                for t in 0..*n {
+                    if !tasks.contains(&t) {
+                        tasks.push(t);
+                    }
+                }
+            }
+            Event::Span { task, name, .. } => {
+                if !tasks.contains(task) {
+                    tasks.push(*task);
+                }
+                let row = match known_row(name) {
+                    Some(r) => r,
+                    None => match row_names.iter().position(|&n| n == name.as_str()) {
+                        Some(r) => r,
+                        None => {
+                            row_names.push(name.as_str());
+                            row_names.len() - 1
+                        }
+                    },
+                };
+                spans.push((ev, row));
+            }
+            Event::Counter { task, .. } => {
+                if !tasks.contains(task) {
+                    tasks.push(*task);
+                }
+                counters.push(ev);
+            }
+        }
+    }
+    tasks.sort_unstable();
+    spans.sort_by_key(|(ev, _)| match ev {
+        Event::Span { start_ns, task, .. } => (*start_ns, *task),
+        _ => (0, 0),
+    });
+    let max_end_ns = spans
+        .iter()
+        .map(|(ev, _)| match ev {
+            Event::Span { end_ns, .. } => *end_ns,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0);
+
+    let us = |ns: u64| ns as f64 / 1000.0;
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |out: &mut String, line: &str| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(line);
+    };
+
+    for &t in &tasks {
+        push(
+            &mut out,
+            &format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{t},\"tid\":0,\
+                 \"args\":{{\"name\":\"task {t}\"}}}}"
+            ),
+        );
+        for (row, name) in row_names.iter().enumerate() {
+            let mut line = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{t},\"tid\":{row},\"args\":{{\"name\":"
+            );
+            json::escape_into(&mut line, name);
+            line.push_str("}}");
+            push(&mut out, &line);
+        }
+    }
+
+    for (ev, row) in &spans {
+        if let Event::Span {
+            task,
+            name,
+            pass,
+            detail,
+            start_ns,
+            end_ns,
+        } = ev
+        {
+            let mut line = String::from("{\"name\":");
+            json::escape_into(&mut line, name);
+            let _ = write!(
+                line,
+                ",\"cat\":\"step\",\"ph\":\"X\",\"pid\":{task},\"tid\":{row},\
+                 \"ts\":{:.3},\"dur\":{:.3},\"args\":{{",
+                us(*start_ns),
+                us(end_ns.saturating_sub(*start_ns))
+            );
+            let mut sep = "";
+            if let Some(p) = pass {
+                let _ = write!(line, "\"pass\":{p}");
+                sep = ",";
+            }
+            if let Some(d) = detail {
+                let _ = write!(line, "{sep}\"detail\":{d}");
+            }
+            line.push_str("}}");
+            push(&mut out, &line);
+        }
+    }
+
+    // Final counter values as ph:"C" samples at the end of the trace, so
+    // the X-event ts ordering stays monotonic.
+    for ev in &counters {
+        if let Event::Counter { task, kind, value } = ev {
+            push(
+                &mut out,
+                &format!(
+                    "{{\"name\":\"{}\",\"ph\":\"C\",\"pid\":{task},\"tid\":0,\
+                     \"ts\":{:.3},\"args\":{{\"value\":{value}}}}}",
+                    kind.as_str(),
+                    us(max_end_ns)
+                ),
+            );
+        }
+    }
+
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Schema check for a Chrome trace produced by [`write_chrome`] (also
+/// accepts the bare-array variant). Verifies: valid JSON; every event is
+/// an object with string `name`/`ph` and integer `pid`/`tid`; `ph:"X"`
+/// events carry numeric `ts`/`dur` in non-decreasing `ts` order; every
+/// pid with `X` events has a `process_name` metadata record.
+pub fn validate_chrome(src: &str) -> Result<(), String> {
+    let doc = json::parse(src)?;
+    let events = match &doc {
+        Value::Arr(items) => items.as_slice(),
+        Value::Obj(_) => doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .ok_or_else(|| "missing \"traceEvents\" array".to_string())?,
+        _ => return Err("trace is neither an array nor an object".to_string()),
+    };
+    let mut last_ts = f64::NEG_INFINITY;
+    let mut named_pids: Vec<u64> = Vec::new();
+    let mut span_pids: Vec<u64> = Vec::new();
+    for (i, ev) in events.iter().enumerate() {
+        if !ev.is_obj() {
+            return Err(format!("event {i} is not an object"));
+        }
+        let ph = ev
+            .get("ph")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"ph\""))?;
+        let name = ev
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("event {i}: missing \"name\""))?;
+        let pid = ev
+            .get("pid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing integer \"pid\""))?;
+        ev.get("tid")
+            .and_then(Value::as_u64)
+            .ok_or_else(|| format!("event {i}: missing integer \"tid\""))?;
+        match ph {
+            "M" => {
+                if name == "process_name" && !named_pids.contains(&pid) {
+                    named_pids.push(pid);
+                }
+            }
+            "X" => {
+                let ts = ev
+                    .get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without numeric \"ts\""))?;
+                let dur = ev
+                    .get("dur")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: X without numeric \"dur\""))?;
+                if !(ts.is_finite() && dur.is_finite() && dur >= 0.0) {
+                    return Err(format!("event {i}: non-finite ts/dur"));
+                }
+                if ts < last_ts {
+                    return Err(format!("event {i}: ts {ts} decreases (previous {last_ts})"));
+                }
+                last_ts = ts;
+                if !span_pids.contains(&pid) {
+                    span_pids.push(pid);
+                }
+            }
+            "C" => {
+                ev.get("ts")
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("event {i}: C without numeric \"ts\""))?;
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    for pid in span_pids {
+        if !named_pids.contains(&pid) {
+            return Err(format!("pid {pid} has spans but no process_name metadata"));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::SpanEvent;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Meta { tasks: 2 },
+            Event::from(SpanEvent {
+                task: 0,
+                name: "KmerGen-I/O",
+                pass: Some(0),
+                detail: None,
+                start_ns: 1_000,
+                end_ns: 4_500,
+            }),
+            Event::from(SpanEvent {
+                task: 1,
+                name: "KmerGen-Comm",
+                pass: Some(0),
+                detail: Some(1),
+                start_ns: 5_000,
+                end_ns: 9_000,
+            }),
+            Event::Counter {
+                task: 0,
+                kind: CounterKind::TuplesEmitted,
+                value: 12345,
+            },
+        ]
+    }
+
+    #[test]
+    fn jsonl_roundtrip_is_lossless() {
+        let events = sample_events();
+        let text = write_jsonl(&events);
+        let back = parse_jsonl(&text).expect("parse back");
+        assert_eq!(events, back);
+    }
+
+    #[test]
+    fn jsonl_skips_unknown_types_and_kinds() {
+        let src = "{\"type\":\"future\",\"x\":1}\n\
+                   {\"type\":\"counter\",\"task\":0,\"kind\":\"not_a_kind\",\"value\":1}\n\
+                   {\"type\":\"meta\",\"version\":1,\"tasks\":1}\n";
+        let events = parse_jsonl(src).expect("parse");
+        assert_eq!(events, vec![Event::Meta { tasks: 1 }]);
+    }
+
+    #[test]
+    fn chrome_trace_validates() {
+        let text = write_chrome(&sample_events());
+        validate_chrome(&text).expect("schema-valid chrome trace");
+    }
+
+    #[test]
+    fn chrome_trace_has_one_process_per_task() {
+        let text = write_chrome(&sample_events());
+        let doc = json::parse(&text).expect("valid json");
+        let events = doc
+            .get("traceEvents")
+            .and_then(Value::as_arr)
+            .expect("traceEvents");
+        let mut pids: Vec<u64> = events
+            .iter()
+            .filter(|e| e.get("name").and_then(Value::as_str) == Some("process_name"))
+            .filter_map(|e| e.get("pid").and_then(Value::as_u64))
+            .collect();
+        pids.sort_unstable();
+        assert_eq!(pids, vec![0, 1]);
+    }
+
+    #[test]
+    fn validate_rejects_decreasing_ts() {
+        let bad = r#"{"traceEvents":[
+            {"name":"process_name","ph":"M","pid":0,"tid":0,"args":{"name":"task 0"}},
+            {"name":"a","ph":"X","pid":0,"tid":0,"ts":10.0,"dur":1.0},
+            {"name":"b","ph":"X","pid":0,"tid":0,"ts":5.0,"dur":1.0}
+        ]}"#;
+        assert!(validate_chrome(bad).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_unnamed_pid() {
+        let bad = r#"{"traceEvents":[
+            {"name":"a","ph":"X","pid":7,"tid":0,"ts":1.0,"dur":1.0}
+        ]}"#;
+        assert!(validate_chrome(bad).is_err());
+    }
+}

@@ -1,0 +1,447 @@
+//! Recorder trait, the no-op and in-memory recorders, and the per-task
+//! instrumentation handle.
+//!
+//! Hot-path contract: instrumented code talks only to a [`TaskObs`],
+//! which buffers into a plain `Vec` + fixed counter array owned by the
+//! task's own thread. Nothing is shared while the pipeline runs — the
+//! recorder sees one bulk [`Recorder::flush_task`] per task, at task
+//! exit. With the [`NoopRecorder`] the flush drops everything, and the
+//! per-tuple path (counters are batched per pass/range) costs nothing.
+
+use crate::event::{CounterKind, Event, SpanEvent};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Run-relative monotonic clock. Copies share the same origin, so every
+/// task of a run stamps spans against one timeline.
+#[derive(Copy, Clone, Debug)]
+pub struct RunClock {
+    origin: Instant,
+}
+
+impl RunClock {
+    /// A clock whose origin is now.
+    pub fn new() -> RunClock {
+        RunClock {
+            origin: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the origin.
+    #[inline]
+    pub fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for RunClock {
+    fn default() -> Self {
+        RunClock::new()
+    }
+}
+
+/// Sink for run telemetry.
+///
+/// Implementations must tolerate concurrent calls from all simulated
+/// tasks ([`Recorder::flush_task`] arrives from each task's thread) but
+/// each `task` index flushes at most once per run.
+pub trait Recorder: Sync {
+    /// Whether events are kept. Instrumented code may skip *optional*
+    /// detail (e.g. per-stage comm sub-spans) when this is `false`; the
+    /// step spans that derive `StepTimings` are recorded regardless.
+    fn enabled(&self) -> bool;
+
+    /// The run clock all spans must be stamped against.
+    fn clock(&self) -> RunClock;
+
+    /// Bulk flush of one task's locally-buffered events at task exit.
+    fn flush_task(&self, task: u32, spans: Vec<SpanEvent>, counters: Vec<(CounterKind, u64)>);
+
+    /// Run-level span recorded from the driver thread (e.g. IndexCreate).
+    fn record_span(&self, span: SpanEvent);
+
+    /// Run-level counter recorded from the driver thread (comm totals,
+    /// memory model numbers). Values for the same `(task, kind)` add.
+    fn record_counter(&self, task: u32, kind: CounterKind, value: u64);
+}
+
+/// The zero-cost default recorder: drops everything.
+#[derive(Debug)]
+pub struct NoopRecorder {
+    clock: RunClock,
+}
+
+impl NoopRecorder {
+    /// A fresh no-op recorder (its clock origin is now).
+    pub fn new() -> NoopRecorder {
+        NoopRecorder {
+            clock: RunClock::new(),
+        }
+    }
+}
+
+impl Default for NoopRecorder {
+    fn default() -> Self {
+        NoopRecorder::new()
+    }
+}
+
+impl Recorder for NoopRecorder {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn clock(&self) -> RunClock {
+        self.clock
+    }
+
+    #[inline]
+    fn flush_task(&self, _task: u32, _spans: Vec<SpanEvent>, _counters: Vec<(CounterKind, u64)>) {}
+
+    #[inline]
+    fn record_span(&self, _span: SpanEvent) {}
+
+    #[inline]
+    fn record_counter(&self, _task: u32, _kind: CounterKind, _value: u64) {}
+}
+
+/// One task's flushed telemetry.
+#[derive(Debug, Default)]
+struct TaskTrace {
+    spans: Vec<SpanEvent>,
+    counters: Vec<(CounterKind, u64)>,
+}
+
+/// Lock-free in-memory collector: one single-writer slot per simulated
+/// task (each slot is set exactly once, by that task's own thread, when
+/// the task flushes — mirroring the cluster simulator's rule that tasks
+/// share no mutable state). Run-level events from the driver thread go
+/// through a mutex that is never touched by task threads.
+#[derive(Debug)]
+pub struct MemRecorder {
+    clock: RunClock,
+    tasks: Vec<OnceLock<TaskTrace>>,
+    run_events: Mutex<Vec<Event>>,
+}
+
+impl MemRecorder {
+    /// Collector for a run of `tasks` simulated tasks.
+    pub fn new(tasks: usize) -> MemRecorder {
+        MemRecorder {
+            clock: RunClock::new(),
+            tasks: (0..tasks).map(|_| OnceLock::new()).collect(),
+            run_events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Drain into an owned, export-ready event stream: the meta header,
+    /// then all spans ordered by start time, then counters aggregated
+    /// per `(task, kind)`.
+    pub fn into_events(self) -> Vec<Event> {
+        let ntasks = self.tasks.len() as u32;
+        let mut spans: Vec<Event> = Vec::new();
+        let mut totals: std::collections::BTreeMap<(u32, CounterKind), u64> =
+            std::collections::BTreeMap::new();
+
+        for (task, slot) in self.tasks.into_iter().enumerate() {
+            if let Some(trace) = slot.into_inner() {
+                spans.extend(trace.spans.into_iter().map(Event::from));
+                for (kind, value) in trace.counters {
+                    *totals.entry((task as u32, kind)).or_insert(0) += value;
+                }
+            }
+        }
+        let run_events = self
+            .run_events
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner());
+        for ev in run_events {
+            match ev {
+                Event::Counter { task, kind, value } => {
+                    *totals.entry((task, kind)).or_insert(0) += value;
+                }
+                other => spans.push(other),
+            }
+        }
+
+        spans.sort_by_key(|e| match e {
+            Event::Span { start_ns, task, .. } => (*start_ns, *task),
+            _ => (0, 0),
+        });
+
+        let mut out = Vec::with_capacity(1 + spans.len() + totals.len());
+        out.push(Event::Meta { tasks: ntasks });
+        out.extend(spans);
+        out.extend(
+            totals
+                .into_iter()
+                .map(|((task, kind), value)| Event::Counter { task, kind, value }),
+        );
+        out
+    }
+}
+
+impl Recorder for MemRecorder {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn clock(&self) -> RunClock {
+        self.clock
+    }
+
+    fn flush_task(&self, task: u32, spans: Vec<SpanEvent>, counters: Vec<(CounterKind, u64)>) {
+        let Some(slot) = self.tasks.get(task as usize) else {
+            debug_assert!(false, "flush_task: task {task} out of range");
+            return;
+        };
+        let ok = slot.set(TaskTrace { spans, counters }).is_ok();
+        debug_assert!(ok, "task {task} flushed twice");
+    }
+
+    fn record_span(&self, span: SpanEvent) {
+        self.run_events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Event::from(span));
+    }
+
+    fn record_counter(&self, task: u32, kind: CounterKind, value: u64) {
+        self.run_events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(Event::Counter { task, kind, value });
+    }
+}
+
+/// An open (started, not yet closed) span: just its start timestamp.
+#[derive(Copy, Clone, Debug)]
+pub struct OpenSpan {
+    /// Start, nanoseconds since the run origin.
+    pub start_ns: u64,
+}
+
+/// Per-task instrumentation handle. Owned by the task body; buffers
+/// spans and counters locally and flushes once via [`TaskObs::finish`].
+pub struct TaskObs<'r> {
+    rec: &'r dyn Recorder,
+    clock: RunClock,
+    task: u32,
+    export: bool,
+    spans: Vec<SpanEvent>,
+    counters: [u64; CounterKind::ALL.len()],
+}
+
+impl<'r> TaskObs<'r> {
+    /// Handle for simulated task `task` recording into `rec`.
+    pub fn new(rec: &'r dyn Recorder, task: u32) -> TaskObs<'r> {
+        TaskObs {
+            rec,
+            clock: rec.clock(),
+            task,
+            export: rec.enabled(),
+            spans: Vec::new(),
+            counters: [0; CounterKind::ALL.len()],
+        }
+    }
+
+    /// The task this handle records for.
+    pub fn task(&self) -> u32 {
+        self.task
+    }
+
+    /// Whether the recorder keeps events — gate *optional* detail spans
+    /// on this (the step spans themselves are always recorded, because
+    /// `StepTimings` derives from them).
+    #[inline]
+    pub fn export_enabled(&self) -> bool {
+        self.export
+    }
+
+    /// Start a span now.
+    #[inline]
+    pub fn open(&self) -> OpenSpan {
+        OpenSpan {
+            start_ns: self.clock.now_ns(),
+        }
+    }
+
+    /// Close `open` now, recording it under `name`.
+    #[inline]
+    pub fn close(&mut self, open: OpenSpan, name: &'static str, pass: Option<u32>) {
+        self.close_detail(open, name, pass, None);
+    }
+
+    /// Close `open` now with a `detail` discriminator (stage, round, …).
+    #[inline]
+    pub fn close_detail(
+        &mut self,
+        open: OpenSpan,
+        name: &'static str,
+        pass: Option<u32>,
+        detail: Option<u32>,
+    ) {
+        let end_ns = self.clock.now_ns();
+        self.spans.push(SpanEvent {
+            task: self.task,
+            name,
+            pass,
+            detail,
+            start_ns: open.start_ns,
+            end_ns: end_ns.max(open.start_ns),
+        });
+    }
+
+    /// Record a span of known duration anchored at `start` — used for
+    /// CPU-time-summed measurements (KmerGen-I/O, KmerGen) whose duration
+    /// is accumulated across pool threads rather than observed as one
+    /// wall-clock interval. Returns the span's end timestamp so callers
+    /// can anchor a follow-up span.
+    pub fn span_with_dur(
+        &mut self,
+        start: OpenSpan,
+        dur_ns: u64,
+        name: &'static str,
+        pass: Option<u32>,
+    ) -> OpenSpan {
+        let end_ns = start.start_ns + dur_ns;
+        self.spans.push(SpanEvent {
+            task: self.task,
+            name,
+            pass,
+            detail: None,
+            start_ns: start.start_ns,
+            end_ns,
+        });
+        OpenSpan { start_ns: end_ns }
+    }
+
+    /// Add `delta` to a counter (a plain array add — no atomics, no
+    /// allocation; call it with batched per-pass/per-range deltas).
+    #[inline]
+    pub fn add(&mut self, kind: CounterKind, delta: u64) {
+        self.counters[kind.idx()] += delta;
+    }
+
+    /// Current value of a counter.
+    pub fn counter(&self, kind: CounterKind) -> u64 {
+        self.counters[kind.idx()]
+    }
+
+    /// The spans recorded so far (pipeline derives `StepTimings` here).
+    pub fn spans(&self) -> &[SpanEvent] {
+        &self.spans
+    }
+
+    /// Flush everything to the recorder (no-op recorder: drop).
+    pub fn finish(self) {
+        if !self.export {
+            return;
+        }
+        let counters: Vec<(CounterKind, u64)> = CounterKind::ALL
+            .iter()
+            .filter(|k| self.counters[k.idx()] != 0)
+            .map(|&k| (k, self.counters[k.idx()]))
+            .collect();
+        self.rec.flush_task(self.task, self.spans, counters);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_recorder_keeps_nothing_but_clock_advances() {
+        let rec = NoopRecorder::new();
+        assert!(!rec.enabled());
+        let a = rec.clock().now_ns();
+        let b = rec.clock().now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn task_obs_buffers_and_flushes_once() {
+        let rec = MemRecorder::new(2);
+        {
+            let mut obs = TaskObs::new(&rec, 1);
+            let o = obs.open();
+            obs.close(o, "KmerGen", Some(0));
+            obs.add(CounterKind::TuplesEmitted, 10);
+            obs.add(CounterKind::TuplesEmitted, 5);
+            assert_eq!(obs.counter(CounterKind::TuplesEmitted), 15);
+            assert_eq!(obs.spans().len(), 1);
+            obs.finish();
+        }
+        let events = rec.into_events();
+        assert_eq!(events[0], Event::Meta { tasks: 2 });
+        assert!(matches!(
+            &events[1],
+            Event::Span { task: 1, name, .. } if name == "KmerGen"
+        ));
+        assert!(events.contains(&Event::Counter {
+            task: 1,
+            kind: CounterKind::TuplesEmitted,
+            value: 15
+        }));
+    }
+
+    #[test]
+    fn span_with_dur_chains_anchors() {
+        let rec = NoopRecorder::new();
+        let mut obs = TaskObs::new(&rec, 0);
+        let o = OpenSpan { start_ns: 100 };
+        let next = obs.span_with_dur(o, 40, "KmerGen-I/O", Some(0));
+        assert_eq!(next.start_ns, 140);
+        obs.span_with_dur(next, 60, "KmerGen", Some(0));
+        assert_eq!(obs.spans()[0].end_ns, 140);
+        assert_eq!(obs.spans()[1].start_ns, 140);
+        assert_eq!(obs.spans()[1].end_ns, 200);
+    }
+
+    #[test]
+    fn driver_side_events_merge_with_task_counters() {
+        let rec = MemRecorder::new(1);
+        {
+            let mut obs = TaskObs::new(&rec, 0);
+            obs.add(CounterKind::BytesSent, 7);
+            obs.finish();
+        }
+        rec.record_counter(0, CounterKind::BytesSent, 3);
+        let events = rec.into_events();
+        assert!(events.contains(&Event::Counter {
+            task: 0,
+            kind: CounterKind::BytesSent,
+            value: 10
+        }));
+    }
+
+    #[test]
+    fn spans_sorted_by_start() {
+        let rec = MemRecorder::new(2);
+        rec.record_span(SpanEvent {
+            task: 0,
+            name: "IndexCreate",
+            pass: None,
+            detail: None,
+            start_ns: 50,
+            end_ns: 60,
+        });
+        {
+            let mut obs = TaskObs::new(&rec, 1);
+            obs.span_with_dur(OpenSpan { start_ns: 10 }, 5, "KmerGen", None);
+            obs.finish();
+        }
+        let events = rec.into_events();
+        let starts: Vec<u64> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { start_ns, .. } => Some(*start_ns),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(starts, vec![10, 50]);
+    }
+}

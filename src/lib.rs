@@ -20,7 +20,8 @@
 //! * [`core`] — the METAPREP pipeline itself,
 //! * [`kmc`] — the KMC2-style k-mer counting baseline,
 //! * [`assembly`] — the compact de Bruijn graph unitig assembler,
-//! * [`norm`] — digital normalization (count-min sketch based).
+//! * [`norm`] — digital normalization (count-min sketch based),
+//! * [`obs`] — run telemetry: spans, counters, trace export, run reports.
 //!
 //! ## Quickstart
 //!
@@ -45,5 +46,6 @@ pub use metaprep_io as io;
 pub use metaprep_kmc as kmc;
 pub use metaprep_kmer as kmer;
 pub use metaprep_norm as norm;
+pub use metaprep_obs as obs;
 pub use metaprep_sort as sort;
 pub use metaprep_synth as synth;

@@ -9,8 +9,11 @@
 //! * `lint` — just the custom lint pass.
 //! * `bench-smoke` — builds and runs the `index_create` experiment on a
 //!   small synthetic file and validates the emitted
-//!   `target/BENCH_index.json`; CI uploads the file as an artifact so
-//!   the streaming-IndexCreate perf trajectory accumulates per commit.
+//!   `target/BENCH_index.json`, then runs the `trace_smoke` experiment,
+//!   which emits a Chrome `trace_event` run trace
+//!   (`target/BENCH_trace.json` + `.jsonl`) and schema-validates it; CI
+//!   uploads all three as artifacts so the streaming-IndexCreate perf
+//!   trajectory and a loadable trace accumulate per commit.
 //!
 //! The custom pass is a line scanner (no rustc plumbing, no external
 //! deps) enforcing three policies on workspace sources:
@@ -55,6 +58,7 @@ const PIPELINE_CRATES: &[&str] = &[
     "metaprep-kmc",
     "metaprep-assembly",
     "metaprep-norm",
+    "metaprep-obs",
 ];
 
 fn main() -> ExitCode {
@@ -169,6 +173,45 @@ fn run_bench_smoke() -> ExitCode {
         }
     }
     eprintln!("xtask bench-smoke: ok ({})", out.display());
+
+    // Telemetry export: exp_trace_smoke validates the Chrome trace with
+    // the schema checker and asserts the report reproduces the run's
+    // timings exactly before writing the files checked here.
+    let trace = root.join("target").join("BENCH_trace.json");
+    std::fs::remove_file(&trace).ok();
+    std::fs::remove_file(trace.with_extension("jsonl")).ok();
+    eprintln!("== xtask: bench smoke (trace_smoke) ==");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-bench",
+            "--bin",
+            "exp_trace_smoke",
+        ])
+        .env("METAPREP_SCALE", "0.05")
+        .env("METAPREP_BENCH_OUT", &trace)
+        .status();
+    if !matches!(status, Ok(s) if s.success()) {
+        eprintln!("xtask bench-smoke: exp_trace_smoke failed");
+        return ExitCode::FAILURE;
+    }
+    let Ok(chrome) = std::fs::read_to_string(&trace) else {
+        eprintln!("xtask bench-smoke: {} was not written", trace.display());
+        return ExitCode::FAILURE;
+    };
+    for needle in ["\"traceEvents\"", "\"process_name\"", "\"ph\":\"X\""] {
+        if !chrome.contains(needle) {
+            eprintln!("xtask bench-smoke: {} missing {needle}", trace.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    if !trace.with_extension("jsonl").exists() {
+        eprintln!("xtask bench-smoke: JSONL trace was not written");
+        return ExitCode::FAILURE;
+    }
+    eprintln!("xtask bench-smoke: ok ({})", trace.display());
     ExitCode::SUCCESS
 }
 
