@@ -1,6 +1,12 @@
-//! Regenerates one table/figure of the paper; see crate docs.
+//! Fused vs reference LocalSort benchmark (§4.2.2 + DESIGN.md §7.2);
+//! see crate docs. Installs the peak-tracking allocator so
+//! `BENCH_sort.json` carries real peak-allocation numbers.
+
+#[global_allocator]
+static ALLOC: metaprep_bench::allocpeak::PeakAlloc = metaprep_bench::allocpeak::PeakAlloc;
 
 fn main() {
+    metaprep_bench::allocpeak::mark_installed();
     let scale = metaprep_bench::scale_from_env();
     metaprep_bench::experiments::sort_throughput::run(scale);
 }

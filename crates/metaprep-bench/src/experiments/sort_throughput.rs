@@ -1,31 +1,295 @@
-//! §4.2.2 — LocalSort vs the state-of-the-art parallel radix sort.
+//! §4.2.2 — LocalSort throughput: fused receive-side path vs the unfused
+//! reference, plus the paper's comparison against a state-of-the-art
+//! parallel radix sort.
 //!
-//! The paper benchmarks its LocalSort against the NUMA-aware LSB radix
-//! sort of Polychroniou & Ross and reports 154 vs 196 Mtuples/s (78%).
-//! Here the comparator is our fully-parallel stable LSB radix sort, plus
-//! `sort_unstable` as a familiar yardstick.
+//! Two measurements:
+//!
+//! 1. **Fused vs reference LocalSort** on a pipeline-realistic receive-side
+//!    workload: per-sender message buffers as they come out of the
+//!    all-to-all, keys with metagenome-like abundance skew (a few dominant
+//!    genomes concentrate most tuples in narrow key windows — the regime
+//!    where sub-range bit pruning bites, cf. DESIGN.md §7.2), mass-balanced
+//!    sub-range boundaries like the plan's. The fused path
+//!    ([`metaprep_sort::fused_local_sort`]) scatters straight from the
+//!    parts and prunes radix passes; the reference path is the old
+//!    pipeline: concat → partition → full per-range radix. Both results
+//!    are asserted byte-identical every round, and the numbers go to
+//!    `BENCH_sort.json` (or `METAPREP_BENCH_OUT`) for the perf trajectory.
+//! 2. The paper's §4.2.2 table: LocalSort vs our fully-parallel stable
+//!    LSB radix sort (the NUMA-aware-sort stand-in) vs `sort_unstable`.
+//!
+//! Peak memory is the [`crate::allocpeak`] high-water delta per timed
+//! region when the experiment binary installs the tracking allocator
+//! (`exp_sort_throughput` does; `exp_all` does not, and the JSON then
+//! marks allocator numbers absent).
 
+use crate::allocpeak;
 use crate::harness::print_table;
 use metaprep_kmer::KmerReadTuple;
-use metaprep_sort::{local_sort, parallel_lsb_sort};
+use metaprep_sort::{
+    equal_boundaries_by_sample, fused_local_sort, local_sort, local_sort_with_boundaries,
+    parallel_lsb_sort, PassBuffers, RadixStats,
+};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
 
-/// Run the sort throughput comparison on `16M * scale` tuples.
-pub fn run(scale: f64) {
-    let n = ((1usize << 22) as f64 * scale) as usize;
-    let mut rng = SmallRng::seed_from_u64(42);
-    let input: Vec<KmerReadTuple> = (0..n)
-        .map(|i| KmerReadTuple::new(rng.gen::<u64>() >> 10, i as u32))
+/// Simulated all-to-all senders (`P`).
+const SENDERS: usize = 8;
+/// Sub-ranges per task (`T`).
+const RANGES: usize = 8;
+/// Radix digit width (the paper's 8).
+const DIGIT_BITS: u32 = 8;
+/// Meaningful key bits (27-mers: 2k = 54).
+const KEY_BITS: u32 = 54;
+/// Timed rounds per path — several, so the pooled buffers' recycling
+/// (allocate once, reuse every pass) shows up the way it does across the
+/// pipeline's passes.
+const ROUNDS: usize = 4;
+/// Abundance clusters ("dominant genomes") and their share of the tuples.
+const CLUSTERS: usize = 2;
+const CLUSTER_SHARE_PCT: u64 = 85;
+/// Width of each abundant cluster's k-mer window, in bits.
+const CLUSTER_WINDOW_BITS: u32 = 16;
+
+/// The receive side of one task-pass: per-sender tuple buffers with
+/// metagenome-like skew. One task deep in an `S·P·T` hierarchy sees a
+/// window of the k-mer space dominated by the abundant genomes' repeated
+/// k-mers — most tuple mass sits in a couple of narrow key clusters, the
+/// rest is uniform background. Mass-balanced sub-range boundaries then
+/// subdivide the clusters, making the hot sub-ranges numerically narrow —
+/// the regime where per-sub-range bit pruning pays.
+fn receive_side_parts(n: usize, seed: u64) -> Vec<Vec<KmerReadTuple>> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mask54 = (1u64 << KEY_BITS) - 1;
+    let centers: Vec<u64> = (0..CLUSTERS)
+        .map(|_| rng.gen::<u64>() & mask54 & !((1u64 << CLUSTER_WINDOW_BITS) - 1))
         .collect();
+    let per_sender = n / SENDERS;
+    (0..SENDERS)
+        .map(|s| {
+            (0..per_sender)
+                .map(|i| {
+                    let key = if rng.gen_range(0..100u64) < CLUSTER_SHARE_PCT {
+                        let c = centers[rng.gen_range(0..CLUSTERS)];
+                        c | (rng.gen::<u64>() & ((1u64 << CLUSTER_WINDOW_BITS) - 1))
+                    } else {
+                        rng.gen::<u64>() & mask54
+                    };
+                    KmerReadTuple::new(key, (s * per_sender + i) as u32)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+struct PathResult {
+    secs: f64,
+    mtuples_per_s: f64,
+    peak_alloc: Option<usize>,
+    stats: RadixStats,
+}
+
+/// Run the experiment; writes `BENCH_sort.json` and returns its path.
+pub fn run(scale: f64) -> std::path::PathBuf {
+    let n = (((1usize << 22) as f64 * scale) as usize).max(SENDERS * RANGES);
+    let parts = receive_side_parts(n, 42);
+    let n = parts.iter().map(Vec::len).sum::<usize>();
+    let all: Vec<KmerReadTuple> = parts.iter().flatten().copied().collect();
+    let boundaries = equal_boundaries_by_sample(&all, RANGES, 64 * RANGES);
+
+    // Both paths get one untimed warm-up round: the pipeline runs S passes
+    // per task with pooled buffers, so steady-state per-pass cost is the
+    // quantity of interest — not the one-time first-touch page faults of a
+    // cold allocator, which on this box cost as much as the scatter
+    // itself. The reference warm-up warms the allocator's free lists the
+    // same way its per-pass reallocations do mid-pipeline.
+    {
+        let mut tuples: Vec<KmerReadTuple> = Vec::with_capacity(n);
+        for p in &parts {
+            tuples.extend_from_slice(p);
+        }
+        let mut scratch = vec![KmerReadTuple::default(); n];
+        local_sort_with_boundaries(&mut tuples, &mut scratch, &boundaries, DIGIT_BITS, KEY_BITS);
+    }
+
+    // --- reference: concat -> partition -> full per-range radix ---------
+    let mut ref_secs = 0.0;
+    let mut ref_peak: Option<usize> = allocpeak::installed().then_some(0);
+    let mut ref_sorted: Vec<KmerReadTuple> = Vec::new();
+    for _ in 0..ROUNDS {
+        allocpeak::reset_peak();
+        let before = allocpeak::peak_bytes();
+        let t0 = Instant::now();
+        let mut tuples: Vec<KmerReadTuple> = Vec::with_capacity(n);
+        for p in &parts {
+            tuples.extend_from_slice(p);
+        }
+        let mut scratch = vec![KmerReadTuple::default(); tuples.len()];
+        local_sort_with_boundaries(&mut tuples, &mut scratch, &boundaries, DIGIT_BITS, KEY_BITS);
+        drop(scratch);
+        ref_secs += t0.elapsed().as_secs_f64();
+        if let Some(p) = ref_peak.as_mut() {
+            *p = (*p).max(allocpeak::peak_bytes() - before);
+        }
+        ref_sorted = tuples;
+    }
+    // Every nonempty sub-range pays ceil(54 / bits) passes (a full
+    // counting scan each; identity passes skip only the scatter half).
+    let nonempty = {
+        let mut dst = vec![KmerReadTuple::default(); n];
+        let offs = metaprep_sort::partition_by_ranges(&ref_sorted, &mut dst, &boundaries);
+        offs.windows(2).filter(|w| w[1] - w[0] > 1).count()
+    };
+    let ref_stats = RadixStats {
+        passes_run: (ROUNDS * nonempty) as u64 * u64::from(KEY_BITS.div_ceil(DIGIT_BITS)),
+        passes_pruned: 0,
+    };
+    let reference = PathResult {
+        secs: ref_secs,
+        mtuples_per_s: (n * ROUNDS) as f64 / ref_secs / 1e6,
+        peak_alloc: ref_peak,
+        stats: ref_stats,
+    };
+
+    // --- fused: scatter-on-receive + pruned radix, pooled buffers -------
+    let mut bufs: PassBuffers<KmerReadTuple> = PassBuffers::new();
+    // Untimed warm-up round: populates the pooled buffers once, as the
+    // pipeline's first pass does (see the comment above the reference
+    // warm-up).
+    fused_local_sort(parts.clone(), &mut bufs, &boundaries, DIGIT_BITS, KEY_BITS);
+    let mut fused_secs = 0.0;
+    let mut fused_peak: Option<usize> = allocpeak::installed().then_some(0);
+    let mut fused_stats = RadixStats::default();
+    for round in 0..ROUNDS {
+        // The pipeline gets the parts from the all-to-all for free; the
+        // clone standing in for them stays outside the timed region.
+        let round_parts = parts.clone();
+        allocpeak::reset_peak();
+        let before = allocpeak::peak_bytes();
+        let t0 = Instant::now();
+        let res = fused_local_sort(round_parts, &mut bufs, &boundaries, DIGIT_BITS, KEY_BITS);
+        fused_secs += t0.elapsed().as_secs_f64();
+        if let Some(p) = fused_peak.as_mut() {
+            *p = (*p).max(allocpeak::peak_bytes() - before);
+        }
+        fused_stats = fused_stats.merged(res.stats);
+        assert_eq!(
+            bufs.sorted(),
+            &ref_sorted[..],
+            "fused LocalSort diverged from the reference path (round {round})"
+        );
+    }
+    let fused = PathResult {
+        secs: fused_secs,
+        mtuples_per_s: (n * ROUNDS) as f64 / fused_secs / 1e6,
+        peak_alloc: fused_peak,
+        stats: fused_stats,
+    };
+    assert!(
+        fused.stats.passes_pruned > 0,
+        "skewed receive-side workload must prune radix passes"
+    );
+
+    let ratio = fused.mtuples_per_s / reference.mtuples_per_s;
+    let fmt_peak = |p: Option<usize>| {
+        p.map(|b| format!("{:.1}", b as f64 / 1e6))
+            .unwrap_or_else(|| "n/a".into())
+    };
+    print_table(
+        &format!(
+            "fused vs reference LocalSort, {n} tuples x {ROUNDS} rounds, \
+             {SENDERS} senders, {RANGES} sub-ranges"
+        ),
+        &[
+            "Path",
+            "Time (s)",
+            "Mtuples/s",
+            "Passes run",
+            "Pruned",
+            "Peak MB",
+        ],
+        &[
+            vec![
+                "fused (scatter-on-receive)".into(),
+                format!("{:.3}", fused.secs),
+                format!("{:.1}", fused.mtuples_per_s),
+                fused.stats.passes_run.to_string(),
+                fused.stats.passes_pruned.to_string(),
+                fmt_peak(fused.peak_alloc),
+            ],
+            vec![
+                "reference (concat+partition)".into(),
+                format!("{:.3}", reference.secs),
+                format!("{:.1}", reference.mtuples_per_s),
+                reference.stats.passes_run.to_string(),
+                reference.stats.passes_pruned.to_string(),
+                fmt_peak(reference.peak_alloc),
+            ],
+        ],
+    );
+    println!("  fused is {ratio:.2}x the reference throughput");
+
+    // --- paper §4.2.2: LocalSort vs parallel radix vs std ---------------
+    comparator_table(&all);
+
+    // --- JSON report (hand-rolled: numbers/bools/fixed labels only) -----
     let threads = std::thread::available_parallelism()
         .map(|x| x.get())
         .unwrap_or(1);
+    let path_json = |p: &PathResult| {
+        format!(
+            "{{\"secs\": {:.6}, \"mtuples_per_s\": {:.3}, \"peak_alloc_bytes\": {}, \
+             \"radix_passes_run\": {}, \"radix_passes_pruned\": {}}}",
+            p.secs,
+            p.mtuples_per_s,
+            p.peak_alloc
+                .map(|b| b.to_string())
+                .unwrap_or_else(|| "null".into()),
+            p.stats.passes_run,
+            p.stats.passes_pruned,
+        )
+    };
+    let mut json = String::from("{\n  \"experiment\": \"sort_throughput\",\n");
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"tuples\": {n},\n"));
+    json.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    json.push_str("  \"warmup_rounds\": 1,\n");
+    json.push_str(&format!("  \"senders\": {SENDERS},\n"));
+    json.push_str(&format!("  \"sub_ranges\": {RANGES},\n"));
+    json.push_str(&format!("  \"digit_bits\": {DIGIT_BITS},\n"));
+    json.push_str(&format!("  \"key_bits\": {KEY_BITS},\n"));
+    json.push_str(&format!("  \"available_parallelism\": {threads},\n"));
+    json.push_str(&format!(
+        "  \"alloc_tracking\": {},\n",
+        allocpeak::installed()
+    ));
+    json.push_str(&format!(
+        "  \"scatter_bytes\": {},\n",
+        (n * ROUNDS) as u64 * std::mem::size_of::<KmerReadTuple>() as u64
+    ));
+    json.push_str(&format!("  \"fused\": {},\n", path_json(&fused)));
+    json.push_str(&format!("  \"reference\": {},\n", path_json(&reference)));
+    json.push_str(&format!("  \"fused_over_reference\": {ratio:.3}\n}}\n"));
 
+    let out = std::env::var("METAPREP_BENCH_OUT")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| std::path::PathBuf::from("BENCH_sort.json"));
+    std::fs::write(&out, json).expect("write BENCH_sort.json");
+    println!("wrote {}", out.display());
+    out
+}
+
+/// The original §4.2.2 comparison: LocalSort vs the fully-parallel LSB
+/// radix comparator vs `sort_unstable`, on uniform random keys.
+fn comparator_table(input: &[KmerReadTuple]) {
+    let n = input.len();
+    let threads = std::thread::available_parallelism()
+        .map(|x| x.get())
+        .unwrap_or(1);
     let mut rows = Vec::new();
     let mut measure = |name: &str, f: &mut dyn FnMut(&mut Vec<KmerReadTuple>)| {
-        let mut data = input.clone();
+        let mut data = input.to_vec();
         let t0 = Instant::now();
         f(&mut data);
         let dt = t0.elapsed().as_secs_f64();
@@ -43,11 +307,11 @@ pub fn run(scale: f64) {
 
     let local = measure("LocalSort (partition + serial radix)", &mut |data| {
         let mut scratch = vec![KmerReadTuple::default(); data.len()];
-        local_sort(data, &mut scratch, threads.max(2), 8, 54);
+        local_sort(data, &mut scratch, threads.max(2), DIGIT_BITS, KEY_BITS);
     });
     let plsb = measure("Parallel LSB radix (comparator)", &mut |data| {
         let mut scratch = vec![KmerReadTuple::default(); data.len()];
-        parallel_lsb_sort(data, &mut scratch, 8, 54);
+        parallel_lsb_sort(data, &mut scratch, DIGIT_BITS, KEY_BITS);
     });
     measure("std sort_unstable (yardstick)", &mut |data| {
         data.sort_unstable_by_key(|t| t.kmer);

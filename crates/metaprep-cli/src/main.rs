@@ -6,7 +6,7 @@
 //!                    [--stream] [--index-window 65536] [--threads 4]
 //! metaprep partition --input reads.fastq --k 27 --tasks 4 --threads 2
 //!                    [--passes 2] [--kf 10:29] [--top 4] [--sparse] --outdir parts/
-//!                    [--stream] [--index-window 65536]
+//!                    [--stream] [--index-window 65536] [--sort-digit-bits 8]
 //! metaprep normalize --input reads.fastq --target 20 --output norm.fastq
 //! metaprep trim      --input reads.fastq --quality 20 --min-len 50
 //!                    [--adapter AGATCGGAAGAGC] --output trimmed.fastq
@@ -247,7 +247,8 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         .threads(args.get_or("threads", 1usize)?)
         .merge_sparse(args.flag("sparse"))
         .x4_kmergen(args.flag("x4"))
-        .index_window(args.get_or("index-window", 0usize)?);
+        .index_window(args.get_or("index-window", 0usize)?)
+        .sort_digit_bits(args.get_or("sort-digit-bits", 8u32)?);
     if let Some(spec) = args.opt("kf") {
         let (lo, hi) = parse_kf(&spec)?;
         b = b.kf_filter(lo, hi);

@@ -62,6 +62,10 @@ pub struct PipelineConfig {
     /// thread is O(window + chunk bytes); the window only needs to span a
     /// few FASTQ records.
     pub index_window: usize,
+    /// Radix digit width in bits for the fused LocalSort (`1..=16`; the
+    /// paper uses 8 — 256 bucket counters stay L1-resident; the ablation
+    /// benches sweep 8/11/16). Identical final output at any width.
+    pub sort_digit_bits: u32,
 }
 
 impl Default for PipelineConfig {
@@ -78,6 +82,7 @@ impl Default for PipelineConfig {
             use_x4_kmergen: false,
             merge_sparse: false,
             index_window: 0,
+            sort_digit_bits: 8,
         }
     }
 }
@@ -121,6 +126,12 @@ impl PipelineConfig {
             if lo > hi || lo == 0 {
                 return err(format!("kf_filter ({lo}, {hi}) must satisfy 1 <= lo <= hi"));
             }
+        }
+        if !(1..=16).contains(&self.sort_digit_bits) {
+            return err(format!(
+                "sort_digit_bits = {} not in 1..=16",
+                self.sort_digit_bits
+            ));
         }
         Ok(())
     }
@@ -199,6 +210,12 @@ impl PipelineConfigBuilder {
         self
     }
 
+    /// Set the fused LocalSort radix digit width in bits (`1..=16`).
+    pub fn sort_digit_bits(mut self, bits: u32) -> Self {
+        self.cfg.sort_digit_bits = bits;
+        self
+    }
+
     /// Finish building.
     pub fn build(self) -> PipelineConfig {
         self.cfg
@@ -227,6 +244,7 @@ mod tests {
             .cc_opt(false)
             .x4_kmergen(true)
             .index_window(1 << 20)
+            .sort_digit_bits(11)
             .build();
         assert_eq!(c.k, 63);
         assert_eq!(c.m, 10);
@@ -238,6 +256,7 @@ mod tests {
         assert!(!c.cc_opt);
         assert!(c.use_x4_kmergen);
         assert_eq!(c.index_window, 1 << 20);
+        assert_eq!(c.sort_digit_bits, 11);
         assert!(c.validate().is_ok());
     }
 
@@ -290,6 +309,24 @@ mod tests {
             .build()
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_sort_digit_bits() {
+        for bits in [0u32, 17, 64] {
+            assert!(PipelineConfig::builder()
+                .sort_digit_bits(bits)
+                .build()
+                .validate()
+                .is_err());
+        }
+        for bits in [1u32, 8, 16] {
+            assert!(PipelineConfig::builder()
+                .sort_digit_bits(bits)
+                .build()
+                .validate()
+                .is_ok());
+        }
     }
 
     #[test]

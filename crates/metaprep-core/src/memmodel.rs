@@ -13,6 +13,15 @@
 //! task; Table 3's memory column is this model evaluated per pass count.
 //! We report the model alongside *measured* tuple-buffer peaks so the two
 //! can be compared in EXPERIMENTS.md.
+//!
+//! The measured per-pass tuple peak assumes the **fused** LocalSort
+//! (DESIGN.md §7.2): at most two tuple copies are ever resident — the
+//! received per-sender parts plus the partitioned destination during the
+//! scatter, then the destination plus its radix scratch (`2 × kmer_in`),
+//! with the all-to-all moment (`kmer_out + kmer_in`) as the other
+//! candidate. The unfused path's third concat copy no longer exists;
+//! capacity the pooled pass buffers carry between passes is covered by
+//! the allocator-measured footprint, not this model.
 
 /// Per-task memory report.
 #[derive(Copy, Clone, Debug, Default, PartialEq)]

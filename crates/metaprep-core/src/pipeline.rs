@@ -16,7 +16,7 @@ use metaprep_io::ReadStore;
 use metaprep_kmer::{Kmer128, Kmer64};
 use metaprep_obs::event::INDEX_CREATE;
 use metaprep_obs::{CounterKind, NoopRecorder, Recorder, SpanEvent, TaskObs};
-use metaprep_sort::local_sort_with_boundaries;
+use metaprep_sort::{fused_local_sort, PassBuffers};
 use std::time::Duration;
 
 /// Message type moved between simulated tasks.
@@ -430,6 +430,11 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     let mut peak_tuples = 0u64;
     let mut cc_stats = LocalCcStats::default();
     let key_bits = 2 * cfg.k as u32;
+    // Pooled LocalSort buffers: destination, radix scratch, and the
+    // debug-build scatter tracker are allocated on the first pass and
+    // recycled across all passes (the unfused path re-allocated and
+    // zero-initialized both big vectors every pass).
+    let mut sort_bufs: PassBuffers<K::Tuple> = PassBuffers::new();
 
     for pass in 0..cfg.passes {
         let pass_u32 = pass as u32;
@@ -471,47 +476,78 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         let outgoing: Vec<Msg<K::Tuple>> = gen.outgoing.into_iter().map(Msg::Tuples).collect();
         let incoming = alltoall_obs(ctx, outgoing, &mut obs, Some(pass_u32));
         let expected = expected_incoming(fastqpart, plan, pass, rank);
-        let mut tuples: Vec<K::Tuple> = Vec::with_capacity(expected as usize);
-        for msg in incoming {
-            match msg {
-                Msg::Tuples(v) => tuples.extend_from_slice(&v),
+        // Checked conversion: a u64 receive count that doesn't fit the
+        // address space must fail loudly, not silently truncate a buffer
+        // size on 32-bit targets.
+        let Ok(expected_len) = usize::try_from(expected) else {
+            panic!("receive count {expected} overflows usize on this target")
+        };
+        // Keep the per-sender buffers as-is: the fused LocalSort scatters
+        // straight out of them, so the old concat copy never happens.
+        let parts: Vec<Vec<K::Tuple>> = incoming
+            .into_iter()
+            .map(|msg| match msg {
+                Msg::Tuples(v) => v,
                 _ => unreachable!("no parent arrays during KmerGen-Comm"),
-            }
-        }
-        debug_assert_eq!(
-            tuples.len() as u64,
-            expected,
-            "receive-count precomputation"
+            })
+            .collect();
+        let received: usize = parts.iter().map(Vec::len).sum();
+        // Release-mode check (promoted from a debug assert, in the spirit
+        // of the cluster's message-conservation accounting): the FASTQPart
+        // receive-count precomputation is what lets buffers be sized and
+        // scatter offsets trusted, so a mismatch must abort the run.
+        assert_eq!(
+            received, expected_len,
+            "receive-count precomputation: task {rank} pass {pass} got {received} \
+             tuples but FASTQPart predicts {expected_len}"
         );
         obs.close(t0, Step::KmerGenComm.name(), Some(pass_u32));
-        obs.add(CounterKind::TuplesReceived, tuples.len() as u64);
+        obs.add(CounterKind::TuplesReceived, received as u64);
         // Per-pass tuple residency peaks twice: during the all-to-all the
-        // outgoing send buffers coexist with the received tuples (out + in
+        // outgoing send buffers coexist with the received parts (out + in
         // — the old `2 * in` accounting missed the send side and under-
-        // reported), and during LocalSort the received data coexists with
-        // its scratch copy (2 * in).
-        peak_tuples = peak_tuples.max(out_tuples + tuples.len() as u64);
-        peak_tuples = peak_tuples.max(2 * tuples.len() as u64);
+        // reported), and during the fused LocalSort the received parts
+        // coexist with the partitioned destination during the scatter,
+        // then the destination with its radix scratch (2 * in either way;
+        // the unfused third concat copy is gone). Capacity the pooled
+        // buffers carry between passes is deliberately not modeled — the
+        // measured allocator peak covers it.
+        peak_tuples = peak_tuples.max(out_tuples + received as u64);
+        peak_tuples = peak_tuples.max(2 * received as u64);
 
-        // ---- LocalSort ----
+        // ---- LocalSort (fused: scatter-on-receive + pruned radix) ----
         let t0 = obs.open();
         let boundaries: Vec<<K as metaprep_kmer::Kmer>::Repr> = plan
             .thread_boundaries(pass, rank)
             .into_iter()
             .map(K::repr_from_u128)
             .collect();
-        let mut scratch = vec![K::Tuple::default(); tuples.len()];
-        ctx.pool().install(|| {
-            local_sort_with_boundaries(&mut tuples, &mut scratch, &boundaries, 8, key_bits)
+        let res = ctx.pool().install(|| {
+            fused_local_sort(
+                parts,
+                &mut sort_bufs,
+                &boundaries,
+                cfg.sort_digit_bits,
+                key_bits,
+            )
         });
-        drop(scratch);
+        let tuples = sort_bufs.sorted();
         obs.close(t0, Step::LocalSort.name(), Some(pass_u32));
-        obs.add(CounterKind::SortElements, tuples.len() as u64);
+        obs.add(CounterKind::SortElements, received as u64);
+        obs.add(CounterKind::RadixPassesRun, res.stats.passes_run);
+        obs.add(CounterKind::RadixPassesPruned, res.stats.passes_pruned);
+        obs.add(
+            CounterKind::ScatterBytes,
+            (received * std::mem::size_of::<K::Tuple>()) as u64,
+        );
 
         // ---- LocalCC ----
         let t0 = obs.open();
-        let offs = thread_offsets_of::<K>(&tuples, &boundaries);
-        let stats = localcc_pass::<K>(ctx.pool(), &ds, &tuples, &offs, cfg.kf_filter);
+        // The fused scatter already knows the per-thread sub-range offsets;
+        // debug-check them against the binary-search derivation they
+        // replace.
+        debug_assert_eq!(res.offsets, thread_offsets_of::<K>(tuples, &boundaries));
+        let stats = localcc_pass::<K>(ctx.pool(), &ds, tuples, &res.offsets, cfg.kf_filter);
         obs.close(t0, Step::LocalCc.name(), Some(pass_u32));
         obs.add(CounterKind::UfFinds, stats.uf.finds);
         obs.add(CounterKind::UfUnions, stats.uf.unions);
@@ -707,6 +743,29 @@ mod tests {
             Pipeline::new(cfg).run_reads(&reads).unwrap().labels
         };
         assert!(same_partition(&mk(true), &mk(false)));
+    }
+
+    #[test]
+    fn sort_digit_bits_do_not_change_labels() {
+        // The fused LocalSort's output is the unique stable sorted order,
+        // so the digit width must not change anything downstream — not
+        // just the partition, the exact label array.
+        let reads = small_reads();
+        let mk = |bits: u32| {
+            let cfg = PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .passes(2)
+                .tasks(2)
+                .threads(2)
+                .sort_digit_bits(bits)
+                .build();
+            Pipeline::new(cfg).run_reads(&reads).unwrap().labels
+        };
+        let want = mk(8);
+        for bits in [11u32, 16] {
+            assert_eq!(mk(bits), want, "digit width {bits} changed the labels");
+        }
     }
 
     #[test]

@@ -104,6 +104,9 @@ counter_kinds! {
     MemModeledBytes => "mem_modeled_bytes",
     MemPeakTupleBytes => "mem_peak_tuple_bytes",
     VmHwmBytes => "vm_hwm_bytes",
+    RadixPassesRun => "radix_passes_run",
+    RadixPassesPruned => "radix_passes_pruned",
+    ScatterBytes => "scatter_bytes",
 }
 
 impl CounterKind {

@@ -1,0 +1,612 @@
+//! Fused receive-side LocalSort: scatter-on-receive + pruned radix.
+//!
+//! The unfused pipeline copied every received tuple three times per pass:
+//! concat the per-sender message buffers into one vector, range-partition
+//! that vector into a scratch buffer ([`crate::partition_by_ranges`]),
+//! then radix-sort each sub-range. [`fused_local_sort`] collapses the
+//! first two copies into one: [`scatter_from_parts`] histograms the
+//! per-sender buffers *in place* and scatters each tuple directly to its
+//! final partitioned slot, so the concat never materializes.
+//!
+//! Three further savings ride on the same pass over the data:
+//!
+//! * the per-tuple `partition_point` binary search is replaced by a
+//!   [`BoundaryTable`] lookup — branchless, exact, and chosen by
+//!   measurement (see the type docs);
+//! * each tuple's range index is recorded in a pooled id buffer during the
+//!   histogram pass, so the scatter pass classifies nothing: it streams
+//!   tuples and ids and only performs the write (measured ~2.5x faster
+//!   than recomputing the range per tuple);
+//! * the histogram accumulates a per-sub-range *varying-bits mask*
+//!   (`OR(keys) ^ AND(keys)` — set exactly where two keys disagree), which
+//!   [`lsb_radix_sort_pruned`](crate::lsb_radix_sort_pruned) uses to skip
+//!   identity radix passes without the counting scan the unpruned sort
+//!   pays to detect them.
+//!
+//! **Stability / byte-identity.** Work units are ordered part-major
+//! (sender 0's tuples first, in order, then sender 1's, …) — exactly the
+//! order the old concat visited tuples — and the per-(unit, range) write
+//! cursors preserve that order within every sub-range. The scatter is
+//! therefore stable in concat order, and the pruned radix sort is stable
+//! and skips exactly the passes the unpruned sort's counting heuristic
+//! skips, so the fused result is byte-identical to the reference
+//! concat → partition → full-radix path. LocalCC's union anchor (first
+//! tuple of each equal-k-mer group) depends on this and a proptest pins
+//! it.
+
+use crate::partition::{ScatterTracker, SharedSlice};
+use crate::radix::{lsb_radix_sort_pruned, Keyed, RadixStats, SortKey};
+use rayon::prelude::*;
+
+/// Max table index width; 2^11 u32 entries = 8 KiB, comfortably L1-resident.
+const TABLE_BITS: u32 = 11;
+
+/// Below this boundary count the table is skipped entirely and `range_of`
+/// is a branchless sum of comparisons over all boundaries. Measured on the
+/// skewed receive-side workload (8 sub-ranges, single thread): branchless
+/// sum ~318 Mt/s vs `partition_point` ~231 Mt/s vs prefix table with a
+/// data-dependent advance loop ~83 Mt/s — the advance loop's unpredictable
+/// branches dominate whenever mass-balanced boundaries cluster inside a
+/// few table buckets, which is exactly what abundance-skewed k-mer data
+/// produces.
+const BRANCHLESS_MAX_BOUNDARIES: usize = 16;
+
+/// Precomputed range classifier replacing the per-tuple `partition_point`
+/// binary search over sub-range boundaries.
+///
+/// For sorted exclusive-upper `boundaries` (range `r` holds keys
+/// `< boundaries[r]`), the range index of `key` is the number of
+/// boundaries `<= key`. Two exact strategies, both with branch-free
+/// per-boundary work (a comparison summed as 0/1 — no data-dependent
+/// branches for the predictor to miss on skewed keys):
+///
+/// * **few boundaries** (`<= 16`, the common `T - 1` case): sum
+///   `boundary <= key` over all boundaries — one or two unrolled SIMD-able
+///   compare rows;
+/// * **many boundaries**: a prefix-indexed table narrows first. `lo[d]`
+///   counts the boundaries whose top `TABLE_BITS`-of-`key_bits` prefix is
+///   `< d`; every such boundary is `<= key` for a key with prefix `d`, and
+///   every boundary with prefix `> d` is `> key`, so only the window
+///   `lo[d]..lo[d + 1]` of same-prefix boundaries needs the comparison
+///   sum.
+///
+/// Precondition (same as the radix sort's): every key and boundary is
+/// `< 2^key_bits`.
+pub struct BoundaryTable<'b, K: SortKey> {
+    boundaries: &'b [K],
+    shift: u32,
+    mask: u64,
+    /// Prefix-count table; empty when the branchless small path is active.
+    lo: Vec<u32>,
+}
+
+impl<'b, K: SortKey> BoundaryTable<'b, K> {
+    /// Build the table for `boundaries` over keys of `key_bits` bits.
+    pub fn new(boundaries: &'b [K], key_bits: u32) -> Self {
+        assert!(
+            (1..=K::BITS).contains(&key_bits),
+            "key_bits {key_bits} not in 1..={}",
+            K::BITS
+        );
+        assert!(
+            u32::try_from(boundaries.len()).is_ok(),
+            "boundary count overflows the table's u32 entries"
+        );
+        if boundaries.len() <= BRANCHLESS_MAX_BOUNDARIES {
+            return Self {
+                boundaries,
+                shift: 0,
+                mask: 0,
+                lo: Vec::new(),
+            };
+        }
+        let tb = TABLE_BITS.min(key_bits);
+        let shift = key_bits - tb;
+        let size = 1usize << tb;
+        let mask = (size - 1) as u64;
+        let mut lo = vec![0u32; size + 1];
+        for b in boundaries {
+            lo[b.digit(shift, mask) + 1] += 1;
+        }
+        for d in 0..size {
+            lo[d + 1] += lo[d];
+        }
+        Self {
+            boundaries,
+            shift,
+            mask,
+            lo,
+        }
+    }
+
+    /// Index of the range `key` falls into (boundaries are exclusive
+    /// uppers; `boundaries.len() + 1` ranges).
+    #[inline(always)]
+    pub fn range_of(&self, key: K) -> usize {
+        let (base, window) = if self.lo.is_empty() {
+            (0, self.boundaries)
+        } else {
+            let d = key.digit(self.shift, self.mask);
+            let (s, e) = (self.lo[d] as usize, self.lo[d + 1] as usize);
+            (s, &self.boundaries[s..e])
+        };
+        let mut r = base;
+        for b in window {
+            r += usize::from(*b <= key);
+        }
+        r
+    }
+}
+
+/// What [`scatter_from_parts`] learned while scattering.
+pub struct ScatterResult<K> {
+    /// The `ranges + 1` sub-range offsets within the destination buffer —
+    /// the same offsets LocalCC's per-thread walk needs, so the pipeline
+    /// skips its post-sort binary-search derivation.
+    pub offsets: Vec<usize>,
+    /// Per-range varying-bits mask: bit `i` is set iff two keys in the
+    /// range differ in bit `i`. Feed to
+    /// [`lsb_radix_sort_pruned`](crate::lsb_radix_sort_pruned).
+    pub varying: Vec<K>,
+}
+
+/// Scatter the per-sender message buffers straight into `dst`, grouped by
+/// key range — the fused replacement for concat + [`crate::partition_by_ranges`].
+///
+/// `dst.len()` must equal the total part length. Tuple order within each
+/// range is part-major input order (sender 0 first), i.e. exactly the
+/// order the concat-then-partition path produces. Returns the sub-range
+/// offsets and per-range varying-bits masks accumulated during the
+/// histogram pass.
+///
+/// `ids` is pooled per-tuple scratch (one `u16` range index each,
+/// recorded by the histogram pass and consumed by the scatter pass so the
+/// range classification runs once per tuple, not twice); pass the same
+/// `Vec` every call to recycle its allocation, or an empty one for a
+/// one-off. At most `u16::MAX + 1` ranges are supported — far above the
+/// per-task thread counts that set the range count in the pipeline.
+pub fn scatter_from_parts<T: Keyed>(
+    parts: &[Vec<T>],
+    dst: &mut [T],
+    boundaries: &[T::Key],
+    key_bits: u32,
+    tracker: &mut ScatterTracker,
+    ids: &mut Vec<u16>,
+) -> ScatterResult<T::Key> {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    assert_eq!(total, dst.len(), "dst must hold every part tuple");
+    assert!(
+        boundaries.windows(2).all(|w| w[0] <= w[1]),
+        "boundaries must be sorted"
+    );
+    let ranges = boundaries.len() + 1;
+    assert!(ranges <= usize::from(u16::MAX) + 1, "too many sub-ranges");
+    let table = BoundaryTable::new(boundaries, key_bits);
+
+    // Work units: each part sub-chunked so threads stay busy even when
+    // sender volumes are skewed. Units are ordered part-major (and
+    // offset-minor within a part) — the order the old concat visited
+    // tuples — which is what makes the stable scatter byte-identical to
+    // concat + partition_by_ranges.
+    let chunk_size = total.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    let chunks: Vec<&[T]> = parts.iter().flat_map(|p| p.chunks(chunk_size)).collect();
+
+    // Carve the pooled id buffer into per-chunk windows (same flat order
+    // as `chunks`). Every id slot is written by the histogram pass before
+    // the scatter pass reads it, so recycled contents never leak through.
+    if ids.len() < total {
+        ids.resize(total, 0);
+    }
+    let mut id_windows: Vec<&mut [u16]> = Vec::with_capacity(chunks.len());
+    let mut rem_ids: &mut [u16] = &mut ids[..total];
+    for chunk in &chunks {
+        let (w, rest) = rem_ids.split_at_mut(chunk.len());
+        id_windows.push(w);
+        rem_ids = rest;
+    }
+
+    // Histogram pass: per-chunk range counts, each tuple's range id, and
+    // the varying-bits accumulators — OR and AND of the range's keys; a
+    // bit varies iff it is 1 in some key (OR) but not in all (AND), so
+    // `or ^ and` is exactly the varying mask, and both fold across chunks
+    // bit-parallel and branch-free.
+    type ChunkStat<K> = (Vec<usize>, Vec<K>, Vec<K>);
+    let stats: Vec<ChunkStat<T::Key>> = chunks
+        .par_iter()
+        .zip(id_windows.into_par_iter())
+        .map(|(chunk, id_window)| {
+            let mut hist = vec![0usize; ranges];
+            let mut or_acc = vec![T::Key::ZERO; ranges];
+            let mut and_acc = vec![T::Key::ONES; ranges];
+            for (t, id) in chunk.iter().zip(id_window.iter_mut()) {
+                let k = t.key();
+                let r = table.range_of(k);
+                *id = r as u16;
+                hist[r] += 1;
+                or_acc[r] = or_acc[r] | k;
+                and_acc[r] = and_acc[r] & k;
+            }
+            (hist, or_acc, and_acc)
+        })
+        .collect();
+
+    // Range totals -> offsets; fold the per-chunk OR/AND accumulators.
+    let mut offsets = vec![0usize; ranges + 1];
+    for r in 0..ranges {
+        let t: usize = stats.iter().map(|(h, _, _)| h[r]).sum();
+        offsets[r + 1] = offsets[r] + t;
+    }
+    let mut varying = vec![T::Key::ZERO; ranges];
+    for (r, v) in varying.iter_mut().enumerate() {
+        if offsets[r + 1] == offsets[r] {
+            continue; // empty range: keep the mask all-zero
+        }
+        let mut or_acc = T::Key::ZERO;
+        let mut and_acc = T::Key::ONES;
+        for (h, o, a) in &stats {
+            if h[r] > 0 {
+                or_acc = or_acc | o[r];
+                and_acc = and_acc & a[r];
+            }
+        }
+        *v = or_acc ^ and_acc;
+    }
+
+    // Per-(chunk, range) write cursors, chunk-major prefix sums.
+    let mut cursors: Vec<Vec<usize>> = Vec::with_capacity(chunks.len());
+    let mut running = offsets[..ranges].to_vec();
+    for (h, _, _) in &stats {
+        cursors.push(running.clone());
+        for r in 0..ranges {
+            running[r] += h[r];
+        }
+    }
+
+    // Scatter pass: stream tuples and their recorded range ids — no
+    // classification work left, just the permuting writes.
+    let mut read_windows: Vec<&[u16]> = Vec::with_capacity(chunks.len());
+    let mut rem_ids: &[u16] = &ids[..total];
+    for chunk in &chunks {
+        let (w, rest) = rem_ids.split_at(chunk.len());
+        read_windows.push(w);
+        rem_ids = rest;
+    }
+    let shared = SharedSlice::new(dst, tracker);
+    chunks
+        .par_iter()
+        .zip(read_windows.into_par_iter())
+        .zip(cursors.into_par_iter())
+        .for_each(|((chunk, id_window), mut cur)| {
+            for (t, &id) in chunk.iter().zip(id_window.iter()) {
+                let r = usize::from(id);
+                // SAFETY: cursor windows are disjoint by construction.
+                unsafe { shared.write(cur[r], *t) };
+                cur[r] += 1;
+            }
+        });
+
+    ScatterResult { offsets, varying }
+}
+
+/// Pooled per-task buffers for the fused LocalSort: the partitioned
+/// destination, the radix scratch, the per-tuple range-id buffer, and the
+/// debug-build scatter tracker are allocated once and recycled across
+/// passes (the unfused path re-allocated and zero-initialized both big
+/// vectors every pass — and on a cold pool, first-touch page faults cost
+/// as much as the scatter itself, so recycling is where the fused path's
+/// steady-state win comes from).
+///
+/// Reuse without re-zeroing is sound because the scatter writes every
+/// destination slot before anything reads it, each radix pass writes
+/// every scratch slot it later reads, and the histogram pass writes every
+/// range id the scatter reads.
+#[derive(Default)]
+pub struct PassBuffers<T> {
+    dst: Vec<T>,
+    scratch: Vec<T>,
+    ids: Vec<u16>,
+    tracker: ScatterTracker,
+}
+
+impl<T: Keyed + Default> PassBuffers<T> {
+    /// Empty pool; buffers grow lazily to the largest pass seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-size both buffers for `n` tuples (e.g. from the `FASTQPart`
+    /// receive-count precomputation) so the first pass doesn't grow them
+    /// mid-flight.
+    pub fn reserve(&mut self, n: usize) {
+        if self.dst.len() < n {
+            self.dst.resize(n, T::default());
+        }
+        if self.scratch.len() < n {
+            self.scratch.resize(n, T::default());
+        }
+        if self.ids.len() < n {
+            self.ids.resize(n, 0);
+        }
+    }
+
+    /// The sorted tuples after [`fused_local_sort`] (valid until the next
+    /// call mutates the pool).
+    pub fn sorted(&self) -> &[T] {
+        &self.dst
+    }
+}
+
+/// What [`fused_local_sort`] did.
+pub struct FusedSortResult {
+    /// Sub-range offsets within [`PassBuffers::sorted`].
+    pub offsets: Vec<usize>,
+    /// Radix passes run vs pruned, summed over sub-ranges.
+    pub stats: RadixStats,
+}
+
+/// The fused LocalSort: scatter the per-sender buffers straight into the
+/// pooled destination, then sort each sub-range with the bit-pruned radix
+/// sort. Consumes `parts` so the received message buffers are freed before
+/// the radix scratch peaks.
+///
+/// The sorted tuples land in `bufs.sorted()[..total]`; the result is
+/// byte-identical to concat → [`crate::partition_by_ranges`] → per-range
+/// [`crate::lsb_radix_sort`] (see the module docs for the argument).
+pub fn fused_local_sort<T: Keyed + Default>(
+    parts: Vec<Vec<T>>,
+    bufs: &mut PassBuffers<T>,
+    boundaries: &[T::Key],
+    bits: u32,
+    key_bits: u32,
+) -> FusedSortResult {
+    let total: usize = parts.iter().map(Vec::len).sum();
+    bufs.dst.resize(total, T::default());
+    let sc = scatter_from_parts(
+        &parts,
+        &mut bufs.dst,
+        boundaries,
+        key_bits,
+        &mut bufs.tracker,
+        &mut bufs.ids,
+    );
+    // The received buffers are dead the moment the scatter lands; free
+    // them before the scratch buffer (re)grows so at most two tuple
+    // copies are ever resident.
+    drop(parts);
+    bufs.scratch.resize(total, T::default());
+
+    // Disjoint (range, scratch-window, varying-mask) triples for rayon.
+    let mut rem_d: &mut [T] = &mut bufs.dst;
+    let mut rem_s: &mut [T] = &mut bufs.scratch;
+    let mut work = Vec::with_capacity(sc.offsets.len() - 1);
+    for (r, w) in sc.offsets.windows(2).enumerate() {
+        let len = w[1] - w[0];
+        let (d, rd) = rem_d.split_at_mut(len);
+        let (s, rs) = rem_s.split_at_mut(len);
+        rem_d = rd;
+        rem_s = rs;
+        work.push((d, s, sc.varying[r]));
+    }
+    let stats = work
+        .into_par_iter()
+        .map(|(d, s, v)| lsb_radix_sort_pruned(d, s, bits, key_bits, v))
+        .reduce(RadixStats::default, RadixStats::merged);
+
+    FusedSortResult {
+        offsets: sc.offsets,
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::partition_by_ranges;
+    use crate::radix::lsb_radix_sort;
+    use metaprep_kmer::KmerReadTuple;
+    use proptest::prelude::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// The unfused pipeline path: concat -> partition_by_ranges -> full
+    /// per-range lsb_radix_sort. Returns the sorted tuples.
+    fn reference_path<T: Keyed + Default>(
+        parts: &[Vec<T>],
+        boundaries: &[T::Key],
+        bits: u32,
+        key_bits: u32,
+    ) -> (Vec<usize>, Vec<T>) {
+        let mut tuples: Vec<T> = Vec::new();
+        for p in parts {
+            tuples.extend_from_slice(p);
+        }
+        let mut dst = vec![T::default(); tuples.len()];
+        let offsets = partition_by_ranges(&tuples, &mut dst, boundaries);
+        for w in offsets.windows(2) {
+            let (d, s) = (&mut dst[w[0]..w[1]], &mut tuples[w[0]..w[1]]);
+            lsb_radix_sort(d, s, bits, key_bits);
+        }
+        (offsets, dst)
+    }
+
+    fn fused_path<T: Keyed + Default>(
+        parts: &[Vec<T>],
+        boundaries: &[T::Key],
+        bits: u32,
+        key_bits: u32,
+    ) -> (FusedSortResult, Vec<T>) {
+        let mut bufs = PassBuffers::new();
+        let res = fused_local_sort(parts.to_vec(), &mut bufs, boundaries, bits, key_bits);
+        let sorted = bufs.sorted().to_vec();
+        (res, sorted)
+    }
+
+    #[test]
+    fn boundary_table_matches_partition_point() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        // 7 boundaries exercise the branchless small path, 17 the
+        // prefix-table path (see BRANCHLESS_MAX_BOUNDARIES).
+        for nb in [7usize, 17] {
+            for key_bits in [8u32, 16, 54, 64] {
+                let cap = |x: u64| {
+                    if key_bits >= 64 {
+                        x
+                    } else {
+                        x & ((1u64 << key_bits) - 1)
+                    }
+                };
+                let mut boundaries: Vec<u64> = (0..nb).map(|_| cap(rng.gen())).collect();
+                boundaries.sort_unstable();
+                // Include duplicates.
+                boundaries[3] = boundaries[4];
+                boundaries.sort_unstable();
+                let table = BoundaryTable::new(&boundaries, key_bits);
+                for _ in 0..5_000 {
+                    let k = cap(rng.gen());
+                    assert_eq!(
+                        table.range_of(k),
+                        boundaries.partition_point(|b| *b <= k),
+                        "key {k:#x} key_bits {key_bits} nb {nb}"
+                    );
+                }
+                // Boundary keys themselves and the extremes.
+                for &b in &boundaries {
+                    for k in [b, b.wrapping_sub(1) & cap(u64::MAX), cap(u64::MAX), 0] {
+                        assert_eq!(table.range_of(k), boundaries.partition_point(|b| *b <= k));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scatter_varying_masks_are_exact() {
+        let parts: Vec<Vec<u64>> = vec![vec![0b1010, 0b1000, 30], vec![0b1110, 40, 50]];
+        let boundaries = [16u64];
+        let mut dst = vec![0u64; 6];
+        let mut tracker = ScatterTracker::new();
+        let mut ids = Vec::new();
+        let sc = scatter_from_parts(&parts, &mut dst, &boundaries, 64, &mut tracker, &mut ids);
+        assert_eq!(sc.offsets, vec![0, 3, 6]);
+        // Range 0: {1010, 1000, 1110} -> bits 1 and 2 vary.
+        assert_eq!(sc.varying[0], 0b0110);
+        // Range 1: {30, 40, 50} = {11110, 101000, 110010}.
+        assert_eq!(sc.varying[1], (30 ^ 40) | (30 ^ 50));
+        // Part-major stable order within ranges.
+        assert_eq!(dst, vec![0b1010, 0b1000, 0b1110, 30, 40, 50]);
+    }
+
+    #[test]
+    fn fused_sorts_and_prunes_narrow_ranges() {
+        // Keys clustered in a 2^12 window: of ceil(54/8) = 7 passes, only
+        // the low two digit windows vary, so 5 of 7 passes prune per range.
+        let mut rng = SmallRng::seed_from_u64(5);
+        let base = 0x2ABC_DEF0_0000u64;
+        let parts: Vec<Vec<KmerReadTuple>> = (0..4)
+            .map(|p| {
+                (0..5_000)
+                    .map(|i| KmerReadTuple::new(base + (rng.gen::<u64>() & 0xFFF), p * 5_000 + i))
+                    .collect()
+            })
+            .collect();
+        let boundaries = [base + 0x400, base + 0x800, base + 0xC00];
+        let (res, sorted) = fused_path(&parts, &boundaries, 8, 54);
+        assert!(crate::is_sorted_by_key(&sorted));
+        assert_eq!(res.stats.passes_run, 4 * 2);
+        assert_eq!(res.stats.passes_pruned, 4 * 5);
+        let (ref_offs, ref_sorted) = reference_path(&parts, &boundaries, 8, 54);
+        assert_eq!(res.offsets, ref_offs);
+        assert_eq!(sorted, ref_sorted);
+    }
+
+    #[test]
+    fn pass_buffers_recycle_across_calls() {
+        let mut bufs = PassBuffers::new();
+        let boundaries = [1u64 << 32];
+        for round in 0..5u64 {
+            let parts: Vec<Vec<u64>> = vec![
+                (0..1000).map(|i| i * 7 + round).collect(),
+                (0..500).map(|i| (i * 13 + round) << 30).collect(),
+            ];
+            let (_, want) = reference_path(&parts, &boundaries, 8, 64);
+            fused_local_sort(parts, &mut bufs, &boundaries, 8, 64);
+            assert_eq!(bufs.sorted(), &want[..], "round {round}");
+        }
+    }
+
+    #[test]
+    fn equal_kmer_tuples_keep_sender_order() {
+        // Stability regression: tuples with equal k-mers must come out in
+        // sender (part-major) order — LocalCC's union anchor is the first
+        // tuple of each equal-k-mer group.
+        let parts: Vec<Vec<KmerReadTuple>> = vec![
+            vec![KmerReadTuple::new(7, 0), KmerReadTuple::new(3, 1)],
+            vec![KmerReadTuple::new(7, 2), KmerReadTuple::new(7, 3)],
+            vec![],
+            vec![KmerReadTuple::new(3, 4), KmerReadTuple::new(7, 5)],
+        ];
+        let (_, sorted) = fused_path(&parts, &[5u64], 8, 54);
+        let order: Vec<(u64, u32)> = sorted.iter().map(|t| (t.kmer, t.read)).collect();
+        assert_eq!(order, vec![(3, 1), (3, 4), (7, 0), (7, 2), (7, 3), (7, 5)]);
+    }
+
+    #[test]
+    fn empty_parts_and_empty_input() {
+        let (res, sorted) = fused_path::<u64>(&[vec![], vec![], vec![]], &[10u64], 8, 64);
+        assert!(sorted.is_empty());
+        assert_eq!(res.offsets, vec![0, 0, 0]);
+        assert_eq!(res.stats, RadixStats::default());
+        let (res, sorted) = fused_path::<u64>(&[], &[], 8, 64);
+        assert!(sorted.is_empty());
+        assert_eq!(res.offsets, vec![0, 0]);
+        assert_eq!(res.stats, RadixStats::default());
+    }
+
+    proptest! {
+        /// The tentpole invariant: fused scatter + pruned radix is
+        /// byte-identical to the reference path over random tuple sets,
+        /// random part splits, boundary counts (including empty sub-ranges
+        /// and duplicate boundaries), and digit widths 8/11/16.
+        #[test]
+        fn prop_fused_byte_identical_to_reference(
+            keys in proptest::collection::vec(0u64..(1 << 54), 0..1500),
+            cuts in proptest::collection::vec(0usize..1500, 0..6),
+            mut bvals in proptest::collection::vec(0u64..(1 << 54), 0..7),
+            dup in any::<bool>(),
+            bits_idx in 0usize..3,
+        ) {
+            let bits = [8u32, 11, 16][bits_idx];
+            // Tuples tagged with their global index so stability differences
+            // are visible as value differences.
+            let tuples: Vec<KmerReadTuple> = keys
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| KmerReadTuple::new(k, i as u32))
+                .collect();
+            // Split into parts at the (sorted, clamped) cut points.
+            let mut cuts: Vec<usize> = cuts.into_iter().map(|c| c.min(tuples.len())).collect();
+            cuts.sort_unstable();
+            let mut parts: Vec<Vec<KmerReadTuple>> = Vec::new();
+            let mut prev = 0;
+            for c in cuts {
+                parts.push(tuples[prev..c].to_vec());
+                prev = c;
+            }
+            parts.push(tuples[prev..].to_vec());
+            // Sorted boundaries, optionally with a forced duplicate
+            // (an empty sub-range).
+            bvals.sort_unstable();
+            if dup && bvals.len() >= 2 {
+                bvals[0] = bvals[1];
+            }
+            let (ref_offs, ref_sorted) = reference_path(&parts, &bvals, bits, 54);
+            let (res, sorted) = fused_path(&parts, &bvals, bits, 54);
+            prop_assert_eq!(res.offsets, ref_offs);
+            prop_assert_eq!(sorted, ref_sorted);
+            prop_assert_eq!(
+                (res.stats.passes_run + res.stats.passes_pruned) % u64::from(54u32.div_ceil(bits)),
+                0
+            );
+        }
+    }
+}

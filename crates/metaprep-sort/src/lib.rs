@@ -15,11 +15,25 @@
 //! [`parallel::parallel_lsb_sort`] is the fully-parallel stable LSB radix
 //! sort standing in for the NUMA-aware sort of Polychroniou & Ross that the
 //! paper benchmarks against (§4.2.2).
+//!
+//! The pipeline itself uses the **fused receive-side path**
+//! ([`fused::fused_local_sort`]): the per-sender all-to-all buffers are
+//! scattered straight into the final partitioned buffer (no concat copy),
+//! and each sub-range is sorted with [`radix::lsb_radix_sort_pruned`],
+//! which skips identity passes via a varying-bits mask accumulated during
+//! the scatter — byte-identical output to the two-stage path above.
 
+pub mod fused;
 pub mod parallel;
 pub mod partition;
 pub mod radix;
 
+pub use fused::{
+    fused_local_sort, scatter_from_parts, BoundaryTable, FusedSortResult, PassBuffers,
+    ScatterResult,
+};
 pub use parallel::{local_sort, local_sort_with_boundaries, parallel_lsb_sort};
-pub use partition::{equal_boundaries_by_sample, partition_by_ranges};
-pub use radix::{is_sorted_by_key, lsb_radix_sort, Keyed, SortKey};
+pub use partition::{equal_boundaries_by_sample, partition_by_ranges, ScatterTracker};
+pub use radix::{
+    is_sorted_by_key, lsb_radix_sort, lsb_radix_sort_pruned, Keyed, RadixStats, SortKey,
+};

@@ -1,7 +1,9 @@
 //! Parallel sorts: LocalSort (partition + per-range serial radix) and the
 //! fully parallel LSB radix baseline.
 
-use crate::partition::{equal_boundaries_by_sample, partition_by_ranges, SharedSlice};
+use crate::partition::{
+    equal_boundaries_by_sample, partition_by_ranges, ScatterTracker, SharedSlice,
+};
 use crate::radix::{lsb_radix_sort, Keyed, SortKey};
 use rayon::prelude::*;
 
@@ -91,6 +93,9 @@ pub fn parallel_lsb_sort<T: Keyed + Default>(
     let passes = key_bits.div_ceil(bits);
     let chunk_size = n.div_ceil(rayon::current_num_threads().max(1)).max(1);
 
+    // One debug-build write tracker reused (reset, not reallocated) by
+    // every pass's scatter.
+    let mut tracker = ScatterTracker::new();
     let mut src_is_data = true;
     for p in 0..passes {
         let shift = p * bits;
@@ -137,7 +142,7 @@ pub fn parallel_lsb_sort<T: Keyed + Default>(
             }
         }
 
-        let shared = SharedSlice::new(dst);
+        let shared = SharedSlice::new(dst, &mut tracker);
         chunks
             .par_iter()
             .zip(cursors.into_par_iter())

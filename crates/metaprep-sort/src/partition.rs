@@ -10,6 +10,44 @@ use crate::radix::Keyed;
 use rayon::prelude::*;
 use std::cell::UnsafeCell;
 
+/// Recyclable home of the debug-build scatter "written" flags.
+///
+/// [`SharedSlice`] asserts its disjoint-writers contract in debug builds
+/// with one `AtomicBool` per destination slot. Allocating those flags per
+/// scatter made debug-build proptests over the fused path quadratic in
+/// allocations, so the flags live here and are *reset* (not reallocated)
+/// between scatters — a [`crate::fused::PassBuffers`] pool keeps one
+/// tracker alive for a whole run. In release builds this is a zero-sized
+/// no-op.
+#[derive(Default)]
+pub struct ScatterTracker {
+    #[cfg(debug_assertions)]
+    flags: Vec<std::sync::atomic::AtomicBool>,
+}
+
+impl ScatterTracker {
+    /// An empty tracker; flags grow lazily to the largest scatter seen.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear (and if needed grow) the first `len` flags. `&mut self` means
+    /// no scatter is in flight, so plain `get_mut` stores suffice.
+    fn prepare(&mut self, len: usize) {
+        #[cfg(debug_assertions)]
+        {
+            for f in self.flags.iter_mut().take(len) {
+                *f.get_mut() = false;
+            }
+            while self.flags.len() < len {
+                self.flags.push(std::sync::atomic::AtomicBool::new(false));
+            }
+        }
+        #[cfg(not(debug_assertions))]
+        let _ = len;
+    }
+}
+
 /// A shareable mutable slice for disjoint concurrent writes.
 ///
 /// Safety contract: every index is written by at most one thread. The
@@ -20,9 +58,10 @@ pub(crate) struct SharedSlice<'a, T> {
     /// Debug-build scatter tracker: one "written" flag per slot, so the
     /// disjointness contract is *asserted* under `cfg(debug_assertions)`
     /// instead of merely trusted (two writers on one slot trip it in
-    /// whatever order they interleave).
+    /// whatever order they interleave). Borrowed from a [`ScatterTracker`]
+    /// so pooled callers reuse one allocation across scatters.
     #[cfg(debug_assertions)]
-    written: Vec<std::sync::atomic::AtomicBool>,
+    written: &'a [std::sync::atomic::AtomicBool],
 }
 
 // SAFETY: the only mutation path is `write`, whose contract (enforced in
@@ -36,11 +75,13 @@ unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
 unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
 
 impl<'a, T> SharedSlice<'a, T> {
-    pub(crate) fn new(slice: &'a mut [T]) -> Self {
+    /// Wrap `slice` for a scatter tracked by `tracker`. The tracker stays
+    /// mutably borrowed for the slice's lifetime, so one tracker can't be
+    /// shared by two concurrent scatters.
+    pub(crate) fn new(slice: &'a mut [T], tracker: &'a mut ScatterTracker) -> Self {
+        tracker.prepare(slice.len());
         #[cfg(debug_assertions)]
-        let written = (0..slice.len())
-            .map(|_| std::sync::atomic::AtomicBool::new(false))
-            .collect();
+        let written = &tracker.flags[..slice.len()];
         // SAFETY: [T] and [UnsafeCell<T>] have identical layout, and the
         // exclusive borrow of `slice` is held by `self` for 'a, so no
         // other access to the underlying memory exists.
@@ -135,7 +176,8 @@ pub fn partition_by_ranges<T: Keyed>(
         }
     }
 
-    let shared = SharedSlice::new(dst);
+    let mut tracker = ScatterTracker::new();
+    let shared = SharedSlice::new(dst, &mut tracker);
     chunks
         .par_iter()
         .zip(cursors.into_par_iter())

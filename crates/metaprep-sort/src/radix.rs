@@ -3,15 +3,35 @@
 use metaprep_kmer::{KmerReadTuple, KmerReadTuple128};
 
 /// Unsigned key types the radix sort can digest.
-pub trait SortKey: Copy + Ord + Send + Sync + 'static {
+///
+/// The bitwise bounds let the fused scatter accumulate a per-sub-range
+/// *varying-bits mask* (`OR(keys) ^ AND(keys)`: a bit is set iff it is 1
+/// in some key and 0 in another) that the pruned radix sort consults to
+/// skip identity passes without a counting scan.
+pub trait SortKey:
+    Copy
+    + Ord
+    + Send
+    + Sync
+    + std::ops::BitXor<Output = Self>
+    + std::ops::BitOr<Output = Self>
+    + std::ops::BitAnd<Output = Self>
+    + 'static
+{
     /// Key width in bits.
     const BITS: u32;
+    /// The all-zero key (identity for the `OR` accumulator).
+    const ZERO: Self;
+    /// The all-ones key (identity for the `AND` accumulator).
+    const ONES: Self;
     /// Extract `(self >> shift) & mask` as a bucket index.
     fn digit(self, shift: u32, mask: u64) -> usize;
 }
 
 impl SortKey for u32 {
     const BITS: u32 = 32;
+    const ZERO: u32 = 0;
+    const ONES: u32 = u32::MAX;
     #[inline(always)]
     fn digit(self, shift: u32, mask: u64) -> usize {
         ((self as u64 >> shift) & mask) as usize
@@ -20,6 +40,8 @@ impl SortKey for u32 {
 
 impl SortKey for u64 {
     const BITS: u32 = 64;
+    const ZERO: u64 = 0;
+    const ONES: u64 = u64::MAX;
     #[inline(always)]
     fn digit(self, shift: u32, mask: u64) -> usize {
         ((self >> shift) & mask) as usize
@@ -28,6 +50,8 @@ impl SortKey for u64 {
 
 impl SortKey for u128 {
     const BITS: u32 = 128;
+    const ZERO: u128 = 0;
+    const ONES: u128 = u128::MAX;
     #[inline(always)]
     fn digit(self, shift: u32, mask: u64) -> usize {
         ((self >> shift) as u64 & mask) as usize
@@ -162,6 +186,105 @@ pub fn lsb_radix_sort<T: Keyed>(data: &mut [T], scratch: &mut [T], bits: u32, ke
     if !src_is_data {
         data.copy_from_slice(scratch);
     }
+}
+
+/// How much work a (pruned) radix sort actually did.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct RadixStats {
+    /// Counting + scatter passes executed.
+    pub passes_run: u64,
+    /// Passes skipped because the digit window held no varying key bits.
+    pub passes_pruned: u64,
+}
+
+impl RadixStats {
+    /// Combine two per-sub-range stats (e.g. across a parallel reduce).
+    pub fn merged(self, other: RadixStats) -> RadixStats {
+        RadixStats {
+            passes_run: self.passes_run + other.passes_run,
+            passes_pruned: self.passes_pruned + other.passes_pruned,
+        }
+    }
+}
+
+/// [`lsb_radix_sort`] with pass pruning driven by a precomputed
+/// *varying-bits mask* instead of a per-pass counting scan.
+///
+/// `varying` must have a bit set wherever any two keys in `data` differ —
+/// the fused scatter accumulates it as `OR(key ^ reference)` while it
+/// histograms, so it arrives here for free. A digit window with no varying
+/// bits means every key shares that digit, the pass permutation would be
+/// the identity, and the pass is skipped *without* the full counting scan
+/// [`lsb_radix_sort`] pays to discover the same thing. Sub-ranges span
+/// narrow key windows in deep `S·P·T` configurations, so this typically
+/// cuts 7 passes (54-bit k-mer keys, 8-bit digits) down to 2–3.
+///
+/// Skipped passes are exactly the passes the unpruned sort's counting
+/// heuristic skips (a constant digit ⇔ one occupied bucket), and a stable
+/// sort's output is unique, so the result is byte-identical to
+/// [`lsb_radix_sort`] — including the ping-pong parity, hence the same
+/// number of copies. Overstating `varying` (extra bits set) only costs an
+/// identity pass; understating it breaks sorting, so don't.
+pub fn lsb_radix_sort_pruned<T: Keyed>(
+    data: &mut [T],
+    scratch: &mut [T],
+    bits: u32,
+    key_bits: u32,
+    varying: T::Key,
+) -> RadixStats {
+    assert!((1..=16).contains(&bits), "digit width {bits} not in 1..=16");
+    assert!(key_bits <= T::Key::BITS);
+    assert_eq!(data.len(), scratch.len());
+    let mut stats = RadixStats::default();
+    if data.len() <= 1 {
+        return stats;
+    }
+
+    let buckets = 1usize << bits;
+    let mask = (buckets - 1) as u64;
+    let passes = key_bits.div_ceil(bits);
+
+    let mut src_is_data = true;
+    let mut counts = vec![0usize; buckets];
+    for p in 0..passes {
+        let shift = p * bits;
+        // No varying key bit in this digit window: every element would
+        // land in the single occupied bucket, i.e. the identity pass the
+        // unpruned sort pays a full counting scan to detect.
+        if varying.digit(shift, mask) == 0 {
+            stats.passes_pruned += 1;
+            continue;
+        }
+        stats.passes_run += 1;
+        let (src, dst): (&mut [T], &mut [T]) = if src_is_data {
+            (&mut *data, &mut *scratch)
+        } else {
+            (&mut *scratch, &mut *data)
+        };
+
+        counts.iter_mut().for_each(|c| *c = 0);
+        for t in src.iter() {
+            counts[t.key().digit(shift, mask)] += 1;
+        }
+        // Exclusive prefix sum -> write cursors.
+        let mut sum = 0usize;
+        for c in counts.iter_mut() {
+            let x = *c;
+            *c = sum;
+            sum += x;
+        }
+        for t in src.iter() {
+            let d = t.key().digit(shift, mask);
+            dst[counts[d]] = *t;
+            counts[d] += 1;
+        }
+        src_is_data = !src_is_data;
+    }
+
+    if !src_is_data {
+        data.copy_from_slice(scratch);
+    }
+    stats
 }
 
 /// True if `data` is non-decreasing by key.

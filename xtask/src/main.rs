@@ -212,7 +212,82 @@ fn run_bench_smoke() -> ExitCode {
         return ExitCode::FAILURE;
     }
     eprintln!("xtask bench-smoke: ok ({})", trace.display());
+
+    // Fused LocalSort: the experiment itself asserts the fused result is
+    // byte-identical to the reference path and that radix passes were
+    // pruned; here we additionally gate on the reported throughput ratio
+    // so a fused-path regression fails CI. The acceptance target is
+    // >= 1.3x; the gate allows 1.1x of slack for shared-runner noise
+    // (observed smoke ratios: 1.4-1.9x).
+    let sort = root.join("target").join("BENCH_sort.json");
+    std::fs::remove_file(&sort).ok();
+    eprintln!("== xtask: bench smoke (sort_throughput) ==");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-bench",
+            "--bin",
+            "exp_sort_throughput",
+        ])
+        .env("METAPREP_SCALE", "0.05")
+        .env("METAPREP_BENCH_OUT", &sort)
+        .status();
+    if !matches!(status, Ok(s) if s.success()) {
+        eprintln!("xtask bench-smoke: exp_sort_throughput failed");
+        return ExitCode::FAILURE;
+    }
+    let Ok(sjson) = std::fs::read_to_string(&sort) else {
+        eprintln!("xtask bench-smoke: {} was not written", sort.display());
+        return ExitCode::FAILURE;
+    };
+    for needle in [
+        "\"sort_throughput\"",
+        "\"fused\"",
+        "\"radix_passes_pruned\"",
+    ] {
+        if !sjson.contains(needle) {
+            eprintln!("xtask bench-smoke: {} missing {needle}", sort.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    match json_number(&sjson, "\"fused_over_reference\"") {
+        Some(ratio) if ratio >= 1.1 => {}
+        Some(ratio) => {
+            eprintln!(
+                "xtask bench-smoke: fused LocalSort only {ratio:.2}x the reference (need >= 1.1x)"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!(
+                "xtask bench-smoke: fused_over_reference missing from {}",
+                sort.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    match json_number(&sjson, "\"radix_passes_pruned\"") {
+        Some(pruned) if pruned > 0.0 => {}
+        _ => {
+            eprintln!("xtask bench-smoke: expected radix_passes_pruned > 0 in the fused path");
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask bench-smoke: ok ({})", sort.display());
     ExitCode::SUCCESS
+}
+
+/// Extract the first numeric value following `key` in a flat JSON string
+/// (good enough for the hand-rolled bench reports checked here).
+fn json_number(json: &str, key: &str) -> Option<f64> {
+    let at = json.find(key)? + key.len();
+    let rest = json[at..].trim_start_matches([':', ' ']);
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
 }
 
 fn run_cargo(args: &[&str]) -> bool {
