@@ -184,6 +184,7 @@ fn extend<K: Kmer>(
         if n_succ != 1 {
             break; // dead end or branch
         }
+        // EXPECT: `n_succ == 1` above guarantees the loop stored exactly one candidate.
         let (b, y) = next.expect("exactly one successor");
         // The successor must have a unique predecessor (us); otherwise it
         // starts a new unitig. Predecessors of y = successors of flip(y).

@@ -1,0 +1,6 @@
+//! Loom DPOR exploration-cost report; see crate docs.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::loom_dpor::run(scale);
+}

@@ -91,6 +91,7 @@ pub struct Pipeline {
 impl Pipeline {
     /// Create a pipeline; validates the configuration eagerly.
     pub fn new(cfg: PipelineConfig) -> Self {
+        // EXPECT: documented contract — `new` validates eagerly; a bad config is a construction-time programmer error, not a runtime condition.
         cfg.validate().expect("invalid pipeline configuration");
         Self { cfg }
     }
@@ -341,6 +342,7 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
             labels = Some(l);
         }
     }
+    // EXPECT: the CC phase gathers component labels to rank 0, so exactly one task output carries `Some`.
     let labels = labels.expect("rank 0 must produce labels");
     let components = ComponentStats::from_component_array(&labels);
 

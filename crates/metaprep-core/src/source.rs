@@ -100,6 +100,7 @@ impl ChunkSource for FileSource {
         let spec = &self.specs[c];
         // Each load re-reads from disk — this IS the multi-pass I/O.
         let store = parse_fastq_chunk(&self.path, spec, false)
+            // EXPECT: the file was indexed by this process; a failed re-read means it changed or vanished mid-run, unrecoverable for a multi-pass source.
             .expect("chunk read failed (file changed since indexing?)");
         (0..store.len())
             .map(|i| {

@@ -104,6 +104,7 @@ impl AbortableBarrier {
     /// Wait for all parties; panics (releasing the caller) if `aborted`
     /// becomes true while waiting.
     fn wait(&self, aborted: &AtomicBool) {
+        // EXPECT: poisoning means a task panicked holding the barrier lock; propagating that panic is the abort path.
         let mut g = self.lock.lock().expect("barrier lock poisoned");
         g.arrived += 1;
         if g.arrived == self.parties {
@@ -123,6 +124,7 @@ impl AbortableBarrier {
             let (guard, _timeout) = self
                 .cv
                 .wait_timeout(g, std::time::Duration::from_millis(25))
+                // EXPECT: poisoning, as above, is the abort path.
                 .expect("barrier lock poisoned");
             g = guard;
         }
@@ -261,6 +263,7 @@ impl<M: Payload> TaskCtx<M> {
         self.shared.messages_sent[self.rank].fetch_add(1, Ordering::Relaxed);
         self.senders[to]
             .send(msg)
+            // EXPECT: receivers live until the thread scope joins; a disconnect means the peer already panicked and this panic surfaces it.
             .expect("receiving task exited before message was delivered");
     }
 
@@ -313,6 +316,7 @@ impl<M: Payload> TaskCtx<M> {
     pub fn recv_from(&self, from: usize) -> M {
         let msg = self.receivers[from]
             .recv()
+            // EXPECT: under loom every modeled task runs to completion (or the model reports deadlock), so a disconnect can only follow a modeled panic.
             .expect("sending task exited before sending");
         // ORDERING: Relaxed — statistics counters, as in `send`.
         self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
@@ -391,6 +395,7 @@ where
         .iter()
         .map(|row| {
             row.iter()
+                // EXPECT: the wiring loop above fills all p*p receiver slots.
                 .map(|r| r.as_ref().expect("filled").depth_probe())
                 .collect()
         })
@@ -416,11 +421,13 @@ where
             rank,
             size: p,
             senders: s,
+            // EXPECT: the wiring loop filled all p*p receiver slots.
             receivers: r.into_iter().map(|o| o.expect("filled")).collect(),
             shared: Arc::clone(&shared),
             pool: rayon::ThreadPoolBuilder::new()
                 .num_threads(config.threads_per_task)
                 .build()
+                // EXPECT: pool build fails only when the OS cannot spawn threads, unrecoverable for a compute cluster.
                 .expect("failed to build task thread pool"),
             // Distinct non-zero stream per task (splitmix-style spread);
             // seed 0 disables jitter entirely.
@@ -454,6 +461,7 @@ where
             .collect();
         let outs: Vec<std::thread::Result<R>> = handles
             .into_iter()
+            // EXPECT: the closure catches its own panics (the inner `thread::Result`), so `join` can only fail on a non-unwinding abort.
             .map(|h| h.join().expect("task thread died"))
             .collect();
         if outs.iter().any(Result::is_err) {
@@ -471,9 +479,11 @@ where
                     }
                 }
             }
+            // EXPECT: this branch runs only when some task returned Err, and every payload either resumed already or was stashed in `secondary`.
             std::panic::resume_unwind(secondary.expect("some task panicked"));
         }
         outs.into_iter()
+            // EXPECT: the branch above resume-unwinds if any entry is Err, so all remaining are Ok.
             .map(|o| o.expect("checked above"))
             .collect()
     });

@@ -68,6 +68,7 @@ fn alltoall_inner<M: Payload>(
             .as_deref()
             .filter(|o| o.export_enabled())
             .map(|o| o.open());
+        // EXPECT: `stage_peers` visits each destination exactly once per round, so the slot is still `Some`.
         ctx.send(to, out[to].take().expect("buffer already sent"));
         let received = ctx.recv_from(from);
         if let (Some(o), Some(open)) = (obs.as_deref_mut(), open) {
@@ -78,6 +79,7 @@ fn alltoall_inner<M: Payload>(
 
     incoming
         .into_iter()
+        // EXPECT: the stage loop received from every peer exactly once and the own-rank slot was moved directly.
         .map(|o| o.expect("missing incoming buffer"))
         .collect()
 }
@@ -94,6 +96,7 @@ pub fn alltoall_naive<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec
     incoming[rank] = out[rank].take();
     for (to, buf) in out.iter_mut().enumerate() {
         if to != rank {
+            // EXPECT: the loop visits each destination slot exactly once.
             ctx.send(to, buf.take().expect("buffer already sent"));
         }
     }
@@ -104,6 +107,7 @@ pub fn alltoall_naive<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec
     }
     incoming
         .into_iter()
+        // EXPECT: the receive loop filled every peer slot and the own-rank slot was moved directly.
         .map(|o| o.expect("missing incoming buffer"))
         .collect()
 }
@@ -112,6 +116,7 @@ pub fn alltoall_naive<M: Payload>(ctx: &TaskCtx<M>, mut outgoing: Vec<M>) -> Vec
 /// `msg` is only inspected on the root (others pass `None`).
 pub fn broadcast<M: Payload + Clone>(ctx: &TaskCtx<M>, root: usize, msg: Option<M>) -> M {
     if ctx.rank() == root {
+        // EXPECT: documented contract — the root caller passes `Some`; non-root `msg` is never read.
         let m = msg.expect("root must provide the message");
         for to in 0..ctx.size() {
             if to != root {
@@ -135,6 +140,7 @@ pub fn gather<M: Payload>(ctx: &TaskCtx<M>, root: usize, msg: M) -> Option<Vec<M
                 *slot = Some(ctx.recv_from(from));
             }
         }
+        // EXPECT: `all[root]` was set directly and the loop filled every other slot.
         Some(all.into_iter().map(|o| o.expect("gathered")).collect())
     } else {
         ctx.send(root, msg);

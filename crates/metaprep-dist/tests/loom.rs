@@ -14,7 +14,10 @@
 //! `--cfg loom`, `metaprep_dist::sync::channel` re-exports the modeled
 //! mpsc channel whose every send/recv is a scheduling point, so the
 //! model proves deadlock-freedom and message conservation over ALL
-//! interleavings, not just the ones a lucky run happens to hit.
+//! interleavings, not just the ones a lucky run happens to hit. The
+//! model applies dynamic partial-order reduction (see `loom::dpor`), so
+//! "all interleavings" means one representative per Mazurkiewicz trace
+//! — operations on different queues commute and are explored once.
 #![cfg(loom)]
 
 use loom::thread;
@@ -62,10 +65,14 @@ fn staged_round(rank: usize, p: usize, txs: &[Sender<Msg>], rxs: &[Receiver<Msg>
 /// EVERY interleaving: no deadlock (the model aborts with a report if
 /// all threads block), every message conserved (received exactly once,
 /// by the rank it was addressed to, from the stage-mandated source),
-/// and nothing left queued.
-fn check_alltoall(p: usize, max_iters: usize) {
-    let builder = loom::model::Builder { max_iters };
-    builder.check(move || {
+/// and nothing left queued. Returns the exploration report so callers
+/// can bound the schedule count DPOR actually visited.
+fn check_alltoall(p: usize, max_iters: usize) -> loom::model::Report {
+    let builder = loom::model::Builder {
+        max_iters,
+        dpor: true,
+    };
+    builder.check_report(move || {
         let (senders, receivers) = wire(p);
         let mut parts: Vec<_> = senders.into_iter().zip(receivers).collect();
         // Rank 0 runs on the model's main thread (the loom idiom: the
@@ -118,12 +125,12 @@ fn check_alltoall(p: usize, max_iters: usize) {
             }
         }
         assert_eq!(seen.len(), p * (p - 1), "lost messages");
-    });
+    })
 }
 
 /// Two tasks: a single exchange stage. Small enough that the model
 /// visits every interleaving of {send, recv} × {send, recv}, including
-/// the order where both sends land before either recv (21 schedules).
+/// the order where both sends land before either recv.
 #[test]
 fn alltoall_two_tasks_all_interleavings() {
     check_alltoall(2, 250_000);
@@ -161,16 +168,24 @@ fn ring_stage_of_three_tasks_all_interleavings() {
     });
 }
 
-/// Three tasks, the full two-stage round. The shim explores schedules
-/// without partial-order reduction, so this is ~3.35M schedules
-/// (~5 min): too slow for the default suite but kept runnable —
-/// `RUSTFLAGS="--cfg loom" cargo test -p metaprep-dist --test loom -- --ignored`
-/// (see ROADMAP.md). The active tests above cover 2-task exhaustively
-/// and the 3-task stage structure.
+/// Three tasks, the full two-stage round. Brute-force enumeration of
+/// this model is ~3.35M schedules (~5 min) — which is why it used to be
+/// `#[ignore]`d. Dynamic partial-order reduction with sleep sets prunes
+/// the interleavings of *independent* channel operations (different
+/// queues), so the model now covers every Mazurkiewicz trace in a tiny
+/// fraction of that and runs in the default `--cfg loom` suite. The
+/// assertion pins the reduction: if a scheduler change regresses DPOR,
+/// the explored count blowing past 1% of brute force fails loudly here
+/// rather than silently costing minutes.
 #[test]
-#[ignore = "exhaustive 3-task round is ~3.35M schedules (~5 min); run with -- --ignored"]
 fn alltoall_three_tasks_all_interleavings() {
-    check_alltoall(3, 4_000_000);
+    let report = check_alltoall(3, 4_000_000);
+    assert!(
+        report.schedules_explored <= 33_500,
+        "DPOR regression: explored {} schedules, expected <= 33,500 \
+         (>= 100x reduction vs ~3.35M brute-force)",
+        report.schedules_explored
+    );
 }
 
 /// Negative control: an UNSTAGED schedule where rank 0 receives before

@@ -173,6 +173,7 @@ impl RangePlan {
     /// encoded as `pass * tasks + task`. KmerGen uses this for O(1) owner
     /// dispatch per enumerated k-mer instead of a binary search.
     pub fn bin_owner_table(&self) -> Vec<u32> {
+        // EXPECT: `bin_bounds` is built with a trailing total-bins bound, so it is never empty.
         let bins = *self.bin_bounds.last().expect("nonempty");
         let mut table = vec![0u32; bins];
         for s in 0..self.passes {

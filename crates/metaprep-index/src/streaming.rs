@@ -141,6 +141,7 @@ fn pool_of(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()
         .num_threads(n)
         .build()
+        // EXPECT: pool build fails only when the OS cannot spawn threads, unrecoverable for the streaming planner.
         .expect("vendored rayon pool build cannot fail")
 }
 

@@ -85,6 +85,7 @@ pub fn chunk_fastq_bytes(data: &[u8], c: usize) -> Result<Vec<ChunkSpec>, FastqE
     for i in 1..c {
         let want = i * target;
         match find_record_start(data, want) {
+            // EXPECT: `boundaries` is seeded with 0 above and only ever pushed to.
             Some(s) if s > *boundaries.last().expect("nonempty") => boundaries.push(s),
             _ => {}
         }
@@ -177,6 +178,7 @@ pub fn chunk_fastq_bytes_paired(data: &[u8], c: usize) -> Result<Vec<ChunkSpec>,
         let mut idx = starts.partition_point(|&s| s < target);
         idx += idx % 2; // round up to even
         let idx = idx.min(n);
+        // EXPECT: `bounds` is seeded with 0 above and only ever pushed to.
         if idx > *bounds.last().expect("nonempty") {
             bounds.push(idx);
         }

@@ -132,6 +132,7 @@ impl StreamChunker {
         for i in 1..c as u64 {
             let want = i * target;
             match self.find_record_start_at(want)? {
+                // EXPECT: `bounds` is seeded with 0 above and only ever pushed to.
                 Some(s) if s > *bounds.last().expect("nonempty") => bounds.push(s),
                 _ => {}
             }
@@ -159,6 +160,7 @@ impl StreamChunker {
         for j in 1..c as u64 {
             let target = j * self.len / c as u64;
             match self.find_record_start_at(target)? {
+                // EXPECT: `bounds` is seeded with `first` above and only ever pushed to.
                 Some(s) if s > *bounds.last().expect("nonempty") => bounds.push(s),
                 _ => {}
             }
@@ -213,6 +215,7 @@ impl StreamChunker {
                 };
             }
             let r = r.min(total);
+            // EXPECT: `bounds` is seeded before the loop and only ever pushed to.
             if r > bounds.last().expect("nonempty").0 {
                 bounds.push((r, byte));
             }

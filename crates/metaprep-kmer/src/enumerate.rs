@@ -32,6 +32,7 @@ pub fn for_each_canonical_kmer<K: Kmer>(seq: &[u8], k: usize, mut f: impl FnMut(
         }
         let mut km = K::zero(k);
         for (j, &b) in run.iter().enumerate() {
+            // EXPECT: the run was split on invalid bases, so every byte in it encodes.
             km.roll(encode_base_checked(b).expect("run contains only valid bases"));
             if j + 1 >= k {
                 f(km.canonical_value(), start + j + 1 - k);

@@ -98,6 +98,7 @@ fn run_x4<K: Kmer>(run: &[u8], k: usize, base_off: usize, f: &mut impl FnMut(K::
 
 #[inline(always)]
 fn code(b: u8) -> u8 {
+    // EXPECT: callers pass bytes from runs already split on invalid bases.
     encode_base_checked(b).expect("run contains only valid bases")
 }
 

@@ -91,6 +91,7 @@ fn run_superkmers(
     let mut wmers = Vec::with_capacity(n_w);
     let mut km = Kmer64::zero(w);
     for (j, &b) in seq[run_start..run_end].iter().enumerate() {
+        // EXPECT: the run was split on invalid bases, so every byte in it encodes.
         km.roll(encode_base_checked(b).expect("valid run"));
         if j + 1 >= w {
             wmers.push(km.canonical_value());
@@ -115,9 +116,11 @@ fn run_superkmers(
         if j + 1 >= win {
             let kmer_idx = j + 1 - win; // window index among the run's k-mers
                                         // Evict offsets that fell out of the window [kmer_idx, kmer_idx + win).
+                                        // EXPECT: `j` was pushed just above, so the deque is nonempty.
             while *deque.front().expect("nonempty") < kmer_idx {
                 deque.pop_front();
             }
+            // EXPECT: eviction cannot empty the deque — offset `j` (>= kmer_idx) was just pushed.
             let m = wmers[*deque.front().expect("nonempty")];
             match cur {
                 Some((cm, cs)) if cm == m => {

@@ -27,13 +27,14 @@ pub mod fused;
 pub mod parallel;
 pub mod partition;
 pub mod radix;
+pub mod sync;
 
 pub use fused::{
     fused_local_sort, scatter_from_parts, BoundaryTable, FusedSortResult, PassBuffers,
     ScatterResult,
 };
 pub use parallel::{local_sort, local_sort_with_boundaries, parallel_lsb_sort};
-pub use partition::{equal_boundaries_by_sample, partition_by_ranges, ScatterTracker};
+pub use partition::{equal_boundaries_by_sample, partition_by_ranges, ScatterTracker, SharedSlice};
 pub use radix::{
     is_sorted_by_key, lsb_radix_sort, lsb_radix_sort_pruned, Keyed, RadixStats, SortKey,
 };

@@ -22,7 +22,7 @@ use std::cell::UnsafeCell;
 #[derive(Default)]
 pub struct ScatterTracker {
     #[cfg(debug_assertions)]
-    flags: Vec<std::sync::atomic::AtomicBool>,
+    flags: Vec<crate::sync::AtomicBool>,
 }
 
 impl ScatterTracker {
@@ -40,7 +40,7 @@ impl ScatterTracker {
                 *f.get_mut() = false;
             }
             while self.flags.len() < len {
-                self.flags.push(std::sync::atomic::AtomicBool::new(false));
+                self.flags.push(crate::sync::AtomicBool::new(false));
             }
         }
         #[cfg(not(debug_assertions))]
@@ -53,7 +53,7 @@ impl ScatterTracker {
 /// Safety contract: every index is written by at most one thread. The
 /// partitioning code guarantees this by construction — each (chunk, range)
 /// pair owns a precomputed, non-overlapping destination window.
-pub(crate) struct SharedSlice<'a, T> {
+pub struct SharedSlice<'a, T> {
     cell: &'a [UnsafeCell<T>],
     /// Debug-build scatter tracker: one "written" flag per slot, so the
     /// disjointness contract is *asserted* under `cfg(debug_assertions)`
@@ -61,7 +61,7 @@ pub(crate) struct SharedSlice<'a, T> {
     /// whatever order they interleave). Borrowed from a [`ScatterTracker`]
     /// so pooled callers reuse one allocation across scatters.
     #[cfg(debug_assertions)]
-    written: &'a [std::sync::atomic::AtomicBool],
+    written: &'a [crate::sync::AtomicBool],
 }
 
 // SAFETY: the only mutation path is `write`, whose contract (enforced in
@@ -78,7 +78,7 @@ impl<'a, T> SharedSlice<'a, T> {
     /// Wrap `slice` for a scatter tracked by `tracker`. The tracker stays
     /// mutably borrowed for the slice's lifetime, so one tracker can't be
     /// shared by two concurrent scatters.
-    pub(crate) fn new(slice: &'a mut [T], tracker: &'a mut ScatterTracker) -> Self {
+    pub fn new(slice: &'a mut [T], tracker: &'a mut ScatterTracker) -> Self {
         tracker.prepare(slice.len());
         #[cfg(debug_assertions)]
         let written = &tracker.flags[..slice.len()];
@@ -95,18 +95,21 @@ impl<'a, T> SharedSlice<'a, T> {
 
     /// Write `value` at `i`.
     ///
-    /// SAFETY: caller must ensure no other thread reads or writes index `i`
+    /// # Safety
+    ///
+    /// The caller must ensure no other thread reads or writes index `i`
     /// during the scatter. Debug builds verify the "at most one writer per
     /// slot" half of the contract (and bounds) at runtime.
+    // SAFETY: contract stated in the `# Safety` section above.
     #[inline(always)]
-    pub(crate) unsafe fn write(&self, i: usize, value: T) {
+    pub unsafe fn write(&self, i: usize, value: T) {
         #[cfg(debug_assertions)]
         {
             assert!(i < self.cell.len(), "scatter write out of bounds");
             // ORDERING: Relaxed — the flag carries no data, it only has
             // to make two swaps on the same slot observe each other,
             // which a single RMW cell guarantees at any ordering.
-            let prior = self.written[i].swap(true, std::sync::atomic::Ordering::Relaxed);
+            let prior = self.written[i].swap(true, crate::sync::Ordering::Relaxed);
             assert!(!prior, "two scatter writers hit slot {i}: windows overlap");
         }
         // SAFETY: per the caller contract, this thread exclusively owns

@@ -1,0 +1,22 @@
+//! Audited synchronization shim for this crate.
+//!
+//! The only atomic this crate uses is the debug-build scatter tracker's
+//! per-slot "written" flag ([`crate::partition::ScatterTracker`]); it is
+//! imported from here, never from `std` directly. Under normal builds
+//! these are the `std::sync::atomic` types; under
+//! `RUSTFLAGS="--cfg loom"` they are the model-checked `loom` types, so
+//! `tests/loom.rs` can explore every interleaving of scatter writers
+//! against the *exact* tracker the production scatter runs in debug
+//! builds.
+//!
+//! This file is one of the `ORDERING_AUDITED` shims known to
+//! `cargo xtask check`: naming a memory ordering anywhere else in the
+//! workspace requires a per-site `// ORDERING:` justification. The
+//! model checker explores sequential consistency only, so ordering
+//! choices are precisely what source review must still cover.
+
+#[cfg(loom)]
+pub use loom::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(not(loom))]
+pub use std::sync::atomic::{AtomicBool, Ordering};

@@ -1,0 +1,570 @@
+//! Dynamic partial-order reduction (DPOR) with sleep sets, in the style
+//! of Flanagan–Godefroid, driving the token scheduler's decisions.
+//!
+//! Instead of brute-force branching on every Ready thread at every
+//! scheduling decision, the [`Explorer`]:
+//!
+//! 1. tracks, per synchronization object, the last write and the reads
+//!    since it (each with the vector clock of the executing event);
+//! 2. when the event it just executed *races* with an earlier event
+//!    (same object, at least one write, not ordered by happens-before),
+//!    inserts a backtrack point at the earlier event's pre-state so the
+//!    alternative order gets explored in a later run; and
+//! 3. keeps a *sleep set* of threads whose next operation was already
+//!    fully explored from an equivalent state, refusing to schedule
+//!    them until a dependent operation executes. A run whose every
+//!    enabled thread is asleep is *sleep-blocked*: provably redundant,
+//!    aborted and counted separately from explored schedules.
+//!
+//! # Soundness
+//!
+//! Dependence is **overstated** wherever the exact footprint is
+//! unclear: every channel operation (send, receive attempt, try_recv,
+//! endpoint drop) is a write on its channel object, mutex lock/unlock
+//! are writes on the lock object, and objects created outside a model
+//! run alias a single id. Overstated dependence can only *add*
+//! explored schedules, never lose one. Happens-before edges used for
+//! pruning are all true orderings of the replayed execution: spawn
+//! (child inherits the spawner's clock), join (joiner absorbs the
+//! target's exit clock), and per-object event chains. Under the
+//! model's sequential-consistency semantics the reduction therefore
+//! preserves the set of reachable final states and assertion failures
+//! up to Mazurkiewicz-trace equivalence; `tests/dpor_soundness.rs`
+//! checks exactly that differentially against full enumeration
+//! (`Builder { dpor: false }`), which this module also implements by
+//! seeding every node's backtrack set with all enabled threads and
+//! keeping sleep sets empty.
+
+use std::collections::{BTreeSet, HashMap};
+
+/// Which shared object a visible operation touches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Obj {
+    /// No shared object (yield, spin hints, thread start, join).
+    None,
+    /// A modeled atomic cell.
+    Atomic(usize),
+    /// A modeled channel (queue + endpoint liveness share one id).
+    Chan(usize),
+    /// A modeled mutex.
+    Lock(usize),
+}
+
+/// How a visible operation interacts with its object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Observes the object without mutating it.
+    Read,
+    /// Mutates (or may mutate) the object.
+    Write,
+    /// Touches no shared state; independent of every other operation.
+    Pure,
+}
+
+/// The declared footprint of one visible operation. Every schedule
+/// point carries one; the explorer uses it for race detection (which
+/// drives backtracking) and for sleep-set filtering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Access {
+    /// Object touched.
+    pub obj: Obj,
+    /// Read/write/pure classification.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A pure scheduling point (yield, thread start, join decision).
+    pub const PURE: Access = Access {
+        obj: Obj::None,
+        kind: AccessKind::Pure,
+    };
+
+    /// A read of `obj`.
+    pub fn read(obj: Obj) -> Self {
+        Self {
+            obj,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write (or possible write) of `obj`.
+    pub fn write(obj: Obj) -> Self {
+        Self {
+            obj,
+            kind: AccessKind::Write,
+        }
+    }
+
+    /// Two operations are dependent iff they touch the same object and
+    /// at least one writes it. Pure operations are independent of
+    /// everything (including each other).
+    fn dependent(a: Access, b: Access) -> bool {
+        if a.kind == AccessKind::Pure || b.kind == AccessKind::Pure {
+            return false;
+        }
+        if a.obj == Obj::None || a.obj != b.obj {
+            return false;
+        }
+        a.kind == AccessKind::Write || b.kind == AccessKind::Write
+    }
+}
+
+/// Per-thread vector clock; index = thread id, value = events executed
+/// by that thread that happen-before this point.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct VClock(Vec<u32>);
+
+impl VClock {
+    fn get(&self, tid: usize) -> u32 {
+        self.0.get(tid).copied().unwrap_or(0)
+    }
+
+    fn incr(&mut self, tid: usize) {
+        if self.0.len() <= tid {
+            self.0.resize(tid + 1, 0);
+        }
+        self.0[tid] += 1;
+    }
+
+    fn join(&mut self, other: &VClock) {
+        if self.0.len() < other.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (mine, theirs) in self.0.iter_mut().zip(other.0.iter()) {
+            *mine = (*mine).max(*theirs);
+        }
+    }
+}
+
+/// One executed event remembered on an object: who ran it, at which
+/// decision depth, and with which clock.
+#[derive(Clone, Debug)]
+struct EventRef {
+    tid: usize,
+    depth: usize,
+    clock: VClock,
+}
+
+/// Per-object access history: the last write and every read since it.
+#[derive(Debug, Default)]
+struct ObjState {
+    last_write: Option<EventRef>,
+    reads: Vec<EventRef>,
+}
+
+/// One decision point on the current DFS path.
+#[derive(Debug)]
+struct Node {
+    /// Ready threads at this decision (deterministic across replays).
+    enabled: Vec<usize>,
+    /// Thread chosen for the current run through this node.
+    chosen: usize,
+    /// Choices whose subtrees are fully explored.
+    done: BTreeSet<usize>,
+    /// Choices that must be explored from this node (seeded with the
+    /// first choice; grown by race detection — or with all enabled
+    /// threads in brute-force mode).
+    backtrack: BTreeSet<usize>,
+    /// Sleep set inherited when this node was created.
+    sleep0: BTreeSet<usize>,
+}
+
+/// What the explorer tells the scheduler to do at a decision.
+pub(crate) enum Decision {
+    /// Hand the token to this thread.
+    Chosen(usize),
+    /// Every enabled thread is asleep: the run is redundant; abort it.
+    SleepBlocked,
+}
+
+/// Persistent exploration state across the runs of one model check.
+pub(crate) struct Explorer {
+    dpor: bool,
+    stack: Vec<Node>,
+    // Per-run state, reset by `begin_run`.
+    depth: usize,
+    clocks: Vec<VClock>,
+    exit_clocks: HashMap<usize, VClock>,
+    objs: HashMap<Obj, ObjState>,
+    cur_sleep: BTreeSet<usize>,
+    run_sleep_blocked: bool,
+    // Whole-exploration counters, surfaced in the model report.
+    pub(crate) explored: usize,
+    pub(crate) sleep_blocked: usize,
+    pub(crate) backtrack_points: usize,
+    pub(crate) decisions: u64,
+    pub(crate) max_depth: usize,
+}
+
+impl Explorer {
+    pub(crate) fn new(dpor: bool) -> Self {
+        Self {
+            dpor,
+            stack: Vec::new(),
+            depth: 0,
+            clocks: Vec::new(),
+            exit_clocks: HashMap::new(),
+            objs: HashMap::new(),
+            cur_sleep: BTreeSet::new(),
+            run_sleep_blocked: false,
+            explored: 0,
+            sleep_blocked: 0,
+            backtrack_points: 0,
+            decisions: 0,
+            max_depth: 0,
+        }
+    }
+
+    pub(crate) fn dpor(&self) -> bool {
+        self.dpor
+    }
+
+    /// Reset per-run state before a fresh run replays the stack.
+    pub(crate) fn begin_run(&mut self) {
+        self.depth = 0;
+        self.clocks.clear();
+        self.exit_clocks.clear();
+        self.objs.clear();
+        self.cur_sleep.clear();
+        self.run_sleep_blocked = false;
+    }
+
+    pub(crate) fn run_was_sleep_blocked(&self) -> bool {
+        self.run_sleep_blocked
+    }
+
+    /// A modeled thread registered. The child's clock starts as a copy
+    /// of the spawner's: the spawn point happens-before everything the
+    /// child does (a true ordering, so pruning on it is exact).
+    pub(crate) fn thread_registered(&mut self, tid: usize, parent: Option<usize>) {
+        if self.clocks.len() <= tid {
+            self.clocks.resize(tid + 1, VClock::default());
+        }
+        if let Some(p) = parent {
+            let pc = self.clocks.get(p).cloned().unwrap_or_default();
+            self.clocks[tid] = pc;
+        }
+    }
+
+    /// A modeled thread finished; remember its final clock so joiners
+    /// can absorb it.
+    pub(crate) fn thread_exited(&mut self, tid: usize) {
+        let c = self.clocks.get(tid).cloned().unwrap_or_default();
+        self.exit_clocks.insert(tid, c);
+    }
+
+    /// `joiner` completed a join on `target`: absorb the target's exit
+    /// clock. Join cannot be observably reordered with the target's
+    /// exit, so no race detection is needed for the edge itself.
+    pub(crate) fn join_absorb(&mut self, joiner: usize, target: usize) {
+        if let Some(c) = self.exit_clocks.get(&target).cloned() {
+            if self.clocks.len() <= joiner {
+                self.clocks.resize(joiner + 1, VClock::default());
+            }
+            self.clocks[joiner].join(&c);
+        }
+    }
+
+    /// Make (or replay) the decision at the current depth. `enabled`
+    /// is the Ready-thread list; `pending[t]` is thread `t`'s declared
+    /// next access (its thread-start is `Access::PURE`).
+    pub(crate) fn decide(&mut self, enabled: &[usize], pending: &[Access]) -> Decision {
+        let d = self.depth;
+        if d >= self.stack.len() {
+            // Fresh territory: pick the first enabled thread that is
+            // not asleep; if none exists the run is redundant.
+            let first_awake = enabled
+                .iter()
+                .copied()
+                .find(|t| !self.cur_sleep.contains(t));
+            let Some(chosen) = first_awake else {
+                self.run_sleep_blocked = true;
+                return Decision::SleepBlocked;
+            };
+            let backtrack: BTreeSet<usize> = if self.dpor {
+                std::iter::once(chosen).collect()
+            } else {
+                // Brute-force mode: branch on every enabled thread,
+                // reproducing exhaustive DFS in the same machinery.
+                enabled.iter().copied().collect()
+            };
+            self.stack.push(Node {
+                enabled: enabled.to_vec(),
+                chosen,
+                done: BTreeSet::new(),
+                backtrack,
+                sleep0: self.cur_sleep.clone(),
+            });
+        } else {
+            let node = &self.stack[d];
+            assert_eq!(
+                node.enabled, enabled,
+                "loom (shim): replay diverged at decision {d} (model body is \
+                 non-deterministic beyond scheduling)"
+            );
+        }
+        let chosen = self.stack[d].chosen;
+        let access = pending.get(chosen).copied().unwrap_or(Access::PURE);
+
+        if self.dpor {
+            self.detect_races(chosen, access);
+        }
+        self.advance_clocks(chosen, access);
+
+        if self.dpor {
+            // Sleep set for the next depth: explored siblings stay
+            // asleep while independent of the event just executed.
+            let mut next_sleep = self.cur_sleep.clone();
+            next_sleep.extend(self.stack[d].done.iter().copied());
+            next_sleep.remove(&chosen);
+            next_sleep.retain(|&q| {
+                let qa = pending.get(q).copied().unwrap_or(Access::PURE);
+                !Access::dependent(qa, access)
+            });
+            self.cur_sleep = next_sleep;
+        }
+
+        self.depth += 1;
+        self.decisions += 1;
+        self.max_depth = self.max_depth.max(self.depth);
+        Decision::Chosen(chosen)
+    }
+
+    /// Flanagan–Godefroid race detection for the event `chosen` is
+    /// about to execute: find earlier events on the same object that
+    /// are dependent and not happens-before-ordered, and insert a
+    /// backtrack point at each such event's pre-state.
+    fn detect_races(&mut self, chosen: usize, access: Access) {
+        if access.kind == AccessKind::Pure || access.obj == Obj::None {
+            return;
+        }
+        let my_cv = self.clocks.get(chosen).cloned().unwrap_or_default();
+        let mut race_depths: Vec<usize> = Vec::new();
+        if let Some(obj) = self.objs.get(&access.obj) {
+            let mut consider = |e: &EventRef| {
+                // Ordered iff the earlier event is in our past:
+                // clock-of-event[its thread] <= our clock[its thread].
+                // Checked against OUR clock before any join with the
+                // object's clocks, else every dependent pair would
+                // look ordered.
+                if e.tid != chosen && e.clock.get(e.tid) > my_cv.get(e.tid) {
+                    race_depths.push(e.depth);
+                }
+            };
+            if let Some(w) = &obj.last_write {
+                consider(w);
+            }
+            if access.kind == AccessKind::Write {
+                for r in &obj.reads {
+                    consider(r);
+                }
+            }
+        }
+        for rd in race_depths {
+            self.insert_backtrack(rd, chosen);
+        }
+    }
+
+    /// Insert a backtrack point at decision `d` for thread `p` (the
+    /// thread whose current event races with the one executed at `d`):
+    /// `p` itself if it was enabled there, otherwise — conservatively,
+    /// per Flanagan–Godefroid — every thread enabled there.
+    fn insert_backtrack(&mut self, d: usize, p: usize) {
+        let node = &mut self.stack[d];
+        if node.enabled.contains(&p) {
+            if node.backtrack.insert(p) {
+                self.backtrack_points += 1;
+            }
+        } else {
+            for &t in &node.enabled {
+                if node.backtrack.insert(t) {
+                    self.backtrack_points += 1;
+                }
+            }
+        }
+    }
+
+    /// Update vector clocks and per-object history for the event.
+    fn advance_clocks(&mut self, chosen: usize, access: Access) {
+        if self.clocks.len() <= chosen {
+            self.clocks.resize(chosen + 1, VClock::default());
+        }
+        if access.kind == AccessKind::Pure || access.obj == Obj::None {
+            self.clocks[chosen].incr(chosen);
+            return;
+        }
+        let d = self.depth;
+        let mut ec = self.clocks[chosen].clone();
+        let obj = self.objs.entry(access.obj).or_default();
+        if let Some(w) = &obj.last_write {
+            ec.join(&w.clock);
+        }
+        if access.kind == AccessKind::Write {
+            for r in &obj.reads {
+                ec.join(&r.clock);
+            }
+        }
+        ec.incr(chosen);
+        match access.kind {
+            AccessKind::Read => obj.reads.push(EventRef {
+                tid: chosen,
+                depth: d,
+                clock: ec.clone(),
+            }),
+            AccessKind::Write => {
+                obj.last_write = Some(EventRef {
+                    tid: chosen,
+                    depth: d,
+                    clock: ec.clone(),
+                });
+                obj.reads.clear();
+            }
+            AccessKind::Pure => {}
+        }
+        self.clocks[chosen] = ec;
+    }
+
+    /// Prepare the next run: pop fully-explored nodes, pivot the
+    /// deepest node with an unexplored backtrack candidate. Returns
+    /// `false` when the whole space is exhausted.
+    pub(crate) fn advance(&mut self) -> bool {
+        while let Some(node) = self.stack.last_mut() {
+            node.done.insert(node.chosen);
+            let cand = node
+                .backtrack
+                .iter()
+                .copied()
+                .find(|t| !node.done.contains(t) && !node.sleep0.contains(t));
+            match cand {
+                Some(t) => {
+                    node.chosen = t;
+                    return true;
+                }
+                None => {
+                    self.stack.pop();
+                }
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const WA: Access = Access {
+        obj: Obj::Atomic(0),
+        kind: AccessKind::Write,
+    };
+    const WB: Access = Access {
+        obj: Obj::Atomic(1),
+        kind: AccessKind::Write,
+    };
+    const RA: Access = Access {
+        obj: Obj::Atomic(0),
+        kind: AccessKind::Read,
+    };
+
+    #[test]
+    fn dependence_is_same_object_with_a_write() {
+        assert!(Access::dependent(WA, WA));
+        assert!(Access::dependent(WA, RA));
+        assert!(!Access::dependent(RA, RA));
+        assert!(!Access::dependent(WA, WB));
+        assert!(!Access::dependent(Access::PURE, WA));
+    }
+
+    #[test]
+    fn independent_writers_need_one_schedule() {
+        // Two threads, one event each, on different objects: DPOR must
+        // not create any backtrack candidate, so advance() exhausts
+        // the space after a single run.
+        let mut ex = Explorer::new(true);
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        ex.thread_registered(1, Some(0));
+        let pend = [WA, WB];
+        assert!(matches!(ex.decide(&[0, 1], &pend), Decision::Chosen(0)));
+        // Thread 0 exits after its event; only thread 1 remains.
+        assert!(matches!(ex.decide(&[1], &pend), Decision::Chosen(1)));
+        assert!(!ex.advance(), "independent events must not branch");
+        assert_eq!(ex.backtrack_points, 0);
+    }
+
+    #[test]
+    fn racing_writes_insert_a_backtrack_point() {
+        let mut ex = Explorer::new(true);
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        ex.thread_registered(1, Some(0));
+        let pend = [WA, WA];
+        assert!(matches!(ex.decide(&[0, 1], &pend), Decision::Chosen(0)));
+        // Thread 0 exits after its event; only thread 1 remains.
+        assert!(matches!(ex.decide(&[1], &pend), Decision::Chosen(1)));
+        assert_eq!(ex.backtrack_points, 1, "write/write race must backtrack");
+        assert!(ex.advance(), "the other order must be scheduled");
+        // Second run: the pivot node now chooses thread 1 first.
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        ex.thread_registered(1, Some(0));
+        assert!(matches!(ex.decide(&[0, 1], &pend), Decision::Chosen(1)));
+    }
+
+    #[test]
+    fn sleep_set_blocks_redundant_reexploration() {
+        // After exploring thread 0's independent event, a pivot at the
+        // root puts 0 to sleep; a run that can only schedule 0 is
+        // sleep-blocked.
+        let mut ex = Explorer::new(true);
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        ex.thread_registered(1, Some(0));
+        let pend = [WA, WB];
+        // Force a branch by hand to simulate an inserted backtrack.
+        assert!(matches!(ex.decide(&[0, 1], &pend), Decision::Chosen(0)));
+        ex.insert_backtrack(0, 1);
+        assert!(matches!(ex.decide(&[1], &pend), Decision::Chosen(1)));
+        assert!(ex.advance());
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        ex.thread_registered(1, Some(0));
+        // Pivot: thread 1 runs first; thread 0 (done at the root) is
+        // now asleep and WB is independent of WA, so it stays asleep.
+        assert!(matches!(ex.decide(&[0, 1], &pend), Decision::Chosen(1)));
+        assert!(matches!(ex.decide(&[0], &pend), Decision::SleepBlocked));
+        assert!(ex.run_was_sleep_blocked());
+    }
+
+    #[test]
+    fn brute_force_mode_branches_everywhere() {
+        let mut ex = Explorer::new(false);
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        ex.thread_registered(1, Some(0));
+        let pend = [WA, WB];
+        assert!(matches!(ex.decide(&[0, 1], &pend), Decision::Chosen(0)));
+        assert!(matches!(ex.decide(&[1], &pend), Decision::Chosen(1)));
+        // Even independent events branch in brute-force mode.
+        assert!(ex.advance());
+    }
+
+    #[test]
+    fn spawn_edge_orders_parent_write_before_child() {
+        // Parent writes A (event), then registers the child: the
+        // child's write of A is ordered after, not racing.
+        let mut ex = Explorer::new(true);
+        ex.begin_run();
+        ex.thread_registered(0, None);
+        let pend0 = [WA];
+        assert!(matches!(ex.decide(&[0], &pend0), Decision::Chosen(0)));
+        ex.thread_registered(1, Some(0));
+        // Parent exits; the child performs its write of the same cell.
+        let pend = [Access::PURE, WA];
+        assert!(matches!(ex.decide(&[1], &pend), Decision::Chosen(1)));
+        assert_eq!(
+            ex.backtrack_points, 0,
+            "spawn edge must order the parent's earlier write"
+        );
+    }
+}

@@ -1,36 +1,53 @@
-//! Offline vendored **mini-loom**: a model checker that exhaustively
-//! explores thread interleavings of programs whose cross-thread
-//! communication goes through this crate's atomics and channels.
+//! Offline vendored **mini-loom**: a model checker that explores the
+//! thread interleavings of programs whose cross-thread communication
+//! goes through this crate's atomics, channels, and mutexes.
 //!
 //! The API mirrors the subset of the real `loom` crate this workspace
 //! uses (`model`, `thread::spawn`/`yield_now`, `sync::atomic`,
-//! `sync::mpsc`), so code written against the workspace `sync` shims
-//! compiles unchanged under `--cfg loom`.
+//! `sync::mpsc`, `sync::Mutex`), so code written against the workspace
+//! `sync` shims compiles unchanged under `--cfg loom`.
 //!
 //! # How it works
 //!
 //! Execution is fully **serialized by a token scheduler**: exactly one
-//! modeled thread runs at a time, and every *visible operation* (atomic
-//! access, channel send/receive, `yield_now`, thread join/exit) is a
-//! scheduling point. At each point the scheduler consults a DFS
-//! enumeration state and either follows a replay prefix or extends it,
-//! so successive calls of the model body walk every reachable
-//! interleaving of visible operations.
+//! modeled thread runs at a time, and every *visible operation*
+//! (atomic access, channel send/receive/endpoint-drop, mutex
+//! lock/unlock, `yield_now`, thread join/exit) is a scheduling point
+//! that **declares the access it is about to perform** — which object,
+//! read or write. At each point the scheduler consults the
+//! [`dpor`] explorer, which either replays its decision stack or
+//! extends it, so successive calls of the model body walk the
+//! reduced-but-complete set of interleavings.
 //!
-//! Blocking operations (empty-channel receive, join on a live thread)
-//! deschedule the thread. If every live thread is descheduled the model
-//! **reports the deadlock** — per-thread state included — instead of
-//! hanging, mirroring the runtime watchdog in `metaprep-dist::cluster`.
+//! The exploration uses **dynamic partial-order reduction with sleep
+//! sets** (see the [`dpor`] module docs): instead of branching on
+//! every Ready thread at every decision, backtrack points are inserted
+//! only where two accesses *race* (same object, at least one write,
+//! unordered by happens-before), and sleep sets suppress re-exploring
+//! orders of independent operations. Every Mazurkiewicz trace — and
+//! therefore every reachable final state and assertion failure — is
+//! still covered; `Builder { dpor: false }` switches back to
+//! brute-force full enumeration, which the differential soundness
+//! harness uses as its reference. [`model::Builder::check_report`]
+//! surfaces explored/sleep-blocked/backtrack counters.
+//!
+//! Blocking operations (empty-channel receive, join on a live thread,
+//! locking a held mutex) deschedule the thread. If every live thread
+//! is descheduled the model **reports the deadlock** — per-thread
+//! state included — instead of hanging, mirroring the runtime watchdog
+//! in `metaprep-dist::cluster`.
 //!
 //! # Fidelity
 //!
 //! The explored semantics are **sequential consistency**. Memory
 //! orderings are accepted and ignored: every interleaving of visible
-//! ops is explored, but relaxed/acquire-release *reorderings* are not
-//! modeled (the real loom models them partially; a full C11 model needs
-//! CDSChecker-style machinery). The ordering-audit lint in `xtask`
-//! exists precisely because this gap must be covered by review.
+//! ops is explored (up to DPOR equivalence), but relaxed/acquire-
+//! release *reorderings* are not modeled (the real loom models them
+//! partially; a full C11 model needs CDSChecker-style machinery). The
+//! ordering-audit lint in `xtask` exists precisely because this gap
+//! must be covered by review.
 
+pub mod dpor;
 pub mod model;
 pub mod sched;
 pub mod sync;
@@ -38,10 +55,10 @@ pub mod thread;
 
 pub use model::model;
 
-/// Spin-loop hint (schedule point under the model).
+/// Spin-loop hint (pure schedule point under the model).
 pub mod hint {
     /// Yields to the scheduler, like `std::hint::spin_loop` in spirit.
     pub fn spin_loop() {
-        crate::sched::with_scheduler(|s, me| s.schedule_point(me));
+        crate::sched::with_scheduler(|s, me| s.schedule_point(me, crate::dpor::Access::PURE));
     }
 }

@@ -1,20 +1,26 @@
-//! The exploration driver: runs the model body under every reachable
-//! schedule (depth-first over scheduling decisions) until the space is
+//! The exploration driver: runs the model body under every schedule
+//! the DPOR explorer deems necessary (depth-first over scheduling
+//! decisions, pruned by sleep sets) until the reduced space is
 //! exhausted, a failure is found, or the iteration cap is hit.
 
-use crate::sched::{clear_ctx, next_prefix, set_ctx, Scheduler};
+use crate::dpor::Explorer;
+use crate::sched::{clear_ctx, set_ctx, Scheduler};
 use std::sync::Arc;
 
 /// Default cap on explored schedules; override with `LOOM_MAX_ITERS`.
 const DEFAULT_MAX_ITERS: usize = 250_000;
 
 /// Exploration configuration (subset of real loom's `model::Builder`).
-/// Use for scenarios whose exhaustive schedule count is known to exceed
-/// the default cap — prefer shrinking the scenario when possible.
 #[derive(Clone, Debug)]
 pub struct Builder {
-    /// Cap on explored schedules before the driver gives up.
+    /// Cap on runs (explored + sleep-blocked) before the driver gives
+    /// up. Prefer shrinking the scenario over raising the cap.
     pub max_iters: usize,
+    /// Use dynamic partial-order reduction with sleep sets (default).
+    /// `false` falls back to brute-force full enumeration — same
+    /// machinery, every decision branches on every enabled thread —
+    /// which the DPOR soundness harness uses as its reference.
+    pub dpor: bool,
 }
 
 impl Default for Builder {
@@ -23,14 +29,38 @@ impl Default for Builder {
     }
 }
 
+/// What an exploration did: schedule counts for reporting and for
+/// asserting reduction bounds in tests and benches.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Complete runs (each a distinct explored schedule).
+    pub schedules_explored: usize,
+    /// Runs aborted as redundant because every enabled thread was in
+    /// the sleep set. These are the visible cost of the reduction
+    /// (each is a short prefix, not a full schedule).
+    pub sleep_blocked: usize,
+    /// Backtrack points inserted by race detection.
+    pub backtrack_points: usize,
+    /// Total scheduling decisions across all runs.
+    pub decisions: u64,
+    /// Deepest decision stack reached (visible ops in one run).
+    pub max_depth: usize,
+    /// Whether DPOR was on.
+    pub dpor: bool,
+}
+
 impl Builder {
-    /// A builder with the default (env-overridable) iteration cap.
+    /// A builder with the default (env-overridable) iteration cap and
+    /// DPOR enabled.
     pub fn new() -> Self {
         let max_iters = std::env::var("LOOM_MAX_ITERS")
             .ok()
             .and_then(|v| v.parse::<usize>().ok())
             .unwrap_or(DEFAULT_MAX_ITERS);
-        Self { max_iters }
+        Self {
+            max_iters,
+            dpor: true,
+        }
     }
 
     /// Explore `f` under this configuration (see [`model`]).
@@ -38,11 +68,95 @@ impl Builder {
     where
         F: Fn(),
     {
-        model_with_cap(self.max_iters, f)
+        self.check_report(f);
+    }
+
+    /// Explore `f` and return schedule counters. Panics (re-raising the
+    /// model body's panic) if any explored schedule fails.
+    pub fn check_report<F>(&self, f: F) -> Report
+    where
+        F: Fn(),
+    {
+        silence_model_abort_hook();
+        let mut explorer = Explorer::new(self.dpor);
+        loop {
+            explorer.begin_run();
+            let sched = Arc::new(Scheduler::new(explorer));
+            let main_tid = sched.register_thread(None);
+            debug_assert_eq!(main_tid, 0, "main model thread must register first");
+            set_ctx(Arc::clone(&sched), main_tid);
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+            if let Err(payload) = out {
+                sched.record_panic(payload);
+            }
+            sched.finish_thread(main_tid);
+            let (trace, payload) = sched.wait_all_done();
+            clear_ctx();
+            explorer = sched.take_explorer();
+            if explorer.run_was_sleep_blocked() {
+                explorer.sleep_blocked += 1;
+            } else {
+                explorer.explored += 1;
+            }
+
+            if let Some(payload) = payload {
+                eprintln!(
+                    "loom (shim): failure on schedule #{} ({} sleep-blocked); \
+                     decisions (tid/enabled): {trace:?}",
+                    explorer.explored, explorer.sleep_blocked
+                );
+                std::panic::resume_unwind(payload);
+            }
+            if !explorer.advance() {
+                break;
+            }
+            assert!(
+                explorer.explored + explorer.sleep_blocked < self.max_iters,
+                "loom (shim): exceeded {} runs (set LOOM_MAX_ITERS to raise); \
+                 shrink the modeled scenario instead of raising the cap if possible",
+                self.max_iters
+            );
+        }
+        let report = Report {
+            schedules_explored: explorer.explored,
+            sleep_blocked: explorer.sleep_blocked,
+            backtrack_points: explorer.backtrack_points,
+            decisions: explorer.decisions,
+            max_depth: explorer.max_depth,
+            dpor: explorer.dpor(),
+        };
+        eprintln!(
+            "loom (shim): explored {} schedules ({} sleep-blocked, {} backtrack points, dpor={}), all passed",
+            report.schedules_explored, report.sleep_blocked, report.backtrack_points, report.dpor
+        );
+        report
     }
 }
 
-/// Exhaustively explore the interleavings of `f`'s visible operations.
+/// Install (once per process) a panic hook that swallows the internal
+/// [`crate::sched::ModelAbort`] unwinds — sleep-blocked prefixes and
+/// deadlock aborts raise them by design, and the default hook would
+/// spam "thread panicked" for each. Every other panic is forwarded to
+/// whatever hook was installed before.
+fn silence_model_abort_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info
+                .payload()
+                .downcast_ref::<crate::sched::ModelAbort>()
+                .is_none()
+            {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Explore the interleavings of `f`'s visible operations, pruned by
+/// dynamic partial-order reduction (every Mazurkiewicz trace is still
+/// covered; see `crate::dpor`).
 ///
 /// `f` is executed once per schedule; it must be deterministic apart
 /// from scheduling (same visible-op structure given the same decision
@@ -56,53 +170,12 @@ where
     Builder::new().check(f)
 }
 
-fn model_with_cap<F>(max_iters: usize, f: F)
-where
-    F: Fn(),
-{
-    let mut prefix: Vec<usize> = Vec::new();
-    let mut iters: usize = 0;
-    loop {
-        iters += 1;
-        let sched = Arc::new(Scheduler::new(prefix.clone()));
-        let main_tid = sched.register_thread();
-        debug_assert_eq!(main_tid, 0, "main model thread must register first");
-        set_ctx(Arc::clone(&sched), main_tid);
-        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
-        if let Err(payload) = out {
-            sched.record_panic(payload);
-        }
-        sched.finish_thread(main_tid);
-        let (trace, payload) = sched.wait_all_done();
-        clear_ctx();
-
-        if let Some(payload) = payload {
-            eprintln!(
-                "loom (shim): failure on schedule #{iters}; decisions (chosen/options): {trace:?}"
-            );
-            std::panic::resume_unwind(payload);
-        }
-        match next_prefix(&trace) {
-            Some(p) => prefix = p,
-            None => {
-                eprintln!("loom (shim): explored {iters} schedules, all passed");
-                return;
-            }
-        }
-        assert!(
-            iters < max_iters,
-            "loom (shim): exceeded {max_iters} schedules (set LOOM_MAX_ITERS to raise); \
-             shrink the modeled scenario instead of raising the cap if possible"
-        );
-    }
-}
-
 #[cfg(test)]
 mod tests {
-    use super::model;
+    use super::{model, Builder};
     use crate::sync::atomic::{AtomicUsize, Ordering};
-    use crate::sync::mpsc;
     use crate::sync::Arc;
+    use crate::sync::{mpsc, Mutex};
     use crate::thread;
     use std::sync::atomic::AtomicUsize as StdAtomicUsize;
     use std::sync::atomic::Ordering as StdOrdering;
@@ -145,7 +218,8 @@ mod tests {
     #[test]
     fn finds_lost_update_with_nonatomic_rmw() {
         // load-then-store (a broken increment) must lose an update in
-        // SOME schedule: the model's job is to find it.
+        // SOME schedule: the model's job is to find it — and DPOR must
+        // not prune the schedule that exposes it.
         let res = std::panic::catch_unwind(|| {
             model(|| {
                 let a = Arc::new(AtomicUsize::new(0));
@@ -229,5 +303,109 @@ mod tests {
             thread::yield_now();
             assert_eq!(t.join().unwrap(), 3);
         });
+    }
+
+    #[test]
+    fn dpor_explores_independent_writers_once() {
+        // Two threads writing two different atomics: every
+        // interleaving is equivalent, so DPOR explores exactly one
+        // schedule while brute force explores several.
+        let b = Builder::new();
+        let report = b.check_report(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::new(AtomicUsize::new(0));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || a2.store(1, Ordering::SeqCst));
+            b.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst) + b2.load(Ordering::SeqCst), 3);
+        });
+        assert_eq!(
+            report.schedules_explored, 1,
+            "independent writes must need one schedule, got {report:?}"
+        );
+
+        let full = Builder {
+            dpor: false,
+            ..Builder::new()
+        };
+        let full_report = full.check_report(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let b = Arc::new(AtomicUsize::new(0));
+            let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+            let t = thread::spawn(move || a2.store(1, Ordering::SeqCst));
+            b.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+            assert_eq!(a.load(Ordering::SeqCst) + b2.load(Ordering::SeqCst), 3);
+        });
+        assert!(
+            full_report.schedules_explored > report.schedules_explored,
+            "brute force must branch more: {full_report:?} vs {report:?}"
+        );
+    }
+
+    #[test]
+    fn dpor_still_branches_racing_writers() {
+        let report = Builder::new().check_report(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let a2 = Arc::clone(&a);
+            let t = thread::spawn(move || a2.store(1, Ordering::SeqCst));
+            a.store(2, Ordering::SeqCst);
+            t.join().unwrap();
+        });
+        assert!(
+            report.schedules_explored >= 2,
+            "racing writes need both orders: {report:?}"
+        );
+        assert!(
+            report.backtrack_points >= 1,
+            "race must backtrack: {report:?}"
+        );
+    }
+
+    #[test]
+    fn mutex_serializes_critical_sections() {
+        model(|| {
+            let m = Arc::new(Mutex::new(0usize));
+            let handles: Vec<_> = (0..2)
+                .map(|_| {
+                    let m = Arc::clone(&m);
+                    thread::spawn(move || {
+                        let mut g = m.lock().unwrap();
+                        // Non-atomic read-modify-write: safe only
+                        // because the mutex serializes sections.
+                        let v = *g;
+                        *g = v + 1;
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().unwrap();
+            }
+            assert_eq!(*m.lock().unwrap(), 2);
+        });
+    }
+
+    #[test]
+    fn mutex_contention_is_reported_as_deadlock_when_never_released() {
+        // A thread that locks and then blocks forever on a channel
+        // while holding the guard: the other locker deadlocks; the
+        // model must report, not hang.
+        let res = std::panic::catch_unwind(|| {
+            model(|| {
+                let m = Arc::new(Mutex::new(0usize));
+                let (_tx, rx) = mpsc::channel::<usize>();
+                let m2 = Arc::clone(&m);
+                let t = thread::spawn(move || {
+                    let _g = m2.lock().unwrap();
+                    let _ = rx.recv();
+                });
+                let _ = m.lock().unwrap();
+                t.join().unwrap();
+            });
+        });
+        let err = res.expect_err("deadlock must abort the model");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("DEADLOCK"), "report missing: {msg}");
     }
 }

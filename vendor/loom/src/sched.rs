@@ -1,19 +1,21 @@
-//! The token scheduler: serializes modeled threads and enumerates
-//! scheduling decisions depth-first.
+//! The token scheduler: serializes modeled threads and hands every
+//! scheduling decision to the DPOR explorer.
 //!
 //! Invariant: at any instant exactly one modeled thread is *running*
 //! (holds the token); all others are parked inside this module. Every
-//! visible operation calls [`Scheduler::schedule_point`], which makes
-//! one enumerated decision: which thread performs its next visible
-//! operation. Replaying a recorded decision prefix therefore replays
-//! the exact execution.
+//! visible operation calls [`Scheduler::schedule_point`], declaring the
+//! [`Access`] it is about to perform; the explorer picks which Ready
+//! thread performs its next visible operation (replaying its decision
+//! stack first, then extending it). Replaying a recorded decision
+//! stack therefore replays the exact execution.
 
+use crate::dpor::{Access, Decision, Explorer};
 use std::any::Any;
 use std::cell::RefCell;
 use std::sync::{Arc, Condvar, Mutex};
 
-/// What a finished run yields: the decision trace (chosen, options) and,
-/// if the run failed, the first panic payload.
+/// What a finished run yields: the decision trace (chosen tid, number
+/// of enabled threads) and, if the run failed, the first panic payload.
 pub(crate) type RunOutcome = (Vec<(usize, usize)>, Option<Box<dyn Any + Send>>);
 
 /// Why a thread is descheduled.
@@ -23,6 +25,8 @@ pub enum BlockReason {
     Recv(usize),
     /// Waiting for the thread with this id to finish.
     Join(usize),
+    /// Waiting for the mutex with this id to be released.
+    Lock(usize),
 }
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -35,25 +39,29 @@ enum Status {
     Done,
 }
 
-/// Marker panic payload used to unwind parked threads when a run aborts.
+/// Marker panic payload used to unwind parked threads when a run aborts
+/// (first failure found, or the run is sleep-set-redundant).
 pub(crate) struct ModelAbort;
 
 struct State {
     status: Vec<Status>,
     current: usize,
-    /// Replay prefix of decision indices for this run.
-    prefix: Vec<usize>,
-    pos: usize,
-    /// (chosen index, number of options) per decision this run.
+    /// (chosen tid, number of enabled threads) per decision this run.
     trace: Vec<(usize, usize)>,
+    /// Per-thread declared next access (thread start is `Access::PURE`
+    /// until the first schedule point overwrites it).
+    pending: Vec<Access>,
+    /// Exploration state; `None` once the driver reclaimed it.
+    explorer: Option<Explorer>,
     aborting: bool,
     panic_payload: Option<Box<dyn Any + Send>>,
     live: usize,
-    next_chan: usize,
+    next_obj: usize,
 }
 
 /// One run's scheduler. A fresh `Scheduler` is built per explored
-/// schedule; [`crate::model::model`] drives the enumeration across runs.
+/// schedule; [`crate::model::model`] drives the enumeration across runs
+/// by moving the [`Explorer`] from run to run.
 pub struct Scheduler {
     state: Mutex<State>,
     cv: Condvar,
@@ -90,54 +98,92 @@ pub fn in_model() -> bool {
     CTX.with(|c| c.borrow().is_some())
 }
 
+/// Allocate a deterministic per-run object id for a modeled primitive,
+/// or a shared alias id outside a model run (aliasing overstates
+/// dependence, which is sound for the reduction).
+pub(crate) fn alloc_obj_id() -> usize {
+    if in_model() {
+        with_scheduler(|s, _| s.new_obj_id())
+    } else {
+        usize::MAX
+    }
+}
+
+/// Outcome of asking the explorer for the next thread.
+enum Choice {
+    Thread(usize),
+    /// Every enabled thread is in the sleep set: redundant run.
+    SleepBlocked,
+    /// No thread is enabled at all: deadlock.
+    NoneEnabled,
+}
+
 impl Scheduler {
     /// Maximum decisions per run — guards against visible-op livelock.
     const MAX_TRACE: usize = 1 << 20;
 
-    pub(crate) fn new(prefix: Vec<usize>) -> Self {
+    pub(crate) fn new(explorer: Explorer) -> Self {
         Self {
             state: Mutex::new(State {
                 status: Vec::new(),
                 current: 0,
-                prefix,
-                pos: 0,
                 trace: Vec::new(),
+                pending: Vec::new(),
+                explorer: Some(explorer),
                 aborting: false,
                 panic_payload: None,
                 live: 0,
-                next_chan: 0,
+                next_obj: 0,
             }),
             cv: Condvar::new(),
         }
     }
 
-    /// Register a new modeled thread; returns its tid.
-    pub(crate) fn register_thread(&self) -> usize {
+    /// Register a new modeled thread; returns its tid. `parent` is the
+    /// spawning thread (None for the main model thread): the explorer
+    /// uses it for the spawn happens-before edge.
+    pub(crate) fn register_thread(&self, parent: Option<usize>) -> usize {
         let mut st = self.state.lock().unwrap();
         let tid = st.status.len();
         st.status.push(Status::Ready);
+        st.pending.push(Access::PURE);
         st.live += 1;
+        if let Some(e) = st.explorer.as_mut() {
+            e.thread_registered(tid, parent);
+        }
         tid
     }
 
-    /// Allocate a channel id (used in block reasons and reports).
-    pub(crate) fn new_chan_id(&self) -> usize {
+    /// Allocate an object id (channels, atomics, mutexes — used in
+    /// access declarations and block-reason reports).
+    pub(crate) fn new_obj_id(&self) -> usize {
         let mut st = self.state.lock().unwrap();
-        let id = st.next_chan;
-        st.next_chan += 1;
+        let id = st.next_obj;
+        st.next_obj += 1;
         id
     }
 
-    /// Decision: pick which Ready thread performs the next visible op.
-    /// Caller must hold the token. Returns with the token re-acquired.
-    pub fn schedule_point(self: &Arc<Self>, me: usize) {
+    /// Decision: declare the access `me` is about to perform, then let
+    /// the explorer pick which Ready thread runs next. Caller must hold
+    /// the token. Returns with the token re-acquired.
+    pub fn schedule_point(self: &Arc<Self>, me: usize, access: Access) {
         let mut st = self.state.lock().unwrap();
         if st.aborting {
             drop(st);
             std::panic::panic_any(ModelAbort);
         }
         debug_assert_eq!(st.current, me, "schedule point without token");
-        let chosen = Self::decide(&mut st);
+        st.pending[me] = access;
+        let chosen = match Self::try_decide(&mut st) {
+            Choice::Thread(t) => t,
+            Choice::SleepBlocked => {
+                st.aborting = true;
+                self.cv.notify_all();
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            Choice::NoneEnabled => unreachable!("caller of schedule_point is Ready"),
+        };
         if chosen != me {
             st.current = chosen;
             self.cv.notify_all();
@@ -189,11 +235,17 @@ impl Scheduler {
         }
         st.status[me] = Status::Blocked(reason);
         match Self::try_decide(&mut st) {
-            Some(chosen) => {
+            Choice::Thread(chosen) => {
                 st.current = chosen;
                 self.cv.notify_all();
             }
-            None => {
+            Choice::SleepBlocked => {
+                st.aborting = true;
+                self.cv.notify_all();
+                drop(st);
+                std::panic::panic_any(ModelAbort);
+            }
+            Choice::NoneEnabled => {
                 // Every live thread is blocked: deadlock. Report and
                 // abort the run instead of hanging.
                 let report = Self::deadlock_report(&st);
@@ -234,6 +286,15 @@ impl Scheduler {
         self.state.lock().unwrap().status[tid] == Status::Done
     }
 
+    /// `me` completed a join on `target`: give the explorer the
+    /// happens-before edge (joiner absorbs the target's exit clock).
+    pub(crate) fn absorb_join(&self, me: usize, target: usize) {
+        let mut st = self.state.lock().unwrap();
+        if let Some(e) = st.explorer.as_mut() {
+            e.join_absorb(me, target);
+        }
+    }
+
     /// Record a panic from a modeled thread (first wins) and switch the
     /// run into abort mode so parked threads unwind.
     pub(crate) fn record_panic(&self, payload: Box<dyn Any + Send>) {
@@ -250,6 +311,9 @@ impl Scheduler {
         let mut st = self.state.lock().unwrap();
         st.status[me] = Status::Done;
         st.live -= 1;
+        if let Some(e) = st.explorer.as_mut() {
+            e.thread_exited(me);
+        }
         for s in st.status.iter_mut() {
             if *s == Status::Blocked(BlockReason::Join(me)) {
                 *s = Status::Ready;
@@ -261,8 +325,14 @@ impl Scheduler {
         }
         if st.current == me {
             match Self::try_decide(&mut st) {
-                Some(chosen) => st.current = chosen,
-                None => {
+                Choice::Thread(chosen) => st.current = chosen,
+                Choice::SleepBlocked => {
+                    // Redundant run; no unwinding needed from a thread
+                    // that already finished — just flip to abort so the
+                    // remaining (sleeping) threads unwind.
+                    st.aborting = true;
+                }
+                Choice::NoneEnabled => {
                     let report = Self::deadlock_report(&st);
                     st.aborting = true;
                     if st.panic_payload.is_none() {
@@ -284,41 +354,48 @@ impl Scheduler {
         (st.trace.clone(), st.panic_payload.take())
     }
 
-    fn decide(st: &mut State) -> usize {
-        Self::try_decide(st).expect("decide: no runnable thread (caller must be Ready)")
+    /// Reclaim the explorer after `wait_all_done` (driver only).
+    pub(crate) fn take_explorer(&self) -> Explorer {
+        self.state
+            .lock()
+            .unwrap()
+            .explorer
+            .take()
+            .expect("explorer already taken")
     }
 
-    fn try_decide(st: &mut State) -> Option<usize> {
-        let options: Vec<usize> = st
+    fn try_decide(st: &mut State) -> Choice {
+        let enabled: Vec<usize> = st
             .status
             .iter()
             .enumerate()
             .filter(|(_, s)| **s == Status::Ready)
             .map(|(i, _)| i)
             .collect();
-        if options.is_empty() {
-            return None;
+        if enabled.is_empty() {
+            return Choice::NoneEnabled;
         }
         assert!(
             st.trace.len() < Self::MAX_TRACE,
             "loom (shim): run exceeded {} decisions — visible-op livelock?",
             Self::MAX_TRACE
         );
-        let c = if st.pos < st.prefix.len() {
-            st.prefix[st.pos]
-        } else {
-            0
-        };
-        assert!(
-            c < options.len(),
-            "loom (shim): replay diverged (model body is non-deterministic \
-             beyond scheduling: decision {} chose {c} of {} options)",
-            st.pos,
-            options.len()
-        );
-        st.trace.push((c, options.len()));
-        st.pos += 1;
-        Some(options[c])
+        // Split-borrow: the explorer mutates itself while reading the
+        // per-thread pending accesses.
+        let State {
+            explorer, pending, ..
+        } = st;
+        match explorer
+            .as_mut()
+            .expect("explorer present during a run")
+            .decide(&enabled, pending)
+        {
+            Decision::Chosen(tid) => {
+                st.trace.push((tid, enabled.len()));
+                Choice::Thread(tid)
+            }
+            Decision::SleepBlocked => Choice::SleepBlocked,
+        }
     }
 
     fn deadlock_report(st: &State) -> String {
@@ -331,44 +408,16 @@ impl Scheduler {
                     format!("blocked on recv (channel #{c}, queue empty)")
                 }
                 Status::Blocked(BlockReason::Join(t)) => format!("blocked joining thread {t}"),
+                Status::Blocked(BlockReason::Lock(m)) => {
+                    format!("blocked on mutex #{m} (held elsewhere)")
+                }
             };
             lines.push(format!("  thread {tid}: {desc}"));
         }
-        lines.push(format!("  decision trace so far: {:?}", st.trace));
+        lines.push(format!(
+            "  decision trace so far (tid/enabled): {:?}",
+            st.trace
+        ));
         lines.join("\n")
-    }
-}
-
-/// Compute the next DFS prefix after a run with `trace`; `None` when the
-/// space is exhausted.
-pub(crate) fn next_prefix(trace: &[(usize, usize)]) -> Option<Vec<usize>> {
-    for i in (0..trace.len()).rev() {
-        let (c, k) = trace[i];
-        if c + 1 < k {
-            let mut prefix: Vec<usize> = trace[..i].iter().map(|&(c, _)| c).collect();
-            prefix.push(c + 1);
-            return Some(prefix);
-        }
-    }
-    None
-}
-
-#[cfg(test)]
-mod tests {
-    use super::next_prefix;
-
-    #[test]
-    fn next_prefix_enumerates_dfs() {
-        // Two binary decisions: 00 -> 01 -> 10 -> 11 -> done.
-        assert_eq!(next_prefix(&[(0, 2), (0, 2)]), Some(vec![0, 1]));
-        assert_eq!(next_prefix(&[(0, 2), (1, 2)]), Some(vec![1]));
-        assert_eq!(next_prefix(&[(1, 2), (0, 2)]), Some(vec![1, 1]));
-        assert_eq!(next_prefix(&[(1, 2), (1, 2)]), None);
-    }
-
-    #[test]
-    fn next_prefix_skips_forced_decisions() {
-        assert_eq!(next_prefix(&[(0, 1), (0, 1)]), None);
-        assert_eq!(next_prefix(&[(0, 1), (0, 3)]), Some(vec![0, 1]));
     }
 }

@@ -1,7 +1,18 @@
 //! Modeled synchronization primitives: atomics whose every access is a
-//! scheduling point, and an mpsc channel with scheduler-aware blocking.
+//! declared scheduling point, an mpsc channel with scheduler-aware
+//! blocking, and a mutex with scheduler-aware contention.
+//!
+//! Every visible operation declares an [`Access`](crate::dpor::Access)
+//! — which object it touches and whether it reads or writes — so the
+//! DPOR explorer can prune schedules that only reorder independent
+//! operations. Where the exact footprint is unclear the declaration
+//! overstates (e.g. every channel operation is a *write* on the
+//! channel object), which can only add explored schedules.
 
 pub use std::sync::Arc;
+
+use crate::dpor::{Access, Obj};
+use crate::sched::{alloc_obj_id, in_model, with_scheduler, BlockReason};
 
 pub mod atomic {
     //! Modeled atomics. Orderings are accepted for API compatibility and
@@ -9,21 +20,32 @@ pub mod atomic {
 
     pub use std::sync::atomic::Ordering;
 
-    use crate::sched::with_scheduler;
+    use crate::dpor::{Access, Obj};
+    use crate::sched::{alloc_obj_id, with_scheduler};
 
     macro_rules! modeled_atomic {
         ($name:ident, $std:ty, $int:ty) => {
-            /// Modeled atomic: every access is a scheduling point.
-            #[derive(Debug, Default)]
+            /// Modeled atomic: every access is a scheduling point that
+            /// declares a read or write on this cell's object id.
+            #[derive(Debug)]
             pub struct $name {
                 inner: $std,
+                id: usize,
+            }
+
+            impl Default for $name {
+                fn default() -> Self {
+                    Self::new(<$int>::default())
+                }
             }
 
             impl $name {
-                /// Create (not a scheduling point).
+                /// Create (not a scheduling point). Inside a model run
+                /// the cell gets a deterministic per-run object id.
                 pub fn new(v: $int) -> Self {
                     Self {
                         inner: <$std>::new(v),
+                        id: alloc_obj_id(),
                     }
                 }
 
@@ -32,25 +54,41 @@ pub mod atomic {
                     self.inner.into_inner()
                 }
 
+                /// Exclusive access needs no scheduling point.
+                pub fn get_mut(&mut self) -> &mut $int {
+                    self.inner.get_mut()
+                }
+
                 /// Modeled load.
                 pub fn load(&self, _order: Ordering) -> $int {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::read(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: the model explores SC only; orderings
+                    // are accepted and upgraded to SeqCst by design.
                     self.inner.load(Ordering::SeqCst)
                 }
 
                 /// Modeled store.
                 pub fn store(&self, v: $int, _order: Ordering) {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner.store(v, Ordering::SeqCst)
                 }
 
                 /// Modeled swap.
                 pub fn swap(&self, v: $int, _order: Ordering) -> $int {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner.swap(v, Ordering::SeqCst)
                 }
 
-                /// Modeled compare-exchange.
+                /// Modeled compare-exchange. Declared as a write even on
+                /// the failure path (conservative: failure still reads).
                 pub fn compare_exchange(
                     &self,
                     current: $int,
@@ -58,7 +96,10 @@ pub mod atomic {
                     _success: Ordering,
                     _failure: Ordering,
                 ) -> Result<$int, $int> {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner
                         .compare_exchange(current, new, Ordering::SeqCst, Ordering::SeqCst)
                 }
@@ -78,25 +119,37 @@ pub mod atomic {
 
                 /// Modeled fetch-add.
                 pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner.fetch_add(v, Ordering::SeqCst)
                 }
 
                 /// Modeled fetch-sub.
                 pub fn fetch_sub(&self, v: $int, _order: Ordering) -> $int {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner.fetch_sub(v, Ordering::SeqCst)
                 }
 
                 /// Modeled fetch-or.
                 pub fn fetch_or(&self, v: $int, _order: Ordering) -> $int {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner.fetch_or(v, Ordering::SeqCst)
                 }
 
                 /// Modeled fetch-and.
                 pub fn fetch_and(&self, v: $int, _order: Ordering) -> $int {
-                    with_scheduler(|s, me| s.schedule_point(me));
+                    with_scheduler(|s, me| {
+                        s.schedule_point(me, Access::write(Obj::Atomic(self.id)))
+                    });
+                    // ORDERING: see load — SC-only model.
                     self.inner.fetch_and(v, Ordering::SeqCst)
                 }
             }
@@ -108,17 +161,27 @@ pub mod atomic {
     modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
     modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
 
-    /// Modeled atomic bool.
-    #[derive(Debug, Default)]
+    /// Modeled atomic bool: every access is a scheduling point that
+    /// declares a read or write on this cell's object id.
+    #[derive(Debug)]
     pub struct AtomicBool {
         inner: std::sync::atomic::AtomicBool,
+        id: usize,
+    }
+
+    impl Default for AtomicBool {
+        fn default() -> Self {
+            Self::new(false)
+        }
     }
 
     impl AtomicBool {
-        /// Create (not a scheduling point).
+        /// Create (not a scheduling point). Inside a model run the
+        /// cell gets a deterministic per-run object id.
         pub fn new(v: bool) -> Self {
             Self {
                 inner: std::sync::atomic::AtomicBool::new(v),
+                id: alloc_obj_id(),
             }
         }
 
@@ -127,36 +190,156 @@ pub mod atomic {
             self.inner.into_inner()
         }
 
+        /// Exclusive access needs no scheduling point.
+        pub fn get_mut(&mut self) -> &mut bool {
+            self.inner.get_mut()
+        }
+
         /// Modeled load.
         pub fn load(&self, _order: Ordering) -> bool {
-            with_scheduler(|s, me| s.schedule_point(me));
+            with_scheduler(|s, me| s.schedule_point(me, Access::read(Obj::Atomic(self.id))));
+            // ORDERING: the model explores SC only; orderings are
+            // accepted and upgraded to SeqCst by design.
             self.inner.load(Ordering::SeqCst)
         }
 
         /// Modeled store.
         pub fn store(&self, v: bool, _order: Ordering) {
-            with_scheduler(|s, me| s.schedule_point(me));
+            with_scheduler(|s, me| s.schedule_point(me, Access::write(Obj::Atomic(self.id))));
+            // ORDERING: see load — SC-only model.
             self.inner.store(v, Ordering::SeqCst)
         }
 
         /// Modeled swap.
         pub fn swap(&self, v: bool, _order: Ordering) -> bool {
-            with_scheduler(|s, me| s.schedule_point(me));
+            with_scheduler(|s, me| s.schedule_point(me, Access::write(Obj::Atomic(self.id))));
+            // ORDERING: see load — SC-only model.
             self.inner.swap(v, Ordering::SeqCst)
         }
     }
 
-    /// Modeled fence: a scheduling point with no memory effect beyond
-    /// the model's always-SC semantics.
+    /// Modeled fence: a pure scheduling point. Under the model's
+    /// always-SC semantics a fence has no additional effect, so it is
+    /// independent of every other operation.
     pub fn fence(_order: Ordering) {
-        with_scheduler(|s, me| s.schedule_point(me));
+        with_scheduler(|s, me| s.schedule_point(me, Access::PURE));
+    }
+}
+
+/// Modeled mutex: lock acquisition and release are scheduling points
+/// declared as writes on the lock's object id, so all orderings of
+/// critical sections on the same mutex are explored while sections on
+/// different mutexes stay independent.
+///
+/// Poisoning is not modeled: `lock` always returns `Ok`.
+#[derive(Debug)]
+pub struct Mutex<T> {
+    id: usize,
+    // ORDERING: `held` is only ever accessed by the single running
+    // modeled thread (the token serializes execution); SeqCst is for
+    // form, not need.
+    held: std::sync::atomic::AtomicBool,
+    inner: std::sync::Mutex<T>,
+}
+
+/// Guard for a modeled [`Mutex`]; releases (a visible op) on drop.
+pub struct MutexGuard<'a, T> {
+    lock: &'a Mutex<T>,
+    guard: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Create (not a scheduling point).
+    pub fn new(value: T) -> Self {
+        Self {
+            id: alloc_obj_id(),
+            held: std::sync::atomic::AtomicBool::new(false),
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Modeled lock: each acquisition attempt is a scheduling point; a
+    /// held mutex deschedules the thread until the holder releases.
+    pub fn lock(&self) -> std::sync::LockResult<MutexGuard<'_, T>> {
+        with_scheduler(|s, me| loop {
+            s.schedule_point(me, Access::write(Obj::Lock(self.id)));
+            // ORDERING: token-serialized; see the `held` field note.
+            if !self.held.swap(true, atomic::Ordering::SeqCst) {
+                return;
+            }
+            s.block(me, BlockReason::Lock(self.id));
+        });
+        // The std mutex below is uncontended by construction: `held`
+        // admits exactly one modeled owner at a time. Recover from
+        // poisoning (a modeled panic mid-section) since the model
+        // reports the panic itself.
+        let guard = self
+            .inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        Ok(MutexGuard {
+            lock: self,
+            guard: Some(guard),
+        })
+    }
+
+    /// Consume, returning the value (not a scheduling point).
+    pub fn into_inner(self) -> std::sync::LockResult<T> {
+        Ok(self
+            .inner
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.guard.as_ref().expect("guard present until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard.as_mut().expect("guard present until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        drop(self.guard.take());
+        // Release is a visible op — but not while unwinding (a panic
+        // mid-section is already being reported; a schedule point here
+        // would panic inside drop and abort the process).
+        if in_model() && !std::thread::panicking() {
+            with_scheduler(|s, me| s.schedule_point(me, Access::write(Obj::Lock(self.lock.id))));
+        }
+        // ORDERING: token-serialized; see the `held` field note.
+        self.lock
+            .held
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        if in_model() {
+            let id = self.lock.id;
+            with_scheduler(|s, _| s.unblock_where(|r| r == BlockReason::Lock(id)));
+        }
     }
 }
 
 pub mod mpsc {
     //! Modeled unbounded channel with scheduler-aware blocking receive.
+    //!
+    //! Every operation — send, each receive attempt, try_recv, len, and
+    //! endpoint drops — is a scheduling point on the channel's object
+    //! id. Endpoint drops must be visible ops: dropping the last sender
+    //! flips later receives to `Err`, so its ordering against receive
+    //! attempts is observable and the explorer has to know about it.
+    //! (`Sender::clone` is *not* visible: the cloning thread already
+    //! holds a sender, so the sender count stays positive across the
+    //! clone and no receive outcome can depend on its timing.)
 
-    use crate::sched::{with_scheduler, BlockReason, Scheduler};
+    use crate::dpor::{Access, Obj};
+    use crate::sched::{in_model, with_scheduler, BlockReason, Scheduler};
     use std::collections::VecDeque;
     use std::sync::{Arc, Mutex};
 
@@ -187,7 +370,7 @@ pub mod mpsc {
     /// Create a modeled unbounded channel. Must be called inside
     /// `loom::model`.
     pub fn channel<T>() -> (Sender<T>, Receiver<T>) {
-        let (sched, id) = with_scheduler(|s, _| (Arc::clone(s), s.new_chan_id()));
+        let (sched, id) = with_scheduler(|s, _| (Arc::clone(s), s.new_obj_id()));
         let chan = Arc::new(Chan {
             state: Mutex::new(ChanState {
                 queue: VecDeque::new(),
@@ -205,6 +388,16 @@ pub mod mpsc {
         )
     }
 
+    /// Declare a visible op on the channel from a drop path: skipped
+    /// while unwinding (the run is already aborting; a panic inside
+    /// drop would abort the process) and outside model runs (teardown
+    /// after the body returned its state to the harness).
+    fn drop_visible_op(id: usize) {
+        if in_model() && !std::thread::panicking() {
+            with_scheduler(|s, me| s.schedule_point(me, Access::write(Obj::Chan(id))));
+        }
+    }
+
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
             self.chan.state.lock().unwrap().senders += 1;
@@ -216,6 +409,7 @@ pub mod mpsc {
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
+            drop_visible_op(self.chan.id);
             let remaining = {
                 let mut st = self.chan.state.lock().unwrap();
                 st.senders -= 1;
@@ -233,6 +427,7 @@ pub mod mpsc {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
+            drop_visible_op(self.chan.id);
             self.chan.state.lock().unwrap().receiver_alive = false;
         }
     }
@@ -241,7 +436,7 @@ pub mod mpsc {
         /// Modeled send: a scheduling point, then enqueue and wake any
         /// receiver blocked on this channel.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
-            with_scheduler(|s, me| s.schedule_point(me));
+            with_scheduler(|s, me| s.schedule_point(me, Access::write(Obj::Chan(self.chan.id))));
             {
                 let mut st = self.chan.state.lock().unwrap();
                 if !st.receiver_alive {
@@ -258,33 +453,34 @@ pub mod mpsc {
     }
 
     impl<T> Receiver<T> {
-        /// Modeled blocking receive. An empty queue deschedules the
-        /// thread; a deadlock (every live thread blocked) panics with a
-        /// per-thread report rather than hanging.
+        /// Modeled blocking receive. Every pop attempt is its own
+        /// scheduling point (a fresh decision after each wakeup), so
+        /// the explorer sees each attempt as a distinct event on the
+        /// channel. An empty queue deschedules the thread; a deadlock
+        /// (every live thread blocked) panics with a per-thread report
+        /// rather than hanging.
         pub fn recv(&self) -> Result<T, RecvError> {
-            with_scheduler(|s, me| {
-                s.schedule_point(me);
-                loop {
-                    {
-                        let mut st = self.chan.state.lock().unwrap();
-                        if let Some(v) = st.queue.pop_front() {
-                            return Ok(v);
-                        }
-                        if st.senders == 0 {
-                            return Err(RecvError);
-                        }
+            with_scheduler(|s, me| loop {
+                s.schedule_point(me, Access::write(Obj::Chan(self.chan.id)));
+                {
+                    let mut st = self.chan.state.lock().unwrap();
+                    if let Some(v) = st.queue.pop_front() {
+                        return Ok(v);
                     }
-                    // Holding the token between the emptiness check and
-                    // block() means no send can interleave: the lost-
-                    // wakeup race is structurally impossible here.
-                    s.block(me, BlockReason::Recv(self.chan.id));
+                    if st.senders == 0 {
+                        return Err(RecvError);
+                    }
                 }
+                // Holding the token between the emptiness check and
+                // block() means no send can interleave: the lost-
+                // wakeup race is structurally impossible here.
+                s.block(me, BlockReason::Recv(self.chan.id));
             })
         }
 
         /// Modeled non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            with_scheduler(|s, me| s.schedule_point(me));
+            with_scheduler(|s, me| s.schedule_point(me, Access::write(Obj::Chan(self.chan.id))));
             let mut st = self.chan.state.lock().unwrap();
             match st.queue.pop_front() {
                 Some(v) => Ok(v),
@@ -293,9 +489,9 @@ pub mod mpsc {
             }
         }
 
-        /// Queue length right now (scheduling point).
+        /// Queue length right now (scheduling point; read-only).
         pub fn len(&self) -> usize {
-            with_scheduler(|s, me| s.schedule_point(me));
+            with_scheduler(|s, me| s.schedule_point(me, Access::read(Obj::Chan(self.chan.id))));
             self.chan.state.lock().unwrap().queue.len()
         }
 

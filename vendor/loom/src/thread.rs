@@ -2,6 +2,7 @@
 //! thread start, every visible op, and thread exit are all enumerated
 //! scheduling decisions.
 
+use crate::dpor::Access;
 use crate::sched::{set_ctx, with_scheduler, BlockReason};
 use std::sync::{Arc, Mutex};
 
@@ -22,8 +23,10 @@ where
     F: FnOnce() -> T + Send + 'static,
     T: Send + 'static,
 {
-    let (sched, tid) = with_scheduler(|s, _| {
-        let tid = s.register_thread();
+    let (sched, tid) = with_scheduler(|s, me| {
+        // The spawner is recorded so the explorer can give the child
+        // the spawn happens-before edge (child inherits `me`'s clock).
+        let tid = s.register_thread(Some(me));
         (Arc::clone(s), tid)
     });
     let result: Arc<Mutex<Option<std::thread::Result<T>>>> = Arc::new(Mutex::new(None));
@@ -74,10 +77,15 @@ impl<T> JoinHandle<T> {
     /// finishes. Returns the child's result like `std::thread`.
     pub fn join(mut self) -> std::thread::Result<T> {
         with_scheduler(|s, me| {
-            s.schedule_point(me);
+            // Pure: a join cannot be observably reordered with the
+            // target's exit (it must follow it), so it neither races
+            // nor wakes sleeping threads. The ordering it *does*
+            // create is absorbed below as a happens-before edge.
+            s.schedule_point(me, Access::PURE);
             while !s.is_done(self.tid) {
                 s.block(me, BlockReason::Join(self.tid));
             }
+            s.absorb_join(me, self.tid);
         });
         // The modeled thread is Done; the OS thread is past the point
         // where it stored `result`, so this join is effectively instant.
@@ -94,5 +102,5 @@ impl<T> JoinHandle<T> {
 
 /// Modeled yield: pure scheduling point.
 pub fn yield_now() {
-    with_scheduler(|s, me| s.schedule_point(me));
+    with_scheduler(|s, me| s.schedule_point(me, Access::PURE));
 }

@@ -11,9 +11,12 @@
 //!   small synthetic file and validates the emitted
 //!   `target/BENCH_index.json`, then runs the `trace_smoke` experiment,
 //!   which emits a Chrome `trace_event` run trace
-//!   (`target/BENCH_trace.json` + `.jsonl`) and schema-validates it; CI
-//!   uploads all three as artifacts so the streaming-IndexCreate perf
-//!   trajectory and a loadable trace accumulate per commit.
+//!   (`target/BENCH_trace.json` + `.jsonl`) and schema-validates it,
+//!   then the `sort_throughput` and `loom_dpor` experiments
+//!   (`target/BENCH_sort.json`, `target/BENCH_loom.json` — the latter
+//!   gated on the DPOR reduction of the 3-task all-to-all model); CI
+//!   uploads all of them as artifacts so the perf and model-checking
+//!   trajectories accumulate per commit.
 //!
 //! The custom pass is a line scanner (no rustc plumbing, no external
 //! deps) enforcing three policies on workspace sources:
@@ -30,9 +33,16 @@
 //!    same line).
 //! 3. **No silent panics in pipeline code** — `.unwrap()` outside
 //!    `#[cfg(test)]` modules in library crates must either become error
-//!    handling, an `.expect("invariant …")` with a message, or carry an
-//!    `// UNWRAP:` justification. Bench/CLI driver crates, tests,
-//!    benches, and examples are exempt.
+//!    handling or carry an `// UNWRAP:` justification. Bench/CLI driver
+//!    crates, tests, benches, and examples are exempt.
+//! 4. **No bare `.expect(` in pipeline code** — the message names the
+//!    invariant, but not why it holds; an `// EXPECT:` comment within
+//!    the justification window must argue it (same exemptions as the
+//!    unwrap lint).
+//!
+//! The scanned set covers the workspace crates plus `vendor/loom/src`
+//! — the model checker's own scheduler is concurrency-critical code
+//! and carries the same ORDERING/SAFETY audit obligations.
 
 use std::path::{Path, PathBuf};
 use std::process::{Command, ExitCode};
@@ -42,6 +52,7 @@ use std::process::{Command, ExitCode};
 const ORDERING_AUDITED: &[&str] = &[
     "crates/metaprep-cc/src/sync.rs",
     "crates/metaprep-dist/src/sync.rs",
+    "crates/metaprep-sort/src/sync.rs",
 ];
 
 /// Crates whose `src/` counts as pipeline code for the unwrap lint.
@@ -276,6 +287,58 @@ fn run_bench_smoke() -> ExitCode {
         }
     }
     eprintln!("xtask bench-smoke: ok ({})", sort.display());
+
+    // Loom DPOR exploration cost: the experiment runs the channel-matrix
+    // models under DPOR (and small brute-force references), asserts the
+    // 3-task round stays >= 100x reduced, and reports explored/pruned
+    // schedule counts; the gate here re-checks the bound from the JSON
+    // so a regression fails even if the binary's assert is edited away.
+    let loom = root.join("target").join("BENCH_loom.json");
+    std::fs::remove_file(&loom).ok();
+    eprintln!("== xtask: bench smoke (loom_dpor) ==");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-bench",
+            "--bin",
+            "exp_loom_dpor",
+        ])
+        .env("METAPREP_BENCH_OUT", &loom)
+        .status();
+    if !matches!(status, Ok(s) if s.success()) {
+        eprintln!("xtask bench-smoke: exp_loom_dpor failed");
+        return ExitCode::FAILURE;
+    }
+    let Ok(ljson) = std::fs::read_to_string(&loom) else {
+        eprintln!("xtask bench-smoke: {} was not written", loom.display());
+        return ExitCode::FAILURE;
+    };
+    for needle in ["\"loom_dpor\"", "\"models\"", "\"schedules_explored\""] {
+        if !ljson.contains(needle) {
+            eprintln!("xtask bench-smoke: {} missing {needle}", loom.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    match json_number(&ljson, "\"alltoall3_explored\"") {
+        Some(explored) if explored <= 33_500.0 => {}
+        Some(explored) => {
+            eprintln!(
+                "xtask bench-smoke: DPOR explored {explored} schedules on the 3-task \
+                 round (gate: <= 33500, i.e. >= 100x reduction vs ~3.35M brute-force)"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!(
+                "xtask bench-smoke: alltoall3_explored missing from {}",
+                loom.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask bench-smoke: ok ({})", loom.display());
     ExitCode::SUCCESS
 }
 
@@ -328,6 +391,10 @@ fn run_lint_pass() -> ExitCode {
     collect_rs_files(&root.join("src"), &mut files);
     collect_rs_files(&root.join("tests"), &mut files);
     collect_rs_files(&root.join("examples"), &mut files);
+    // The vendored model checker is itself concurrency-critical: its
+    // scheduler and sync shims carry the same audit obligations as the
+    // pipeline's (orderings argued in source, unsafe justified).
+    collect_rs_files(&root.join("vendor").join("loom").join("src"), &mut files);
     files.sort();
 
     let mut findings = Vec::new();
@@ -477,8 +544,25 @@ fn lint_file(rel: &Path, text: &str, findings: &mut Vec<Finding>) {
                     file: rel.to_path_buf(),
                     line: line_no,
                     lint: "no-bare-unwrap",
-                    message: "`.unwrap()` in pipeline code: handle the error, use \
-                              `.expect(\"<invariant>\")`, or justify with `// UNWRAP:`"
+                    message: "`.unwrap()` in pipeline code: handle the error or \
+                              justify with `// UNWRAP:`"
+                        .to_string(),
+                });
+            }
+        }
+
+        // --- lint 4: no bare expect in pipeline code ---
+        // `.expect("…")` names the invariant but not why it holds; the
+        // `// EXPECT:` comment must argue the latter.
+        if !unwrap_exempt && !in_test_code && code.contains(".expect(") {
+            let has_justification = justified(&lines, idx, "// EXPECT:");
+            if !has_justification {
+                findings.push(Finding {
+                    file: rel.to_path_buf(),
+                    line: line_no,
+                    lint: "no-bare-expect",
+                    message: "`.expect(` in pipeline code: handle the error or argue \
+                              the invariant with `// EXPECT:`"
                         .to_string(),
                 });
             }
@@ -682,6 +766,57 @@ mod tests {
             "// UNWRAP: checked non-empty above.\nfn f() { g().unwrap(); }\n",
         );
         assert!(hits.is_empty(), "justified unwrap ok: {hits:?}");
+    }
+
+    #[test]
+    fn expect_flagged_outside_tests_only() {
+        let text = "fn f() { g().expect(\"nonempty\"); }\n\
+                    #[cfg(test)]\n\
+                    mod tests {\n\
+                    fn t() { g().expect(\"nonempty\"); }\n\
+                    }\n";
+        let hits = lint_str("crates/metaprep-io/src/x.rs", text);
+        assert_eq!(hits, vec!["no-bare-expect:1"]);
+    }
+
+    #[test]
+    fn expect_exemptions() {
+        let hits = lint_str(
+            "crates/metaprep-bench/src/x.rs",
+            "fn f() { g().expect(\"bench\"); }\n",
+        );
+        assert!(hits.is_empty(), "bench crate exempt: {hits:?}");
+        let hits = lint_str("tests/e2e.rs", "fn f() { g().expect(\"test\"); }\n");
+        assert!(hits.is_empty(), "integration tests exempt: {hits:?}");
+        let hits = lint_str(
+            "crates/metaprep-io/src/x.rs",
+            "// EXPECT: seeded with one element above, never drained.\n\
+             fn f() { g().expect(\"nonempty\"); }\n",
+        );
+        assert!(hits.is_empty(), "justified expect ok: {hits:?}");
+    }
+
+    #[test]
+    fn unwrap_justification_does_not_cover_expect() {
+        // `// UNWRAP:` and `// EXPECT:` are distinct markers — a line
+        // with both calls needs both arguments.
+        let text = "// UNWRAP: checked above.\n\
+                    fn f() { g().unwrap(); h().expect(\"invariant\"); }\n";
+        let hits = lint_str("crates/metaprep-io/src/x.rs", text);
+        assert_eq!(hits, vec!["no-bare-expect:2"]);
+    }
+
+    #[test]
+    fn vendored_loom_audited_for_ordering_and_safety() {
+        // vendor/loom/src is in the scanned set with the ordering and
+        // safety lints active; the unwrap/expect lints stay pipeline-only.
+        let hits = lint_str(
+            "vendor/loom/src/x.rs",
+            "fn f(a: &AtomicU32) { a.load(Ordering::SeqCst); }\n\
+             fn g() { unsafe { danger(); } }\n\
+             fn h() { i().unwrap(); j().expect(\"shim\"); }\n",
+        );
+        assert_eq!(hits, vec!["ordering-audit:1", "safety-comment:2"]);
     }
 
     #[test]
