@@ -1,0 +1,8 @@
+//! KmerGen + FASTQ-scan throughput benchmark (dispatched SIMD vs scalar);
+//! see `experiments::kmergen`. Honors `METAPREP_SIMD` / `METAPREP_SCALE` /
+//! `METAPREP_BENCH_OUT`.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::kmergen::run(scale);
+}

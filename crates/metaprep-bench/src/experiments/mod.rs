@@ -6,6 +6,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod index_create;
+pub mod kmergen;
 pub mod loom_dpor;
 pub mod quality;
 pub mod sort_throughput;

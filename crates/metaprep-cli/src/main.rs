@@ -18,6 +18,11 @@
 //! All FASTQ inputs are treated as interleaved paired-end unless
 //! `--unpaired` is given.
 //!
+//! Every subcommand accepts `--simd auto|avx2|neon|scalar` (equivalent
+//! to the `METAPREP_SIMD` environment variable): pins the runtime-
+//! dispatched kernel family for KmerGen and FASTQ scanning — a testing
+//! knob; by default the best backend the CPU supports is used.
+//!
 //! `index` and `partition` accept `--trace-out <path>` (plus
 //! `--trace-format jsonl|chrome`): the run's spans and counters are
 //! exported either as a JSONL event stream (feed it back to
@@ -49,8 +54,33 @@ const USAGE: &str =
     "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum|report> [--options]
 run `metaprep <command>` with missing options to see what each needs";
 
+/// Apply `--simd auto|avx2|neon|scalar` before any hot path runs: the
+/// kernel family is selected once per process, so the override must land
+/// ahead of the first dispatched call (testing/debugging knob; the
+/// `METAPREP_SIMD` environment variable does the same without a flag).
+fn apply_simd_override(args: &Args) -> Result<(), ArgError> {
+    use metaprep_kmer::simd::{force, Backend};
+    let Some(v) = args.opt("simd") else {
+        return Ok(());
+    };
+    let backend = match v.as_str() {
+        "auto" => return Ok(()),
+        "avx2" => Backend::Avx2,
+        "neon" => Backend::Neon,
+        "scalar" => Backend::Scalar,
+        other => {
+            return Err(ArgError(format!(
+                "--simd {other:?}: expected auto, avx2, neon or scalar"
+            )))
+        }
+    };
+    force(backend)
+        .map_err(|active| ArgError(format!("--simd: dispatch already resolved to {active}")))
+}
+
 fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let args = Args::parse(argv)?;
+    apply_simd_override(&args)?;
     match args.command.as_str() {
         "simulate" => cmd_simulate(&args),
         "index" => cmd_index(&args),

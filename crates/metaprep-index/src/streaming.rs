@@ -47,6 +47,13 @@ thread_local! {
 
 /// Histogram the canonical k-mers of every sequence in `store` into
 /// `space`'s m-mer bins (the per-chunk histogram of `FASTQPart`).
+///
+/// `for_each_canonical_kmer` is the runtime-dispatched hot path: on
+/// AVX2/NEON hosts each read is classified and 2-bit-packed by the
+/// vectorized kernels in `metaprep_kmer::simd` before the canonical
+/// values roll over the packed lanes (`METAPREP_SIMD=scalar` pins the
+/// scalar reference; both arms are differentially tested there and in
+/// the scalar-forced CI job).
 fn hist_of_store(store: &metaprep_io::ReadStore, space: MmerSpace, k: usize) -> Vec<u32> {
     let mut hist = vec![0u32; space.bins()];
     for (seq, _) in store.iter() {

@@ -65,12 +65,12 @@ pub fn find_record_start(data: &[u8], pos: usize) -> Option<usize> {
     }
 }
 
-/// Index of the first `needle` at or after `from`.
+/// Index of the first `needle` at or after `from`. Dispatches to the
+/// vectorized byte scanner (AVX2/NEON, scalar fallback) — newline hunting
+/// is the inner loop of every record-boundary probe, so this is the
+/// memchr of the FASTQ scanning hot path.
 fn memchr_from(data: &[u8], from: usize, needle: u8) -> Option<usize> {
-    data.get(from..)?
-        .iter()
-        .position(|&b| b == needle)
-        .map(|i| from + i)
+    metaprep_kmer::simd::find_byte(data.get(from..)?, needle).map(|i| from + i)
 }
 
 /// Split raw FASTQ bytes into up to `c` chunks of roughly equal byte size

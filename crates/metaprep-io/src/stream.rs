@@ -6,7 +6,10 @@
 //! chunk table must be computable in O(window) memory instead: the
 //! [`StreamChunker`] seeks to each byte target and probes a bounded window
 //! with [`find_record_start`], growing the window only when a record
-//! straddles it. The boundaries it finds are byte-identical to the
+//! straddles it (and fetching only the window's new tail on each growth,
+//! so one probe reads each file byte at most once — see
+//! [`StreamChunker::probe_bytes_read`]). The boundaries it finds are
+//! byte-identical to the
 //! in-memory chunkers' (property-tested in `metaprep-index`), so switching
 //! a pipeline between the two paths changes memory, not results.
 //!
@@ -54,6 +57,11 @@ pub struct StreamChunker {
     len: u64,
     window: usize,
     buf: Vec<u8>,
+    /// Total bytes fetched by [`Self::find_record_start_at`] probes. A
+    /// probe that doubles its window extends the buffer with only the new
+    /// tail, so one probe reads each file byte at most once; this counter
+    /// is how the regression test pins that bound.
+    probe_bytes: u64,
 }
 
 impl StreamChunker {
@@ -71,6 +79,7 @@ impl StreamChunker {
             len,
             window,
             buf: Vec::new(),
+            probe_bytes: 0,
         })
     }
 
@@ -96,6 +105,22 @@ impl StreamChunker {
         Self::read_range_into(&mut self.file, lo, hi, out)
     }
 
+    /// Append the byte range `[lo, hi)` of `file` to `out`, growing it in
+    /// place — the window-doubling primitive: already-read bytes stay put
+    /// and only the new tail touches the disk.
+    fn append_range(file: &mut File, lo: u64, hi: u64, out: &mut Vec<u8>) -> io::Result<()> {
+        debug_assert!(lo <= hi);
+        let old = out.len();
+        out.resize(old + (hi - lo) as usize, 0);
+        file.seek(SeekFrom::Start(lo))?;
+        file.read_exact(&mut out[old..])
+    }
+
+    /// Total bytes [`Self::find_record_start_at`] has fetched from disk.
+    pub fn probe_bytes_read(&self) -> u64 {
+        self.probe_bytes
+    }
+
     /// First record start at or after byte `pos`, probing bounded windows.
     /// Returns exactly what `find_record_start(&whole_file, pos)` would,
     /// without ever holding more than the current window in memory.
@@ -108,16 +133,26 @@ impl StreamChunker {
         // the window so relative and absolute probing agree.
         let base = pos.saturating_sub(1);
         let rel = (pos - base) as usize;
-        let mut w = self.window as u64;
+        let mut hi = (base + self.window as u64).min(self.len);
+        Self::read_range_into(&mut self.file, base, hi, &mut self.buf)?;
+        self.probe_bytes += hi - base;
         loop {
-            let hi = (base + w).min(self.len);
-            Self::read_range_into(&mut self.file, base, hi, &mut self.buf)?;
             match find_record_start(&self.buf, rel) {
                 Some(r) => return Ok(Some(base + r as u64)),
                 // A miss is final only when the window reaches EOF;
                 // otherwise the probe may have been cut mid-record.
                 None if hi == self.len => return Ok(None),
-                None => w = w.saturating_mul(2),
+                None => {
+                    // Double the window, fetching only the new tail. The
+                    // bytes already in `buf` are immutable file contents;
+                    // re-reading them from `base` (as this loop once did)
+                    // cost O(w log w) byte traffic plus a long seek per
+                    // doubling whenever a record straddled the window.
+                    let new_hi = (base + (hi - base).saturating_mul(2)).min(self.len);
+                    Self::append_range(&mut self.file, hi, new_hi, &mut self.buf)?;
+                    self.probe_bytes += new_hi - hi;
+                    hi = new_hi;
+                }
             }
         }
     }
@@ -335,6 +370,34 @@ mod tests {
             ch.resolve_paired(&ranges, &counts),
             Err(FastqError::Malformed { .. })
         ));
+    }
+
+    #[test]
+    fn window_growth_fetches_each_byte_at_most_once() {
+        // One oversized record (~1 KiB quality/sequence lines) behind a
+        // 16-byte probe window: the probe must double several times. With
+        // the old read-from-base loop the byte traffic was
+        // 16 + 32 + ... + len ≈ 2×len per probe; tail-extension fetches
+        // every byte at most once, so a single probe is bounded by len.
+        let seq: Vec<u8> = b"ACGT".iter().cycle().take(1024).copied().collect();
+        let mut s = ReadStore::new();
+        s.push_single(&seq);
+        s.push_single(b"ACGTACGT");
+        let mut data = Vec::new();
+        write_fastq(&mut data, &s).unwrap();
+        let path = write_temp("big_record.fastq", &data);
+
+        let mut ch = StreamChunker::open(&path, 16).unwrap();
+        let got = ch.find_record_start_at(1).unwrap();
+        let want = find_record_start(&data, 1).map(|s| s as u64);
+        assert_eq!(got, want);
+        assert!(
+            ch.probe_bytes_read() <= data.len() as u64,
+            "probe fetched {} bytes of a {}-byte file (tail-extension \
+             must read each byte at most once)",
+            ch.probe_bytes_read(),
+            data.len()
+        );
     }
 
     #[test]

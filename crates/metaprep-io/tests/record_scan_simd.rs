@@ -1,0 +1,116 @@
+//! Property-based differential test for the record-boundary scanner.
+//!
+//! `find_record_start` / `count_record_starts` hunt newlines through the
+//! runtime-dispatched SIMD byte scanner (`metaprep_kmer::simd::find_byte`).
+//! Here the whole scanner is checked against a byte-at-a-time reference on
+//! adversarial inputs: well-formed FASTQ, quality lines starting with `@`,
+//! junk bytes, and `@`/`+`/newline soup designed to hit every branch of
+//! the record-start disambiguation. CI re-runs this suite with
+//! `METAPREP_SIMD=scalar` so both dispatch routes are covered.
+
+use metaprep_io::{count_record_starts, find_record_start};
+use proptest::prelude::*;
+
+/// Byte-at-a-time reference: same record-start definition (`@` line whose
+/// line-after-next begins with `+`), no vectorized scanning.
+fn naive_find_record_start(data: &[u8], pos: usize) -> Option<usize> {
+    fn next_nl(data: &[u8], from: usize) -> Option<usize> {
+        (from..data.len()).find(|&i| data[i] == b'\n')
+    }
+    if pos >= data.len() {
+        return None;
+    }
+    let mut at = if pos == 0 {
+        0
+    } else {
+        next_nl(data, pos - 1)? + 1
+    };
+    loop {
+        if at >= data.len() {
+            return None;
+        }
+        if data[at] == b'@' {
+            let l1 = next_nl(data, at)? + 1;
+            let l2 = next_nl(data, l1)? + 1;
+            if l2 < data.len() && data[l2] == b'+' {
+                return Some(at);
+            }
+        }
+        at = next_nl(data, at)? + 1;
+    }
+}
+
+fn naive_count_record_starts(data: &[u8]) -> u64 {
+    let mut count = 0u64;
+    let mut at = 0usize;
+    while let Some(s) = naive_find_record_start(data, at) {
+        count += 1;
+        at = s + 1;
+    }
+    count
+}
+
+/// Serialize reads as strict 4-line FASTQ; quality strings deliberately
+/// start with `@` so the quality-line/header-line ambiguity is exercised.
+fn fastq_bytes(reads: &[Vec<u8>]) -> Vec<u8> {
+    let mut out = Vec::new();
+    for (i, seq) in reads.iter().enumerate() {
+        out.extend_from_slice(format!("@r{i}\n").as_bytes());
+        out.extend_from_slice(seq);
+        out.push(b'\n');
+        out.extend_from_slice(b"+\n");
+        out.push(b'@');
+        out.extend(std::iter::repeat_n(b'J', seq.len().saturating_sub(1)));
+        out.push(b'\n');
+    }
+    out
+}
+
+/// Structural soup: heavy on the bytes the scanner branches on.
+fn soup() -> impl Strategy<Value = Vec<u8>> {
+    const STRUCTURAL: &[u8] = b"@+\nACGTN";
+    let byte = (0u8..4, any::<u8>()).prop_map(|(class, raw)| match class {
+        0..=2 => STRUCTURAL[raw as usize % STRUCTURAL.len()],
+        _ => raw,
+    });
+    proptest::collection::vec(byte, 0..300)
+}
+
+proptest! {
+    /// Scanner output equals the naive reference on FASTQ followed by
+    /// soup, from every probe position.
+    #[test]
+    fn prop_find_record_start_matches_naive(
+        reads in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::sample::select(b"ACGTN".to_vec()), 1..40),
+            0..6),
+        tail in soup(),
+        pos in 0usize..600,
+    ) {
+        let mut data = fastq_bytes(&reads);
+        data.extend_from_slice(&tail);
+        prop_assert_eq!(
+            find_record_start(&data, pos),
+            naive_find_record_start(&data, pos)
+        );
+    }
+
+    /// Start counting agrees with the naive reference on pure soup.
+    #[test]
+    fn prop_count_record_starts_matches_naive(data in soup()) {
+        prop_assert_eq!(count_record_starts(&data), naive_count_record_starts(&data));
+    }
+
+    /// On well-formed FASTQ the count is exactly the number of records.
+    #[test]
+    fn prop_count_on_wellformed_fastq(
+        reads in proptest::collection::vec(
+            proptest::collection::vec(
+                proptest::sample::select(b"ACGTN".to_vec()), 1..40),
+            0..8),
+    ) {
+        let data = fastq_bytes(&reads);
+        prop_assert_eq!(count_record_starts(&data), reads.len() as u64);
+    }
+}

@@ -54,6 +54,17 @@ pub fn is_valid_base(b: u8) -> bool {
     ENCODE[b as usize] != INVALID_CODE
 }
 
+/// Encode an ASCII base into its 2-bit code, or [`INVALID_CODE`] for any
+/// byte outside `ACGTacgt` — the raw table lookup without the `Option`
+/// wrapper. This is the scalar reference for the vectorized
+/// classify-and-encode kernels in [`crate::simd`]: a code buffer produced
+/// by any backend is byte-identical to mapping this function over the
+/// input.
+#[inline(always)]
+pub fn classify_base(b: u8) -> u8 {
+    ENCODE[b as usize]
+}
+
 /// Complement of a 2-bit base code (`A<->T`, `C<->G`).
 #[inline(always)]
 pub fn complement_code(c: u8) -> u8 {

@@ -5,16 +5,98 @@
 //! enumerator therefore splits the read into maximal valid runs and rolls a
 //! k-mer window through each run.
 
-use crate::alphabet::encode_base_checked;
+use crate::alphabet::{encode_base_checked, INVALID_CODE};
 use crate::kmer::Kmer;
+use crate::simd;
+use std::cell::RefCell;
+
+/// Below this length the dispatched path falls back to the scalar
+/// enumerator: a read shorter than one vector register gains nothing
+/// from the classify kernel, and skipping the code-buffer borrow keeps
+/// tiny inputs allocation-free.
+const SIMD_MIN_LEN: usize = 32;
+
+thread_local! {
+    // Recycled per-thread code buffer for the dispatched path: one read's
+    // classify output at a time, so in-flight memory is O(longest read)
+    // per thread regardless of how many reads stream through.
+    static CODE_BUF: RefCell<Vec<u8>> = const { RefCell::new(Vec::new()) };
+}
 
 /// Call `f(canonical_value, offset)` for every canonical k-mer of `seq`,
 /// where `offset` is the 0-based position of the window's first base.
 ///
 /// Windows overlapping an invalid byte (e.g. `N`) are skipped. Does nothing
 /// when `seq.len() < k`.
+///
+/// Dispatched hot path: the read is classified and 2-bit-encoded in one
+/// vectorized pass ([`simd::encode_classify`]), then the canonical values
+/// roll over the packed code lanes with no per-byte table lookups. The
+/// emitted `(value, offset)` sequence — including order — is identical to
+/// [`for_each_canonical_kmer_scalar`]'s on every backend (property-tested
+/// in `tests/simd_equivalence.rs`).
 #[inline]
 pub fn for_each_canonical_kmer<K: Kmer>(seq: &[u8], k: usize, mut f: impl FnMut(K::Repr, usize)) {
+    assert!(k >= 1 && k <= K::MAX_K);
+    if simd::active() == simd::Backend::Scalar || seq.len() < SIMD_MIN_LEN {
+        return for_each_canonical_kmer_scalar::<K>(seq, k, f);
+    }
+    CODE_BUF.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut codes) => {
+            simd::encode_classify(seq, &mut codes);
+            for_each_in_codes::<K>(&codes, k, &mut f);
+        }
+        // Re-entrant call (f itself enumerates k-mers on this thread):
+        // the buffer is busy, and correctness beats vectorization.
+        Err(_) => for_each_canonical_kmer_scalar::<K>(seq, k, f),
+    })
+}
+
+/// Enumerate canonical k-mers over a packed 2-bit code buffer (one code
+/// or [`INVALID_CODE`] per input byte, as produced by
+/// [`simd::encode_classify`]). Runs are split on invalid codes exactly
+/// like the byte-level enumerator splits on invalid bases.
+fn for_each_in_codes<K: Kmer>(codes: &[u8], k: usize, f: &mut impl FnMut(K::Repr, usize)) {
+    let mut i = 0;
+    let n = codes.len();
+    while i < n {
+        // Invalid runs are rare and short (N stretches); skip them byte-wise.
+        while i < n && codes[i] == INVALID_CODE {
+            i += 1;
+        }
+        let start = i;
+        // Valid runs are long (often the whole read): find their end with
+        // the vectorized scanner instead of a per-byte compare loop.
+        i = match simd::find_byte(&codes[i..], INVALID_CODE) {
+            Some(j) => i + j,
+            None => n,
+        };
+        let run = &codes[start..i];
+        if run.len() < k {
+            continue;
+        }
+        let mut km = K::zero(k);
+        // Warm the first k-1 codes, then emit one window per remaining
+        // code — the steady-state loop carries no fill-count branch.
+        for &c in &run[..k - 1] {
+            km.roll(c);
+        }
+        for (w, &c) in run[k - 1..].iter().enumerate() {
+            km.roll(c);
+            f(km.canonical_value(), start + w);
+        }
+    }
+}
+
+/// Scalar reference enumerator: per-byte table lookups, no code buffer.
+/// This is the oracle the dispatched path is property-tested against and
+/// the baseline `BENCH_kmergen.json` ratios are measured from.
+#[inline]
+pub fn for_each_canonical_kmer_scalar<K: Kmer>(
+    seq: &[u8],
+    k: usize,
+    mut f: impl FnMut(K::Repr, usize),
+) {
     assert!(k >= 1 && k <= K::MAX_K);
     let mut i = 0;
     while i < seq.len() {
@@ -101,9 +183,19 @@ impl<'a, K: Kmer> Iterator for CanonicalKmers<'a, K> {
 }
 
 /// Count k-mers of `seq` that would be enumerated (i.e. valid windows).
+///
+/// # Panics
+/// Panics when `k` is 0 or exceeds [`Kmer128::MAX_K`](crate::Kmer128),
+/// like [`for_each_canonical_kmer`] does. (An earlier version silently
+/// clamped `k` to 63, returning the count for the wrong k-mer length.)
 pub fn count_valid_kmers(seq: &[u8], k: usize) -> usize {
+    assert!(
+        (1..=<crate::Kmer128 as Kmer>::MAX_K).contains(&k),
+        "k={k} out of range 1..={}",
+        <crate::Kmer128 as Kmer>::MAX_K
+    );
     let mut n = 0usize;
-    for_each_canonical_kmer::<crate::Kmer128>(seq, k.min(63), |_, _| n += 1);
+    for_each_canonical_kmer::<crate::Kmer128>(seq, k, |_, _| n += 1);
     n
 }
 
@@ -198,6 +290,44 @@ mod tests {
         assert_eq!(count_valid_kmers(b"ACGTACGT", 4), 5);
         assert_eq!(count_valid_kmers(b"ACGNTACG", 3), 3);
         assert_eq!(count_valid_kmers(b"NN", 1), 0);
+    }
+
+    #[test]
+    fn count_valid_kmers_honest_at_max_k_boundary() {
+        // Regression: `k` used to be clamped with `k.min(63)`, so k = 64+
+        // silently returned the k = 63 count. A 64-base read has exactly
+        // one 64-window but two 63-windows — the clamp was observable.
+        let seq: Vec<u8> = b"ACGT".iter().cycle().take(64).copied().collect();
+        assert_eq!(count_valid_kmers(&seq, 63), 2);
+        assert_eq!(count_valid_kmers(&seq, 62), 3);
+        let err = std::panic::catch_unwind(|| count_valid_kmers(&seq, 64));
+        assert!(err.is_err(), "k=64 must panic, not count 63-mers");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn count_valid_kmers_rejects_k_zero() {
+        count_valid_kmers(b"ACGT", 0);
+    }
+
+    #[test]
+    fn dispatched_matches_scalar_in_order() {
+        // Long mixed-case read with N runs: the dispatched path must
+        // reproduce the scalar sequence exactly, offsets and order
+        // included (not just the multiset).
+        let seq: Vec<u8> = b"acgtACGTnNtgcaTTggccAANrya"
+            .iter()
+            .cycle()
+            .take(500)
+            .copied()
+            .collect();
+        for k in [1, 2, 5, 31, 32] {
+            let mut a = Vec::new();
+            for_each_canonical_kmer::<Kmer64>(&seq, k, |x, o| a.push((x, o)));
+            let mut b = Vec::new();
+            for_each_canonical_kmer_scalar::<Kmer64>(&seq, k, |x, o| b.push((x, o)));
+            assert_eq!(a, b, "k={k}");
+        }
     }
 
     proptest! {

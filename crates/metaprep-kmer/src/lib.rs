@@ -9,6 +9,10 @@
 //! * canonical k-mer enumeration over reads, skipping `N` runs, in both a
 //!   scalar rolling form and the paper's 4-lane batched form
 //!   ([`enumerate`], [`lanes`]),
+//! * runtime-dispatched SIMD kernels (AVX2 / NEON / scalar) for whole-read
+//!   2-bit encoding + validity classification and memchr-style byte
+//!   scanning, feeding the enumeration hot path and `metaprep-io`'s
+//!   record scanner ([`simd`]),
 //! * m-mer prefix binning used by the `merHist` / `FASTQPart` index tables
 //!   ([`mmer`]),
 //! * minimizers and super-k-mer splitting used by the KMC2-style baseline
@@ -26,10 +30,11 @@ pub mod kmer;
 pub mod lanes;
 pub mod minimizer;
 pub mod mmer;
+pub mod simd;
 pub mod tuple;
 
-pub use alphabet::{complement_code, decode_base, encode_base, is_valid_base};
-pub use enumerate::{for_each_canonical_kmer, CanonicalKmers};
+pub use alphabet::{classify_base, complement_code, decode_base, encode_base, is_valid_base};
+pub use enumerate::{for_each_canonical_kmer, for_each_canonical_kmer_scalar, CanonicalKmers};
 pub use kmer::{Kmer, Kmer128, Kmer64};
 pub use minimizer::{minimizer_of, superkmers, SuperKmer};
 pub use mmer::{mmer_bin, mmer_bin_count, MmerSpace};

@@ -1,0 +1,95 @@
+//! AVX2 kernels (x86_64): 32 bytes per iteration.
+//!
+//! Both kernels are `unsafe fn` with an `avx2` target-feature contract;
+//! the dispatcher in [`super`] only reaches them after
+//! `is_x86_feature_detected!("avx2")` succeeded. Tails shorter than one
+//! vector fall through to the scalar kernels, so any slice length is
+//! handled and the output is byte-identical to [`super::scalar`]'s.
+
+use super::scalar;
+use std::arch::x86_64::*;
+
+/// Bytes processed per vector iteration.
+const LANES: usize = 32;
+
+/// AVX2 [`super::encode_classify`].
+///
+/// Per 32-byte block:
+/// 1. clear the ASCII case bit (`b & 0xDF`) and compare against
+///    `A/C/G/T` — the OR of the four equality masks marks valid lanes;
+/// 2. translate the low nibble through a 16-entry shuffle table
+///    (uppercase and lowercase of each base share a low nibble:
+///    `A/a→1, C/c→3, G/g→7, T/t→4`) to the 2-bit code;
+/// 3. force invalid lanes to `INVALID_CODE` (0xFF) by OR-ing the
+///    complement of the validity mask.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe fn` only for the avx2 target-feature contract above —
+// the dispatcher calls it strictly after feature detection succeeded.
+pub unsafe fn encode_classify(seq: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(seq.len(), out.len());
+    // Low-nibble -> code table: index 1 = A/a -> 0, 3 = C/c -> 1,
+    // 7 = G/g -> 2, 4 = T/t -> 3; every other slot is don't-care (the
+    // validity mask overrides it). One 128-bit row, used in both lanes.
+    #[rustfmt::skip]
+    let lut = _mm256_setr_epi8(
+        0, 0, 0, 1, 3, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0,
+        0, 0, 0, 1, 3, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0,
+    );
+    let low4 = _mm256_set1_epi8(0x0F);
+    let case_mask = _mm256_set1_epi8(0xDFu8 as i8);
+    let ones = _mm256_set1_epi8(-1);
+    let ba = _mm256_set1_epi8(b'A' as i8);
+    let bc = _mm256_set1_epi8(b'C' as i8);
+    let bg = _mm256_set1_epi8(b'G' as i8);
+    let bt = _mm256_set1_epi8(b'T' as i8);
+
+    let n = seq.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        // SAFETY: i + 32 <= seq.len() == out.len(); unaligned load/store
+        // intrinsics have no alignment requirement.
+        unsafe {
+            let v = _mm256_loadu_si256(seq.as_ptr().add(i) as *const __m256i);
+            let up = _mm256_and_si256(v, case_mask);
+            let valid = _mm256_or_si256(
+                _mm256_or_si256(_mm256_cmpeq_epi8(up, ba), _mm256_cmpeq_epi8(up, bc)),
+                _mm256_or_si256(_mm256_cmpeq_epi8(up, bg), _mm256_cmpeq_epi8(up, bt)),
+            );
+            let code = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, low4));
+            // valid lanes keep their code; invalid lanes become 0xFF.
+            let res = _mm256_or_si256(code, _mm256_xor_si256(valid, ones));
+            _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, res);
+        }
+        i += LANES;
+    }
+    scalar::encode_classify(&seq[i..], &mut out[i..]);
+}
+
+/// AVX2 [`super::find_byte`]: 32-byte equality compare + movemask, first
+/// set bit wins; the sub-vector tail is scanned scalar.
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2.
+#[target_feature(enable = "avx2")]
+// SAFETY: `unsafe fn` only for the avx2 target-feature contract above —
+// the dispatcher calls it strictly after feature detection succeeded.
+pub unsafe fn find_byte(data: &[u8], needle: u8) -> Option<usize> {
+    let nv = _mm256_set1_epi8(needle as i8);
+    let n = data.len();
+    let mut i = 0;
+    while i + LANES <= n {
+        // SAFETY: i + 32 <= data.len(); unaligned load.
+        let mask = unsafe {
+            let v = _mm256_loadu_si256(data.as_ptr().add(i) as *const __m256i);
+            _mm256_movemask_epi8(_mm256_cmpeq_epi8(v, nv)) as u32
+        };
+        if mask != 0 {
+            return Some(i + mask.trailing_zeros() as usize);
+        }
+        i += LANES;
+    }
+    scalar::find_byte(&data[i..], needle).map(|p| i + p)
+}

@@ -1,0 +1,80 @@
+//! NEON kernels (aarch64): 16 bytes per iteration.
+//!
+//! Mirrors the AVX2 kernels at half the vector width; see
+//! [`super::avx2`] for the algorithm notes. The dispatcher only reaches
+//! this module after `is_aarch64_feature_detected!("neon")` succeeded.
+
+use super::scalar;
+use std::arch::aarch64::*;
+
+/// Bytes processed per vector iteration.
+const LANES: usize = 16;
+
+/// NEON [`super::encode_classify`]: case-folded compare against the four
+/// bases for validity, `vqtbl1q` low-nibble translation for the code,
+/// invalid lanes forced to 0xFF.
+///
+/// # Safety
+/// Caller must ensure the CPU supports NEON.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only for the neon target-feature contract above —
+// the dispatcher calls it strictly after feature detection succeeded.
+pub unsafe fn encode_classify(seq: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(seq.len(), out.len());
+    // Low-nibble -> code table (A/a=1->0, C/c=3->1, G/g=7->2, T/t=4->3);
+    // other slots are don't-care, overridden by the validity mask.
+    let lut_bytes: [u8; 16] = [0, 0, 0, 1, 3, 0, 0, 2, 0, 0, 0, 0, 0, 0, 0, 0];
+    let n = seq.len();
+    let mut i = 0;
+    // SAFETY: all intrinsics below are plain NEON data ops; loads/stores
+    // stay in-bounds because i + 16 <= seq.len() == out.len().
+    unsafe {
+        let lut = vld1q_u8(lut_bytes.as_ptr());
+        let low4 = vdupq_n_u8(0x0F);
+        let case_mask = vdupq_n_u8(0xDF);
+        let ba = vdupq_n_u8(b'A');
+        let bc = vdupq_n_u8(b'C');
+        let bg = vdupq_n_u8(b'G');
+        let bt = vdupq_n_u8(b'T');
+        while i + LANES <= n {
+            let v = vld1q_u8(seq.as_ptr().add(i));
+            let up = vandq_u8(v, case_mask);
+            let valid = vorrq_u8(
+                vorrq_u8(vceqq_u8(up, ba), vceqq_u8(up, bc)),
+                vorrq_u8(vceqq_u8(up, bg), vceqq_u8(up, bt)),
+            );
+            let code = vqtbl1q_u8(lut, vandq_u8(v, low4));
+            let res = vorrq_u8(code, vmvnq_u8(valid));
+            vst1q_u8(out.as_mut_ptr().add(i), res);
+            i += LANES;
+        }
+    }
+    scalar::encode_classify(&seq[i..], &mut out[i..]);
+}
+
+/// NEON [`super::find_byte`]: 16-byte equality compare; a nonzero
+/// across-vector max means a hit somewhere in the block, located with a
+/// narrow scalar scan (branch taken at most once per call).
+///
+/// # Safety
+/// Caller must ensure the CPU supports NEON.
+#[target_feature(enable = "neon")]
+// SAFETY: `unsafe fn` only for the neon target-feature contract above —
+// the dispatcher calls it strictly after feature detection succeeded.
+pub unsafe fn find_byte(data: &[u8], needle: u8) -> Option<usize> {
+    let n = data.len();
+    let mut i = 0;
+    // SAFETY: loads stay in-bounds because i + 16 <= data.len().
+    unsafe {
+        let nv = vdupq_n_u8(needle);
+        while i + LANES <= n {
+            let v = vld1q_u8(data.as_ptr().add(i));
+            if vmaxvq_u8(vceqq_u8(v, nv)) != 0 {
+                // A hit exists in this block; find it scalar.
+                return scalar::find_byte(&data[i..i + LANES], needle).map(|p| i + p);
+            }
+            i += LANES;
+        }
+    }
+    scalar::find_byte(&data[i..], needle).map(|p| i + p)
+}

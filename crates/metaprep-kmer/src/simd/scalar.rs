@@ -1,0 +1,19 @@
+//! Portable scalar kernels — the always-available dispatch arm and the
+//! reference implementation the vector backends are property-tested
+//! against.
+
+use crate::alphabet::classify_base;
+
+/// Scalar [`super::encode_classify`]: one table lookup per byte.
+pub fn encode_classify(seq: &[u8], out: &mut [u8]) {
+    debug_assert_eq!(seq.len(), out.len());
+    for (o, &b) in out.iter_mut().zip(seq) {
+        *o = classify_base(b);
+    }
+}
+
+/// Scalar [`super::find_byte`]: the definitionally-correct linear scan.
+#[inline]
+pub fn find_byte(data: &[u8], needle: u8) -> Option<usize> {
+    data.iter().position(|&b| b == needle)
+}
