@@ -10,7 +10,7 @@
 use crate::{harness, print_table};
 use metaprep_core::{Pipeline, PipelineConfig, Step};
 use metaprep_obs::export::{parse_jsonl, validate_chrome, write_chrome, write_jsonl};
-use metaprep_obs::{CounterKind, Event, MemRecorder, RunSummary};
+use metaprep_obs::{CounterKind, Event, MemRecorder, RunSummary, TraceAnalysis};
 use metaprep_synth::DatasetId;
 
 /// Run the smoke check; panics (fails the driver) on any validation
@@ -66,6 +66,34 @@ pub fn run(scale: f64) {
         }
     }
 
+    // Causal analysis gate: the happens-before DAG rebuilt from the
+    // parsed stream must be complete (every send matched, Lamport order
+    // intact) and its critical path must tile the run interval exactly.
+    let analysis = TraceAnalysis::from_events(&parsed);
+    analysis
+        .check_conservation()
+        .expect("every traced send must pair with a recv");
+    analysis
+        .check_causality()
+        .expect("lamport order must hold along every channel");
+    assert_eq!(analysis.events_dropped(), 0, "recorder dropped events");
+    let path = analysis.critical_path();
+    assert!(!path.is_empty(), "critical path must be non-empty");
+    assert_eq!(
+        path.iter().map(|s| s.dur_ns()).sum::<u64>(),
+        analysis.makespan_ns(),
+        "critical path must tile the makespan exactly"
+    );
+    assert!(
+        !analysis.pairs().is_empty(),
+        "a {tasks}-task run must move traced messages"
+    );
+    // The Chrome export carries the message edges as flow events.
+    assert!(
+        chrome.contains("\"ph\":\"s\"") && chrome.contains("\"ph\":\"f\""),
+        "chrome trace must contain flow start/finish events"
+    );
+
     let out = std::env::var("METAPREP_BENCH_OUT")
         .map(std::path::PathBuf::from)
         .unwrap_or_else(|_| std::path::PathBuf::from("target/BENCH_trace.json"));
@@ -83,6 +111,11 @@ pub fn run(scale: f64) {
     let rows = vec![
         vec!["tasks".to_string(), summary.tasks.to_string()],
         vec!["span events".to_string(), span_events.to_string()],
+        vec![
+            "message edges".to_string(),
+            analysis.pairs().len().to_string(),
+        ],
+        vec!["critical path segments".to_string(), path.len().to_string()],
         vec![
             "tuples".to_string(),
             summary

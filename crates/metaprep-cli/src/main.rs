@@ -13,6 +13,7 @@
 //! metaprep assemble  --input reads.fastq --k 21 --min-count 2 --output contigs.fa
 //! metaprep spectrum  --input reads.fastq --k 27
 //! metaprep report    --trace trace.jsonl
+//! metaprep analyze   --trace trace.jsonl [--top 5] [--folded stacks.txt] [--strict]
 //! ```
 //!
 //! All FASTQ inputs are treated as interleaved paired-end unless
@@ -51,7 +52,7 @@ fn main() {
 }
 
 const USAGE: &str =
-    "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum|report> [--options]
+    "usage: metaprep <simulate|index|partition|normalize|trim|assemble|spectrum|report|analyze> [--options]
 run `metaprep <command>` with missing options to see what each needs";
 
 /// Apply `--simd auto|avx2|neon|scalar` before any hot path runs: the
@@ -90,6 +91,7 @@ fn run(argv: &[String]) -> Result<(), Box<dyn std::error::Error>> {
         "assemble" => cmd_assemble(&args),
         "spectrum" => cmd_spectrum(&args),
         "report" => cmd_report(&args),
+        "analyze" => cmd_analyze(&args),
         other => Err(Box::new(ArgError(format!("unknown subcommand {other:?}")))),
     }
 }
@@ -148,6 +150,53 @@ fn cmd_report(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let src = std::fs::read_to_string(&path)?;
     let events = export::parse_jsonl(&src).map_err(ArgError)?;
     print!("{}", RunSummary::from_events(&events).render());
+    Ok(())
+}
+
+/// `metaprep analyze --trace trace.jsonl [--top 5] [--folded stacks.txt]
+/// [--strict]` — causal trace analysis: critical path, per-stage load
+/// imbalance, stragglers, Gantt rows, and bytes over time. `--folded`
+/// additionally writes collapsed stacks for flamegraph tooling;
+/// `--strict` turns an incomplete or causally inconsistent trace into a
+/// non-zero exit instead of a warning.
+fn cmd_analyze(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
+    use metaprep_obs::TraceAnalysis;
+    let path = args.req("trace")?;
+    let top = args.get_or("top", 5usize)?;
+    let src = std::fs::read_to_string(&path)?;
+    let events = export::parse_jsonl(&src).map_err(ArgError)?;
+    let a = TraceAnalysis::from_events(&events);
+
+    let mut problems: Vec<String> = Vec::new();
+    if let Err(e) = a.check_conservation() {
+        problems.push(format!("message conservation: {e}"));
+    }
+    if let Err(e) = a.check_causality() {
+        problems.push(format!("lamport causality: {e}"));
+    }
+    if a.events_dropped() > 0 {
+        problems.push(format!(
+            "trace is incomplete: {} event(s) dropped by the recorder",
+            a.events_dropped()
+        ));
+    }
+
+    print!("{}", a.render_report(top));
+
+    if let Some(folded) = args.opt("folded") {
+        std::fs::write(&folded, a.folded_stacks())?;
+        println!("wrote folded stacks -> {folded}");
+    }
+
+    for p in &problems {
+        eprintln!("warning: {p}");
+    }
+    if args.flag("strict") && !problems.is_empty() {
+        return Err(Box::new(ArgError(format!(
+            "--strict: {} problem(s) in the trace",
+            problems.len()
+        ))));
+    }
     Ok(())
 }
 
@@ -252,6 +301,8 @@ fn record_index_span(rec: &MemRecorder, t0_ns: u64, t1_ns: u64) {
         detail: None,
         start_ns: t0_ns,
         end_ns: t1_ns,
+        // Driver-side span, outside any task's causal timeline.
+        lamport: 0,
     });
 }
 

@@ -9,7 +9,7 @@ use crate::timings::{Step, StepTimings, TaskTimings};
 use metaprep_cc::{
     absorb_parent_array, absorb_sparse_pairs, sparse_pairs, ComponentStats, ConcurrentDisjointSet,
 };
-use metaprep_dist::collectives::{alltoall_obs, broadcast};
+use metaprep_dist::collectives::{alltoall_obs, broadcast_obs};
 use metaprep_dist::{run_cluster, ClusterConfig, CommStats, Payload, TaskCtx};
 use metaprep_index::{FastqPart, MerHist, RangePlan};
 use metaprep_io::ReadStore;
@@ -139,6 +139,8 @@ impl Pipeline {
             detail: None,
             start_ns: t0_ns,
             end_ns: t1_ns,
+            // Driver-side span, outside any task's causal timeline.
+            lamport: 0,
         });
         let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
         let source = MemorySource::new(reads, specs);
@@ -210,6 +212,8 @@ impl Pipeline {
             detail: None,
             start_ns: t0_ns,
             end_ns: t1_ns,
+            // Driver-side span, outside any task's causal timeline.
+            lamport: 0,
         });
 
         let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
@@ -476,7 +480,13 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         // ---- KmerGen-Comm: the P-stage all-to-all ----
         let t0 = obs.open();
         let outgoing: Vec<Msg<K::Tuple>> = gen.outgoing.into_iter().map(Msg::Tuples).collect();
-        let incoming = alltoall_obs(ctx, outgoing, &mut obs, Some(pass_u32));
+        let incoming = alltoall_obs(
+            ctx,
+            outgoing,
+            &mut obs,
+            Some(pass_u32),
+            Step::KmerGenComm.name(),
+        );
         let expected = expected_incoming(fastqpart, plan, pass, rank);
         // Checked conversion: a u64 receive count that doesn't fit the
         // address space must fail loudly, not silently truncate a buffer
@@ -572,12 +582,19 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
                 Msg::Parents(local.component_array().to_vec())
             };
             obs.add(CounterKind::MergeBytes, msg.size_bytes() as u64);
-            ctx.send(rank - stride, msg);
+            ctx.send_traced(
+                rank - stride,
+                msg,
+                &mut obs,
+                Step::MergeComm.name(),
+                Some(round),
+            );
             obs.close_detail(t0, Step::MergeComm.name(), None, Some(round));
             break;
         } else if rank % (2 * stride) == 0 && rank + stride < p {
             let t0 = obs.open();
-            let msg = ctx.recv_from(rank + stride);
+            let msg =
+                ctx.recv_from_traced(rank + stride, &mut obs, Step::MergeComm.name(), Some(round));
             obs.close_detail(t0, Step::MergeComm.name(), None, Some(round));
             obs.add(CounterKind::MergeBytes, msg.size_bytes() as u64);
             let t0 = obs.open();
@@ -596,9 +613,9 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     let t0 = obs.open();
     let final_labels = if rank == 0 {
         let arr = local.component_array().to_vec();
-        broadcast(ctx, 0, Some(Msg::Parents(arr)))
+        broadcast_obs(ctx, 0, Some(Msg::Parents(arr)), &mut obs, Step::CcIo.name())
     } else {
-        broadcast(ctx, 0, None)
+        broadcast_obs(ctx, 0, None, &mut obs, Step::CcIo.name())
     };
     let final_labels = match final_labels {
         Msg::Parents(arr) => arr,
@@ -1054,6 +1071,84 @@ mod tests {
         for step in Step::all() {
             assert!(text.contains(step.name()), "report missing {}", step.name());
         }
+    }
+
+    #[test]
+    fn critical_path_tiles_recorded_run_makespan_exactly() {
+        // Acceptance bar for the causal-tracing layer: on a real recorded
+        // partition run, the analyzer's critical path must tile the run
+        // interval exactly (segment durations sum to the makespan to the
+        // nanosecond), every send must pair with a recv in Lamport order,
+        // and the Chrome export (now with flow events) must still pass
+        // the schema validator.
+        use metaprep_obs::export::{validate_chrome, write_chrome};
+        use metaprep_obs::{Event, MemRecorder, TraceAnalysis};
+        let reads = small_reads();
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(4)
+            .threads(2)
+            .passes(2)
+            .build();
+        let rec = MemRecorder::new(4);
+        let res = Pipeline::new(cfg).run_reads_recorded(&reads, &rec).unwrap();
+        let events = rec.into_events();
+
+        let a = TraceAnalysis::from_events(&events);
+        a.check_conservation()
+            .expect("every send matches exactly one recv");
+        a.check_causality()
+            .expect("lamport order along every channel");
+        assert!(a.events_dropped() == 0 && a.warnings().is_empty());
+        // Real messages moved: P-stage all-to-all × 2 passes + merge tree
+        // + broadcast.
+        assert!(a.pairs().len() >= 4 * 3 * 2);
+
+        let path = a.critical_path();
+        assert!(!path.is_empty());
+        let sum: u64 = path.iter().map(|s| s.dur_ns()).sum();
+        assert_eq!(sum, a.makespan_ns(), "critical path must tile the run");
+        // The analyzer's makespan is the span-derived run interval — the
+        // same spans `StepTimings`/`RunSummary` are built from. IndexCreate
+        // starts at the run clock's origin on task 0.
+        let span_end = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { end_ns, .. } => Some(*end_ns),
+                _ => None,
+            })
+            .max()
+            .unwrap();
+        let span_start = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Span { start_ns, .. } => Some(*start_ns),
+                _ => None,
+            })
+            .min()
+            .unwrap();
+        assert_eq!(a.makespan_ns(), span_end - span_start);
+        assert!(a.makespan_ns() >= res.timings.index_create.as_nanos() as u64);
+
+        // The path is causally contiguous: each segment hands off exactly
+        // where the next begins.
+        for w in path.windows(2) {
+            assert_eq!(w[0].end_ns, w[1].start_ns);
+        }
+
+        // Imbalance stats exist for the paper steps that ran everywhere.
+        let imb = a.stage_imbalance();
+        assert!(imb.iter().any(|s| s.stage == "KmerGen"));
+        for s in &imb {
+            assert!(s.factor >= 1.0, "max/mean is at least 1");
+        }
+
+        // Chrome export with flow arrows still validates.
+        let chrome = write_chrome(&events);
+        validate_chrome(&chrome).expect("flow events must pass the schema validator");
+        let report = a.render_report(5);
+        assert!(report.contains("critical path"));
     }
 
     #[test]

@@ -285,6 +285,7 @@ mod tests {
             detail: None,
             start_ns,
             end_ns,
+            lamport: 0,
         };
         let spans = [
             mk("KmerGen", 0, 100),

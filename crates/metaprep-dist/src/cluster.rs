@@ -29,8 +29,20 @@ use crate::sync::channel::{DepthProbe, RecvTimeoutError};
 use crate::sync::channel::{Receiver, Sender};
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use crate::Payload;
+use metaprep_obs::TaskObs;
 use std::cell::Cell;
 use std::sync::{Arc, Condvar, Mutex};
+
+/// What actually travels on a channel: the payload plus the sender's
+/// Lamport clock at the send. The clock is tracing metadata — it costs
+/// one `u64` per message and is NOT counted as communication volume
+/// (`CommStats` stays the single source of truth for modeled bytes).
+/// Untraced sends ship clock 0, which is the identity for the receiver's
+/// `max(local, sender) + 1` merge.
+struct Envelope<M> {
+    msg: M,
+    clock: u64,
+}
 
 /// Cluster shape: `tasks` simulated MPI ranks, each owning a rayon pool of
 /// `threads_per_task` threads.
@@ -208,13 +220,20 @@ pub struct TaskCtx<M: Payload> {
     rank: usize,
     size: usize,
     /// senders[to] — channel into task `to`'s inbox from this task.
-    senders: Vec<Sender<M>>,
+    senders: Vec<Sender<Envelope<M>>>,
     /// receivers[from] — this task's inbox from task `from`.
-    receivers: Vec<Receiver<M>>,
+    receivers: Vec<Receiver<Envelope<M>>>,
     shared: Arc<SharedState>,
     pool: rayon::ThreadPool,
     /// Schedule-jitter PRNG state; 0 disables jitter (the default).
     jitter: Cell<u64>,
+    /// send_seq[to] — messages sent to `to` so far. Channels are per-pair
+    /// FIFO, so both endpoints can derive matching 0-based sequence
+    /// numbers independently; every send bumps it, traced or not, which
+    /// keeps the two sides aligned even in mixed traced/untraced runs.
+    send_seq: Vec<Cell<u64>>,
+    /// recv_seq[from] — messages received from `from` so far (see above).
+    recv_seq: Vec<Cell<u64>>,
 }
 
 impl<M: Payload> TaskCtx<M> {
@@ -254,6 +273,30 @@ impl<M: Payload> TaskCtx<M> {
     /// Send `msg` to task `to`. Never blocks (channels are unbounded; the
     /// simulation models volume, not backpressure).
     pub fn send(&self, to: usize, msg: M) {
+        // Untraced sends carry Lamport clock 0 — the identity under the
+        // receiver's max-merge, so traced and untraced traffic can mix.
+        self.send_env(to, msg, 0);
+    }
+
+    /// Traced send: records a `MessageSend` edge on `obs` (advancing its
+    /// Lamport clock) and ships the clock on the wire so the receiver can
+    /// merge it. Byte volume still flows only through `CommStats`.
+    pub fn send_traced(
+        &self,
+        to: usize,
+        msg: M,
+        obs: &mut TaskObs<'_>,
+        stage: &'static str,
+        round: Option<u32>,
+    ) {
+        let seq = self.send_seq[to].get();
+        let clock = obs.record_send(to as u32, stage, round, msg.size_bytes() as u64, seq);
+        self.send_env(to, msg, clock);
+    }
+
+    /// Shared send path: counts volume, bumps the per-pair sequence
+    /// counter, and delivers the envelope.
+    fn send_env(&self, to: usize, msg: M, clock: u64) {
         self.jitter_point();
         // ORDERING: Relaxed — pure statistics counters; the channel itself
         // synchronizes the payload, and counters are only read after the
@@ -261,8 +304,9 @@ impl<M: Payload> TaskCtx<M> {
         self.shared.bytes_sent[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
         // ORDERING: Relaxed — statistics counter, as above.
         self.shared.messages_sent[self.rank].fetch_add(1, Ordering::Relaxed);
+        self.send_seq[to].set(self.send_seq[to].get() + 1);
         self.senders[to]
-            .send(msg)
+            .send(Envelope { msg, clock })
             // EXPECT: receivers live until the thread scope joins; a disconnect means the peer already panicked and this panic surfaces it.
             .expect("receiving task exited before message was delivered");
     }
@@ -275,11 +319,44 @@ impl<M: Payload> TaskCtx<M> {
     /// the run with a per-task report.
     #[cfg(not(loom))]
     pub fn recv_from(&self, from: usize) -> M {
+        self.recv_env_from(from).msg
+    }
+
+    /// Traced receive: records a `MessageRecv` edge on `obs` and merges
+    /// the sender's Lamport clock (`max(local, sender) + 1`). Blocking
+    /// semantics are identical to [`TaskCtx::recv_from`].
+    pub fn recv_from_traced(
+        &self,
+        from: usize,
+        obs: &mut TaskObs<'_>,
+        stage: &'static str,
+        round: Option<u32>,
+    ) -> M {
+        // The sequence number identifies THIS message: the count of
+        // messages received from `from` before it (FIFO channel), read
+        // before `recv_env_from` bumps the counter.
+        let seq = self.recv_seq[from].get();
+        let env = self.recv_env_from(from);
+        obs.record_recv(
+            from as u32,
+            stage,
+            round,
+            env.msg.size_bytes() as u64,
+            seq,
+            env.clock,
+        );
+        env.msg
+    }
+
+    /// Shared blocking-receive path (watchdog variant); returns the raw
+    /// envelope so traced receives can see the sender's clock.
+    #[cfg(not(loom))]
+    fn recv_env_from(&self, from: usize) -> Envelope<M> {
         self.jitter_point();
         // ORDERING: Relaxed on all state words — monitoring only; see
         // `SharedState::deadlock_report` for why stale reads are safe.
         self.shared.task_state[self.rank].store(from as u64, Ordering::Relaxed);
-        let msg = loop {
+        let env = loop {
             match self.receivers[from].recv_timeout(WATCHDOG_POLL) {
                 Ok(m) => break m,
                 Err(RecvTimeoutError::Timeout) => {
@@ -305,8 +382,10 @@ impl<M: Payload> TaskCtx<M> {
         self.shared.task_state[self.rank].store(STATE_RUNNING, Ordering::Relaxed);
         self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
         // ORDERING: Relaxed — statistics counter, same reasoning as above.
-        self.shared.bytes_received[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
-        msg
+        self.shared.bytes_received[self.rank]
+            .fetch_add(env.msg.size_bytes() as u64, Ordering::Relaxed);
+        self.recv_seq[from].set(self.recv_seq[from].get() + 1);
+        env
     }
 
     /// Blocking receive under the loom model: the model's scheduler does
@@ -314,15 +393,24 @@ impl<M: Payload> TaskCtx<M> {
     /// blocked), so the runtime watchdog machinery is not needed.
     #[cfg(loom)]
     pub fn recv_from(&self, from: usize) -> M {
-        let msg = self.receivers[from]
+        self.recv_env_from(from).msg
+    }
+
+    /// Shared blocking-receive path (loom variant); see the non-loom
+    /// `recv_env_from` for the envelope rationale.
+    #[cfg(loom)]
+    fn recv_env_from(&self, from: usize) -> Envelope<M> {
+        let env = self.receivers[from]
             .recv()
             // EXPECT: under loom every modeled task runs to completion (or the model reports deadlock), so a disconnect can only follow a modeled panic.
             .expect("sending task exited before sending");
         // ORDERING: Relaxed — statistics counters, as in `send`.
         self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
         // ORDERING: Relaxed — statistics counter, same reasoning as above.
-        self.shared.bytes_received[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
-        msg
+        self.shared.bytes_received[self.rank]
+            .fetch_add(env.msg.size_bytes() as u64, Ordering::Relaxed);
+        self.recv_seq[from].set(self.recv_seq[from].get() + 1);
+        env
     }
 
     /// Synchronize all tasks.
@@ -380,8 +468,9 @@ where
 {
     let p = config.tasks;
     // Channel matrix: matrix[from][to].
-    let mut senders: Vec<Vec<Sender<M>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<M>>>> =
+    let mut senders: Vec<Vec<Sender<Envelope<M>>>> =
+        (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Envelope<M>>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for from in 0..p {
         for rx_row in receivers.iter_mut() {
@@ -436,6 +525,8 @@ where
             } else {
                 seed ^ (rank as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
             }),
+            send_seq: (0..p).map(|_| Cell::new(0)).collect(),
+            recv_seq: (0..p).map(|_| Cell::new(0)).collect(),
         })
         .collect();
 

@@ -26,23 +26,25 @@ pub fn stage_peers(rank: usize, p: usize, stage: usize) -> (usize, usize) {
 ///
 /// Must be called collectively (by every task, with `outgoing.len() == P`).
 pub fn alltoall<M: Payload>(ctx: &TaskCtx<M>, outgoing: Vec<M>) -> Vec<M> {
-    alltoall_inner(ctx, outgoing, None, None)
+    alltoall_inner(ctx, outgoing, None, None, "alltoall")
 }
 
 /// [`alltoall`] with telemetry: when the recorder is enabled, each of the
 /// `P-1` communicating stages becomes an [`ALLTOALL_STAGE`] sub-span
-/// (`detail` = stage index). Byte/message counters are *not* recorded
-/// here — the cluster's own [`crate::CommStats`] accounting (which also
-/// covers merge rounds and broadcasts) is the single source of truth for
-/// communication volume, and the pipeline surfaces it as counters after
-/// the run.
+/// (`detail` = stage index), and every message becomes a send/recv edge
+/// pair tagged `edge_stage` (round = `pass`) carrying the sender's
+/// Lamport clock. Byte/message counters are *not* recorded here — the
+/// cluster's own [`crate::CommStats`] accounting (which also covers merge
+/// rounds and broadcasts) is the single source of truth for communication
+/// volume, and the pipeline surfaces it as counters after the run.
 pub fn alltoall_obs<M: Payload>(
     ctx: &TaskCtx<M>,
     outgoing: Vec<M>,
     obs: &mut TaskObs<'_>,
     pass: Option<u32>,
+    edge_stage: &'static str,
 ) -> Vec<M> {
-    alltoall_inner(ctx, outgoing, Some(obs), pass)
+    alltoall_inner(ctx, outgoing, Some(obs), pass, edge_stage)
 }
 
 fn alltoall_inner<M: Payload>(
@@ -50,6 +52,7 @@ fn alltoall_inner<M: Payload>(
     mut outgoing: Vec<M>,
     mut obs: Option<&mut TaskObs<'_>>,
     pass: Option<u32>,
+    edge_stage: &'static str,
 ) -> Vec<M> {
     let p = ctx.size();
     assert_eq!(outgoing.len(), p, "alltoall requires one buffer per task");
@@ -64,16 +67,23 @@ fn alltoall_inner<M: Payload>(
 
     for stage in 1..p {
         let (to, from) = stage_peers(rank, p, stage);
-        let open = obs
-            .as_deref()
-            .filter(|o| o.export_enabled())
-            .map(|o| o.open());
         // EXPECT: `stage_peers` visits each destination exactly once per round, so the slot is still `Some`.
-        ctx.send(to, out[to].take().expect("buffer already sent"));
-        let received = ctx.recv_from(from);
-        if let (Some(o), Some(open)) = (obs.as_deref_mut(), open) {
-            o.close_detail(open, ALLTOALL_STAGE, pass, Some(stage as u32));
-        }
+        let buf = out[to].take().expect("buffer already sent");
+        let received = match obs.as_deref_mut() {
+            Some(o) => {
+                let open = o.export_enabled().then(|| o.open());
+                ctx.send_traced(to, buf, o, edge_stage, pass);
+                let received = ctx.recv_from_traced(from, o, edge_stage, pass);
+                if let Some(open) = open {
+                    o.close_detail(open, ALLTOALL_STAGE, pass, Some(stage as u32));
+                }
+                received
+            }
+            None => {
+                ctx.send(to, buf);
+                ctx.recv_from(from)
+            }
+        };
         incoming[from] = Some(received);
     }
 
@@ -126,6 +136,30 @@ pub fn broadcast<M: Payload + Clone>(ctx: &TaskCtx<M>, root: usize, msg: Option<
         m
     } else {
         ctx.recv_from(root)
+    }
+}
+
+/// [`broadcast`] with message tracing: every root→peer copy becomes a
+/// send/recv edge pair tagged `stage` so the fan-out shows up in the
+/// happens-before DAG (and as flow arrows in the Chrome export).
+pub fn broadcast_obs<M: Payload + Clone>(
+    ctx: &TaskCtx<M>,
+    root: usize,
+    msg: Option<M>,
+    obs: &mut TaskObs<'_>,
+    stage: &'static str,
+) -> M {
+    if ctx.rank() == root {
+        // EXPECT: documented contract — the root caller passes `Some`; non-root `msg` is never read.
+        let m = msg.expect("root must provide the message");
+        for to in 0..ctx.size() {
+            if to != root {
+                ctx.send_traced(to, m.clone(), obs, stage, None);
+            }
+        }
+        m
+    } else {
+        ctx.recv_from_traced(root, obs, stage, None)
     }
 }
 
@@ -215,7 +249,7 @@ mod tests {
         let r = run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(p, 1), move |ctx| {
             let mut obs = TaskObs::new(rec_ref, ctx.rank() as u32);
             let outgoing: Vec<Vec<u64>> = (0..ctx.size()).map(|_| vec![0u64; 8]).collect();
-            let incoming = alltoall_obs(ctx, outgoing, &mut obs, Some(0));
+            let incoming = alltoall_obs(ctx, outgoing, &mut obs, Some(0), "KmerGen-Comm");
             obs.finish();
             incoming.len()
         });
@@ -243,7 +277,7 @@ mod tests {
             let outgoing: Vec<Vec<u32>> = (0..ctx.size())
                 .map(|q| vec![ctx.rank() as u32 * 100 + q as u32])
                 .collect();
-            let incoming = alltoall_obs(ctx, outgoing, &mut obs, None);
+            let incoming = alltoall_obs(ctx, outgoing, &mut obs, None, "KmerGen-Comm");
             let n_spans = obs.spans().len();
             obs.finish();
             (incoming, n_spans)
@@ -253,6 +287,63 @@ mod tests {
             for (from, buf) in incoming.iter().enumerate() {
                 assert_eq!(buf, &vec![from as u32 * 100 + rank as u32]);
             }
+        }
+    }
+
+    #[test]
+    fn alltoall_obs_edges_are_matched_and_causal() {
+        use metaprep_obs::{EdgeDir, Event, MemRecorder};
+        use std::collections::BTreeMap;
+        let p = 4usize;
+        let rec = MemRecorder::new(p);
+        let rec_ref: &MemRecorder = &rec;
+        run_cluster::<Vec<u64>, _, _>(ClusterConfig::new(p, 1), move |ctx| {
+            let mut obs = TaskObs::new(rec_ref, ctx.rank() as u32);
+            let outgoing: Vec<Vec<u64>> = (0..ctx.size()).map(|_| vec![0u64; 8]).collect();
+            alltoall_obs(ctx, outgoing, &mut obs, Some(1), "KmerGen-Comm");
+            obs.finish();
+        });
+        // Every send has exactly one matching recv on the same
+        // (src, dst, seq) channel slot, with a strictly greater Lamport
+        // stamp; bytes agree on both endpoints.
+        let mut sends: BTreeMap<(u32, u32, u64), (u64, u64)> = BTreeMap::new();
+        let mut recvs: BTreeMap<(u32, u32, u64), (u64, u64)> = BTreeMap::new();
+        for e in rec.into_events() {
+            if let Event::Edge {
+                dir,
+                src,
+                dst,
+                stage,
+                round,
+                bytes,
+                seq,
+                lamport,
+                ..
+            } = e
+            {
+                assert_eq!(stage, "KmerGen-Comm");
+                assert_eq!(round, Some(1));
+                let side = match dir {
+                    EdgeDir::Send => &mut sends,
+                    EdgeDir::Recv => &mut recvs,
+                };
+                let prev = side.insert((src, dst, seq), (bytes, lamport));
+                assert!(prev.is_none(), "duplicate edge endpoint");
+            }
+        }
+        assert_eq!(sends.len(), p * (p - 1));
+        assert_eq!(
+            sends.keys().collect::<Vec<_>>(),
+            recvs.keys().collect::<Vec<_>>()
+        );
+        for (key, &(sent_bytes, send_lamport)) in &sends {
+            let &(recv_bytes, recv_lamport) = &recvs[key];
+            assert_eq!(sent_bytes, recv_bytes, "{key:?}");
+            assert_eq!(sent_bytes, 64, "8 u64s per buffer");
+            assert!(
+                recv_lamport > send_lamport,
+                "{key:?}: recv lamport {recv_lamport} must follow send {send_lamport}"
+            );
         }
     }
 
@@ -267,6 +358,51 @@ mod tests {
             broadcast(ctx, 2, msg)
         });
         assert!(r.results.iter().all(|m| m == &vec![7u8, 8, 9]));
+    }
+
+    #[test]
+    fn broadcast_obs_traces_root_fanout() {
+        use metaprep_obs::{EdgeDir, Event, MemRecorder};
+        let p = 4usize;
+        let rec = MemRecorder::new(p);
+        let rec_ref: &MemRecorder = &rec;
+        let r = run_cluster::<Vec<u8>, _, _>(ClusterConfig::new(p, 1), move |ctx| {
+            let mut obs = TaskObs::new(rec_ref, ctx.rank() as u32);
+            let msg = (ctx.rank() == 0).then(|| vec![5u8; 16]);
+            let got = broadcast_obs(ctx, 0, msg, &mut obs, "CC-I/O");
+            obs.finish();
+            got
+        });
+        assert!(r.results.iter().all(|m| m == &vec![5u8; 16]));
+        let events = rec.into_events();
+        let sends = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Edge {
+                        dir: EdgeDir::Send,
+                        src: 0,
+                        ..
+                    }
+                )
+            })
+            .count();
+        let recvs = events
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    Event::Edge {
+                        dir: EdgeDir::Recv,
+                        src: 0,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(sends, p - 1);
+        assert_eq!(recvs, p - 1);
     }
 
     #[test]

@@ -267,6 +267,8 @@ pub fn index_fastq_file_streaming_recorded(
                 detail: None,
                 start_ns,
                 end_ns,
+                // Driver-side span, outside any task's causal timeline.
+                lamport: 0,
             });
         }
     };

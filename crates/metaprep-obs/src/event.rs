@@ -40,6 +40,9 @@ pub struct SpanEvent {
     pub start_ns: u64,
     /// End, nanoseconds since the run clock's origin.
     pub end_ns: u64,
+    /// Recording task's Lamport clock when the span closed (0 for spans
+    /// recorded outside a task's causal timeline, e.g. driver-side).
+    pub lamport: u64,
 }
 
 impl SpanEvent {
@@ -47,6 +50,46 @@ impl SpanEvent {
     pub fn dur_ns(&self) -> u64 {
         self.end_ns.saturating_sub(self.start_ns)
     }
+}
+
+/// Which endpoint of a message an edge event records.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EdgeDir {
+    /// The sender-side (`MessageSend`) endpoint, recorded by `src`.
+    Send,
+    /// The receiver-side (`MessageRecv`) endpoint, recorded by `dst`.
+    Recv,
+}
+
+/// One endpoint of one message: a `MessageSend` or `MessageRecv` event.
+///
+/// A matched send/recv pair — same `(src, dst, seq)` — is a causal edge
+/// of the happens-before DAG. `stage` is a `&'static str` so recording an
+/// edge never allocates; parsed-back edges use [`Event::Edge`]'s owned
+/// form.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct EdgeEvent {
+    /// Send or receive endpoint.
+    pub dir: EdgeDir,
+    /// Sending task (MPI rank).
+    pub src: u32,
+    /// Receiving task (MPI rank).
+    pub dst: u32,
+    /// Communication stage the message belongs to (`KmerGen-Comm`,
+    /// `Merge-Comm`, `CC-I/O`, …).
+    pub stage: &'static str,
+    /// All-to-all pass / merge-tree round discriminator, if applicable.
+    pub round: Option<u32>,
+    /// Payload size in bytes (as counted by `CommStats`).
+    pub bytes: u64,
+    /// Per-(src, dst) FIFO sequence number: the n-th send from `src` to
+    /// `dst` matches the n-th recv — channels are FIFO and conservation
+    /// is asserted, so both sides derive the same number independently.
+    pub seq: u64,
+    /// Recording endpoint's Lamport clock after this event.
+    pub lamport: u64,
+    /// Timestamp, nanoseconds since the run clock's origin.
+    pub at_ns: u64,
 }
 
 macro_rules! counter_kinds {
@@ -107,6 +150,7 @@ counter_kinds! {
     RadixPassesRun => "radix_passes_run",
     RadixPassesPruned => "radix_passes_pruned",
     ScatterBytes => "scatter_bytes",
+    EventsDropped => "events_dropped",
 }
 
 impl CounterKind {
@@ -139,6 +183,29 @@ pub enum Event {
         start_ns: u64,
         /// End ns since the run origin.
         end_ns: u64,
+        /// Recording task's Lamport clock at span close (0 = unstamped).
+        lamport: u64,
+    },
+    /// One message endpoint (owned-stage form of [`EdgeEvent`]).
+    Edge {
+        /// Send or receive endpoint.
+        dir: EdgeDir,
+        /// Sending task.
+        src: u32,
+        /// Receiving task.
+        dst: u32,
+        /// Communication stage the message belongs to.
+        stage: String,
+        /// Pass / merge-round discriminator, if applicable.
+        round: Option<u32>,
+        /// Payload size in bytes.
+        bytes: u64,
+        /// Per-(src, dst) FIFO sequence number.
+        seq: u64,
+        /// Recording endpoint's Lamport clock after this event.
+        lamport: u64,
+        /// Timestamp, ns since the run origin.
+        at_ns: u64,
     },
     /// Final accumulated value of one `(task, kind)` counter.
     Counter {
@@ -160,6 +227,23 @@ impl From<SpanEvent> for Event {
             detail: s.detail,
             start_ns: s.start_ns,
             end_ns: s.end_ns,
+            lamport: s.lamport,
+        }
+    }
+}
+
+impl From<EdgeEvent> for Event {
+    fn from(e: EdgeEvent) -> Event {
+        Event::Edge {
+            dir: e.dir,
+            src: e.src,
+            dst: e.dst,
+            stage: e.stage.to_string(),
+            round: e.round,
+            bytes: e.bytes,
+            seq: e.seq,
+            lamport: e.lamport,
+            at_ns: e.at_ns,
         }
     }
 }
@@ -192,8 +276,44 @@ mod tests {
             detail: None,
             start_ns: 10,
             end_ns: 4,
+            lamport: 0,
         };
         assert_eq!(s.dur_ns(), 0);
+    }
+
+    #[test]
+    fn edge_event_converts_losslessly() {
+        let e = EdgeEvent {
+            dir: EdgeDir::Send,
+            src: 1,
+            dst: 2,
+            stage: "KmerGen-Comm",
+            round: Some(0),
+            bytes: 64,
+            seq: 3,
+            lamport: 9,
+            at_ns: 1234,
+        };
+        match Event::from(e) {
+            Event::Edge {
+                dir,
+                src,
+                dst,
+                stage,
+                round,
+                bytes,
+                seq,
+                lamport,
+                at_ns,
+            } => {
+                assert_eq!(dir, EdgeDir::Send);
+                assert_eq!((src, dst), (1, 2));
+                assert_eq!(stage, "KmerGen-Comm");
+                assert_eq!(round, Some(0));
+                assert_eq!((bytes, seq, lamport, at_ns), (64, 3, 9, 1234));
+            }
+            other => panic!("expected Edge, got {other:?}"),
+        }
     }
 
     #[test]

@@ -23,14 +23,22 @@
 //!   step), with a schema validator used by CI's bench smoke;
 //! * [`report`] — reconstructs per-step/per-pass/per-task aggregates from
 //!   an event stream and renders the run summary table behind
-//!   `metaprep report`.
+//!   `metaprep report`;
+//! * [`analysis`] — causal analysis over the same stream: matches
+//!   [`EdgeEvent`] send/recv pairs into a happens-before DAG (per-rank
+//!   Lamport clocks, FIFO sequence numbers), extracts the critical path
+//!   (its segments tile the run makespan exactly), and derives per-stage
+//!   load-imbalance factors, stragglers, Gantt rows and byte timelines
+//!   behind `metaprep analyze`.
 
+pub mod analysis;
 pub mod event;
 pub mod export;
 pub mod json;
 pub mod rec;
 pub mod report;
 
-pub use event::{CounterKind, Event, SpanEvent};
+pub use analysis::TraceAnalysis;
+pub use event::{CounterKind, EdgeDir, EdgeEvent, Event, SpanEvent};
 pub use rec::{MemRecorder, NoopRecorder, OpenSpan, Recorder, RunClock, TaskObs};
 pub use report::RunSummary;

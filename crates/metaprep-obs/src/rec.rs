@@ -8,7 +8,7 @@
 //! exit. With the [`NoopRecorder`] the flush drops everything, and the
 //! per-tuple path (counters are batched per pass/range) costs nothing.
 
-use crate::event::{CounterKind, Event, SpanEvent};
+use crate::event::{CounterKind, EdgeDir, EdgeEvent, Event, SpanEvent};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -55,7 +55,13 @@ pub trait Recorder: Sync {
     fn clock(&self) -> RunClock;
 
     /// Bulk flush of one task's locally-buffered events at task exit.
-    fn flush_task(&self, task: u32, spans: Vec<SpanEvent>, counters: Vec<(CounterKind, u64)>);
+    fn flush_task(
+        &self,
+        task: u32,
+        spans: Vec<SpanEvent>,
+        counters: Vec<(CounterKind, u64)>,
+        edges: Vec<EdgeEvent>,
+    );
 
     /// Run-level span recorded from the driver thread (e.g. IndexCreate).
     fn record_span(&self, span: SpanEvent);
@@ -98,7 +104,14 @@ impl Recorder for NoopRecorder {
     }
 
     #[inline]
-    fn flush_task(&self, _task: u32, _spans: Vec<SpanEvent>, _counters: Vec<(CounterKind, u64)>) {}
+    fn flush_task(
+        &self,
+        _task: u32,
+        _spans: Vec<SpanEvent>,
+        _counters: Vec<(CounterKind, u64)>,
+        _edges: Vec<EdgeEvent>,
+    ) {
+    }
 
     #[inline]
     fn record_span(&self, _span: SpanEvent) {}
@@ -112,6 +125,7 @@ impl Recorder for NoopRecorder {
 struct TaskTrace {
     spans: Vec<SpanEvent>,
     counters: Vec<(CounterKind, u64)>,
+    edges: Vec<EdgeEvent>,
 }
 
 /// Lock-free in-memory collector: one single-writer slot per simulated
@@ -137,17 +151,19 @@ impl MemRecorder {
     }
 
     /// Drain into an owned, export-ready event stream: the meta header,
-    /// then all spans ordered by start time, then counters aggregated
-    /// per `(task, kind)`.
+    /// then all spans ordered by start time, then message edges ordered
+    /// by timestamp, then counters aggregated per `(task, kind)`.
     pub fn into_events(self) -> Vec<Event> {
         let ntasks = self.tasks.len() as u32;
         let mut spans: Vec<Event> = Vec::new();
+        let mut edges: Vec<Event> = Vec::new();
         let mut totals: std::collections::BTreeMap<(u32, CounterKind), u64> =
             std::collections::BTreeMap::new();
 
         for (task, slot) in self.tasks.into_iter().enumerate() {
             if let Some(trace) = slot.into_inner() {
                 spans.extend(trace.spans.into_iter().map(Event::from));
+                edges.extend(trace.edges.into_iter().map(Event::from));
                 for (kind, value) in trace.counters {
                     *totals.entry((task as u32, kind)).or_insert(0) += value;
                 }
@@ -162,6 +178,7 @@ impl MemRecorder {
                 Event::Counter { task, kind, value } => {
                     *totals.entry((task, kind)).or_insert(0) += value;
                 }
+                edge @ Event::Edge { .. } => edges.push(edge),
                 other => spans.push(other),
             }
         }
@@ -170,10 +187,22 @@ impl MemRecorder {
             Event::Span { start_ns, task, .. } => (*start_ns, *task),
             _ => (0, 0),
         });
+        edges.sort_by_key(|e| match e {
+            Event::Edge {
+                at_ns,
+                dir,
+                src,
+                dst,
+                seq,
+                ..
+            } => (*at_ns, *dir, *src, *dst, *seq),
+            _ => (0, EdgeDir::Send, 0, 0, 0),
+        });
 
-        let mut out = Vec::with_capacity(1 + spans.len() + totals.len());
+        let mut out = Vec::with_capacity(1 + spans.len() + edges.len() + totals.len());
         out.push(Event::Meta { tasks: ntasks });
         out.extend(spans);
+        out.extend(edges);
         out.extend(
             totals
                 .into_iter()
@@ -192,13 +221,44 @@ impl Recorder for MemRecorder {
         self.clock
     }
 
-    fn flush_task(&self, task: u32, spans: Vec<SpanEvent>, counters: Vec<(CounterKind, u64)>) {
+    fn flush_task(
+        &self,
+        task: u32,
+        spans: Vec<SpanEvent>,
+        counters: Vec<(CounterKind, u64)>,
+        edges: Vec<EdgeEvent>,
+    ) {
+        // Flushes that cannot land in a slot (task out of range, or the
+        // slot already taken by an earlier flush) are not silently lost:
+        // the dropped event count is recorded per task so `report` and
+        // `analyze` can flag the trace as incomplete. The drop path is
+        // exceptional and one-shot, so taking the driver-side mutex here
+        // does not contend with the lock-free happy path.
+        let dropped = |n: usize| {
+            self.run_events
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .push(Event::Counter {
+                    task,
+                    kind: CounterKind::EventsDropped,
+                    value: n as u64,
+                });
+        };
+        let n_events = spans.len() + counters.len() + edges.len();
         let Some(slot) = self.tasks.get(task as usize) else {
-            debug_assert!(false, "flush_task: task {task} out of range");
+            dropped(n_events);
             return;
         };
-        let ok = slot.set(TaskTrace { spans, counters }).is_ok();
-        debug_assert!(ok, "task {task} flushed twice");
+        let ok = slot
+            .set(TaskTrace {
+                spans,
+                counters,
+                edges,
+            })
+            .is_ok();
+        if !ok {
+            dropped(n_events);
+        }
     }
 
     fn record_span(&self, span: SpanEvent) {
@@ -224,13 +284,19 @@ pub struct OpenSpan {
 }
 
 /// Per-task instrumentation handle. Owned by the task body; buffers
-/// spans and counters locally and flushes once via [`TaskObs::finish`].
+/// spans, counters, and message edges locally and flushes once via
+/// [`TaskObs::finish`]. Also owns the task's Lamport clock: it ticks on
+/// every span close and message send, and merges (`max(local, sender) +
+/// 1`) on every message receive, so a receive is always causally after
+/// its send.
 pub struct TaskObs<'r> {
     rec: &'r dyn Recorder,
     clock: RunClock,
     task: u32,
     export: bool,
+    lamport: u64,
     spans: Vec<SpanEvent>,
+    edges: Vec<EdgeEvent>,
     counters: [u64; CounterKind::ALL.len()],
 }
 
@@ -242,7 +308,9 @@ impl<'r> TaskObs<'r> {
             clock: rec.clock(),
             task,
             export: rec.enabled(),
+            lamport: 0,
             spans: Vec::new(),
+            edges: Vec::new(),
             counters: [0; CounterKind::ALL.len()],
         }
     }
@@ -284,6 +352,7 @@ impl<'r> TaskObs<'r> {
         detail: Option<u32>,
     ) {
         let end_ns = self.clock.now_ns();
+        self.lamport += 1;
         self.spans.push(SpanEvent {
             task: self.task,
             name,
@@ -291,6 +360,7 @@ impl<'r> TaskObs<'r> {
             detail,
             start_ns: open.start_ns,
             end_ns: end_ns.max(open.start_ns),
+            lamport: self.lamport,
         });
     }
 
@@ -307,6 +377,7 @@ impl<'r> TaskObs<'r> {
         pass: Option<u32>,
     ) -> OpenSpan {
         let end_ns = start.start_ns + dur_ns;
+        self.lamport += 1;
         self.spans.push(SpanEvent {
             task: self.task,
             name,
@@ -314,8 +385,81 @@ impl<'r> TaskObs<'r> {
             detail: None,
             start_ns: start.start_ns,
             end_ns,
+            lamport: self.lamport,
         });
         OpenSpan { start_ns: end_ns }
+    }
+
+    /// Record the send endpoint of a message to `dst` and return the
+    /// Lamport clock to ship with it. Ticks the local clock first
+    /// (Lamport's rule: a send is a local event), so the receiver's
+    /// merged clock is strictly greater than the value returned here.
+    /// The edge is buffered only when the recorder keeps events; the
+    /// clock still ticks so span stamps stay consistent either way.
+    #[inline]
+    pub fn record_send(
+        &mut self,
+        dst: u32,
+        stage: &'static str,
+        round: Option<u32>,
+        bytes: u64,
+        seq: u64,
+    ) -> u64 {
+        self.lamport += 1;
+        if self.export {
+            self.edges.push(EdgeEvent {
+                dir: EdgeDir::Send,
+                src: self.task,
+                dst,
+                stage,
+                round,
+                bytes,
+                seq,
+                lamport: self.lamport,
+                at_ns: self.clock.now_ns(),
+            });
+        }
+        self.lamport
+    }
+
+    /// Record the receive endpoint of a message from `src` carrying the
+    /// sender's Lamport clock: the local clock becomes
+    /// `max(local, sender) + 1`, so the recv event is causally after both
+    /// the matching send and every prior local event.
+    #[inline]
+    pub fn record_recv(
+        &mut self,
+        src: u32,
+        stage: &'static str,
+        round: Option<u32>,
+        bytes: u64,
+        seq: u64,
+        sender_lamport: u64,
+    ) {
+        self.lamport = self.lamport.max(sender_lamport) + 1;
+        if self.export {
+            self.edges.push(EdgeEvent {
+                dir: EdgeDir::Recv,
+                src,
+                dst: self.task,
+                stage,
+                round,
+                bytes,
+                seq,
+                lamport: self.lamport,
+                at_ns: self.clock.now_ns(),
+            });
+        }
+    }
+
+    /// The task's current Lamport clock.
+    pub fn lamport(&self) -> u64 {
+        self.lamport
+    }
+
+    /// The message edges recorded so far.
+    pub fn edges(&self) -> &[EdgeEvent] {
+        &self.edges
     }
 
     /// Add `delta` to a counter (a plain array add — no atomics, no
@@ -345,7 +489,8 @@ impl<'r> TaskObs<'r> {
             .filter(|k| self.counters[k.idx()] != 0)
             .map(|&k| (k, self.counters[k.idx()]))
             .collect();
-        self.rec.flush_task(self.task, self.spans, counters);
+        self.rec
+            .flush_task(self.task, self.spans, counters, self.edges);
     }
 }
 
@@ -428,6 +573,7 @@ mod tests {
             detail: None,
             start_ns: 50,
             end_ns: 60,
+            lamport: 0,
         });
         {
             let mut obs = TaskObs::new(&rec, 1);
@@ -443,5 +589,98 @@ mod tests {
             })
             .collect();
         assert_eq!(starts, vec![10, 50]);
+    }
+
+    #[test]
+    fn lamport_ticks_on_spans_and_sends_and_merges_on_recv() {
+        let rec = MemRecorder::new(2);
+        let mut obs = TaskObs::new(&rec, 0);
+        assert_eq!(obs.lamport(), 0);
+        let o = obs.open();
+        obs.close(o, "KmerGen", None);
+        assert_eq!(obs.lamport(), 1);
+        let shipped = obs.record_send(1, "KmerGen-Comm", Some(0), 32, 0);
+        assert_eq!(shipped, 2);
+        // A recv carrying a far-ahead sender clock jumps past it.
+        obs.record_recv(1, "KmerGen-Comm", Some(0), 8, 0, 100);
+        assert_eq!(obs.lamport(), 101);
+        // A recv from a lagging sender still ticks.
+        obs.record_recv(1, "KmerGen-Comm", Some(0), 8, 1, 3);
+        assert_eq!(obs.lamport(), 102);
+        assert_eq!(obs.edges().len(), 3);
+        obs.finish();
+        let n_edges = rec
+            .into_events()
+            .iter()
+            .filter(|e| matches!(e, Event::Edge { .. }))
+            .count();
+        assert_eq!(n_edges, 3);
+    }
+
+    #[test]
+    fn flushed_edges_survive_into_events() {
+        let rec = MemRecorder::new(2);
+        {
+            let mut obs = TaskObs::new(&rec, 0);
+            obs.record_send(1, "Merge-Comm", Some(2), 64, 0);
+            obs.finish();
+        }
+        let events = rec.into_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Edge {
+                dir: EdgeDir::Send,
+                src: 0,
+                dst: 1,
+                round: Some(2),
+                bytes: 64,
+                ..
+            }
+        )));
+    }
+
+    #[test]
+    fn noop_recorder_skips_edge_buffering_but_clock_still_ticks() {
+        let rec = NoopRecorder::new();
+        let mut obs = TaskObs::new(&rec, 0);
+        let shipped = obs.record_send(1, "KmerGen-Comm", None, 8, 0);
+        assert_eq!(shipped, 1);
+        assert!(obs.edges().is_empty());
+    }
+
+    #[test]
+    fn dropped_flushes_are_counted_per_task() {
+        let rec = MemRecorder::new(1);
+        {
+            let mut obs = TaskObs::new(&rec, 0);
+            let o = obs.open();
+            obs.close(o, "KmerGen", None);
+            obs.finish();
+        }
+        // Second flush for the same task: slot already taken, 2 events
+        // (1 span + 1 counter) dropped.
+        let span = SpanEvent {
+            task: 0,
+            name: "KmerGen",
+            pass: None,
+            detail: None,
+            start_ns: 0,
+            end_ns: 1,
+            lamport: 1,
+        };
+        rec.flush_task(0, vec![span], vec![(CounterKind::TuplesEmitted, 1)], vec![]);
+        // Out-of-range task: 1 span dropped, attributed to that task id.
+        rec.flush_task(9, vec![span], vec![], vec![]);
+        let events = rec.into_events();
+        assert!(events.contains(&Event::Counter {
+            task: 0,
+            kind: CounterKind::EventsDropped,
+            value: 2
+        }));
+        assert!(events.contains(&Event::Counter {
+            task: 9,
+            kind: CounterKind::EventsDropped,
+            value: 1
+        }));
     }
 }

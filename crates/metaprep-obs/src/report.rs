@@ -48,6 +48,7 @@ impl RunSummary {
                 Event::Span { task, .. } | Event::Counter { task, .. } => {
                     tasks = tasks.max(task + 1)
                 }
+                Event::Edge { src, dst, .. } => tasks = tasks.max(src.max(dst) + 1),
             }
         }
         let mut s = RunSummary {
@@ -61,6 +62,9 @@ impl RunSummary {
         for ev in events {
             match ev {
                 Event::Meta { .. } => {}
+                // Message edges carry causal structure, not durations;
+                // the analysis module consumes them.
+                Event::Edge { .. } => {}
                 Event::Span {
                     task,
                     name,
@@ -263,6 +267,21 @@ impl RunSummary {
                 let _ = writeln!(out, "  {name:<24} {:>12.4}", sec(*ns));
             }
         }
+
+        let dropped = self.counter_total(CounterKind::EventsDropped);
+        if dropped > 0 {
+            let _ = writeln!(out);
+            let _ = writeln!(
+                out,
+                "WARNING: trace is incomplete — {dropped} event(s) dropped by the recorder"
+            );
+            for t in 0..self.tasks {
+                let d = self.counter(t, CounterKind::EventsDropped);
+                if d > 0 {
+                    let _ = writeln!(out, "  task {t:<4} {d:>12} dropped");
+                }
+            }
+        }
         out
     }
 }
@@ -291,6 +310,7 @@ mod tests {
             detail: None,
             start_ns: start,
             end_ns: end,
+            lamport: 0,
         })
     }
 
@@ -336,6 +356,7 @@ mod tests {
                 detail: None,
                 start_ns: 0,
                 end_ns: 1_000,
+                lamport: 0,
             },
             Event::Span {
                 task: 0,
@@ -344,11 +365,32 @@ mod tests {
                 detail: Some(2),
                 start_ns: 0,
                 end_ns: 10,
+                lamport: 0,
             },
         ];
         let s = RunSummary::from_events(&events);
         assert_eq!(s.index_create_ns, 1_000);
         assert_eq!(s.pipeline_task_ns(), vec![0]);
         assert!(s.render().contains("alltoall-stage"));
+    }
+
+    #[test]
+    fn dropped_events_surface_as_warning() {
+        let events = vec![
+            Event::Meta { tasks: 2 },
+            span(0, "KmerGen", 0, 0, 100),
+            Event::Counter {
+                task: 1,
+                kind: CounterKind::EventsDropped,
+                value: 3,
+            },
+        ];
+        let s = RunSummary::from_events(&events);
+        let text = s.render();
+        assert!(text.contains("WARNING: trace is incomplete"));
+        assert!(text.contains("3 dropped") || text.contains("3"));
+        // A clean trace has no warning.
+        let clean = RunSummary::from_events(&[Event::Meta { tasks: 1 }]);
+        assert!(!clean.render().contains("WARNING"));
     }
 }

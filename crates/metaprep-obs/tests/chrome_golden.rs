@@ -8,6 +8,7 @@
 //! UPDATE_GOLDEN=1 cargo test -p metaprep-obs --test chrome_golden
 //! ```
 
+use metaprep_obs::event::EdgeDir;
 use metaprep_obs::export::{validate_chrome, write_chrome};
 use metaprep_obs::json;
 use metaprep_obs::{CounterKind, Event};
@@ -20,12 +21,27 @@ fn span(task: u32, name: &str, pass: Option<u32>, detail: Option<u32>, ns: (u64,
         detail,
         start_ns: ns.0,
         end_ns: ns.1,
+        lamport: 0,
+    }
+}
+
+fn edge(dir: EdgeDir, src: u32, dst: u32, seq: u64, lamport: u64, at_ns: u64) -> Event {
+    Event::Edge {
+        dir,
+        src,
+        dst,
+        stage: "KmerGen-Comm".to_string(),
+        round: Some(0),
+        bytes: 4_096,
+        seq,
+        lamport,
+        at_ns,
     }
 }
 
 /// A fixed two-task run touching every event shape the exporter handles:
 /// the meta header, a driver-side IndexCreate span, per-pass step spans,
-/// an all-to-all stage sub-span, and counters.
+/// an all-to-all stage sub-span, message-edge flow events, and counters.
 fn fixture() -> Vec<Event> {
     vec![
         Event::Meta { tasks: 2 },
@@ -43,6 +59,8 @@ fn fixture() -> Vec<Event> {
             (4_100_000, 4_900_000),
         ),
         span(1, "KmerGen-Comm", Some(0), None, (4_200_000, 5_100_000)),
+        edge(EdgeDir::Send, 0, 1, 0, 3, 4_150_000),
+        edge(EdgeDir::Recv, 0, 1, 0, 4, 4_300_000),
         span(0, "LocalSort", Some(0), None, (5_000_000, 7_250_500)),
         span(1, "LocalSort", Some(0), None, (5_100_000, 7_100_000)),
         span(0, "Merge-Comm", None, Some(0), (7_300_000, 7_400_000)),
@@ -118,4 +136,12 @@ fn golden_trace_is_valid_and_well_shaped() {
     }
     assert_eq!(span_pids, [0u64, 1].into_iter().collect());
     assert!(named_pids.is_superset(&span_pids), "every task pid named");
+
+    // The message edge shows up as a matched flow pair.
+    let flows: Vec<&str> = evs
+        .iter()
+        .filter_map(|e| e.get("ph").and_then(|p| p.as_str()))
+        .filter(|ph| matches!(*ph, "s" | "f"))
+        .collect();
+    assert_eq!(flows, vec!["s", "f"]);
 }

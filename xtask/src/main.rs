@@ -16,9 +16,16 @@
 //!   (`target/BENCH_sort.json` gated on the fused-LocalSort ratio,
 //!   `target/BENCH_kmergen.json` gated on the dispatched-SIMD-vs-scalar
 //!   KmerGen ratio when a vector backend is active, `target/BENCH_loom.json`
-//!   gated on the DPOR reduction of the 3-task all-to-all model); CI
+//!   gated on the DPOR reduction of the 3-task all-to-all model), and
+//!   finally `metaprep analyze --strict` over the JSONL run trace
+//!   (causal-analysis gate: matched send/recv edges, non-empty critical
+//!   path; report saved as `target/BENCH_analysis.txt`); CI
 //!   uploads all of them as artifacts so the perf and model-checking
 //!   trajectories accumulate per commit.
+//! * `bench-diff` — compare the current `target/BENCH_*.json` against a
+//!   baseline (`--baseline <dir>` with the same files, or `--ref <git-ref>`
+//!   read via `git show`), print a per-metric delta table, and fail any
+//!   metric that trips the same absolute gate `bench-smoke` enforces.
 //!
 //! The custom pass is a line scanner (no rustc plumbing, no external
 //! deps) enforcing three policies on workspace sources:
@@ -82,15 +89,20 @@ fn main() -> ExitCode {
         "lint" => run_lint_pass(),
         "check" => run_check(&flags),
         "bench-smoke" => run_bench_smoke(),
+        "bench-diff" => run_bench_diff(&flags),
         "help" | "--help" | "-h" => {
             eprintln!(
-                "usage: cargo xtask [check|lint|bench-smoke] \
-                 [--miri] [--tsan] [--skip-clippy] [--skip-fmt]"
+                "usage: cargo xtask [check|lint|bench-smoke|bench-diff] \
+                 [--miri] [--tsan] [--skip-clippy] [--skip-fmt] \
+                 [--baseline <dir>] [--ref <git-ref>]"
             );
             ExitCode::SUCCESS
         }
         other => {
-            eprintln!("xtask: unknown command `{other}` (try `check`, `lint`, or `bench-smoke`)");
+            eprintln!(
+                "xtask: unknown command `{other}` \
+                 (try `check`, `lint`, `bench-smoke`, or `bench-diff`)"
+            );
             ExitCode::FAILURE
         }
     }
@@ -399,7 +411,204 @@ fn run_bench_smoke() -> ExitCode {
         }
     }
     eprintln!("xtask bench-smoke: ok ({})", loom.display());
+
+    // Causal trace analysis: `metaprep analyze` must digest the JSONL
+    // trace the smoke just wrote — schema problems, unmatched edges, or
+    // an empty critical path all exit non-zero under --strict. The text
+    // report lands in target/BENCH_analysis.txt for the CI artifact.
+    let jsonl = trace.with_extension("jsonl");
+    let analysis_out = root.join("target").join("BENCH_analysis.txt");
+    std::fs::remove_file(&analysis_out).ok();
+    eprintln!("== xtask: bench smoke (analyze) ==");
+    let output = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-cli",
+            "--",
+            "analyze",
+            "--strict",
+            "--trace",
+        ])
+        .arg(&jsonl)
+        .output();
+    let Ok(output) = output else {
+        eprintln!("xtask bench-smoke: failed to launch metaprep analyze");
+        return ExitCode::FAILURE;
+    };
+    if !output.status.success() {
+        eprintln!("xtask bench-smoke: metaprep analyze --strict failed");
+        eprintln!("{}", String::from_utf8_lossy(&output.stderr));
+        return ExitCode::FAILURE;
+    }
+    let report = String::from_utf8_lossy(&output.stdout).to_string();
+    if !report.contains("critical path") || report.contains("critical path — 0 segment(s)") {
+        eprintln!("xtask bench-smoke: analyze report has no critical path");
+        return ExitCode::FAILURE;
+    }
+    if std::fs::write(&analysis_out, &report).is_err() {
+        eprintln!(
+            "xtask bench-smoke: could not write {}",
+            analysis_out.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    eprintln!("xtask bench-smoke: ok ({})", analysis_out.display());
     ExitCode::SUCCESS
+}
+
+/// One gated metric of a bench artifact, mirroring the absolute gates
+/// `bench-smoke` enforces (the diff adds the baseline delta next to them).
+struct BenchMetric {
+    /// Artifact file name under `target/`.
+    artifact: &'static str,
+    /// JSON key of the gated number (quoted, as stored).
+    key: &'static str,
+    /// `true` when larger values are better (speedup ratios).
+    higher_is_better: bool,
+    /// The absolute gate a current value must stay on the right side of.
+    gate: f64,
+    /// Substring of the artifact that disables the gate (e.g. the SIMD
+    /// speedup gate is meaningless on a scalar-only box).
+    gate_waiver: Option<&'static str>,
+}
+
+const BENCH_METRICS: &[BenchMetric] = &[
+    BenchMetric {
+        artifact: "BENCH_sort.json",
+        key: "\"fused_over_reference\"",
+        higher_is_better: true,
+        gate: 1.1,
+        gate_waiver: None,
+    },
+    BenchMetric {
+        artifact: "BENCH_sort.json",
+        key: "\"radix_passes_pruned\"",
+        higher_is_better: true,
+        gate: 1.0,
+        gate_waiver: None,
+    },
+    BenchMetric {
+        artifact: "BENCH_kmergen.json",
+        key: "\"dispatched_over_scalar\"",
+        higher_is_better: true,
+        gate: 1.2,
+        gate_waiver: Some("\"backend\": \"scalar\""),
+    },
+    BenchMetric {
+        artifact: "BENCH_loom.json",
+        key: "\"alltoall3_explored\"",
+        higher_is_better: false,
+        gate: 33_500.0,
+        gate_waiver: None,
+    },
+];
+
+/// `cargo xtask bench-diff [--baseline <dir>] [--ref <git-ref>]` —
+/// compare the current `target/BENCH_*.json` artifacts against a
+/// baseline copy (a directory of the same files, or a git ref that has
+/// them committed, read via `git show <ref>:target/<name>`), print a
+/// per-metric delta table, and fail when a current value trips the same
+/// absolute gate `bench-smoke` enforces. Deltas themselves are
+/// informational — shared-runner noise makes them a trend signal, not a
+/// pass/fail criterion.
+fn run_bench_diff(flags: &[&str]) -> ExitCode {
+    let root = workspace_root();
+    let mut baseline_dir: Option<PathBuf> = None;
+    let mut git_ref: Option<String> = None;
+    let mut it = flags.iter();
+    while let Some(f) = it.next() {
+        match *f {
+            "--baseline" => baseline_dir = it.next().map(PathBuf::from),
+            "--ref" => git_ref = it.next().map(|s| s.to_string()),
+            other => {
+                eprintln!("xtask bench-diff: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let baseline_text = |artifact: &str| -> Option<String> {
+        if let Some(dir) = &baseline_dir {
+            return std::fs::read_to_string(dir.join(artifact)).ok();
+        }
+        if let Some(r) = &git_ref {
+            let out = Command::new("git")
+                .args(["show", &format!("{r}:target/{artifact}")])
+                .current_dir(&root)
+                .output()
+                .ok()?;
+            if out.status.success() {
+                return String::from_utf8(out.stdout).ok();
+            }
+        }
+        None
+    };
+
+    let fmt_opt = |v: Option<f64>| match v {
+        Some(x) => format!("{x:>10.3}"),
+        None => format!("{:>10}", "-"),
+    };
+
+    eprintln!(
+        "{:<18} {:<26} {:>10} {:>10} {:>9}  {:<8} status",
+        "artifact", "metric", "baseline", "current", "delta", "gate"
+    );
+    let mut failed = false;
+    for m in BENCH_METRICS {
+        let cur_text = std::fs::read_to_string(root.join("target").join(m.artifact)).ok();
+        let cur = cur_text.as_deref().and_then(|t| json_number(t, m.key));
+        let base = baseline_text(m.artifact)
+            .as_deref()
+            .and_then(|t| json_number(t, m.key));
+        let waived = match (m.gate_waiver, cur_text.as_deref()) {
+            (Some(needle), Some(t)) => t.contains(needle),
+            _ => false,
+        };
+        let delta = match (base, cur) {
+            (Some(b), Some(c)) if b != 0.0 => Some((c - b) * 100.0 / b),
+            _ => None,
+        };
+        let gate_str = format!("{}{}", if m.higher_is_better { ">=" } else { "<=" }, m.gate);
+        let status = match cur {
+            None => {
+                failed = true;
+                "MISSING (run `cargo xtask bench-smoke` first)"
+            }
+            Some(_) if waived => "waived",
+            Some(c)
+                if (m.higher_is_better && c >= m.gate) || (!m.higher_is_better && c <= m.gate) =>
+            {
+                "ok"
+            }
+            Some(_) => {
+                failed = true;
+                "FAIL"
+            }
+        };
+        eprintln!(
+            "{:<18} {:<26} {} {} {:>8}  {:<8} {status}",
+            m.artifact,
+            m.key.trim_matches('"'),
+            fmt_opt(base),
+            fmt_opt(cur),
+            delta
+                .map(|d| format!("{d:+.1}%"))
+                .unwrap_or_else(|| "-".to_string()),
+            gate_str,
+        );
+    }
+    if baseline_dir.is_none() && git_ref.is_none() {
+        eprintln!("xtask bench-diff: no --baseline/--ref given — gates checked, deltas skipped");
+    }
+    if failed {
+        eprintln!("xtask bench-diff: FAILED");
+        ExitCode::FAILURE
+    } else {
+        eprintln!("xtask bench-diff: ok");
+        ExitCode::SUCCESS
+    }
 }
 
 /// Extract the first numeric value following `key` in a flat JSON string
@@ -920,6 +1129,42 @@ mod tests {
             findings
                 .iter()
                 .map(|f| format!("{}:{}:{}", f.file.display(), f.line, f.lint))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn analysis_module_covered_by_pipeline_lints() {
+        // The causal-analysis module lives in `metaprep-obs`, a pipeline
+        // crate: its code is subject to the ordering and unwrap/expect
+        // gates like any other pipeline source.
+        assert!(is_pipeline_src("crates/metaprep-obs/src/analysis.rs"));
+        let hits = lint_str(
+            "crates/metaprep-obs/src/analysis.rs",
+            "fn f() { g().unwrap(); }\n",
+        );
+        assert_eq!(hits, vec!["no-bare-unwrap:1"]);
+    }
+
+    #[test]
+    fn on_disk_analysis_source_passes_the_lint() {
+        // End-to-end pin, like the SIMD one below: the real analysis
+        // source must stay clean under the custom lints.
+        let root = workspace_root();
+        let path = root.join("crates/metaprep-obs/src/analysis.rs");
+        let text = std::fs::read_to_string(&path).expect("read analysis source");
+        let mut findings = Vec::new();
+        lint_file(
+            Path::new("crates/metaprep-obs/src/analysis.rs"),
+            &text,
+            &mut findings,
+        );
+        assert!(
+            findings.is_empty(),
+            "analysis.rs must pass the custom lints: {:?}",
+            findings
+                .iter()
+                .map(|f| format!("{}:{}", f.line, f.lint))
                 .collect::<Vec<_>>()
         );
     }
