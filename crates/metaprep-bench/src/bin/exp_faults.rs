@@ -1,0 +1,6 @@
+//! Chaos differential benchmark; see crate docs.
+
+fn main() {
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::faults::run(scale);
+}

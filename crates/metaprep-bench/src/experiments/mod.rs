@@ -1,5 +1,6 @@
 //! One module per paper table/figure. Each exposes `run(scale)`.
 
+pub mod faults;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;

@@ -115,6 +115,15 @@ impl DisjointSet {
         assert!(parent.iter().all(|&p| p < n), "parent index out of range");
         Self { parent }
     }
+
+    /// The RAW parent array — no compression, no find. The checkpoint
+    /// primitive for the merge phase: restoring this exact tree (via
+    /// [`DisjointSet::from_parent_array`]) makes a replay byte-identical,
+    /// where a compressed [`DisjointSet::component_array`] snapshot would
+    /// change later path-compression order and could legally relabel.
+    pub fn raw_parents(&self) -> &[u32] {
+        &self.parent
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +211,22 @@ mod tests {
     #[should_panic]
     fn from_parent_array_rejects_out_of_range() {
         DisjointSet::from_parent_array(vec![0, 5]);
+    }
+
+    #[test]
+    fn raw_parents_expose_the_uncompressed_tree() {
+        let mut ds = DisjointSet::new(4);
+        ds.union(0, 1);
+        ds.union(1, 2);
+        // Raw parents roundtrip exactly (checkpoint contract)...
+        let raw = ds.raw_parents().to_vec();
+        let ds2 = DisjointSet::from_parent_array(raw.clone());
+        assert_eq!(ds2.raw_parents(), &raw[..]);
+        // ...and are NOT forced into compressed component form: after
+        // compression the arrays still answer the same queries.
+        let compressed = ds.component_array().to_vec();
+        let mut from_raw = DisjointSet::from_parent_array(raw);
+        assert_eq!(from_raw.component_array(), &compressed[..]);
     }
 
     #[test]

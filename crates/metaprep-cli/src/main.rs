@@ -7,6 +7,9 @@
 //! metaprep partition --input reads.fastq --k 27 --tasks 4 --threads 2
 //!                    [--passes 2] [--kf 10:29] [--top 4] [--sparse] --outdir parts/
 //!                    [--stream] [--index-window 65536] [--sort-digit-bits 8]
+//!                    [--fault-plan "seed=7,drop=0.05,crash=rank1@pass1"]
+//!                    [--checkpoint-dir ckpt/] [--max-retries 8]
+//!                    [--watchdog-timeout 5000]
 //! metaprep normalize --input reads.fastq --target 20 --output norm.fastq
 //! metaprep trim      --input reads.fastq --quality 20 --min-len 50
 //!                    [--adapter AGATCGGAAGAGC] --output trimmed.fastq
@@ -44,9 +47,15 @@ use std::io::Write as _;
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     if let Err(e) = run(&argv) {
+        // One structured line per failure. The usage text only helps when
+        // the *invocation* was wrong (an ArgError); an I/O or pipeline
+        // error drowning in a usage dump — or worse, a Debug backtrace —
+        // helps nobody.
         eprintln!("error: {e}");
-        eprintln!();
-        eprintln!("{USAGE}");
+        if e.downcast_ref::<ArgError>().is_some() {
+            eprintln!();
+            eprintln!("{USAGE}");
+        }
         std::process::exit(1);
     }
 }
@@ -333,6 +342,30 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(spec) = args.opt("kf") {
         let (lo, hi) = parse_kf(&spec)?;
         b = b.kf_filter(lo, hi);
+    }
+    // Chaos / recovery knobs: a deterministic fault plan
+    // (`--fault-plan "seed=7,drop=0.05,crash=rank1@pass1"`), a checkpoint
+    // directory for pass-level restart, a retry-budget override, and the
+    // stall watchdog threshold.
+    if let Some(spec) = args.opt("fault-plan") {
+        let plan = metaprep_dist::FaultPlan::parse_spec(&spec)
+            .map_err(|e| ArgError(format!("--fault-plan: {e}")))?;
+        b = b.fault_plan(plan);
+    }
+    if let Some(dir) = args.opt("checkpoint-dir") {
+        b = b.checkpoint_dir(dir);
+    }
+    if let Some(n) = args.opt("max-retries") {
+        let n: u32 = n
+            .parse()
+            .map_err(|_| ArgError(format!("--max-retries: bad count {n:?}")))?;
+        b = b.max_retries(n);
+    }
+    if let Some(ms) = args.opt("watchdog-timeout") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| ArgError(format!("--watchdog-timeout: bad milliseconds {ms:?}")))?;
+        b = b.watchdog_timeout_ms(ms);
     }
     let cfg = b.build();
     cfg.validate()?;

@@ -1,0 +1,162 @@
+//! End-to-end tests of the `metaprep` binary: exit codes, error
+//! plumbing, and the chaos quick-start flow (simulate → partition with a
+//! fault plan + checkpoints + trace → analyze --strict).
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn metaprep(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_metaprep"))
+        .args(args)
+        .output()
+        .expect("spawn metaprep")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("metaprep_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn unknown_subcommand_exits_nonzero_with_usage() {
+    let out = metaprep(&["frobnicate"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("usage: metaprep"), "{err}");
+}
+
+#[test]
+fn missing_required_option_shows_usage() {
+    let out = metaprep(&["partition"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("error:"), "{err}");
+    assert!(err.contains("usage: metaprep"), "{err}");
+}
+
+#[test]
+fn io_errors_are_one_structured_line_without_usage_or_backtrace() {
+    // A missing input file is an expected runtime failure, not a usage
+    // mistake: exactly one `error:` line, no usage dump, no Debug/panic
+    // noise.
+    let out = metaprep(&["partition", "--input", "/nonexistent/reads.fastq"]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.starts_with("error:"), "{err}");
+    assert_eq!(err.trim_end().lines().count(), 1, "{err}");
+    assert!(!err.contains("usage:"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    assert!(!err.contains("RUST_BACKTRACE"), "{err}");
+}
+
+#[test]
+fn bad_fault_plan_spec_is_an_arg_error() {
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        "whatever.fastq",
+        "--fault-plan",
+        "drop=not-a-number",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--fault-plan"), "{err}");
+    assert!(err.contains("usage: metaprep"), "{err}");
+}
+
+#[test]
+fn chaos_quickstart_partitions_and_analyzes_a_faulted_trace() {
+    let dir = tmpdir("chaos");
+    let reads = dir.join("reads.fastq");
+    let trace = dir.join("trace.jsonl");
+    let ckpt = dir.join("ckpt");
+    let parts = dir.join("parts");
+
+    let out = metaprep(&[
+        "simulate",
+        "--dataset",
+        "hg",
+        "--scale",
+        "0.01",
+        "--seed",
+        "1",
+        "--output",
+        reads.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        reads.to_str().unwrap(),
+        "--k",
+        "21",
+        "--m",
+        "6",
+        "--tasks",
+        "4",
+        "--passes",
+        "2",
+        "--fault-plan",
+        "seed=7,drop=0.05,dup=0.05,reorder=0.05,crash=rank1@pass1",
+        "--checkpoint-dir",
+        ckpt.to_str().unwrap(),
+        "--watchdog-timeout",
+        "20000",
+        "--trace-out",
+        trace.to_str().unwrap(),
+        "--outdir",
+        parts.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(ckpt.join("rank1.ckpt").exists(), "no checkpoint written");
+
+    let out = metaprep(&["analyze", "--trace", trace.to_str().unwrap(), "--strict"]);
+    assert!(
+        out.status.success(),
+        "--strict rejected the faulted trace: {}",
+        stderr_of(&out)
+    );
+    let report = stdout_of(&out);
+    assert!(report.contains("fault injection & recovery"), "{report}");
+    assert!(report.contains("task 1 restarted"), "{report}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn crashes_without_checkpoint_dir_are_rejected_up_front() {
+    let dir = tmpdir("nockpt");
+    let reads = dir.join("reads.fastq");
+    let out = metaprep(&[
+        "simulate",
+        "--scale",
+        "0.01",
+        "--output",
+        reads.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        reads.to_str().unwrap(),
+        "--tasks",
+        "2",
+        "--fault-plan",
+        "seed=1,crash=rank0@pass0",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("checkpoint_dir"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}

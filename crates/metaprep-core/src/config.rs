@@ -1,6 +1,8 @@
 //! Pipeline configuration.
 
+use metaprep_dist::FaultPlan;
 use std::fmt;
+use std::path::PathBuf;
 
 /// Errors surfaced by pipeline validation or execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -66,6 +68,20 @@ pub struct PipelineConfig {
     /// paper uses 8 — 256 bucket counters stay L1-resident; the ablation
     /// benches sweep 8/11/16). Identical final output at any width.
     pub sort_digit_bits: u32,
+    /// Deterministic fault-injection plan applied to every cluster
+    /// message and to the chosen crash boundaries (`None` = fault-free).
+    /// Crashes in the plan require [`PipelineConfig::checkpoint_dir`].
+    pub fault_plan: Option<FaultPlan>,
+    /// Directory for pass-level checkpoints (`rank{r}.ckpt`). When set,
+    /// each task persists its restartable state at every pass and merge
+    /// boundary; a supervised restart replays from the last one.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Override the fault plan's delivery retry budget (`None` = keep the
+    /// plan's own [`metaprep_dist::DeliveryPolicy`] value).
+    pub max_retries: Option<u32>,
+    /// Stall watchdog threshold in milliseconds (`None` = the cluster
+    /// default; `Some(0)` is rejected by validation).
+    pub watchdog_timeout_ms: Option<u64>,
 }
 
 impl Default for PipelineConfig {
@@ -83,6 +99,10 @@ impl Default for PipelineConfig {
             merge_sparse: false,
             index_window: 0,
             sort_digit_bits: 8,
+            fault_plan: None,
+            checkpoint_dir: None,
+            max_retries: None,
+            watchdog_timeout_ms: None,
         }
     }
 }
@@ -132,6 +152,24 @@ impl PipelineConfig {
                 "sort_digit_bits = {} not in 1..=16",
                 self.sort_digit_bits
             ));
+        }
+        if let Some(plan) = &self.fault_plan {
+            if !plan.crashes.is_empty() && self.checkpoint_dir.is_none() {
+                return err("fault plan injects crashes but no checkpoint_dir is set \
+                     (restart needs somewhere to replay from)"
+                    .into());
+            }
+            for c in &plan.crashes {
+                if c.rank as usize >= self.tasks {
+                    return err(format!(
+                        "fault plan crashes rank {} but the run has only {} tasks",
+                        c.rank, self.tasks
+                    ));
+                }
+            }
+        }
+        if self.watchdog_timeout_ms == Some(0) {
+            return err("watchdog_timeout_ms must be nonzero".into());
         }
         Ok(())
     }
@@ -213,6 +251,30 @@ impl PipelineConfigBuilder {
     /// Set the fused LocalSort radix digit width in bits (`1..=16`).
     pub fn sort_digit_bits(mut self, bits: u32) -> Self {
         self.cfg.sort_digit_bits = bits;
+        self
+    }
+
+    /// Inject faults according to `plan` (see [`FaultPlan`]).
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.cfg.fault_plan = Some(plan);
+        self
+    }
+
+    /// Persist pass-level checkpoints under `dir`.
+    pub fn checkpoint_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.cfg.checkpoint_dir = Some(dir.into());
+        self
+    }
+
+    /// Override the delivery retry budget of the fault plan.
+    pub fn max_retries(mut self, n: u32) -> Self {
+        self.cfg.max_retries = Some(n);
+        self
+    }
+
+    /// Set the stall watchdog threshold in milliseconds (nonzero).
+    pub fn watchdog_timeout_ms(mut self, ms: u64) -> Self {
+        self.cfg.watchdog_timeout_ms = Some(ms);
         self
     }
 
@@ -327,6 +389,61 @@ mod tests {
                 .validate()
                 .is_ok());
         }
+    }
+
+    #[test]
+    fn fault_builder_sets_fields() {
+        let plan = FaultPlan::new(7);
+        let c = PipelineConfig::builder()
+            .fault_plan(plan.clone())
+            .checkpoint_dir("/tmp/ckpt")
+            .max_retries(3)
+            .watchdog_timeout_ms(250)
+            .build();
+        assert_eq!(c.fault_plan, Some(plan));
+        assert_eq!(c.checkpoint_dir, Some(PathBuf::from("/tmp/ckpt")));
+        assert_eq!(c.max_retries, Some(3));
+        assert_eq!(c.watchdog_timeout_ms, Some(250));
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn crashes_require_a_checkpoint_dir() {
+        use metaprep_dist::Boundary;
+        let plan = FaultPlan::new(1).with_crash(0, Boundary::Pass(0));
+        assert!(PipelineConfig::builder()
+            .fault_plan(plan.clone())
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .fault_plan(plan)
+            .checkpoint_dir("/tmp/ckpt")
+            .build()
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn crash_rank_must_exist() {
+        use metaprep_dist::Boundary;
+        let plan = FaultPlan::new(1).with_crash(5, Boundary::Pass(0));
+        assert!(PipelineConfig::builder()
+            .tasks(2)
+            .fault_plan(plan)
+            .checkpoint_dir("/tmp/ckpt")
+            .build()
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_watchdog() {
+        assert!(PipelineConfig::builder()
+            .watchdog_timeout_ms(0)
+            .build()
+            .validate()
+            .is_err());
     }
 
     #[test]

@@ -21,6 +21,7 @@
 //! 4-lane KmerGen). Results carry component labels, per-task per-step
 //! timings, communication volumes and both modeled and measured memory.
 
+pub mod checkpoint;
 pub mod config;
 pub mod kmergen;
 pub mod localcc;
@@ -30,6 +31,7 @@ pub mod pipeline;
 pub mod source;
 pub mod timings;
 
+pub use checkpoint::{Checkpoint, CkptError, CkptPhase};
 pub use config::{PipelineConfig, PipelineConfigBuilder, PipelineError};
 pub use memmodel::MemoryReport;
 pub use output::{

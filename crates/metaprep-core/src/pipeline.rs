@@ -1,5 +1,6 @@
 //! Pipeline orchestration: the distributed METAPREP flow.
 
+use crate::checkpoint::{Checkpoint, CkptPhase};
 use crate::config::{PipelineConfig, PipelineError};
 use crate::kmergen::{expected_incoming, kmergen_pass, PipelineKmer};
 use crate::localcc::{localcc_pass, thread_offsets_of, LocalCcStats};
@@ -8,15 +9,20 @@ use crate::source::{ChunkSource, FileSource, MemorySource};
 use crate::timings::{Step, StepTimings, TaskTimings};
 use metaprep_cc::{
     absorb_parent_array, absorb_sparse_pairs, sparse_pairs, ComponentStats, ConcurrentDisjointSet,
+    DisjointSet,
 };
 use metaprep_dist::collectives::{alltoall_obs, broadcast_obs};
-use metaprep_dist::{run_cluster, ClusterConfig, CommStats, Payload, TaskCtx};
+use metaprep_dist::{
+    run_cluster, run_cluster_faulted, run_supervised, Boundary, ClusterConfig, CommStats, Payload,
+    TaskCtx,
+};
 use metaprep_index::{FastqPart, MerHist, RangePlan};
 use metaprep_io::ReadStore;
 use metaprep_kmer::{Kmer128, Kmer64};
-use metaprep_obs::event::INDEX_CREATE;
+use metaprep_obs::event::{CHECKPOINT, INDEX_CREATE, TASK_RESTART};
 use metaprep_obs::{CounterKind, NoopRecorder, Recorder, SpanEvent, TaskObs};
 use metaprep_sort::{fused_local_sort, PassBuffers};
+use std::path::Path;
 use std::time::Duration;
 
 /// Message type moved between simulated tasks.
@@ -313,8 +319,11 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     let owner_of_chunk: Vec<usize> = (0..fastqpart.len()).map(|i| i % cfg.tasks).collect();
 
     let r = source.num_fragments() as usize;
-    let cluster = ClusterConfig::new(cfg.tasks, cfg.threads);
-    let run = run_cluster::<Msg<K::Tuple>, TaskOutput, _>(cluster, |ctx| {
+    let mut cluster = ClusterConfig::new(cfg.tasks, cfg.threads);
+    if let Some(ms) = cfg.watchdog_timeout_ms {
+        cluster = cluster.with_watchdog_timeout(Duration::from_millis(ms));
+    }
+    let body = |ctx: &mut TaskCtx<Msg<K::Tuple>>| {
         task_body::<K, S>(
             ctx,
             cfg,
@@ -326,7 +335,17 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
             r,
             rec,
         )
-    });
+    };
+    let run = match &cfg.fault_plan {
+        Some(fault_plan) => {
+            let mut fault_plan = fault_plan.clone();
+            if let Some(n) = cfg.max_retries {
+                fault_plan.delivery.max_retries = n;
+            }
+            run_cluster_faulted::<Msg<K::Tuple>, TaskOutput, _>(cluster, &fault_plan, body)
+        }
+        None => run_cluster::<Msg<K::Tuple>, TaskOutput, _>(cluster, body),
+    };
 
     // ---- assemble the result ----
     let mut labels = None;
@@ -409,6 +428,28 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     }
 }
 
+/// What one (possibly restarted) attempt of a task's body produces —
+/// [`TaskOutput`] minus the span-derived timings, which are computed
+/// once after the supervisor loop settles.
+struct AttemptOutput {
+    labels: Option<Vec<u32>>,
+    tuples_emitted: u64,
+    peak_tuples: u64,
+    localcc: LocalCcStats,
+    lc_reads: u64,
+    other_reads: u64,
+}
+
+/// Persist `ck` under `dir`, recording the write as a [`CHECKPOINT`]
+/// span (`pass`/`detail` name the boundary) and bumping the counter.
+fn write_checkpoint(obs: &mut TaskObs<'_>, dir: &Path, ck: &Checkpoint, detail: Option<u32>) {
+    let t0 = obs.open();
+    // EXPECT: a checkpoint that cannot be persisted would leave a later restart silently unprotected — abort the run instead.
+    ck.store(dir).expect("checkpoint write failed");
+    obs.close_detail(t0, CHECKPOINT, None, detail);
+    obs.add(CounterKind::CheckpointWrites, 1);
+}
+
 #[allow(clippy::too_many_arguments)]
 fn task_body<K: PipelineKmer, S: ChunkSource>(
     ctx: &mut TaskCtx<Msg<K::Tuple>>,
@@ -422,19 +463,118 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     rec: &dyn Recorder,
 ) -> TaskOutput {
     let rank = ctx.rank();
-    let p = ctx.size();
     // Every step is recorded as a span; `TaskTimings` is derived from the
     // spans at the end so the exported trace and the in-process timings
-    // can never disagree.
+    // can never disagree. The observer lives OUTSIDE the supervised
+    // restart loop: spans and counters from work completed before a crash
+    // really happened and stay in the trace, and the task's Lamport clock
+    // keeps its continuity across restarts.
     let mut obs = TaskObs::new(rec, rank as u32);
-    let ds = ConcurrentDisjointSet::new(r);
     let my_chunks: Vec<usize> = (0..fastqpart.len())
         .filter(|&i| owner_of_chunk[i] == rank)
         .collect();
 
+    // Each planned crash fires at most once (the context remembers), so
+    // the crash count bounds the restarts a task can ever need.
+    let max_restarts = cfg
+        .fault_plan
+        .as_ref()
+        .map(|fp| fp.crashes.len() as u32)
+        .unwrap_or(0);
+    let (out, restarts) = run_supervised(max_restarts, |restart_no| {
+        attempt_body::<K, S>(
+            ctx, cfg, source, fastqpart, plan, bin_owner, &my_chunks, r, &mut obs, restart_no,
+        )
+    });
+
+    if restarts > 0 {
+        obs.add(CounterKind::TaskRestarts, restarts as u64);
+    }
+    if let Some(tally) = ctx.fault_tally() {
+        if tally.injected > 0 {
+            obs.add(CounterKind::FaultsInjected, tally.injected);
+        }
+        if tally.retries > 0 {
+            obs.add(CounterKind::RetryAttempts, tally.retries);
+        }
+    }
+
+    let tm = TaskTimings::from_spans(obs.spans());
+    obs.finish();
+
+    TaskOutput {
+        timings: tm,
+        labels: out.labels,
+        tuples_emitted: out.tuples_emitted,
+        peak_tuples: out.peak_tuples,
+        localcc: out.localcc,
+        lc_reads: out.lc_reads,
+        other_reads: out.other_reads,
+    }
+}
+
+/// One attempt at the task's pipeline work. On a fresh start
+/// (`restart_no == 0`) this is the whole METAPREP flow; after a
+/// supervised restart it reloads the last checkpoint and resumes at the
+/// boundary the crash interrupted. Crashes only ever fire at boundary
+/// tops — quiescent points where this task owes no in-flight message —
+/// so resuming from the matching checkpoint re-sends nothing and the
+/// replay is exact.
+#[allow(clippy::too_many_arguments)]
+fn attempt_body<K: PipelineKmer, S: ChunkSource>(
+    ctx: &mut TaskCtx<Msg<K::Tuple>>,
+    cfg: &PipelineConfig,
+    source: &S,
+    fastqpart: &FastqPart,
+    plan: &RangePlan,
+    bin_owner: &[u32],
+    my_chunks: &[usize],
+    r: usize,
+    obs: &mut TaskObs<'_>,
+    restart_no: u32,
+) -> AttemptOutput {
+    let rank = ctx.rank();
+    let p = ctx.size();
+    let ckpt_dir = cfg.checkpoint_dir.as_deref();
+
+    let mut ds = ConcurrentDisjointSet::new(r);
+    let mut start_pass = 0usize;
+    // `Some(next_round)` when the checkpoint says every pass is folded in
+    // and the merge tree should resume at `next_round`.
+    let mut resume_merge: Option<(u32, Vec<u32>)> = None;
     let mut tuples_emitted = 0u64;
     let mut peak_tuples = 0u64;
     let mut cc_stats = LocalCcStats::default();
+
+    if restart_no > 0 {
+        let t0 = obs.open();
+        let loaded = match ckpt_dir {
+            Some(dir) => {
+                // EXPECT: an unreadable/corrupt checkpoint after a crash cannot be replayed safely (a from-scratch rerun would re-send consumed messages) — abort.
+                Checkpoint::load(dir, rank as u32).expect("checkpoint load after restart")
+            }
+            None => None,
+        };
+        // No checkpoint on disk means the crash hit the very first
+        // boundary, before any work or sends — a fresh start IS the
+        // exact replay.
+        if let Some(ck) = loaded {
+            tuples_emitted = ck.tuples_emitted;
+            peak_tuples = ck.peak_tuples;
+            cc_stats = ck.localcc;
+            match ck.phase {
+                CkptPhase::Pass { next_pass } => {
+                    start_pass = next_pass as usize;
+                    ds = ConcurrentDisjointSet::from_parent_array(ck.parents);
+                }
+                CkptPhase::Merge { next_round } => {
+                    resume_merge = Some((next_round, ck.parents));
+                }
+            }
+        }
+        obs.close(t0, TASK_RESTART, None);
+    }
+
     let key_bits = 2 * cfg.k as u32;
     // Pooled LocalSort buffers: destination, radix scratch, and the
     // debug-build scatter tracker are allocated on the first pass and
@@ -442,8 +582,15 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     // zero-initialized both big vectors every pass).
     let mut sort_bufs: PassBuffers<K::Tuple> = PassBuffers::new();
 
-    for pass in 0..cfg.passes {
+    let pass_range = if resume_merge.is_some() {
+        // All passes are folded into the checkpointed parent array.
+        0..0
+    } else {
+        start_pass..cfg.passes
+    };
+    for pass in pass_range {
         let pass_u32 = pass as u32;
+        ctx.maybe_crash(Boundary::Pass(pass_u32));
         // ---- KmerGen (+ simulated I/O) ----
         // I/O and generation time are CPU-nanos summed across the pool's
         // threads, not one wall interval — anchor them back-to-back at the
@@ -455,7 +602,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
             source,
             fastqpart,
             plan,
-            &my_chunks,
+            my_chunks,
             bin_owner,
             pass,
             cfg.use_x4_kmergen,
@@ -480,13 +627,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         // ---- KmerGen-Comm: the P-stage all-to-all ----
         let t0 = obs.open();
         let outgoing: Vec<Msg<K::Tuple>> = gen.outgoing.into_iter().map(Msg::Tuples).collect();
-        let incoming = alltoall_obs(
-            ctx,
-            outgoing,
-            &mut obs,
-            Some(pass_u32),
-            Step::KmerGenComm.name(),
-        );
+        let incoming = alltoall_obs(ctx, outgoing, obs, Some(pass_u32), Step::KmerGenComm.name());
         let expected = expected_incoming(fastqpart, plan, pass, rank);
         // Checked conversion: a u64 receive count that doesn't fit the
         // address space must fail loudly, not silently truncate a buffer
@@ -565,13 +706,35 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         obs.add(CounterKind::UfUnions, stats.uf.unions);
         obs.add(CounterKind::UfPathSplits, stats.uf.path_splits);
         cc_stats.merge(stats);
+
+        if let Some(dir) = ckpt_dir {
+            let ck = Checkpoint {
+                rank: rank as u32,
+                phase: CkptPhase::Pass {
+                    next_pass: pass_u32 + 1,
+                },
+                tuples_emitted,
+                peak_tuples,
+                localcc: cc_stats,
+                // RAW parents (no compression): restoring this exact tree
+                // is what makes the replay byte-identical.
+                parents: ds.parent_snapshot(),
+            };
+            write_checkpoint(obs, dir, &ck, Some(pass_u32));
+        }
     }
 
     // ---- MergeCC: ceil(log2 P) pairwise rounds (Figure 4) ----
-    let mut local = ds.into_disjoint_set();
-    let mut stride = 1usize;
-    let mut round = 0u32;
+    let (mut local, mut stride, mut round) = match resume_merge {
+        Some((next_round, parents)) => (
+            DisjointSet::from_parent_array(parents),
+            1usize << next_round,
+            next_round,
+        ),
+        None => (ds.into_disjoint_set(), 1usize, 0u32),
+    };
     while stride < p {
+        ctx.maybe_crash(Boundary::MergeRound(round));
         if rank % (2 * stride) == stride {
             // Send the compressed component information downhill, then
             // retire from the merge.
@@ -582,19 +745,12 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
                 Msg::Parents(local.component_array().to_vec())
             };
             obs.add(CounterKind::MergeBytes, msg.size_bytes() as u64);
-            ctx.send_traced(
-                rank - stride,
-                msg,
-                &mut obs,
-                Step::MergeComm.name(),
-                Some(round),
-            );
+            ctx.send_traced(rank - stride, msg, obs, Step::MergeComm.name(), Some(round));
             obs.close_detail(t0, Step::MergeComm.name(), None, Some(round));
             break;
         } else if rank % (2 * stride) == 0 && rank + stride < p {
             let t0 = obs.open();
-            let msg =
-                ctx.recv_from_traced(rank + stride, &mut obs, Step::MergeComm.name(), Some(round));
+            let msg = ctx.recv_from_traced(rank + stride, obs, Step::MergeComm.name(), Some(round));
             obs.close_detail(t0, Step::MergeComm.name(), None, Some(round));
             obs.add(CounterKind::MergeBytes, msg.size_bytes() as u64);
             let t0 = obs.open();
@@ -604,6 +760,20 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
                 Msg::Tuples(_) => unreachable!("no tuples during MergeCC"),
             }
             obs.close_detail(t0, Step::MergeCc.name(), None, Some(round));
+
+            if let Some(dir) = ckpt_dir {
+                let ck = Checkpoint {
+                    rank: rank as u32,
+                    phase: CkptPhase::Merge {
+                        next_round: round + 1,
+                    },
+                    tuples_emitted,
+                    peak_tuples,
+                    localcc: cc_stats,
+                    parents: local.raw_parents().to_vec(),
+                };
+                write_checkpoint(obs, dir, &ck, Some(round));
+            }
         }
         stride *= 2;
         round += 1;
@@ -613,9 +783,9 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     let t0 = obs.open();
     let final_labels = if rank == 0 {
         let arr = local.component_array().to_vec();
-        broadcast_obs(ctx, 0, Some(Msg::Parents(arr)), &mut obs, Step::CcIo.name())
+        broadcast_obs(ctx, 0, Some(Msg::Parents(arr)), obs, Step::CcIo.name())
     } else {
-        broadcast_obs(ctx, 0, None, &mut obs, Step::CcIo.name())
+        broadcast_obs(ctx, 0, None, obs, Step::CcIo.name())
     };
     let final_labels = match final_labels {
         Msg::Parents(arr) => arr,
@@ -628,7 +798,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     let largest_root = largest_root_of(&final_labels);
     let mut lc_reads = 0u64;
     let mut other_reads = 0u64;
-    for &c in &my_chunks {
+    for &c in my_chunks {
         let spec = fastqpart.chunks()[c].spec;
         let lo = spec.first_seq as usize;
         for i in lo..lo + spec.seqs as usize {
@@ -641,11 +811,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     }
     obs.close(t0, Step::CcIo.name(), None);
 
-    let tm = TaskTimings::from_spans(obs.spans());
-    obs.finish();
-
-    TaskOutput {
-        timings: tm,
+    AttemptOutput {
         labels: (rank == 0).then_some(final_labels),
         tuples_emitted,
         peak_tuples,
@@ -671,7 +837,7 @@ fn largest_root_of(labels: &[u32]) -> u32 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::PipelineConfig;
+    use crate::config::{PipelineConfig, PipelineConfigBuilder};
     use metaprep_cc::DisjointSet;
     use metaprep_kmer::{for_each_canonical_kmer, Kmer64 as K64};
     use metaprep_synth::{simulate_community, CommunityProfile};
@@ -1180,6 +1346,150 @@ mod tests {
                 if *kind == CounterKind::ChunkRecordsStreamed && *value > 0)
         });
         assert!(streamed, "ChunkRecordsStreamed counter missing");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Deterministic single-thread baseline for byte-identical replay
+    /// assertions: with `threads(1)` the whole run (union order, path
+    /// compression, labels) is a pure function of the input.
+    fn chaos_cfg() -> PipelineConfigBuilder {
+        PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .passes(2)
+            .tasks(4)
+            .threads(1)
+    }
+
+    #[test]
+    fn faulted_runs_are_byte_identical_to_fault_free() {
+        // Differential gate over three generated plans combining all four
+        // message-fault kinds: drop (+ retry), delay, duplicate (+ dedup),
+        // and reorder (+ stash). Delivery must stay exactly-once in-order,
+        // so the labels must match the fault-free run BYTE for byte.
+        let reads = small_reads();
+        let want = Pipeline::new(chaos_cfg().build())
+            .run_reads(&reads)
+            .unwrap()
+            .labels;
+        for seed in [7u64, 1234, 0xC0FFEE] {
+            let plan = metaprep_dist::FaultPlan::parse_spec(&format!(
+                "seed={seed},drop=0.05,delay=0.05,dup=0.05,reorder=0.05"
+            ))
+            .unwrap();
+            let res = Pipeline::new(chaos_cfg().fault_plan(plan).build())
+                .run_reads(&reads)
+                .unwrap();
+            assert_eq!(res.labels, want, "seed {seed} changed the labels");
+        }
+    }
+
+    #[test]
+    fn crashed_tasks_replay_byte_identically_from_checkpoints() {
+        // Mid-run crashes at a pass boundary and at two merge-round
+        // boundaries (one before the rank's first absorb — restoring a
+        // Pass checkpoint — and one after — restoring a Merge checkpoint),
+        // plus message faults on top. The supervised restarts must replay
+        // from the checkpoints to the exact same labels.
+        use metaprep_dist::{Boundary, FaultPlan};
+        let reads = small_reads();
+        let want = Pipeline::new(chaos_cfg().build())
+            .run_reads(&reads)
+            .unwrap()
+            .labels;
+        let dir = std::env::temp_dir().join("metaprep_core_chaos_ckpt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::parse_spec("seed=42,drop=0.03,dup=0.03,reorder=0.03")
+            .unwrap()
+            .with_crash(1, Boundary::Pass(1))
+            .with_crash(2, Boundary::MergeRound(0))
+            .with_crash(2, Boundary::MergeRound(1));
+        let res = Pipeline::new(chaos_cfg().fault_plan(plan).checkpoint_dir(&dir).build())
+            .run_reads(&reads)
+            .unwrap();
+        assert_eq!(res.labels, want, "restarted run changed the labels");
+        // Checkpoints were actually written for every rank.
+        for rank in 0..4 {
+            assert!(
+                crate::checkpoint::Checkpoint::path_for(&dir, rank).exists(),
+                "rank {rank} left no checkpoint"
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_the_first_boundary_replays_from_scratch() {
+        // A crash at Pass(0) fires before anything is sent or
+        // checkpointed; the restart finds no checkpoint and a fresh start
+        // is the exact replay.
+        use metaprep_dist::{Boundary, FaultPlan};
+        let reads = small_reads();
+        let want = Pipeline::new(chaos_cfg().build())
+            .run_reads(&reads)
+            .unwrap()
+            .labels;
+        let dir = std::env::temp_dir().join("metaprep_core_chaos_p0");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::new(9).with_crash(3, Boundary::Pass(0));
+        let res = Pipeline::new(chaos_cfg().fault_plan(plan).checkpoint_dir(&dir).build())
+            .run_reads(&reads)
+            .unwrap();
+        assert_eq!(res.labels, want);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn faulted_trace_passes_strict_analysis_with_recovery_visible() {
+        // The recorded trace of a faulted run must still satisfy the
+        // strict analyzer invariants (conservation + causality + no
+        // drops): retries re-offer the SAME logical message, so each
+        // traced send still pairs with exactly one traced recv. The
+        // recovery machinery must be visible in the counters.
+        use metaprep_dist::{Boundary, FaultPlan};
+        use metaprep_obs::{MemRecorder, RunSummary, TraceAnalysis};
+        let reads = small_reads();
+        let dir = std::env::temp_dir().join("metaprep_core_chaos_trace");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::parse_spec("seed=5,drop=0.08,delay=0.05,dup=0.08,reorder=0.05")
+            .unwrap()
+            .with_crash(1, Boundary::Pass(1));
+        let rec = MemRecorder::new(4);
+        let res = Pipeline::new(chaos_cfg().fault_plan(plan).checkpoint_dir(&dir).build())
+            .run_reads_recorded(&reads, &rec)
+            .unwrap();
+        let want = Pipeline::new(chaos_cfg().build())
+            .run_reads(&reads)
+            .unwrap()
+            .labels;
+        assert_eq!(res.labels, want);
+
+        let events = rec.into_events();
+        let a = TraceAnalysis::from_events(&events);
+        a.check_conservation()
+            .expect("faulted trace conserves messages after dedup");
+        a.check_causality()
+            .expect("lamport order survives recovery");
+        assert_eq!(a.events_dropped(), 0);
+
+        let s = RunSummary::from_events(&events);
+        assert!(
+            s.counter_total(CounterKind::FaultsInjected) > 0,
+            "no faults visible in the trace"
+        );
+        assert!(
+            s.counter_total(CounterKind::RetryAttempts) > 0,
+            "no retries visible in the trace"
+        );
+        assert!(
+            s.counter_total(CounterKind::CheckpointWrites) > 0,
+            "no checkpoint writes visible in the trace"
+        );
+        assert_eq!(
+            s.counter(1, CounterKind::TaskRestarts),
+            1,
+            "rank 1's restart must be visible"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -23,6 +23,10 @@
 //!   exhaustive version of the same idea lives in `tests/loom.rs`
 //!   against the `crate::sync` loom shim.
 
+use crate::delivery::DedupState;
+#[cfg(not(loom))]
+use crate::delivery::Offer;
+use crate::faults::{Boundary, FaultPlan, FaultReport, FaultReportKind, FaultTally, SendDecision};
 use crate::stats::CommStats;
 #[cfg(not(loom))]
 use crate::sync::channel::{DepthProbe, RecvTimeoutError};
@@ -30,19 +34,45 @@ use crate::sync::channel::{Receiver, Sender};
 use crate::sync::{AtomicBool, AtomicU64, Ordering};
 use crate::Payload;
 use metaprep_obs::TaskObs;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Condvar, Mutex};
 
-/// What actually travels on a channel: the payload plus the sender's
-/// Lamport clock at the send. The clock is tracing metadata — it costs
-/// one `u64` per message and is NOT counted as communication volume
-/// (`CommStats` stays the single source of truth for modeled bytes).
-/// Untraced sends ship clock 0, which is the identity for the receiver's
-/// `max(local, sender) + 1` merge.
+/// The logical message: the payload plus the sender's Lamport clock at
+/// the send and the per-pair sequence number. Clock and seq are tracing
+/// metadata — they cost two `u64`s per message and are NOT counted as
+/// communication volume (`CommStats` stays the single source of truth
+/// for modeled bytes). Untraced sends ship clock 0, which is the
+/// identity for the receiver's `max(local, sender) + 1` merge. The seq
+/// is what the receive-side `(src, dst, seq)` dedup keys on.
 struct Envelope<M> {
     msg: M,
     clock: u64,
+    // Read by the non-loom dedup/stash receive path only; under loom the
+    // fault plane is inert and delivery is plain FIFO.
+    #[cfg_attr(loom, allow(dead_code))]
+    seq: u64,
 }
+
+/// What actually travels on a channel. Without fault injection every
+/// wire item is `Env`. A `Duplicate` fault ships a `Dup` ghost right
+/// after the real envelope (payloads are owned buffers, so a real
+/// second copy cannot exist), and the receiver discards it — exactly
+/// what an idempotent receiver does to a retransmitted datagram. The
+/// ghost needs no sequence number: it rides directly behind the
+/// envelope it duplicates on the same FIFO channel, so its position is
+/// its identity.
+enum Wire<M> {
+    Env(Envelope<M>),
+    Dup,
+}
+
+/// Default stall threshold: how long a peer may go without making any
+/// channel progress before a task blocked on it escalates a
+/// [`FaultReport`]. Deliberately far above the deadlock watchdog's poll
+/// interval — a computing task makes no channel progress, so this must
+/// exceed the longest legitimate compute phase between communications.
+const DEFAULT_WATCHDOG_TIMEOUT: std::time::Duration = std::time::Duration::from_secs(5);
 
 /// Cluster shape: `tasks` simulated MPI ranks, each owning a rayon pool of
 /// `threads_per_task` threads.
@@ -52,17 +82,50 @@ pub struct ClusterConfig {
     pub tasks: usize,
     /// Threads per task (`T`).
     pub threads_per_task: usize,
+    /// Stall threshold: a task blocked receiving from a peer that has
+    /// made no channel progress for longer than this aborts the run
+    /// with a structured stall report (see `DEFAULT_WATCHDOG_TIMEOUT`).
+    pub watchdog_timeout: std::time::Duration,
 }
 
 impl ClusterConfig {
-    /// Convenience constructor.
+    /// Convenience constructor (default watchdog timeout).
     pub fn new(tasks: usize, threads_per_task: usize) -> Self {
         assert!(tasks >= 1 && threads_per_task >= 1);
         Self {
             tasks,
             threads_per_task,
+            watchdog_timeout: DEFAULT_WATCHDOG_TIMEOUT,
         }
     }
+
+    /// Override the stall threshold (see [`ClusterConfig::watchdog_timeout`]).
+    pub fn with_watchdog_timeout(mut self, timeout: std::time::Duration) -> Self {
+        assert!(!timeout.is_zero(), "watchdog timeout must be nonzero");
+        self.watchdog_timeout = timeout;
+        self
+    }
+}
+
+/// Cluster-level fault/recovery totals, summed over all ranks. All
+/// zero on a fault-free run.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Send attempts suppressed by a drop rule.
+    pub drops: u64,
+    /// Delivery retries made after drops (equals `drops` on a run that
+    /// completed, since every drop is eventually retried).
+    pub retries: u64,
+    /// Sends that slept under an injected delay.
+    pub delays: u64,
+    /// Duplicate wire copies shipped.
+    pub duplicates_sent: u64,
+    /// Duplicate wire items discarded by receive-side dedup.
+    pub duplicates_discarded: u64,
+    /// Receive-side reorder injections that fired.
+    pub reorders: u64,
+    /// Envelopes held out-of-order in a stash at some point.
+    pub stashed: u64,
 }
 
 /// Results of a cluster run: per-task return values and communication
@@ -73,6 +136,8 @@ pub struct ClusterResult<R> {
     pub results: Vec<R>,
     /// Per-task communication statistics.
     pub stats: Vec<CommStats>,
+    /// Fault-injection totals (all zero without a fault plan).
+    pub faults: FaultStats,
 }
 
 /// Task-state word: the task is executing user code.
@@ -158,6 +223,28 @@ struct SharedState {
     /// `from` into `to`, readable by the watchdog from any task.
     #[cfg(not(loom))]
     inbox_depth: Vec<Vec<DepthProbe>>,
+    /// Time origin for the stall watchdog's progress stamps.
+    #[cfg(not(loom))]
+    epoch: std::time::Instant,
+    /// `last_progress[rank]`: nanoseconds since `epoch` at the rank's
+    /// most recent channel progress (send delivered, message received,
+    /// barrier passed). Stamp 0 means "no progress yet" — tasks get the
+    /// full stall budget from cluster start.
+    #[cfg(not(loom))]
+    last_progress: Vec<AtomicU64>,
+    /// Stall threshold in nanoseconds (`ClusterConfig::watchdog_timeout`).
+    #[cfg(not(loom))]
+    stall_after_ns: u64,
+    // Fault-injection tallies (see `FaultStats`). Plain statistics
+    // counters like the conservation counters above; all stay zero
+    // without a fault plan.
+    drops: AtomicU64,
+    retries: AtomicU64,
+    delays: AtomicU64,
+    dup_pushed: AtomicU64,
+    dup_consumed: AtomicU64,
+    reorders: AtomicU64,
+    stash_held: AtomicU64,
 }
 
 impl SharedState {
@@ -212,6 +299,62 @@ impl SharedState {
         }
         Some(lines.join("\n"))
     }
+
+    /// Nanoseconds since the cluster epoch.
+    #[cfg(not(loom))]
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Stamp `rank`'s progress clock (called on every send delivery,
+    /// receive, and barrier completion).
+    #[cfg(not(loom))]
+    fn note_progress(&self, rank: usize) {
+        // ORDERING: Relaxed — monitoring stamp, read only by the
+        // watchdog whose decision tolerates staleness (it re-polls).
+        self.last_progress[rank].store(self.now_ns(), Ordering::Relaxed);
+    }
+
+    /// Stall test, run by task `rank` whose receive from `from` just
+    /// timed out: has `from` made no channel progress for longer than
+    /// the configured watchdog timeout while its inbox to us is empty?
+    /// Unlike the deadlock test this also catches a peer that is
+    /// *running* but wedged (an injected stall, an accidental infinite
+    /// loop) or that exited without sending — at the cost of a false
+    /// positive if a legitimate compute phase outlasts the timeout,
+    /// which is why the threshold is configurable and defaults high.
+    #[cfg(not(loom))]
+    fn stall_report(&self, rank: usize, from: usize) -> Option<FaultReport> {
+        if !self.inbox_depth[rank][from].is_empty() {
+            return None; // a message is waiting; we will make progress
+        }
+        // ORDERING: Relaxed — monitoring stamp, as in `note_progress`.
+        let idle_ns = self
+            .now_ns()
+            .saturating_sub(self.last_progress[from].load(Ordering::Relaxed));
+        if idle_ns <= self.stall_after_ns {
+            return None;
+        }
+        let mut detail = String::new();
+        for (r, state) in self.task_state.iter().enumerate() {
+            // ORDERING: Relaxed — report rendering; monitoring only.
+            let desc = match state.load(Ordering::Relaxed) {
+                STATE_DONE => "done".to_string(),
+                STATE_RUNNING => "running".to_string(),
+                STATE_AT_BARRIER => "waiting at barrier".to_string(),
+                f => format!("blocked on recv from task {f}"),
+            };
+            detail.push_str(&format!("\n  task {r}: {desc}"));
+        }
+        Some(FaultReport {
+            kind: FaultReportKind::Stall,
+            rank,
+            peer: from,
+            seq: 0,
+            attempts: 0,
+            detail,
+        })
+    }
 }
 
 /// The view a task body gets of the cluster: its rank, its channels, its
@@ -220,9 +363,9 @@ pub struct TaskCtx<M: Payload> {
     rank: usize,
     size: usize,
     /// senders[to] — channel into task `to`'s inbox from this task.
-    senders: Vec<Sender<Envelope<M>>>,
+    senders: Vec<Sender<Wire<M>>>,
     /// receivers[from] — this task's inbox from task `from`.
-    receivers: Vec<Receiver<Envelope<M>>>,
+    receivers: Vec<Receiver<Wire<M>>>,
     shared: Arc<SharedState>,
     pool: rayon::ThreadPool,
     /// Schedule-jitter PRNG state; 0 disables jitter (the default).
@@ -234,6 +377,24 @@ pub struct TaskCtx<M: Payload> {
     send_seq: Vec<Cell<u64>>,
     /// recv_seq[from] — messages received from `from` so far (see above).
     recv_seq: Vec<Cell<u64>>,
+    /// The fault schedule, cloned per rank; `None` (the fast path)
+    /// without injection.
+    fault_plan: Option<FaultPlan>,
+    /// dedup[from] — receive-side `(src, dst, seq)` dedup/reorder state.
+    #[cfg_attr(loom, allow(dead_code))]
+    dedup: Vec<RefCell<DedupState>>,
+    /// stash[from] — envelopes that arrived ahead of order, keyed by
+    /// seq, held until their turn (`DedupState` tracks which are held).
+    #[cfg_attr(loom, allow(dead_code))]
+    stash: Vec<RefCell<BTreeMap<u64, Envelope<M>>>>,
+    /// Crash boundaries already taken (each declared crash fires once —
+    /// the restarted attempt must run through the boundary).
+    crashes_fired: RefCell<BTreeSet<Boundary>>,
+    /// This rank's injected-fault count (drops, delays, dups, reorders,
+    /// crashes), surfaced to the observability layer.
+    injected: Cell<u64>,
+    /// This rank's delivery-retry count, surfaced like `injected`.
+    retries: Cell<u64>,
 }
 
 impl<M: Payload> TaskCtx<M> {
@@ -250,6 +411,39 @@ impl<M: Payload> TaskCtx<M> {
     /// The task-local rayon pool (the "OpenMP threads" of this rank).
     pub fn pool(&self) -> &rayon::ThreadPool {
         &self.pool
+    }
+
+    /// Is a fault plan active on this run?
+    pub fn faults_enabled(&self) -> bool {
+        self.fault_plan.is_some()
+    }
+
+    /// This rank's injected-fault and retry tallies so far; `None`
+    /// without a fault plan.
+    pub fn fault_tally(&self) -> Option<FaultTally> {
+        self.fault_plan.as_ref().map(|_| FaultTally {
+            injected: self.injected.get(),
+            retries: self.retries.get(),
+        })
+    }
+
+    /// Crash-injection point: panics with [`crate::faults::InjectedCrash`]
+    /// if the active plan declares a crash for this rank at boundary
+    /// `at` and it has not fired yet. The supervisor
+    /// ([`crate::supervisor::run_supervised`]) catches exactly this
+    /// payload and restarts the task body; the boundary is marked fired
+    /// so the restarted attempt runs through it.
+    pub fn maybe_crash(&self, at: Boundary) {
+        let Some(plan) = &self.fault_plan else {
+            return;
+        };
+        if plan.crashes_at(self.rank, at) && self.crashes_fired.borrow_mut().insert(at) {
+            self.injected.set(self.injected.get() + 1);
+            std::panic::panic_any(crate::faults::InjectedCrash {
+                rank: self.rank as u32,
+                at,
+            });
+        }
     }
 
     /// Under [`explore_schedules`], perturb OS scheduling with a burst of
@@ -295,20 +489,98 @@ impl<M: Payload> TaskCtx<M> {
     }
 
     /// Shared send path: counts volume, bumps the per-pair sequence
-    /// counter, and delivers the envelope.
+    /// counter, and delivers the envelope — through the fault plane
+    /// when one is active. A `Drop` decision suppresses the push; the
+    /// sender sleeps a deterministic bounded-exponential backoff and
+    /// retries (the channel is the ack: in-process delivery is reliable
+    /// once pushed, so retrying the push IS the retransmit). Logical
+    /// counters are bumped once per message regardless of attempts.
     fn send_env(&self, to: usize, msg: M, clock: u64) {
         self.jitter_point();
+        let seq = self.send_seq[to].get();
+        self.send_seq[to].set(seq + 1);
         // ORDERING: Relaxed — pure statistics counters; the channel itself
         // synchronizes the payload, and counters are only read after the
         // thread scope joins (or by the monitoring-only watchdog).
         self.shared.bytes_sent[self.rank].fetch_add(msg.size_bytes() as u64, Ordering::Relaxed);
         // ORDERING: Relaxed — statistics counter, as above.
         self.shared.messages_sent[self.rank].fetch_add(1, Ordering::Relaxed);
-        self.send_seq[to].set(self.send_seq[to].get() + 1);
-        self.senders[to]
-            .send(Envelope { msg, clock })
-            // EXPECT: receivers live until the thread scope joins; a disconnect means the peer already panicked and this panic surfaces it.
-            .expect("receiving task exited before message was delivered");
+        let env = Envelope { msg, clock, seq };
+        let Some(plan) = &self.fault_plan else {
+            self.senders[to]
+                .send(Wire::Env(env))
+                // EXPECT: receivers live until the thread scope joins; a disconnect means the peer already panicked and this panic surfaces it.
+                .expect("receiving task exited before message was delivered");
+            self.note_progress();
+            return;
+        };
+        let mut attempt = 0u32;
+        loop {
+            match plan.decide_send(self.rank, to, seq, attempt) {
+                SendDecision::Drop => {
+                    // ORDERING: Relaxed — statistics counter, as above.
+                    self.shared.drops.fetch_add(1, Ordering::Relaxed);
+                    self.injected.set(self.injected.get() + 1);
+                    if attempt >= plan.delivery.max_retries {
+                        // Escalate: release blocked peers, then panic with
+                        // the structured report.
+                        // ORDERING: Relaxed — peers poll the abort flag.
+                        self.shared.aborted.store(true, Ordering::Relaxed);
+                        let report = FaultReport {
+                            kind: FaultReportKind::RetriesExhausted,
+                            rank: self.rank,
+                            peer: to,
+                            seq,
+                            attempts: attempt + 1,
+                            detail: String::new(),
+                        };
+                        panic!("{report}");
+                    }
+                    attempt += 1;
+                    self.retries.set(self.retries.get() + 1);
+                    // ORDERING: Relaxed — statistics counter, as above.
+                    self.shared.retries.fetch_add(1, Ordering::Relaxed);
+                    #[cfg(not(loom))]
+                    std::thread::sleep(std::time::Duration::from_micros(
+                        plan.backoff_us(self.rank, to, seq, attempt),
+                    ));
+                }
+                SendDecision::Deliver {
+                    delay_us,
+                    duplicate,
+                } => {
+                    if delay_us > 0 {
+                        // ORDERING: Relaxed — statistics counter, as above.
+                        self.shared.delays.fetch_add(1, Ordering::Relaxed);
+                        self.injected.set(self.injected.get() + 1);
+                        #[cfg(not(loom))]
+                        std::thread::sleep(std::time::Duration::from_micros(delay_us));
+                    }
+                    self.senders[to]
+                        .send(Wire::Env(env))
+                        // EXPECT: receivers live until the thread scope joins; a disconnect means the peer already panicked and this panic surfaces it.
+                        .expect("receiving task exited before message was delivered");
+                    if duplicate {
+                        self.senders[to]
+                            .send(Wire::Dup)
+                            // EXPECT: receivers live until the thread scope joins, as above.
+                            .expect("receiving task exited before message was delivered");
+                        // ORDERING: Relaxed — statistics counter, as above.
+                        self.shared.dup_pushed.fetch_add(1, Ordering::Relaxed);
+                        self.injected.set(self.injected.get() + 1);
+                    }
+                    self.note_progress();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Stamp this rank's progress clock for the stall watchdog (no-op
+    /// under loom, where the model's scheduler owns liveness).
+    fn note_progress(&self) {
+        #[cfg(not(loom))]
+        self.shared.note_progress(self.rank);
     }
 
     /// Blocking receive of the next message from task `from`.
@@ -348,35 +620,11 @@ impl<M: Payload> TaskCtx<M> {
         env.msg
     }
 
-    /// Shared blocking-receive path (watchdog variant); returns the raw
-    /// envelope so traced receives can see the sender's clock.
+    /// Bookkeeping for a delivered envelope: counters, sequence bump,
+    /// progress stamp. `env.seq` is always the expected next sequence
+    /// number (the dedup layer guarantees in-order delivery).
     #[cfg(not(loom))]
-    fn recv_env_from(&self, from: usize) -> Envelope<M> {
-        self.jitter_point();
-        // ORDERING: Relaxed on all state words — monitoring only; see
-        // `SharedState::deadlock_report` for why stale reads are safe.
-        self.shared.task_state[self.rank].store(from as u64, Ordering::Relaxed);
-        let env = loop {
-            match self.receivers[from].recv_timeout(WATCHDOG_POLL) {
-                Ok(m) => break m,
-                Err(RecvTimeoutError::Timeout) => {
-                    // ORDERING: Relaxed — abort flag is poll-only; the
-                    // panic/unwind path needs no payload ordering.
-                    if self.shared.aborted.load(Ordering::Relaxed) {
-                        panic!("cluster aborted while task {} waited on recv", self.rank);
-                    }
-                    if let Some(report) = self.shared.deadlock_report() {
-                        // First observer wins; others unwind via `aborted`.
-                        // ORDERING: Relaxed — peers poll the flag, as above.
-                        self.shared.aborted.store(true, Ordering::Relaxed);
-                        panic!("{report}");
-                    }
-                }
-                Err(RecvTimeoutError::Disconnected) => {
-                    panic!("sending task exited before sending")
-                }
-            }
-        };
+    fn finish_delivery(&self, from: usize, env: Envelope<M>) -> Envelope<M> {
         // ORDERING: Relaxed — monitoring state word + statistics counters;
         // the channel synchronized the payload itself.
         self.shared.task_state[self.rank].store(STATE_RUNNING, Ordering::Relaxed);
@@ -385,7 +633,115 @@ impl<M: Payload> TaskCtx<M> {
         self.shared.bytes_received[self.rank]
             .fetch_add(env.msg.size_bytes() as u64, Ordering::Relaxed);
         self.recv_seq[from].set(self.recv_seq[from].get() + 1);
+        self.note_progress();
         env
+    }
+
+    /// Shared blocking-receive path (watchdog variant); returns the raw
+    /// envelope so traced receives can see the sender's clock.
+    ///
+    /// With a fault plan active this is the idempotent-receive side of
+    /// the delivery protocol: every wire item is classified against the
+    /// next expected `(src, dst)` sequence number — duplicates are
+    /// discarded, early arrivals (from reorder injection) are stashed
+    /// and delivered at their turn, and only the expected envelope is
+    /// returned. Delivery to the caller is therefore always in-order,
+    /// exactly once, no matter what the fault plane did to the wire.
+    #[cfg(not(loom))]
+    fn recv_env_from(&self, from: usize) -> Envelope<M> {
+        self.jitter_point();
+        loop {
+            let next = self.recv_seq[from].get();
+            // A stashed envelope whose turn has come is delivered before
+            // touching the channel, so the stash can never starve.
+            if self.fault_plan.is_some() && self.dedup[from].borrow_mut().take_ready(next) {
+                let env = self.stash[from]
+                    .borrow_mut()
+                    .remove(&next)
+                    // EXPECT: `take_ready` returning true means exactly this seq was recorded as stashed, and every Stash classification stores the envelope under its seq.
+                    .expect("stashed envelope missing for ready seq");
+                return self.finish_delivery(from, env);
+            }
+            // ORDERING: Relaxed on all state words — monitoring only; see
+            // `SharedState::deadlock_report` for why stale reads are safe.
+            self.shared.task_state[self.rank].store(from as u64, Ordering::Relaxed);
+            let wire = loop {
+                match self.receivers[from].recv_timeout(WATCHDOG_POLL) {
+                    Ok(w) => break w,
+                    Err(RecvTimeoutError::Timeout) => {
+                        // ORDERING: Relaxed — abort flag is poll-only; the
+                        // panic/unwind path needs no payload ordering.
+                        if self.shared.aborted.load(Ordering::Relaxed) {
+                            panic!("cluster aborted while task {} waited on recv", self.rank);
+                        }
+                        if let Some(report) = self.shared.deadlock_report() {
+                            // First observer wins; others unwind via `aborted`.
+                            // ORDERING: Relaxed — peers poll the flag, as above.
+                            self.shared.aborted.store(true, Ordering::Relaxed);
+                            panic!("{report}");
+                        }
+                        if let Some(report) = self.shared.stall_report(self.rank, from) {
+                            // ORDERING: Relaxed — peers poll the flag, as above.
+                            self.shared.aborted.store(true, Ordering::Relaxed);
+                            panic!("{report}");
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        panic!("sending task exited before sending")
+                    }
+                }
+            };
+            let Wire::Env(env) = wire else {
+                // A duplicate ghost: discard and keep waiting.
+                // ORDERING: Relaxed — statistics counter, as in `send_env`.
+                self.shared.dup_consumed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            };
+            let Some(plan) = &self.fault_plan else {
+                return self.finish_delivery(from, env);
+            };
+            // Reorder injection: opportunistically pull the wire behind
+            // `env` off the channel early. Receiver-side by design — a
+            // sender-side holdback could starve a dst the sender never
+            // writes to again, whereas pulling ahead here always leaves
+            // the expected envelope reachable (it is stashed and served
+            // at its turn by the loop head), so this cannot deadlock.
+            let mut pending = vec![env];
+            if plan.decide_reorder(from, self.rank, next) {
+                if let Ok(w2) = self.receivers[from].try_recv() {
+                    // ORDERING: Relaxed — statistics counter, as above.
+                    self.shared.reorders.fetch_add(1, Ordering::Relaxed);
+                    self.injected.set(self.injected.get() + 1);
+                    match w2 {
+                        // ORDERING: Relaxed — statistics counter, as above.
+                        Wire::Dup => {
+                            self.shared.dup_consumed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Wire::Env(e2) => pending.push(e2),
+                    }
+                }
+            }
+            let mut deliver = None;
+            for e in pending {
+                match self.dedup[from].borrow_mut().classify(next, e.seq) {
+                    Offer::Deliver => deliver = Some(e),
+                    Offer::Stash => {
+                        self.stash[from].borrow_mut().insert(e.seq, e);
+                        // ORDERING: Relaxed — statistics counter, as above.
+                        self.shared.stash_held.fetch_add(1, Ordering::Relaxed);
+                    }
+                    // A duplicate real envelope cannot occur (dups ship as
+                    // ghosts), but the protocol discards it idempotently.
+                    // ORDERING: Relaxed — statistics counter, as above.
+                    Offer::Duplicate => {
+                        self.shared.dup_consumed.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            if let Some(env) = deliver {
+                return self.finish_delivery(from, env);
+            }
+        }
     }
 
     /// Blocking receive under the loom model: the model's scheduler does
@@ -397,13 +753,18 @@ impl<M: Payload> TaskCtx<M> {
     }
 
     /// Shared blocking-receive path (loom variant); see the non-loom
-    /// `recv_env_from` for the envelope rationale.
+    /// `recv_env_from` for the envelope rationale. Fault plans are
+    /// never active under loom (the model owns the schedule), so every
+    /// wire item is a plain envelope.
     #[cfg(loom)]
     fn recv_env_from(&self, from: usize) -> Envelope<M> {
-        let env = self.receivers[from]
+        let wire = self.receivers[from]
             .recv()
             // EXPECT: under loom every modeled task runs to completion (or the model reports deadlock), so a disconnect can only follow a modeled panic.
             .expect("sending task exited before sending");
+        let Wire::Env(env) = wire else {
+            unreachable!("duplicate ghosts are never injected under loom")
+        };
         // ORDERING: Relaxed — statistics counters, as in `send`.
         self.shared.messages_received[self.rank].fetch_add(1, Ordering::Relaxed);
         // ORDERING: Relaxed — statistics counter, same reasoning as above.
@@ -420,6 +781,7 @@ impl<M: Payload> TaskCtx<M> {
         self.shared.task_state[self.rank].store(STATE_AT_BARRIER, Ordering::Relaxed);
         self.shared.barrier.wait(&self.shared.aborted);
         self.shared.task_state[self.rank].store(STATE_RUNNING, Ordering::Relaxed);
+        self.note_progress();
     }
 
     /// Bytes this task has sent so far.
@@ -466,11 +828,43 @@ where
     R: Send,
     F: Fn(&mut TaskCtx<M>) -> R + Sync,
 {
+    run_cluster_inner(config, seed, None, body)
+}
+
+/// [`run_cluster`] under a deterministic fault plan: every send/recv
+/// passes through the injection plane of [`crate::faults`], and the
+/// run's fault totals come back in [`ClusterResult::faults`]. The
+/// conservation accounting still holds (generalized over duplicates
+/// and stashes), so a protocol bug cannot hide behind the chaos.
+#[cfg(not(loom))]
+pub fn run_cluster_faulted<M, R, F>(
+    config: ClusterConfig,
+    plan: &FaultPlan,
+    body: F,
+) -> ClusterResult<R>
+where
+    M: Payload,
+    R: Send,
+    F: Fn(&mut TaskCtx<M>) -> R + Sync,
+{
+    run_cluster_inner(config, 0, Some(plan), body)
+}
+
+fn run_cluster_inner<M, R, F>(
+    config: ClusterConfig,
+    seed: u64,
+    plan: Option<&FaultPlan>,
+    body: F,
+) -> ClusterResult<R>
+where
+    M: Payload,
+    R: Send,
+    F: Fn(&mut TaskCtx<M>) -> R + Sync,
+{
     let p = config.tasks;
     // Channel matrix: matrix[from][to].
-    let mut senders: Vec<Vec<Sender<Envelope<M>>>> =
-        (0..p).map(|_| Vec::with_capacity(p)).collect();
-    let mut receivers: Vec<Vec<Option<Receiver<Envelope<M>>>>> =
+    let mut senders: Vec<Vec<Sender<Wire<M>>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
+    let mut receivers: Vec<Vec<Option<Receiver<Wire<M>>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for from in 0..p {
         for rx_row in receivers.iter_mut() {
@@ -500,6 +894,19 @@ where
         aborted: AtomicBool::new(false),
         #[cfg(not(loom))]
         inbox_depth,
+        #[cfg(not(loom))]
+        epoch: std::time::Instant::now(),
+        #[cfg(not(loom))]
+        last_progress: (0..p).map(|_| AtomicU64::new(0)).collect(),
+        #[cfg(not(loom))]
+        stall_after_ns: config.watchdog_timeout.as_nanos() as u64,
+        drops: AtomicU64::new(0),
+        retries: AtomicU64::new(0),
+        delays: AtomicU64::new(0),
+        dup_pushed: AtomicU64::new(0),
+        dup_consumed: AtomicU64::new(0),
+        reorders: AtomicU64::new(0),
+        stash_held: AtomicU64::new(0),
     });
 
     let mut ctxs: Vec<TaskCtx<M>> = senders
@@ -527,6 +934,12 @@ where
             }),
             send_seq: (0..p).map(|_| Cell::new(0)).collect(),
             recv_seq: (0..p).map(|_| Cell::new(0)).collect(),
+            fault_plan: plan.cloned(),
+            dedup: (0..p).map(|_| RefCell::new(DedupState::new())).collect(),
+            stash: (0..p).map(|_| RefCell::new(BTreeMap::new())).collect(),
+            crashes_fired: RefCell::new(BTreeSet::new()),
+            injected: Cell::new(0),
+            retries: Cell::new(0),
         })
         .collect();
 
@@ -579,13 +992,29 @@ where
             .collect()
     });
 
-    // Message conservation: every send was either received or is still
-    // queued in an inbox. A failure here is a channel-layer bug, never a
-    // user error, so it asserts unconditionally.
+    // ORDERING: Relaxed — the thread scope join above is the
+    // synchronization point; every read through this closure is
+    // sequential afterwards.
+    let ld = |a: &AtomicU64| a.load(Ordering::Relaxed);
+    let faults = FaultStats {
+        drops: ld(&shared.drops),
+        retries: ld(&shared.retries),
+        delays: ld(&shared.delays),
+        duplicates_sent: ld(&shared.dup_pushed),
+        duplicates_discarded: ld(&shared.dup_consumed),
+        reorders: ld(&shared.reorders),
+        stashed: ld(&shared.stash_held),
+    };
+
+    // Message conservation, generalized over the fault plane: every
+    // logical send and every duplicate ghost was either consumed, is
+    // still queued on a channel, or sits in a receive stash. Reduces to
+    // `sent == received + queued` on a fault-free run. A failure here is
+    // a channel/delivery-layer bug, never a user error, so it asserts
+    // unconditionally.
     #[cfg(not(loom))]
     {
-        // ORDERING: Relaxed — the thread scope join above is the
-        // synchronization point; these reads are sequential afterwards.
+        // ORDERING: Relaxed — sequential read after the join, as above.
         let sent: u64 = (0..p)
             .map(|r| shared.messages_sent[r].load(Ordering::Relaxed))
             .sum();
@@ -599,16 +1028,32 @@ where
             .flatten()
             .map(|d| d.len() as u64)
             .sum();
+        let stash_outstanding: u64 = ctxs
+            .iter()
+            .map(|c| c.stash.iter().map(|s| s.borrow().len() as u64).sum::<u64>())
+            .sum();
         assert_eq!(
-            sent,
-            received + queued,
-            "message conservation violated: {sent} sent != {received} received + {queued} queued"
+            sent + faults.duplicates_sent,
+            received + faults.duplicates_discarded + queued + stash_outstanding,
+            "message conservation violated: {sent} sent + {} dup-pushed != {received} received \
+             + {} dup-discarded + {queued} queued + {stash_outstanding} stashed",
+            faults.duplicates_sent,
+            faults.duplicates_discarded,
         );
-        // Byte conservation: once every inbox drained, every sent byte
-        // was received exactly once. (With messages still queued the
-        // byte totals legitimately differ — the depth probes count
-        // messages, not payload bytes.)
-        if queued == 0 {
+        // Every drop decision on a completed run was answered by a retry
+        // (the alternative is the retries-exhausted escalation, which
+        // unwinds before reaching this point).
+        assert_eq!(
+            faults.drops, faults.retries,
+            "delivery bookkeeping violated: {} drops != {} retries",
+            faults.drops, faults.retries,
+        );
+        // Byte conservation: once every inbox and stash drained, every
+        // sent byte was received exactly once — duplicate ghosts carry
+        // no payload, so the logical totals must match. (With messages
+        // still queued the byte totals legitimately differ — the depth
+        // probes count messages, not payload bytes.)
+        if queued == 0 && stash_outstanding == 0 {
             // ORDERING: Relaxed — sequential read after the join, as above.
             let bytes_sent: u64 = (0..p)
                 .map(|r| shared.bytes_sent[r].load(Ordering::Relaxed))
@@ -634,7 +1079,11 @@ where
         })
         .collect();
 
-    ClusterResult { results, stats }
+    ClusterResult {
+        results,
+        stats,
+        faults,
+    }
 }
 
 /// Run `body` once per seed under deterministic schedule jitter and
@@ -808,6 +1257,138 @@ mod tests {
             }
         });
         assert_eq!(r.results, vec![0, 9]);
+    }
+
+    #[cfg(not(loom))]
+    fn chaos_plan(seed: u64) -> crate::faults::FaultPlan {
+        use crate::faults::FaultKind;
+        crate::faults::FaultPlan::new(seed)
+            .with_rule(FaultKind::Drop, 150_000)
+            .with_rule(FaultKind::Delay, 100_000)
+            .with_rule(FaultKind::Duplicate, 150_000)
+            .with_rule(FaultKind::Reorder, 200_000)
+    }
+
+    #[test]
+    #[cfg(not(loom))]
+    fn faulted_exchange_delivers_in_order_exactly_once() {
+        for seed in [1u64, 2, 3, 42] {
+            let mut plan = chaos_plan(seed);
+            plan.delivery.max_retries = 64;
+            plan.delay_max_us = 50;
+            let r = run_cluster_faulted::<Vec<u32>, _, _>(ClusterConfig::new(3, 1), &plan, |ctx| {
+                // Every rank sends 40 tagged messages to every peer and
+                // checks it receives each peer's stream in order.
+                let p = ctx.size();
+                for i in 0..40u32 {
+                    for to in 0..p {
+                        if to != ctx.rank() {
+                            ctx.send(to, vec![ctx.rank() as u32, i]);
+                        }
+                    }
+                }
+                for from in 0..p {
+                    if from == ctx.rank() {
+                        continue;
+                    }
+                    for i in 0..40u32 {
+                        let got = ctx.recv_from(from);
+                        assert_eq!(got, vec![from as u32, i]);
+                    }
+                }
+            });
+            // The plan's probabilities make at least some injection all
+            // but certain over 240 messages; the real guarantees (order,
+            // exactly-once, conservation) asserted above and by the
+            // harness are what matter.
+            let f = r.faults;
+            assert!(
+                f.drops + f.delays + f.duplicates_sent + f.reorders > 0,
+                "seed {seed}: no faults fired"
+            );
+            assert_eq!(f.drops, f.retries);
+        }
+    }
+
+    #[test]
+    #[cfg(not(loom))]
+    fn duplicates_are_discarded_idempotently() {
+        use crate::faults::{FaultKind, FaultPlan};
+        // Every message duplicated; every duplicate must be discarded.
+        let plan = FaultPlan::new(5).with_rule(FaultKind::Duplicate, crate::faults::PPM);
+        let r = run_cluster_faulted::<Vec<u32>, _, _>(ClusterConfig::new(2, 1), &plan, |ctx| {
+            if ctx.rank() == 0 {
+                for i in 0..20u32 {
+                    ctx.send(1, vec![i]);
+                }
+                Vec::new()
+            } else {
+                (0..20).map(|_| ctx.recv_from(0)[0]).collect()
+            }
+        });
+        assert_eq!(r.results[1], (0..20).collect::<Vec<_>>());
+        assert_eq!(r.faults.duplicates_sent, 20);
+        // The ghost behind the 20th envelope is never popped (the
+        // receiver stops after its 20th delivery), so it stays queued —
+        // the generalized conservation assert in the harness balances
+        // it; only the 19 ghosts *between* deliveries get discarded.
+        assert_eq!(r.faults.duplicates_discarded, 19);
+        assert_eq!(r.stats[1].messages_received, 20);
+    }
+
+    #[test]
+    #[cfg(not(loom))]
+    #[should_panic(expected = "FAULT REPORT")]
+    fn retry_exhaustion_escalates_a_structured_report() {
+        use crate::faults::{FaultKind, FaultPlan};
+        let mut plan = FaultPlan::new(1).with_rule(FaultKind::Drop, crate::faults::PPM);
+        plan.delivery.max_retries = 3;
+        plan.delivery.backoff_base_us = 1;
+        plan.delivery.backoff_cap_us = 10;
+        run_cluster_faulted::<Vec<u8>, _, _>(ClusterConfig::new(2, 1), &plan, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, vec![1]);
+            } else {
+                let _ = ctx.recv_from(0);
+            }
+        });
+    }
+
+    #[test]
+    #[cfg(not(loom))]
+    #[should_panic(expected = "STALL")]
+    fn stalled_task_trips_the_configured_watchdog() {
+        // Rank 0 wedges (no channel progress) for far longer than the
+        // configured timeout; rank 1, blocked on it, must escalate a
+        // structured stall report instead of waiting forever.
+        let config =
+            ClusterConfig::new(2, 1).with_watchdog_timeout(std::time::Duration::from_millis(40));
+        run_cluster::<Vec<u8>, _, _>(config, |ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                ctx.send(1, vec![1]);
+            } else {
+                let _ = ctx.recv_from(0);
+            }
+        });
+    }
+
+    #[test]
+    fn watchdog_timeout_is_configurable() {
+        let config =
+            ClusterConfig::new(2, 1).with_watchdog_timeout(std::time::Duration::from_secs(30));
+        assert_eq!(config.watchdog_timeout, std::time::Duration::from_secs(30));
+        // And a generous timeout keeps a slow-but-live cluster quiet.
+        let r = run_cluster::<Vec<u8>, _, _>(config, |ctx| {
+            if ctx.rank() == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(60));
+                ctx.send(1, vec![7]);
+                0u8
+            } else {
+                ctx.recv_from(0)[0]
+            }
+        });
+        assert_eq!(r.results, vec![0, 7]);
     }
 
     #[test]

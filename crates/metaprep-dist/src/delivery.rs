@@ -1,0 +1,203 @@
+//! Delivery policy and idempotent receive-side dedup.
+//!
+//! The simulated transport is a reliable FIFO channel per `(src, dst)`
+//! pair; the fault plane ([`crate::faults`]) makes it lossy. This module
+//! holds the two pure pieces the cluster layers on top:
+//!
+//! * [`DeliveryPolicy`] — retry budget and bounded exponential backoff
+//!   parameters for dropped sends;
+//! * [`DedupState`] — `(src, dst, seq)`-keyed idempotent receive: every
+//!   arriving envelope is classified against the next expected sequence
+//!   number as deliver / stash (arrived early, hold until its turn) /
+//!   duplicate (already delivered, discard).
+//!
+//! Both are plain data with no channel or clock dependencies, so the
+//! loom model in `tests/loom.rs` and the proptest gate in
+//! `tests/fault_props.rs` can pin the protocol exhaustively. The next
+//! expected seq is passed in by the caller — `TaskCtx`'s `recv_seq`
+//! counters stay the single source of truth.
+
+use std::collections::BTreeSet;
+
+/// Retry/timeout/backoff parameters for one cluster run.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct DeliveryPolicy {
+    /// Delivery attempts allowed per message beyond the first; once
+    /// exhausted the sender escalates a `FaultReport`.
+    pub max_retries: u32,
+    /// Backoff window for the first retry, microseconds.
+    pub backoff_base_us: u64,
+    /// Upper bound the exponential window saturates at, microseconds.
+    pub backoff_cap_us: u64,
+}
+
+impl Default for DeliveryPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 8,
+            backoff_base_us: 50,
+            backoff_cap_us: 5_000,
+        }
+    }
+}
+
+impl DeliveryPolicy {
+    /// Full backoff window before retry `attempt` (1-based — attempt 0
+    /// is the initial send and has no backoff): `base << (attempt-1)`,
+    /// saturating at `backoff_cap_us`. The actual sleep is drawn from
+    /// the upper half of this window by `FaultPlan::backoff_us`.
+    pub fn backoff_window_us(&self, attempt: u32) -> u64 {
+        let shift = attempt.saturating_sub(1);
+        if shift >= 64 {
+            return self.backoff_cap_us;
+        }
+        self.backoff_base_us
+            .saturating_mul(1u64 << shift)
+            .min(self.backoff_cap_us)
+    }
+}
+
+/// How the receiver should treat an arriving sequence number.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Offer {
+    /// `seq` is the next expected message: deliver it now.
+    Deliver,
+    /// `seq` arrived ahead of order: hold it until its turn.
+    Stash,
+    /// `seq` was already delivered or already stashed: discard.
+    Duplicate,
+}
+
+/// Receive-side dedup/reorder state for one `(src, dst)` channel.
+#[derive(Clone, Debug, Default)]
+pub struct DedupState {
+    /// Sequence numbers currently held out-of-order.
+    stashed: BTreeSet<u64>,
+    /// Count of discarded duplicate offers.
+    duplicates: u64,
+}
+
+impl DedupState {
+    /// Fresh state: nothing stashed, nothing discarded.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Classify sequence number `seq` against the next expected
+    /// number `next`. `Stash` records `seq` as held; the caller owns
+    /// the actual envelope storage.
+    pub fn classify(&mut self, next: u64, seq: u64) -> Offer {
+        if seq < next || self.stashed.contains(&seq) {
+            self.duplicates += 1;
+            Offer::Duplicate
+        } else if seq == next {
+            Offer::Deliver
+        } else {
+            self.stashed.insert(seq);
+            Offer::Stash
+        }
+    }
+
+    /// If `next` is stashed, un-stash it and return true — the caller
+    /// delivers its held envelope before blocking on the channel.
+    pub fn take_ready(&mut self, next: u64) -> bool {
+        self.stashed.remove(&next)
+    }
+
+    /// Sequence numbers currently held out-of-order.
+    pub fn stashed_len(&self) -> usize {
+        self.stashed.len()
+    }
+
+    /// Count of discarded duplicate offers so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+#[cfg(all(test, not(loom)))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_window_doubles_then_saturates() {
+        let p = DeliveryPolicy {
+            max_retries: 8,
+            backoff_base_us: 50,
+            backoff_cap_us: 5_000,
+        };
+        assert_eq!(p.backoff_window_us(1), 50);
+        assert_eq!(p.backoff_window_us(2), 100);
+        assert_eq!(p.backoff_window_us(3), 200);
+        assert_eq!(p.backoff_window_us(8), 5_000); // 50 << 7 = 6400, capped
+        assert_eq!(p.backoff_window_us(60), 5_000);
+        assert_eq!(p.backoff_window_us(u32::MAX), 5_000); // shift clamps
+    }
+
+    #[test]
+    fn in_order_stream_delivers_everything() {
+        let mut d = DedupState::new();
+        for seq in 0..100 {
+            assert_eq!(d.classify(seq, seq), Offer::Deliver);
+        }
+        assert_eq!(d.duplicates(), 0);
+        assert_eq!(d.stashed_len(), 0);
+    }
+
+    #[test]
+    fn early_arrival_is_stashed_then_taken() {
+        let mut d = DedupState::new();
+        // seq 1 arrives while 0 is expected.
+        assert_eq!(d.classify(0, 1), Offer::Stash);
+        assert!(!d.take_ready(0));
+        assert_eq!(d.classify(0, 0), Offer::Deliver);
+        // Now 1 is expected and held.
+        assert!(d.take_ready(1));
+        assert_eq!(d.stashed_len(), 0);
+        // A second take is a no-op.
+        assert!(!d.take_ready(1));
+    }
+
+    #[test]
+    fn duplicates_are_discarded_and_counted() {
+        let mut d = DedupState::new();
+        assert_eq!(d.classify(0, 0), Offer::Deliver);
+        // Old seq re-offered after delivery.
+        assert_eq!(d.classify(1, 0), Offer::Duplicate);
+        // Early arrival duplicated while still stashed.
+        assert_eq!(d.classify(1, 2), Offer::Stash);
+        assert_eq!(d.classify(1, 2), Offer::Duplicate);
+        assert_eq!(d.duplicates(), 2);
+        assert_eq!(d.stashed_len(), 1);
+    }
+
+    #[test]
+    fn arbitrary_permutation_with_duplicates_delivers_each_exactly_once() {
+        // Offers: a shuffled multiset of 0..8 with every seq duplicated.
+        let offers = [3u64, 0, 3, 1, 5, 0, 2, 7, 1, 4, 2, 6, 5, 4, 7, 6];
+        let mut d = DedupState::new();
+        let mut next = 0u64;
+        let mut delivered = Vec::new();
+        for &seq in &offers {
+            // Drain any ready stash first — mirrors the recv loop.
+            while d.take_ready(next) {
+                delivered.push(next);
+                next += 1;
+            }
+            match d.classify(next, seq) {
+                Offer::Deliver => {
+                    delivered.push(seq);
+                    next += 1;
+                }
+                Offer::Stash | Offer::Duplicate => {}
+            }
+        }
+        while d.take_ready(next) {
+            delivered.push(next);
+            next += 1;
+        }
+        assert_eq!(delivered, (0..8).collect::<Vec<_>>());
+        assert_eq!(d.duplicates(), 8);
+        assert_eq!(d.stashed_len(), 0);
+    }
+}

@@ -20,16 +20,27 @@
 
 pub mod cluster;
 pub mod collectives;
+pub mod delivery;
+pub mod faults;
 pub mod netmodel;
 pub mod stats;
+pub mod supervisor;
 pub mod sync;
 
 pub use cluster::{
     explore_schedules, run_cluster, run_cluster_with_jitter, ClusterConfig, ClusterResult, TaskCtx,
 };
+#[cfg(not(loom))]
+pub use cluster::{run_cluster_faulted, FaultStats};
 pub use collectives::{alltoall, alltoall_naive, alltoall_obs, broadcast, gather, stage_peers};
+pub use delivery::{DedupState, DeliveryPolicy, Offer};
+pub use faults::{
+    Boundary, CrashSpec, FaultKind, FaultPlan, FaultReport, FaultRule, FaultScope, FaultTally,
+    InjectedCrash, SendDecision,
+};
 pub use netmodel::NetworkModel;
 pub use stats::CommStats;
+pub use supervisor::run_supervised;
 
 /// Payload types that can be sent between tasks with byte accounting.
 pub trait Payload: Send + 'static {

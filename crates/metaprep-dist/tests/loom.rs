@@ -188,6 +188,88 @@ fn alltoall_three_tasks_all_interleavings() {
     );
 }
 
+/// The delivery protocol's receive side, under the model: a sender
+/// whose wire stream carries duplicates (each message retransmitted,
+/// plus a late retransmit of an old seq) races a receiver running the
+/// `DedupState` classify loop. For EVERY interleaving of sends and
+/// receives the receiver must deliver each logical message exactly
+/// once, in seq order — the idempotence contract `run_cluster_faulted`
+/// relies on when a duplicate ghost lands next to its envelope.
+#[test]
+fn dedup_delivers_exactly_once_under_all_interleavings() {
+    use metaprep_dist::{DedupState, Offer};
+    loom::model(|| {
+        let (tx, rx) = unbounded::<u64>();
+        let sender = thread::spawn(move || {
+            for seq in 0u64..3 {
+                tx.send(seq).expect("receiver alive");
+                tx.send(seq).expect("receiver alive"); // duplicate
+            }
+            tx.send(0).expect("receiver alive"); // late retransmit
+        });
+        let mut dedup = DedupState::new();
+        let mut next = 0u64;
+        let mut delivered = Vec::new();
+        // 7 wire items total; drain them all, delivering on classify.
+        for _ in 0..7 {
+            let seq = rx.recv().expect("sender alive");
+            match dedup.classify(next, seq) {
+                Offer::Deliver => {
+                    delivered.push(seq);
+                    next += 1;
+                }
+                Offer::Stash | Offer::Duplicate => {}
+            }
+        }
+        sender.join().expect("sender clean");
+        assert_eq!(delivered, vec![0, 1, 2], "exactly-once in-order broken");
+        assert_eq!(dedup.duplicates(), 4);
+    });
+}
+
+/// The stash path of the same protocol: the wire reorders seq 1 ahead
+/// of seq 0 (what a receive-side reorder injection produces). Across
+/// every interleaving the receiver must stash the early arrival and
+/// deliver it exactly at its turn.
+#[test]
+fn reordered_arrivals_are_stashed_and_delivered_in_order() {
+    use metaprep_dist::{DedupState, Offer};
+    loom::model(|| {
+        let (tx, rx) = unbounded::<u64>();
+        let sender = thread::spawn(move || {
+            for seq in [1u64, 0, 2] {
+                tx.send(seq).expect("receiver alive");
+            }
+        });
+        let mut dedup = DedupState::new();
+        let mut stash = std::collections::BTreeMap::new();
+        let mut next = 0u64;
+        let mut delivered = Vec::new();
+        while delivered.len() < 3 {
+            if dedup.take_ready(next) {
+                let seq = stash.remove(&next).expect("stashed value present");
+                delivered.push(seq);
+                next += 1;
+                continue;
+            }
+            let seq = rx.recv().expect("sender alive");
+            match dedup.classify(next, seq) {
+                Offer::Deliver => {
+                    delivered.push(seq);
+                    next += 1;
+                }
+                Offer::Stash => {
+                    stash.insert(seq, seq);
+                }
+                Offer::Duplicate => {}
+            }
+        }
+        sender.join().expect("sender clean");
+        assert_eq!(delivered, vec![0, 1, 2], "stash broke in-order delivery");
+        assert_eq!(stash.len(), 0, "stash not drained");
+    });
+}
+
 /// Negative control: an UNSTAGED schedule where rank 0 receives before
 /// sending while rank 1 does the opposite-of-staged order would
 /// deadlock if both ranks waited first. The model must detect the

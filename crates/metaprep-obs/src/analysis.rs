@@ -170,6 +170,31 @@ pub struct TimelineBucket {
     pub cumulative: u64,
 }
 
+/// Fault-injection and recovery totals summed across tasks
+/// ([`TraceAnalysis::fault_totals`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Faults the plan injected (drops, delays, duplicates, reorders,
+    /// crashes), as counted by the injecting task.
+    pub faults_injected: u64,
+    /// Delivery retries after injected drops.
+    pub retry_attempts: u64,
+    /// Checkpoints persisted at pass/merge boundaries.
+    pub checkpoint_writes: u64,
+    /// Supervised task restarts after injected crashes.
+    pub task_restarts: u64,
+}
+
+impl FaultTotals {
+    /// True when any fault-plane activity was recorded.
+    pub fn any(&self) -> bool {
+        self.faults_injected > 0
+            || self.retry_attempts > 0
+            || self.checkpoint_writes > 0
+            || self.task_restarts > 0
+    }
+}
+
 /// A fully-reconstructed trace, ready for querying.
 #[derive(Clone, Debug)]
 pub struct TraceAnalysis {
@@ -731,6 +756,36 @@ impl TraceAnalysis {
             .sum()
     }
 
+    /// Sum of one counter kind across all tasks.
+    fn counter_sum(&self, kind: CounterKind) -> u64 {
+        self.counters
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, v)| *v)
+            .sum()
+    }
+
+    /// Fault-injection and recovery totals recorded in the trace. All
+    /// zero for a fault-free run (the counters are only emitted when the
+    /// fault plane is active).
+    pub fn fault_totals(&self) -> FaultTotals {
+        FaultTotals {
+            faults_injected: self.counter_sum(CounterKind::FaultsInjected),
+            retry_attempts: self.counter_sum(CounterKind::RetryAttempts),
+            checkpoint_writes: self.counter_sum(CounterKind::CheckpointWrites),
+            task_restarts: self.counter_sum(CounterKind::TaskRestarts),
+        }
+    }
+
+    /// Per-task restart counts, for naming the ranks that recovered.
+    pub fn restarts_by_task(&self) -> Vec<(u32, u64)> {
+        self.counters
+            .iter()
+            .filter(|((_, k), v)| *k == CounterKind::TaskRestarts && **v > 0)
+            .map(|(&(task, _), &v)| (task, v))
+            .collect()
+    }
+
     /// Folded-stack output for flamegraph tooling: one
     /// `task N;Step[;sub-span] <ns>` line per aggregate, sub-spans
     /// nested under the smallest top-level span containing them.
@@ -855,6 +910,19 @@ impl TraceAnalysis {
                     sec(s.excess_ns),
                     s.over_mean,
                 );
+            }
+        }
+
+        let faults = self.fault_totals();
+        if faults.any() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "fault injection & recovery");
+            let _ = writeln!(out, "  faults injected   {:>8}", faults.faults_injected);
+            let _ = writeln!(out, "  retry attempts    {:>8}", faults.retry_attempts);
+            let _ = writeln!(out, "  checkpoint writes {:>8}", faults.checkpoint_writes);
+            let _ = writeln!(out, "  task restarts     {:>8}", faults.task_restarts);
+            for (task, n) in self.restarts_by_task() {
+                let _ = writeln!(out, "    task {task} restarted {n} time(s)");
             }
         }
 
@@ -1093,6 +1161,42 @@ mod tests {
         ]);
         assert_eq!(a.events_dropped(), 7);
         assert!(a.warnings().iter().any(|w| w.contains("incomplete")));
+    }
+
+    #[test]
+    fn fault_totals_sum_across_tasks_and_render() {
+        let counter = |task, kind, value| Event::Counter { task, kind, value };
+        let a = TraceAnalysis::from_events(&[
+            Event::Meta { tasks: 3 },
+            span(0, "KmerGen", 0, 100),
+            counter(0, CounterKind::FaultsInjected, 4),
+            counter(1, CounterKind::FaultsInjected, 2),
+            counter(1, CounterKind::RetryAttempts, 3),
+            counter(2, CounterKind::CheckpointWrites, 5),
+            counter(1, CounterKind::TaskRestarts, 1),
+        ]);
+        let f = a.fault_totals();
+        assert_eq!(
+            f,
+            FaultTotals {
+                faults_injected: 6,
+                retry_attempts: 3,
+                checkpoint_writes: 5,
+                task_restarts: 1,
+            }
+        );
+        assert!(f.any());
+        assert_eq!(a.restarts_by_task(), vec![(1, 1)]);
+        let report = a.render_report(3);
+        assert!(report.contains("fault injection & recovery"));
+        assert!(report.contains("task 1 restarted 1 time(s)"));
+    }
+
+    #[test]
+    fn fault_free_traces_render_no_fault_section() {
+        let a = TraceAnalysis::from_events(&[Event::Meta { tasks: 1 }, span(0, "KmerGen", 0, 100)]);
+        assert!(!a.fault_totals().any());
+        assert!(!a.render_report(3).contains("fault injection"));
     }
 
     #[test]

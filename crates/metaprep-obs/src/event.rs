@@ -21,6 +21,17 @@ pub const INDEX_CREATE: &str = "IndexCreate";
 /// Span name of one stage of the staged all-to-all (`detail` = stage).
 pub const ALLTOALL_STAGE: &str = "alltoall-stage";
 
+/// Span name of a checkpoint write (`detail` = pass or merge round).
+/// Deliberately NOT in [`STEP_NAMES`]: checkpointing is recovery
+/// machinery, not a paper pipeline step, so analysis treats it as a
+/// sub-span inside whatever step it interrupts.
+pub const CHECKPOINT: &str = "checkpoint";
+
+/// Span name covering a supervised task restart (checkpoint load +
+/// state restore after an injected crash). Not in [`STEP_NAMES`], like
+/// [`CHECKPOINT`].
+pub const TASK_RESTART: &str = "task-restart";
+
 /// One recorded interval: `step × task × pass`, with start/end timestamps
 /// in nanoseconds against the run-relative monotonic clock.
 ///
@@ -151,6 +162,10 @@ counter_kinds! {
     RadixPassesPruned => "radix_passes_pruned",
     ScatterBytes => "scatter_bytes",
     EventsDropped => "events_dropped",
+    FaultsInjected => "faults_injected",
+    RetryAttempts => "retry_attempts",
+    CheckpointWrites => "checkpoint_writes",
+    TaskRestarts => "task_restarts",
 }
 
 impl CounterKind {

@@ -412,6 +412,72 @@ fn run_bench_smoke() -> ExitCode {
     }
     eprintln!("xtask bench-smoke: ok ({})", loom.display());
 
+    // Chaos differential: the experiment partitions a fault-free
+    // baseline, replays it under generated fault plans (message faults
+    // and mid-run crashes restored from checkpoints), and asserts
+    // byte-identical labels itself; the gates here re-check identity and
+    // recovery activity from the JSON so a regression fails even if the
+    // binary's asserts are edited away.
+    let faults = root.join("target").join("BENCH_faults.json");
+    std::fs::remove_file(&faults).ok();
+    eprintln!("== xtask: bench smoke (faults) ==");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-bench",
+            "--bin",
+            "exp_faults",
+        ])
+        .env("METAPREP_SCALE", "0.05")
+        .env("METAPREP_BENCH_OUT", &faults)
+        .status();
+    if !matches!(status, Ok(s) if s.success()) {
+        eprintln!("xtask bench-smoke: exp_faults failed");
+        return ExitCode::FAILURE;
+    }
+    let Ok(fjson) = std::fs::read_to_string(&faults) else {
+        eprintln!("xtask bench-smoke: {} was not written", faults.display());
+        return ExitCode::FAILURE;
+    };
+    for needle in ["\"faults\"", "\"runs\"", "\"crash-replay-s42\""] {
+        if !fjson.contains(needle) {
+            eprintln!("xtask bench-smoke: {} missing {needle}", faults.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    let identical = json_number(&fjson, "\"runs_identical\"");
+    let total = json_number(&fjson, "\"runs_total\"");
+    match (identical, total) {
+        (Some(i), Some(t)) if i == t && t >= 3.0 => {}
+        (Some(i), Some(t)) => {
+            eprintln!(
+                "xtask bench-smoke: only {i}/{t} faulted runs reproduced the \
+                 fault-free labels (need all of >= 3 plans byte-identical)"
+            );
+            return ExitCode::FAILURE;
+        }
+        _ => {
+            eprintln!(
+                "xtask bench-smoke: runs_identical/runs_total missing from {}",
+                faults.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    match json_number(&fjson, "\"task_restarts_total\"") {
+        Some(restarts) if restarts >= 2.0 => {}
+        _ => {
+            eprintln!(
+                "xtask bench-smoke: crash plan restarted < 2 tasks — the \
+                 checkpoint/restart path did not run"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask bench-smoke: ok ({})", faults.display());
+
     // Causal trace analysis: `metaprep analyze` must digest the JSONL
     // trace the smoke just wrote — schema problems, unmatched edges, or
     // an empty critical path all exit non-zero under --strict. The text
@@ -501,6 +567,20 @@ const BENCH_METRICS: &[BenchMetric] = &[
         key: "\"alltoall3_explored\"",
         higher_is_better: false,
         gate: 33_500.0,
+        gate_waiver: None,
+    },
+    BenchMetric {
+        artifact: "BENCH_faults.json",
+        key: "\"runs_identical\"",
+        higher_is_better: true,
+        gate: 3.0,
+        gate_waiver: None,
+    },
+    BenchMetric {
+        artifact: "BENCH_faults.json",
+        key: "\"task_restarts_total\"",
+        higher_is_better: true,
+        gate: 2.0,
         gate_waiver: None,
     },
 ];
@@ -1167,6 +1247,48 @@ mod tests {
                 .map(|f| format!("{}:{}", f.line, f.lint))
                 .collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn fault_modules_covered_by_pipeline_lints() {
+        // The fault-injection/recovery plane spans `metaprep-dist` and
+        // `metaprep-core`, both pipeline crates: every new module is
+        // subject to the ordering and unwrap/expect gates automatically.
+        for rel in [
+            "crates/metaprep-dist/src/faults.rs",
+            "crates/metaprep-dist/src/delivery.rs",
+            "crates/metaprep-dist/src/supervisor.rs",
+            "crates/metaprep-core/src/checkpoint.rs",
+        ] {
+            assert!(is_pipeline_src(rel), "{rel} must be pipeline source");
+            let hits = lint_str(rel, "fn f() { g().unwrap(); }\n");
+            assert_eq!(hits, vec!["no-bare-unwrap:1"], "{rel}");
+        }
+    }
+
+    #[test]
+    fn on_disk_fault_sources_pass_the_lint() {
+        // End-to-end pin, like the analysis one above: the real
+        // fault-plane sources must stay clean under the custom lints.
+        let root = workspace_root();
+        for rel in [
+            "crates/metaprep-dist/src/faults.rs",
+            "crates/metaprep-dist/src/delivery.rs",
+            "crates/metaprep-dist/src/supervisor.rs",
+            "crates/metaprep-core/src/checkpoint.rs",
+        ] {
+            let text = std::fs::read_to_string(root.join(rel)).expect("read fault-plane source");
+            let mut findings = Vec::new();
+            lint_file(Path::new(rel), &text, &mut findings);
+            assert!(
+                findings.is_empty(),
+                "{rel} must pass the custom lints: {:?}",
+                findings
+                    .iter()
+                    .map(|f| format!("{}:{}", f.line, f.lint))
+                    .collect::<Vec<_>>()
+            );
+        }
     }
 
     #[test]
