@@ -22,6 +22,7 @@ fn main() {
     e::table7::run(scale);
     e::table8_9::run(scale);
     e::sparse_merge::run(scale);
+    e::presolve::run(scale);
     e::quality::run(scale);
     println!(
         "\nall experiments done in {:.1}s",

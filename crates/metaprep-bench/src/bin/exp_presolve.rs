@@ -1,0 +1,10 @@
+//! Presolve peak-memory benchmark; see crate docs.
+
+#[global_allocator]
+static ALLOC: metaprep_bench::allocpeak::PeakAlloc = metaprep_bench::allocpeak::PeakAlloc;
+
+fn main() {
+    metaprep_bench::allocpeak::mark_installed();
+    let scale = metaprep_bench::scale_from_env();
+    metaprep_bench::experiments::presolve::run(scale);
+}

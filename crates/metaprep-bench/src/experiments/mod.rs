@@ -9,6 +9,7 @@ pub mod fig9;
 pub mod index_create;
 pub mod kmergen;
 pub mod loom_dpor;
+pub mod presolve;
 pub mod quality;
 pub mod sort_throughput;
 pub mod sparse_merge;

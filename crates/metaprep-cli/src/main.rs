@@ -5,7 +5,9 @@
 //! metaprep index     --input reads.fastq --k 27 --m 8 --chunks 64 --outdir idx/
 //!                    [--stream] [--index-window 65536] [--threads 4]
 //! metaprep partition --input reads.fastq --k 27 --tasks 4 --threads 2
-//!                    [--passes 2] [--kf 10:29] [--top 4] [--sparse] --outdir parts/
+//!                    [--passes 2] [--memory-budget 512M] [--presolve 50]
+//!                    [--sketch-width 262144] [--sketch-depth 4]
+//!                    [--kf 10:29] [--top 4] [--sparse] --outdir parts/
 //!                    [--stream] [--index-window 65536] [--sort-digit-bits 8]
 //!                    [--fault-plan "seed=7,drop=0.05,crash=rank1@pass1"]
 //!                    [--checkpoint-dir ckpt/] [--max-retries 8]
@@ -328,17 +330,65 @@ fn parse_kf(spec: &str) -> Result<(u32, u32), ArgError> {
     Ok((lo, hi))
 }
 
+/// Parse a byte count with an optional `K`/`M`/`G` suffix (powers of
+/// 1024), e.g. `--memory-budget 512M`.
+fn parse_bytes(spec: &str) -> Result<u64, ArgError> {
+    let bad = || {
+        ArgError(format!(
+            "--memory-budget: bad byte count {spec:?} (try 512M, 2G)"
+        ))
+    };
+    let (digits, shift) = match spec.as_bytes().last() {
+        Some(b'K') | Some(b'k') => (&spec[..spec.len() - 1], 10),
+        Some(b'M') | Some(b'm') => (&spec[..spec.len() - 1], 20),
+        Some(b'G') | Some(b'g') => (&spec[..spec.len() - 1], 30),
+        _ => (spec, 0),
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    n.checked_shl(shift)
+        .filter(|v| v >> shift == n)
+        .ok_or_else(bad)
+}
+
 fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
     let mut b = PipelineConfig::builder()
         .k(args.get_or("k", 27usize)?)
         .m(args.get_or("m", 8usize)?)
-        .passes(args.get_or("passes", 1usize)?)
         .tasks(args.get_or("tasks", 1usize)?)
         .threads(args.get_or("threads", 1usize)?)
         .merge_sparse(args.flag("sparse"))
         .x4_kmergen(args.flag("x4"))
         .index_window(args.get_or("index-window", 0usize)?)
         .sort_digit_bits(args.get_or("sort-digit-bits", 8u32)?);
+    // `.passes()` marks the pass count *explicit*, which changes how the
+    // adaptive planner arbitrates against `--memory-budget` — so only
+    // call it when the flag was actually given.
+    if args.opt("passes").is_some() {
+        b = b.passes(args.get_or("passes", 1usize)?);
+    }
+    if let Some(spec) = args.opt("memory-budget") {
+        b = b.memory_budget(parse_bytes(&spec)?);
+        if args.opt("passes").is_some() {
+            eprintln!(
+                "note: both --passes and --memory-budget given; explicit --passes wins \
+                 (the run fails if it does not fit the budget)"
+            );
+        }
+    }
+    if let Some(t) = args.opt("presolve") {
+        let t: u32 = t
+            .parse()
+            .map_err(|_| ArgError(format!("--presolve: bad threshold {t:?}")))?;
+        b = b.presolve_threshold(t);
+    }
+    if args.opt("sketch-width").is_some() || args.opt("sketch-depth").is_some() {
+        let d = metaprep_norm::SketchParams::default();
+        b = b.sketch(metaprep_norm::SketchParams {
+            width: args.get_or("sketch-width", d.width)?,
+            depth: args.get_or("sketch-depth", d.depth)?,
+            ..d
+        });
+    }
     if let Some(spec) = args.opt("kf") {
         let (lo, hi) = parse_kf(&spec)?;
         b = b.kf_filter(lo, hi);
@@ -373,6 +423,7 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
 
     let trace = trace_opts(args)?;
     let tasks = cfg.tasks;
+    let budgeted = cfg.memory_budget.is_some();
 
     // `--stream` drives the whole pipeline from the file (streaming
     // IndexCreate, per-chunk reads) instead of loading reads up front —
@@ -418,6 +469,12 @@ fn cmd_partition(args: &Args) -> Result<(), Box<dyn std::error::Error>> {
         res.comm.iter().map(|s| s.bytes_sent).sum::<u64>() as f64 / 1e6,
         res.memory.total_modeled() as f64 / 1e6
     );
+    if budgeted || res.presolve_dropped > 0 {
+        println!(
+            "  presolve/plan: {} passes planned, {} k-mers dropped before tuple generation",
+            res.planned_passes, res.presolve_dropped
+        );
+    }
 
     let top = args.get_or("top", 0usize)?;
     if top > 0 {

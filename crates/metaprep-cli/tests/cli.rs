@@ -135,6 +135,125 @@ fn chaos_quickstart_partitions_and_analyzes_a_faulted_trace() {
 }
 
 #[test]
+fn memory_budget_alone_engages_the_planner() {
+    let dir = tmpdir("budget");
+    let reads = dir.join("reads.fastq");
+    let out = metaprep(&[
+        "simulate",
+        "--scale",
+        "0.01",
+        "--seed",
+        "3",
+        "--output",
+        reads.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        reads.to_str().unwrap(),
+        "--k",
+        "21",
+        "--m",
+        "6",
+        "--tasks",
+        "2",
+        "--memory-budget",
+        "1G",
+        "--presolve",
+        "50",
+        "--outdir",
+        dir.join("parts").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    let report = stdout_of(&out);
+    assert!(report.contains("passes planned"), "{report}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn explicit_passes_with_budget_warns_and_wins_or_errors() {
+    let dir = tmpdir("arbitrate");
+    let reads = dir.join("reads.fastq");
+    let out = metaprep(&[
+        "simulate",
+        "--scale",
+        "0.01",
+        "--seed",
+        "3",
+        "--output",
+        reads.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+
+    // Consistent pair: explicit --passes fits a huge budget. The run
+    // succeeds and the arbitration note lands on stderr.
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        reads.to_str().unwrap(),
+        "--k",
+        "21",
+        "--m",
+        "6",
+        "--tasks",
+        "2",
+        "--passes",
+        "2",
+        "--memory-budget",
+        "4G",
+        "--outdir",
+        dir.join("parts").to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("explicit --passes wins"),
+        "{}",
+        stderr_of(&out)
+    );
+
+    // Inconsistent pair: one pass cannot fit a 1-byte budget. Config
+    // error, one structured line, no usage dump.
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        reads.to_str().unwrap(),
+        "--k",
+        "21",
+        "--m",
+        "6",
+        "--tasks",
+        "2",
+        "--passes",
+        "1",
+        "--memory-budget",
+        "1",
+        "--outdir",
+        dir.join("parts2").to_str().unwrap(),
+    ]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("memory budget"), "{err}");
+    assert!(!err.contains("usage:"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_memory_budget_suffix_is_an_arg_error() {
+    let out = metaprep(&[
+        "partition",
+        "--input",
+        "whatever.fastq",
+        "--memory-budget",
+        "12Q",
+    ]);
+    assert!(!out.status.success());
+    let err = stderr_of(&out);
+    assert!(err.contains("--memory-budget"), "{err}");
+    assert!(err.contains("usage: metaprep"), "{err}");
+}
+
+#[test]
 fn crashes_without_checkpoint_dir_are_rejected_up_front() {
     let dir = tmpdir("nockpt");
     let reads = dir.join("reads.fastq");

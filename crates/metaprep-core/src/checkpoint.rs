@@ -19,10 +19,11 @@
 //!
 //! ```text
 //! magic    [u8; 4] = "MPCK"
-//! version  u32     = 1
+//! version  u32     = 2
 //! rank     u32
 //! phase    u8      (0 = Pass, 1 = Merge) + u32 payload
-//! tuples_emitted, peak_tuples            2 × u64
+//! tuples_emitted, peak_tuples,
+//! presolve_dropped                       3 × u64
 //! localcc  groups, filtered_groups, edges, union_edges,
 //!          verify_iterations, uf.finds, uf.path_splits,
 //!          uf.unions                     8 × u64
@@ -33,6 +34,19 @@
 //! Writes are atomic: the bytes go to `rank{r}.ckpt.tmp` in the same
 //! directory and are renamed over the live file, so a crash *during a
 //! checkpoint write* leaves the previous checkpoint intact.
+//!
+//! ## The pass-plan artifact (`plan.ckpt`)
+//!
+//! When the adaptive pass planner runs with a checkpoint directory
+//! configured, its decision — the pass count plus the per-pass k-mer
+//! range boundaries — is persisted as a [`PlanCheckpoint`] next to the
+//! per-rank files. The artifact carries a fingerprint of the planner's
+//! inputs (the m-mer histogram and the geometry/budget knobs); a restart
+//! whose recomputed inputs fingerprint the same must reproduce the same
+//! plan bit-for-bit, which the pipeline verifies before reusing the
+//! per-rank checkpoints. A different fingerprint means a different
+//! dataset or configuration is using the directory, and the stale plan
+//! (plus any per-rank state) cannot be trusted.
 
 use crate::localcc::LocalCcStats;
 use metaprep_cc::UfOpStats;
@@ -44,7 +58,8 @@ pub const MAGIC: [u8; 4] = *b"MPCK";
 
 /// Current format version. Bump on any layout change; [`Checkpoint::load`]
 /// rejects files from other versions rather than misparsing them.
-pub const VERSION: u32 = 1;
+/// (v2 added the `presolve_dropped` counter.)
+pub const VERSION: u32 = 2;
 
 /// Which boundary the checkpointed task should resume *at*.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -90,6 +105,10 @@ pub struct Checkpoint {
     pub tuples_emitted: u64,
     /// Peak per-pass tuple residency observed so far.
     pub peak_tuples: u64,
+    /// K-mers dropped by the presolve filter so far. Restored on restart
+    /// so the pipeline's `emitted + dropped == enumerated` conservation
+    /// check holds across crash/replay.
+    pub presolve_dropped: u64,
     /// LocalCC counters accumulated across completed passes.
     pub localcc: LocalCcStats,
     /// RAW union-find parent array (uncompressed — see module docs).
@@ -197,6 +216,7 @@ impl Checkpoint {
         push_u32(&mut buf, self.phase.payload());
         push_u64(&mut buf, self.tuples_emitted);
         push_u64(&mut buf, self.peak_tuples);
+        push_u64(&mut buf, self.presolve_dropped);
         let cc = &self.localcc;
         for v in [
             cc.groups,
@@ -262,6 +282,7 @@ impl Checkpoint {
         };
         let tuples_emitted = c.u64()?;
         let peak_tuples = c.u64()?;
+        let presolve_dropped = c.u64()?;
         let localcc = LocalCcStats {
             groups: c.u64()?,
             filtered_groups: c.u64()?,
@@ -300,6 +321,7 @@ impl Checkpoint {
             phase,
             tuples_emitted,
             peak_tuples,
+            presolve_dropped,
             localcc,
             parents,
         })
@@ -339,6 +361,190 @@ impl Checkpoint {
     }
 }
 
+/// File magic of the pass-plan artifact.
+pub const PLAN_MAGIC: [u8; 4] = *b"MPPL";
+
+/// Plan artifact format version.
+pub const PLAN_VERSION: u32 = 1;
+
+/// The adaptive pass planner's persisted decision (see module docs).
+///
+/// On-disk layout (`plan.ckpt`, little-endian):
+///
+/// ```text
+/// magic       [u8; 4] = "MPPL"
+/// version     u32     = 1
+/// passes, tasks, threads   3 × u32
+/// fingerprint u64   (FNV-1a over the planner inputs)
+/// bounds      u64 length + length × (lo u64, hi u64) of each u128 bound
+/// checksum    u64   (FNV-1a over every preceding byte)
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PlanCheckpoint {
+    /// Planned (or explicitly configured) pass count `S`.
+    pub passes: u32,
+    /// Task count the plan was built for.
+    pub tasks: u32,
+    /// Threads per task the plan was built for.
+    pub threads: u32,
+    /// FNV-1a fingerprint of the planner inputs (m-mer histogram counts
+    /// plus `k`, `m`, geometry, and memory budget).
+    pub fingerprint: u64,
+    /// Inclusive-exclusive per-pass k-mer range boundaries
+    /// (`passes + 1` packed canonical values).
+    pub bounds: Vec<u128>,
+}
+
+impl PlanCheckpoint {
+    /// Plan artifact path under `dir`.
+    pub fn path_for(dir: &Path) -> PathBuf {
+        dir.join("plan.ckpt")
+    }
+
+    /// Serialize to the on-disk byte layout (checksum included).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(40 + 16 * self.bounds.len());
+        buf.extend_from_slice(&PLAN_MAGIC);
+        push_u32(&mut buf, PLAN_VERSION);
+        push_u32(&mut buf, self.passes);
+        push_u32(&mut buf, self.tasks);
+        push_u32(&mut buf, self.threads);
+        push_u64(&mut buf, self.fingerprint);
+        push_u64(&mut buf, self.bounds.len() as u64);
+        for &b in &self.bounds {
+            push_u64(&mut buf, b as u64);
+            push_u64(&mut buf, (b >> 64) as u64);
+        }
+        let sum = fnv1a(&buf);
+        push_u64(&mut buf, sum);
+        buf
+    }
+
+    /// Parse and verify the on-disk byte layout.
+    pub fn from_bytes(bytes: &[u8]) -> Result<PlanCheckpoint, CkptError> {
+        if bytes.len() < PLAN_MAGIC.len() + 8 {
+            return Err(CkptError::Corrupt(format!(
+                "plan file too short ({} bytes)",
+                bytes.len()
+            )));
+        }
+        let (body, tail) = bytes.split_at(bytes.len() - 8);
+        // EXPECT: split_at(len - 8) yields an 8-byte tail.
+        let stored = u64::from_le_bytes(tail.try_into().expect("8-byte checksum"));
+        let computed = fnv1a(body);
+        if stored != computed {
+            return Err(CkptError::Corrupt(format!(
+                "plan checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            )));
+        }
+        let mut c = Cursor {
+            bytes: body,
+            pos: 0,
+        };
+        let magic = c.take(4)?;
+        if magic != PLAN_MAGIC {
+            return Err(CkptError::Corrupt(format!("bad plan magic {magic:02x?}")));
+        }
+        let version = c.u32()?;
+        if version != PLAN_VERSION {
+            return Err(CkptError::Corrupt(format!(
+                "plan version {version} (this build reads {PLAN_VERSION})"
+            )));
+        }
+        let passes = c.u32()?;
+        let tasks = c.u32()?;
+        let threads = c.u32()?;
+        let fingerprint = c.u64()?;
+        let len = c.u64()?;
+        let Ok(len) = usize::try_from(len) else {
+            return Err(CkptError::Corrupt(format!("bound count {len} overflows")));
+        };
+        let remaining = body.len() - c.pos;
+        if remaining != len * 16 {
+            return Err(CkptError::Corrupt(format!(
+                "plan claims {len} bounds ({} bytes) but {remaining} remain",
+                len * 16
+            )));
+        }
+        let mut bounds = Vec::with_capacity(len);
+        for _ in 0..len {
+            let lo = c.u64()? as u128;
+            let hi = c.u64()? as u128;
+            bounds.push(lo | (hi << 64));
+        }
+        if passes == 0 || bounds.len() != passes as usize + 1 {
+            return Err(CkptError::Corrupt(format!(
+                "plan has {passes} passes but {} bounds",
+                bounds.len()
+            )));
+        }
+        Ok(PlanCheckpoint {
+            passes,
+            tasks,
+            threads,
+            fingerprint,
+            bounds,
+        })
+    }
+
+    /// Atomically write this plan as `dir/plan.ckpt` (same tmp + rename
+    /// protocol as the per-rank checkpoints).
+    pub fn store(&self, dir: &Path) -> Result<(), CkptError> {
+        std::fs::create_dir_all(dir)?;
+        let path = Self::path_for(dir);
+        let tmp = path.with_extension("ckpt.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.to_bytes())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, &path)?;
+        Ok(())
+    }
+
+    /// Load `dir/plan.ckpt`; `Ok(None)` when no plan artifact exists.
+    pub fn load(dir: &Path) -> Result<Option<PlanCheckpoint>, CkptError> {
+        let path = Self::path_for(dir);
+        let mut f = match std::fs::File::open(&path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        let mut bytes = Vec::new();
+        f.read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes).map(Some)
+    }
+}
+
+/// Fingerprint the planner's inputs: the full m-mer histogram plus every
+/// knob that shapes the plan. Any change to dataset or geometry changes
+/// the fingerprint, which is how a restart detects that an on-disk plan
+/// belongs to a different run.
+pub fn plan_fingerprint(
+    counts: &[u32],
+    k: usize,
+    m: usize,
+    tasks: usize,
+    threads: usize,
+    budget: Option<u64>,
+) -> u64 {
+    let mut buf = Vec::with_capacity(counts.len() * 4 + 48);
+    for &c in counts {
+        push_u32(&mut buf, c);
+    }
+    for v in [
+        k as u64,
+        m as u64,
+        tasks as u64,
+        threads as u64,
+        budget.map_or(u64::MAX, |b| b),
+        budget.is_some() as u64,
+    ] {
+        push_u64(&mut buf, v);
+    }
+    fnv1a(&buf)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -349,6 +555,7 @@ mod tests {
             phase: CkptPhase::Pass { next_pass: 2 },
             tuples_emitted: 12_345,
             peak_tuples: 6_789,
+            presolve_dropped: 321,
             localcc: LocalCcStats {
                 groups: 10,
                 filtered_groups: 1,
@@ -446,14 +653,78 @@ mod tests {
         let mut bytes = ck.to_bytes();
         // Rewrite the version field and re-checksum so only the version
         // check can reject it.
-        bytes[4..8].copy_from_slice(&2u32.to_le_bytes());
+        bytes[4..8].copy_from_slice(&3u32.to_le_bytes());
         let body_len = bytes.len() - 8;
         let sum = fnv1a(&bytes[..body_len]);
         bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
         match Checkpoint::from_bytes(&bytes) {
-            Err(CkptError::Corrupt(s)) => assert!(s.contains("version 2"), "{s}"),
+            Err(CkptError::Corrupt(s)) => assert!(s.contains("version 3"), "{s}"),
             other => panic!("expected version rejection, got {other:?}"),
         }
+    }
+
+    fn sample_plan() -> PlanCheckpoint {
+        PlanCheckpoint {
+            passes: 2,
+            tasks: 4,
+            threads: 1,
+            fingerprint: 0xDEAD_BEEF_CAFE_F00D,
+            bounds: vec![0, 1u128 << 40, u128::MAX >> 2],
+        }
+    }
+
+    #[test]
+    fn plan_bytes_roundtrip_exactly() {
+        let plan = sample_plan();
+        assert_eq!(PlanCheckpoint::from_bytes(&plan.to_bytes()).unwrap(), plan);
+    }
+
+    #[test]
+    fn plan_store_load_roundtrip() {
+        let dir = tmpdir("plan_roundtrip");
+        assert_eq!(PlanCheckpoint::load(&dir).unwrap(), None);
+        let plan = sample_plan();
+        plan.store(&dir).unwrap();
+        assert_eq!(PlanCheckpoint::load(&dir).unwrap(), Some(plan));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn plan_corruption_is_detected() {
+        let good = sample_plan().to_bytes();
+        for pos in [0usize, 5, 17, good.len() - 9] {
+            let mut bad = good.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                matches!(PlanCheckpoint::from_bytes(&bad), Err(CkptError::Corrupt(_))),
+                "flipped plan byte {pos} went undetected"
+            );
+        }
+        assert!(matches!(
+            PlanCheckpoint::from_bytes(&good[..good.len() - 3]),
+            Err(CkptError::Corrupt(_))
+        ));
+        // Bound count inconsistent with passes (rewritten checksum so only
+        // the structural check can reject it).
+        let mut plan = sample_plan();
+        plan.bounds.push(7);
+        assert!(matches!(
+            PlanCheckpoint::from_bytes(&plan.to_bytes()),
+            Err(CkptError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn plan_fingerprint_tracks_inputs() {
+        let counts = vec![1u32, 2, 3, 4];
+        let base = plan_fingerprint(&counts, 21, 6, 4, 1, Some(1 << 30));
+        assert_eq!(base, plan_fingerprint(&counts, 21, 6, 4, 1, Some(1 << 30)));
+        assert_ne!(base, plan_fingerprint(&counts, 21, 6, 4, 1, Some(1 << 31)));
+        assert_ne!(base, plan_fingerprint(&counts, 21, 6, 4, 1, None));
+        assert_ne!(base, plan_fingerprint(&counts, 27, 6, 4, 1, Some(1 << 30)));
+        let mut other = counts.clone();
+        other[2] += 1;
+        assert_ne!(base, plan_fingerprint(&other, 21, 6, 4, 1, Some(1 << 30)));
     }
 
     #[test]

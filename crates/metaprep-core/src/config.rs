@@ -1,6 +1,7 @@
 //! Pipeline configuration.
 
 use metaprep_dist::FaultPlan;
+use metaprep_norm::SketchParams;
 use std::fmt;
 use std::path::PathBuf;
 
@@ -37,6 +38,26 @@ pub struct PipelineConfig {
     /// Number of I/O passes `S` over the input (§3.1: more passes, less
     /// memory per task).
     pub passes: usize,
+    /// True when `passes` was set explicitly (builder/CLI) rather than
+    /// left at the default. Arbitrates against [`Self::memory_budget`]:
+    /// an explicit pass count always wins, but a budget it cannot meet is
+    /// a configuration error instead of a silent overshoot.
+    pub passes_explicit: bool,
+    /// Per-task memory budget in bytes for the adaptive pass planner.
+    /// When set (and `passes` was not given explicitly) the pipeline
+    /// computes the smallest pass count whose §3.7 modeled footprint fits,
+    /// instead of trusting `passes`.
+    pub memory_budget: Option<u64>,
+    /// Presolve drop threshold: k-mers whose sketch-estimated occurrence
+    /// count *exceeds* this value are dropped inside KmerGen, before any
+    /// tuple is materialized or shipped. `None` disables the presolve
+    /// tier. The estimate never under-counts, so every k-mer truly above
+    /// the threshold is dropped; rare sketch collisions can only drop
+    /// extra high-side k-mers, never resurrect one.
+    pub presolve_threshold: Option<u32>,
+    /// Shape and seed of the presolve count-min sketch built during
+    /// IndexCreate (used only when `presolve_threshold` is set).
+    pub sketch: SketchParams,
     /// Number of simulated MPI tasks `P`.
     pub tasks: usize,
     /// Threads per task `T`.
@@ -90,6 +111,10 @@ impl Default for PipelineConfig {
             k: 27,
             m: 8,
             passes: 1,
+            passes_explicit: false,
+            memory_budget: None,
+            presolve_threshold: None,
+            sketch: SketchParams::default(),
             tasks: 1,
             threads: 1,
             chunks: 0,
@@ -171,6 +196,20 @@ impl PipelineConfig {
         if self.watchdog_timeout_ms == Some(0) {
             return err("watchdog_timeout_ms must be nonzero".into());
         }
+        if self.memory_budget == Some(0) {
+            return err("memory_budget must be nonzero".into());
+        }
+        if self.presolve_threshold == Some(0) {
+            return err(
+                "presolve_threshold must be >= 1 (a zero threshold drops every k-mer)".into(),
+            );
+        }
+        if self.presolve_threshold.is_some() && (self.sketch.width < 16 || self.sketch.depth == 0) {
+            return err(format!(
+                "presolve sketch must be at least 16 x 1 counters, got {} x {}",
+                self.sketch.width, self.sketch.depth
+            ));
+        }
         Ok(())
     }
 }
@@ -194,9 +233,31 @@ impl PipelineConfigBuilder {
         self
     }
 
-    /// Set the number of I/O passes.
+    /// Set the number of I/O passes *explicitly* — the adaptive planner
+    /// then never overrides it (a [`PipelineConfig::memory_budget`] it
+    /// cannot meet becomes a configuration error at run time).
     pub fn passes(mut self, s: usize) -> Self {
         self.cfg.passes = s;
+        self.cfg.passes_explicit = true;
+        self
+    }
+
+    /// Set the per-task memory budget in bytes for the adaptive planner.
+    pub fn memory_budget(mut self, bytes: u64) -> Self {
+        self.cfg.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Enable the presolve tier: drop k-mers whose estimated occurrence
+    /// count exceeds `threshold` before tuples are generated.
+    pub fn presolve_threshold(mut self, threshold: u32) -> Self {
+        self.cfg.presolve_threshold = Some(threshold);
+        self
+    }
+
+    /// Shape the presolve count-min sketch.
+    pub fn sketch(mut self, params: SketchParams) -> Self {
+        self.cfg.sketch = params;
         self
     }
 
@@ -444,6 +505,61 @@ mod tests {
             .build()
             .validate()
             .is_err());
+    }
+
+    #[test]
+    fn passes_builder_marks_explicit() {
+        assert!(!PipelineConfig::default().passes_explicit);
+        let c = PipelineConfig::builder().passes(2).build();
+        assert!(c.passes_explicit);
+        // A budget alone leaves passes implicit: the planner may override.
+        let c = PipelineConfig::builder().memory_budget(1 << 30).build();
+        assert!(!c.passes_explicit);
+        assert_eq!(c.memory_budget, Some(1 << 30));
+    }
+
+    #[test]
+    fn presolve_builder_and_validation() {
+        let c = PipelineConfig::builder()
+            .presolve_threshold(20)
+            .sketch(SketchParams {
+                width: 1 << 10,
+                depth: 3,
+                seed: 5,
+            })
+            .build();
+        assert_eq!(c.presolve_threshold, Some(20));
+        assert_eq!(c.sketch.depth, 3);
+        assert!(c.validate().is_ok());
+        assert!(PipelineConfig::builder()
+            .presolve_threshold(0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .presolve_threshold(5)
+            .sketch(SketchParams {
+                width: 4,
+                depth: 0,
+                seed: 0,
+            })
+            .build()
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn rejects_zero_memory_budget() {
+        assert!(PipelineConfig::builder()
+            .memory_budget(0)
+            .build()
+            .validate()
+            .is_err());
+        assert!(PipelineConfig::builder()
+            .memory_budget(1 << 20)
+            .build()
+            .validate()
+            .is_ok());
     }
 
     #[test]

@@ -3,9 +3,10 @@
 use crate::source::ChunkSource;
 use metaprep_index::{FastqPart, RangePlan};
 use metaprep_kmer::{
-    for_each_canonical_kmer, lanes::for_each_canonical_kmer_x4, Kmer, Kmer128, Kmer64,
-    KmerReadTuple, KmerReadTuple128,
+    fold_kmer_key, for_each_canonical_kmer, lanes::for_each_canonical_kmer_x4, Kmer, Kmer128,
+    Kmer64, KmerReadTuple, KmerReadTuple128,
 };
+use metaprep_norm::HighFreqFilter;
 use metaprep_sort::Keyed;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
@@ -23,6 +24,10 @@ pub trait PipelineKmer: Kmer {
     fn tuple_read(t: &Self::Tuple) -> u32;
     /// Convert a `u128` plan boundary into this width's key type.
     fn repr_from_u128(v: u128) -> <Self as Kmer>::Repr;
+    /// The presolve-sketch key of a packed canonical value — the same
+    /// derivation the IndexCreate sketch builder used, so filter probes
+    /// hit the cells the scan populated.
+    fn sketch_key(v: <Self as Kmer>::Repr) -> u64;
 }
 
 impl PipelineKmer for Kmer64 {
@@ -42,6 +47,11 @@ impl PipelineKmer for Kmer64 {
     #[inline(always)]
     fn repr_from_u128(v: u128) -> u64 {
         v as u64
+    }
+
+    #[inline(always)]
+    fn sketch_key(v: u64) -> u64 {
+        v
     }
 }
 
@@ -63,6 +73,11 @@ impl PipelineKmer for Kmer128 {
     fn repr_from_u128(v: u128) -> u128 {
         v
     }
+
+    #[inline(always)]
+    fn sketch_key(v: u128) -> u64 {
+        fold_kmer_key(v)
+    }
 }
 
 /// Output of one task's KmerGen for one pass.
@@ -75,6 +90,10 @@ pub struct KmerGenOutput<T> {
     pub io_nanos: u64,
     /// Enumeration time, CPU-time summed across threads.
     pub gen_nanos: u64,
+    /// K-mer occurrences dropped by the presolve filter before any tuple
+    /// was materialized (0 without a filter). Conservation:
+    /// `sum(outgoing) + dropped == enumerated`.
+    pub dropped: u64,
 }
 
 /// Enumerate this task's tuples for `pass`.
@@ -98,6 +117,7 @@ pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
     bin_owner: &[u32],
     pass: usize,
     use_x4: bool,
+    filter: Option<&HighFreqFilter>,
     read_label: impl Fn(u32) -> u32 + Sync,
 ) -> KmerGenOutput<K::Tuple> {
     use rayon::prelude::*;
@@ -108,6 +128,7 @@ pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
     debug_assert_eq!(space.k(), k);
     let io_nanos = AtomicU64::new(0);
     let gen_nanos = AtomicU64::new(0);
+    let dropped = AtomicU64::new(0);
 
     let per_chunk: Vec<Vec<Vec<K::Tuple>>> = pool.install(|| {
         my_chunks
@@ -129,28 +150,40 @@ pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
                         Vec::with_capacity(fastqpart.chunk_count_in_bins(c, blo, bhi) as usize)
                     })
                     .collect();
+                let mut dropped_per_dest = vec![0u64; tasks];
                 for (seq, frag) in &buffer {
                     let label = read_label(*frag);
                     emit_kmers::<K>(seq, k, use_x4, |v| {
                         let bin = space.bin_of(K::repr_to_u128(v));
                         let owner = bin_owner[bin as usize] as usize;
                         if owner / tasks == pass {
-                            bufs[owner % tasks].push(K::make_tuple(v, label));
+                            let dest = owner % tasks;
+                            if let Some(f) = filter {
+                                if f.drops(K::sketch_key(v)) {
+                                    dropped_per_dest[dest] += 1;
+                                    return;
+                                }
+                            }
+                            bufs[dest].push(K::make_tuple(v, label));
                         }
                     });
                 }
                 // ORDERING: Relaxed — profiling counter, summed after join.
                 gen_nanos.fetch_add(t_gen.elapsed().as_nanos() as u64, Ordering::Relaxed);
 
-                // The index-table arithmetic must match the enumeration.
+                // The index-table arithmetic must match the enumeration:
+                // every histogram-counted k-mer was either emitted or
+                // filter-dropped, never lost.
                 for (q, b) in bufs.iter().enumerate() {
                     let (blo, bhi) = plan.task_bin_range(pass, q);
                     debug_assert_eq!(
-                        b.len() as u64,
+                        b.len() as u64 + dropped_per_dest[q],
                         fastqpart.chunk_count_in_bins(c, blo, bhi),
                         "chunk {c} dest {q}: histogram disagrees with enumeration"
                     );
                 }
+                // ORDERING: Relaxed — conservation counter, summed after join.
+                dropped.fetch_add(dropped_per_dest.iter().sum::<u64>(), Ordering::Relaxed);
                 bufs
             })
             .collect()
@@ -170,6 +203,7 @@ pub fn kmergen_pass<K: PipelineKmer, S: ChunkSource>(
         outgoing,
         io_nanos: io_nanos.into_inner(),
         gen_nanos: gen_nanos.into_inner(),
+        dropped: dropped.into_inner(),
     }
 }
 
@@ -184,7 +218,9 @@ fn emit_kmers<K: PipelineKmer>(seq: &[u8], k: usize, use_x4: bool, mut f: impl F
 }
 
 /// Expected tuples task `rank` receives from all chunks in `pass` —
-/// the receive-count precomputation of paper §3.3.
+/// the receive-count precomputation of paper §3.3. With a presolve
+/// filter active this is an **upper bound** (drops are value-granular,
+/// the histogram is bin-granular); exact otherwise.
 pub fn expected_incoming(fastqpart: &FastqPart, plan: &RangePlan, pass: usize, rank: usize) -> u64 {
     let (blo, bhi) = plan.task_bin_range(pass, rank);
     (0..fastqpart.len())
@@ -247,6 +283,7 @@ mod tests {
                 &table,
                 pass,
                 false,
+                None,
                 |r| r,
             );
             total += out.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
@@ -273,6 +310,7 @@ mod tests {
             &table,
             0,
             false,
+            None,
             |r| r,
         );
         for (q, buf) in out.outgoing.iter().enumerate() {
@@ -304,6 +342,7 @@ mod tests {
                 &table,
                 pass,
                 false,
+                None,
                 |r| r,
             );
             for q in 0..3 {
@@ -335,10 +374,21 @@ mod tests {
             &table,
             0,
             false,
+            None,
             |r| r,
         );
-        let b =
-            kmergen_pass::<Kmer64, _>(&pool, &src, &fp, &plan, &all_chunks, &table, 0, true, |r| r);
+        let b = kmergen_pass::<Kmer64, _>(
+            &pool,
+            &src,
+            &fp,
+            &plan,
+            &all_chunks,
+            &table,
+            0,
+            true,
+            None,
+            |r| r,
+        );
         for q in 0..2 {
             let mut x: Vec<_> = a.outgoing[q].iter().map(|t| (t.kmer, t.read)).collect();
             let mut y: Vec<_> = b.outgoing[q].iter().map(|t| (t.kmer, t.read)).collect();
@@ -368,9 +418,81 @@ mod tests {
             &table,
             0,
             false,
+            None,
             |_| 0,
         );
         assert!(out.outgoing[0].iter().all(|t| t.read == 0));
+    }
+
+    #[test]
+    fn filter_drops_frequent_kmers_and_conserves_counts() {
+        use metaprep_norm::SketchParams;
+        use std::collections::HashMap;
+
+        // The random store plus a handful of duplicated reads, so some
+        // k-mers are genuinely frequent and a threshold of 2 has teeth.
+        let mut s = store();
+        let hot: Vec<u8> = b"ACGT".iter().cycle().take(60).copied().collect();
+        for _ in 0..5 {
+            s.push_pair(&hot[..30], &hot[30..]);
+        }
+        let mh = MerHist::build(&s, 11, 4);
+        let fp = FastqPart::build(&s, 6, 11, 4);
+        let plan = RangePlan::build(&mh, 2, 3, 2);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(2)
+            .build()
+            .unwrap();
+        let table = plan.bin_owner_table();
+        let all_chunks: Vec<usize> = (0..fp.len()).collect();
+
+        // Exact truth and a generous sketch over the same enumeration.
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        let mut sketch = SketchParams::default().build();
+        for (seq, _) in s.iter() {
+            for_each_canonical_kmer::<Kmer64>(seq, 11, |v, _| {
+                *truth.entry(v).or_insert(0) += 1;
+                sketch.add(v);
+            });
+        }
+        let threshold = 2u32;
+        let filter = HighFreqFilter::new(sketch, threshold);
+        assert!(
+            truth.values().any(|&c| c > u64::from(threshold)),
+            "test input must contain a frequent k-mer"
+        );
+
+        let mut emitted = 0u64;
+        let mut dropped = 0u64;
+        for pass in 0..2 {
+            let src = mem_source(&s, &fp);
+            let out = kmergen_pass::<Kmer64, _>(
+                &pool,
+                &src,
+                &fp,
+                &plan,
+                &all_chunks,
+                &table,
+                pass,
+                false,
+                Some(&filter),
+                |r| r,
+            );
+            emitted += out.outgoing.iter().map(|v| v.len() as u64).sum::<u64>();
+            dropped += out.dropped;
+            // No surviving tuple's k-mer may be truly frequent: estimates
+            // never under-count, so a frequent value always drops.
+            for buf in &out.outgoing {
+                for t in buf {
+                    assert!(
+                        truth[&t.kmer] <= u64::from(threshold),
+                        "frequent kmer survived"
+                    );
+                }
+            }
+        }
+        assert!(dropped > 0, "filter should have dropped something");
+        assert_eq!(emitted + dropped, fp.total(), "conservation");
     }
 
     #[test]
@@ -398,6 +520,7 @@ mod tests {
             &table,
             0,
             false,
+            None,
             |r| r,
         );
         let total: u64 = out.outgoing.iter().map(|v| v.len() as u64).sum();

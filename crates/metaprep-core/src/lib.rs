@@ -28,10 +28,11 @@ pub mod localcc;
 pub mod memmodel;
 pub mod output;
 pub mod pipeline;
+pub mod planner;
 pub mod source;
 pub mod timings;
 
-pub use checkpoint::{Checkpoint, CkptError, CkptPhase};
+pub use checkpoint::{plan_fingerprint, Checkpoint, CkptError, CkptPhase, PlanCheckpoint};
 pub use config::{PipelineConfig, PipelineConfigBuilder, PipelineError};
 pub use memmodel::MemoryReport;
 pub use output::{
@@ -39,5 +40,6 @@ pub use output::{
     PartitionedReads,
 };
 pub use pipeline::{Pipeline, PipelineResult};
+pub use planner::{plan_passes, PassPlan, PlanInputs, MAX_PLANNED_PASSES};
 pub use source::{ChunkSource, FileSource, MemorySource};
 pub use timings::{Step, StepTimings, TaskTimings};

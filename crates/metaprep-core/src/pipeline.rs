@@ -1,10 +1,11 @@
 //! Pipeline orchestration: the distributed METAPREP flow.
 
-use crate::checkpoint::{Checkpoint, CkptPhase};
+use crate::checkpoint::{plan_fingerprint, Checkpoint, CkptPhase, PlanCheckpoint};
 use crate::config::{PipelineConfig, PipelineError};
 use crate::kmergen::{expected_incoming, kmergen_pass, PipelineKmer};
 use crate::localcc::{localcc_pass, thread_offsets_of, LocalCcStats};
 use crate::memmodel::MemoryReport;
+use crate::planner::{plan_passes, PlanInputs};
 use crate::source::{ChunkSource, FileSource, MemorySource};
 use crate::timings::{Step, StepTimings, TaskTimings};
 use metaprep_cc::{
@@ -19,7 +20,8 @@ use metaprep_dist::{
 use metaprep_index::{FastqPart, MerHist, RangePlan};
 use metaprep_io::ReadStore;
 use metaprep_kmer::{Kmer128, Kmer64};
-use metaprep_obs::event::{CHECKPOINT, INDEX_CREATE, TASK_RESTART};
+use metaprep_norm::{HighFreqFilter, SketchParams};
+use metaprep_obs::event::{CHECKPOINT, INDEX_CREATE, PASS_PLAN, TASK_RESTART};
 use metaprep_obs::{CounterKind, NoopRecorder, Recorder, SpanEvent, TaskObs};
 use metaprep_sort::{fused_local_sort, PassBuffers};
 use std::path::Path;
@@ -80,6 +82,13 @@ pub struct PipelineResult {
     pub lc_reads_written: u64,
     /// Reads written to the "Other" output across tasks.
     pub other_reads_written: u64,
+    /// K-mer occurrences dropped by the presolve filter before tuple
+    /// generation (0 when the probabilistic tier is off). Conservation:
+    /// `tuples_total + presolve_dropped` equals the merHist total.
+    pub presolve_dropped: u64,
+    /// The pass count the run actually executed — `cfg.passes`, or the
+    /// planner's choice when only `memory_budget` was set.
+    pub planned_passes: usize,
 }
 
 impl PipelineResult {
@@ -132,7 +141,16 @@ impl Pipeline {
         let clock = rec.clock();
         let t0_ns = clock.now_ns();
         let c = self.cfg.effective_chunks();
-        let merhist = MerHist::build(reads, self.cfg.k, self.cfg.m);
+        // With the presolve tier on, the same IndexCreate scan also feeds
+        // the count-min sketch — no extra pass over the reads.
+        let (merhist, sketch) = match self.cfg.presolve_threshold {
+            Some(_) => {
+                let (h, s) =
+                    MerHist::build_sketched(reads, self.cfg.k, self.cfg.m, self.cfg.sketch);
+                (h, Some(s))
+            }
+            None => (MerHist::build(reads, self.cfg.k, self.cfg.m), None),
+        };
         let fastqpart = FastqPart::build(reads, c, self.cfg.k, self.cfg.m);
         let t1_ns = clock.now_ns();
         // Derive the duration from the span's own endpoints so a report
@@ -148,26 +166,31 @@ impl Pipeline {
             // Driver-side span, outside any task's causal timeline.
             lamport: 0,
         });
+        let filter = sketch
+            .zip(self.cfg.presolve_threshold)
+            .map(|(s, t)| HighFreqFilter::new(s, t));
         let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
         let source = MemorySource::new(reads, specs);
         if self.cfg.k <= 32 {
-            Ok(run_generic::<Kmer64, _>(
+            run_generic::<Kmer64, _>(
                 &self.cfg,
                 &source,
                 &merhist,
                 &fastqpart,
+                filter.as_ref(),
                 index_create,
                 rec,
-            ))
+            )
         } else {
-            Ok(run_generic::<Kmer128, _>(
+            run_generic::<Kmer128, _>(
                 &self.cfg,
                 &source,
                 &merhist,
                 &fastqpart,
+                filter.as_ref(),
                 index_create,
                 rec,
-            ))
+            )
         }
     }
 
@@ -199,7 +222,7 @@ impl Pipeline {
         // ---- IndexCreate from the file (streaming, thread-parallel) ----
         let clock = rec.clock();
         let t0_ns = clock.now_ns();
-        let (merhist, fastqpart, total_seqs) = index_fastq_file(
+        let (merhist, fastqpart, total_seqs, sketch) = index_fastq_file(
             path,
             paired,
             self.cfg.effective_chunks(),
@@ -207,6 +230,7 @@ impl Pipeline {
             self.cfg.m,
             self.cfg.index_window,
             self.cfg.tasks * self.cfg.threads,
+            self.cfg.presolve_threshold.map(|_| self.cfg.sketch),
             rec,
         )?;
         let t1_ns = clock.now_ns();
@@ -222,26 +246,31 @@ impl Pipeline {
             lamport: 0,
         });
 
+        let filter = sketch
+            .zip(self.cfg.presolve_threshold)
+            .map(|(s, t)| HighFreqFilter::new(s, t));
         let specs = fastqpart.chunks().iter().map(|r| r.spec).collect();
         let source = FileSource::new(path.to_path_buf(), specs, paired, total_seqs);
         if self.cfg.k <= 32 {
-            Ok(run_generic::<Kmer64, _>(
+            run_generic::<Kmer64, _>(
                 &self.cfg,
                 &source,
                 &merhist,
                 &fastqpart,
+                filter.as_ref(),
                 index_create,
                 rec,
-            ))
+            )
         } else {
-            Ok(run_generic::<Kmer128, _>(
+            run_generic::<Kmer128, _>(
                 &self.cfg,
                 &source,
                 &merhist,
                 &fastqpart,
+                filter.as_ref(),
                 index_create,
                 rec,
-            ))
+            )
         }
     }
 }
@@ -260,21 +289,31 @@ fn index_fastq_file(
     m: usize,
     window: usize,
     threads: usize,
+    sketch: Option<SketchParams>,
     rec: &dyn Recorder,
-) -> Result<(MerHist, FastqPart, u32), PipelineError> {
-    use metaprep_index::{index_fastq_file_streaming_recorded, StreamingOptions};
-    let (merhist, fastqpart, total_seqs) = index_fastq_file_streaming_recorded(
+) -> Result<
+    (
+        MerHist,
+        FastqPart,
+        u32,
+        Option<metaprep_norm::CountMinSketch>,
+    ),
+    PipelineError,
+> {
+    use metaprep_index::{index_fastq_file_streaming_sketched_recorded, StreamingOptions};
+    let (merhist, fastqpart, total_seqs, cms) = index_fastq_file_streaming_sketched_recorded(
         path,
         paired,
         c,
         k,
         m,
         StreamingOptions { window, threads },
+        sketch,
         rec,
     )
     .map_err(|e| PipelineError::InvalidInput(format!("index {path:?}: {e}")))?;
     let total_seqs = guard_total_seqs(total_seqs, paired)?;
-    Ok((merhist, fastqpart, total_seqs))
+    Ok((merhist, fastqpart, total_seqs, cms))
 }
 
 /// Checked conversion of a streamed sequence count into the pipeline's
@@ -298,27 +337,91 @@ struct TaskOutput {
     labels: Option<Vec<u32>>,
     tuples_emitted: u64,
     peak_tuples: u64,
+    presolve_dropped: u64,
     localcc: LocalCcStats,
     lc_reads: u64,
     other_reads: u64,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_generic<K: PipelineKmer, S: ChunkSource>(
     cfg: &PipelineConfig,
     source: &S,
     merhist: &MerHist,
     fastqpart: &FastqPart,
+    filter: Option<&HighFreqFilter>,
     index_create: std::time::Duration,
     rec: &dyn Recorder,
-) -> PipelineResult {
-    let plan = RangePlan::build(merhist, cfg.passes, cfg.tasks, cfg.threads);
+) -> Result<PipelineResult, PipelineError> {
+    let r = source.num_fragments() as usize;
+    let avg_chunk_bytes = if fastqpart.is_empty() {
+        0
+    } else {
+        fastqpart
+            .chunks()
+            .iter()
+            .map(|ch| ch.spec.bytes)
+            .sum::<u64>()
+            / fastqpart.len() as u64
+    };
+
+    // ---- Pass planning: invert the §3.7 memory model for the budget ----
+    let clock = rec.clock();
+    let plan_t0_ns = clock.now_ns();
+    let passes = match cfg.memory_budget {
+        Some(budget) => {
+            let inputs = PlanInputs {
+                m: cfg.m,
+                chunks: fastqpart.len(),
+                threads: cfg.threads,
+                avg_chunk_bytes,
+                total_tuples: merhist.total(),
+                packed_tuple_bytes: K::PACKED_TUPLE_BYTES,
+                tasks: cfg.tasks,
+                reads: r as u64,
+            };
+            if cfg.passes_explicit {
+                // An explicit --passes wins over the planner, but it still
+                // has to fit the budget it was paired with.
+                let modeled = inputs.modeled_at(cfg.passes);
+                if modeled > budget {
+                    return Err(PipelineError::InvalidConfig(format!(
+                        "explicit passes={} models {modeled} B/task, over the {budget} B \
+                         memory budget; drop --passes to let the planner choose, or \
+                         raise the budget",
+                        cfg.passes
+                    )));
+                }
+                cfg.passes
+            } else {
+                plan_passes(&inputs, budget)?.passes
+            }
+        }
+        None => cfg.passes,
+    };
+    let plan = RangePlan::build(merhist, passes, cfg.tasks, cfg.threads);
+    // Persist (or verify) the plan artifact so a crash-restarted run
+    // provably replays the same pass geometry.
+    if let Some(dir) = cfg.checkpoint_dir.as_deref() {
+        verify_or_store_plan(dir, cfg, merhist, &plan, passes)?;
+    }
+    let plan_t1_ns = clock.now_ns();
+    rec.record_span(SpanEvent {
+        task: 0,
+        name: PASS_PLAN,
+        pass: None,
+        detail: None,
+        start_ns: plan_t0_ns,
+        end_ns: plan_t1_ns,
+        // Driver-side span, outside any task's causal timeline.
+        lamport: 0,
+    });
     let bin_owner = plan.bin_owner_table();
 
     // Chunk ownership: round-robin over tasks (chunks are size-balanced by
     // construction, so this is the paper's static assignment).
     let owner_of_chunk: Vec<usize> = (0..fastqpart.len()).map(|i| i % cfg.tasks).collect();
 
-    let r = source.num_fragments() as usize;
     let mut cluster = ClusterConfig::new(cfg.tasks, cfg.threads);
     if let Some(ms) = cfg.watchdog_timeout_ms {
         cluster = cluster.with_watchdog_timeout(Duration::from_millis(ms));
@@ -332,6 +435,7 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
             &plan,
             &bin_owner,
             &owner_of_chunk,
+            filter,
             r,
             rec,
         )
@@ -348,15 +452,20 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     };
 
     // ---- assemble the result ----
+    // The exchange's global ledger must balance whether or not the
+    // presolve filter shrank the traffic — drops happen before sends.
+    debug_assert_eq!(metaprep_dist::check_conservation(&run.stats), Ok(()));
     let mut labels = None;
     let mut per_task = Vec::with_capacity(cfg.tasks);
     let mut tuples_total = 0u64;
+    let mut presolve_dropped = 0u64;
     let mut localcc = LocalCcStats::default();
     let mut peak_tuples = 0u64;
     let (mut lc_reads_written, mut other_reads_written) = (0u64, 0u64);
     for out in run.results {
         per_task.push(out.timings);
         tuples_total += out.tuples_emitted;
+        presolve_dropped += out.presolve_dropped;
         localcc.merge(out.localcc);
         peak_tuples = peak_tuples.max(out.peak_tuples);
         lc_reads_written += out.lc_reads;
@@ -369,16 +478,16 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
     let labels = labels.expect("rank 0 must produce labels");
     let components = ComponentStats::from_component_array(&labels);
 
-    let avg_chunk_bytes = if fastqpart.is_empty() {
-        0
-    } else {
-        fastqpart
-            .chunks()
-            .iter()
-            .map(|ch| ch.spec.bytes)
-            .sum::<u64>()
-            / fastqpart.len() as u64
-    };
+    // The differential guarantee of the presolve tier: every enumerated
+    // k-mer occurrence was either shipped as a tuple or explicitly dropped
+    // by the filter — never silently lost. Promoted to a release assert
+    // like the receive-count check.
+    assert_eq!(
+        tuples_total + presolve_dropped,
+        merhist.total(),
+        "presolve conservation: emitted + dropped must equal the merHist total"
+    );
+
     let mut memory = MemoryReport::model(
         cfg.m,
         fastqpart.len(),
@@ -386,7 +495,7 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
         avg_chunk_bytes,
         merhist.total(),
         K::PACKED_TUPLE_BYTES,
-        cfg.passes,
+        passes,
         cfg.tasks,
         r as u64,
     );
@@ -410,9 +519,20 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
             CounterKind::MemPeakTupleBytes,
             memory.measured_peak_tuple_bytes,
         );
+        rec.record_counter(0, CounterKind::PlannedPasses, passes as u64);
+        if let Some(budget) = cfg.memory_budget {
+            rec.record_counter(0, CounterKind::MemBudgetBytes, budget);
+        }
+        if let Some(f) = filter {
+            rec.record_counter(
+                0,
+                CounterKind::SketchFillPermille,
+                f.sketch().fill_ratio_permille(),
+            );
+        }
     }
 
-    PipelineResult {
+    Ok(PipelineResult {
         components,
         labels,
         timings: StepTimings {
@@ -425,6 +545,56 @@ fn run_generic<K: PipelineKmer, S: ChunkSource>(
         localcc,
         lc_reads_written,
         other_reads_written,
+        presolve_dropped,
+        planned_passes: passes,
+    })
+}
+
+/// Persist the adaptive pass plan under `dir`, or — when an artifact with
+/// the same input fingerprint already exists (a restarted run) — verify
+/// the recomputed plan matches it byte for byte. A same-fingerprint
+/// mismatch means planning was not a pure function of its inputs, which
+/// would silently break checkpoint replay; fail loudly instead. A
+/// different fingerprint is just a stale artifact from another run and is
+/// overwritten.
+fn verify_or_store_plan(
+    dir: &Path,
+    cfg: &PipelineConfig,
+    merhist: &MerHist,
+    plan: &RangePlan,
+    passes: usize,
+) -> Result<(), PipelineError> {
+    let fingerprint = plan_fingerprint(
+        merhist.counts(),
+        cfg.k,
+        cfg.m,
+        cfg.tasks,
+        cfg.threads,
+        cfg.memory_budget,
+    );
+    let mut bounds: Vec<u128> = (0..passes).map(|s| plan.pass_range(s).0).collect();
+    bounds.push(plan.pass_range(passes - 1).1);
+    let ck = PlanCheckpoint {
+        passes: passes as u32,
+        tasks: cfg.tasks as u32,
+        threads: cfg.threads as u32,
+        fingerprint,
+        bounds,
+    };
+    let to_err =
+        |e: crate::checkpoint::CkptError| PipelineError::InvalidInput(format!("plan.ckpt: {e}"));
+    match PlanCheckpoint::load(dir).map_err(to_err)? {
+        Some(prev) if prev.fingerprint == fingerprint => {
+            if prev != ck {
+                return Err(PipelineError::InvalidInput(format!(
+                    "plan.ckpt disagrees with the recomputed plan for the same inputs \
+                     (stored {} passes, recomputed {})",
+                    prev.passes, ck.passes
+                )));
+            }
+            Ok(())
+        }
+        _ => ck.store(dir).map_err(to_err),
     }
 }
 
@@ -435,6 +605,7 @@ struct AttemptOutput {
     labels: Option<Vec<u32>>,
     tuples_emitted: u64,
     peak_tuples: u64,
+    presolve_dropped: u64,
     localcc: LocalCcStats,
     lc_reads: u64,
     other_reads: u64,
@@ -459,6 +630,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
     plan: &RangePlan,
     bin_owner: &[u32],
     owner_of_chunk: &[usize],
+    filter: Option<&HighFreqFilter>,
     r: usize,
     rec: &dyn Recorder,
 ) -> TaskOutput {
@@ -483,7 +655,8 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         .unwrap_or(0);
     let (out, restarts) = run_supervised(max_restarts, |restart_no| {
         attempt_body::<K, S>(
-            ctx, cfg, source, fastqpart, plan, bin_owner, &my_chunks, r, &mut obs, restart_no,
+            ctx, cfg, source, fastqpart, plan, bin_owner, &my_chunks, filter, r, &mut obs,
+            restart_no,
         )
     });
 
@@ -507,6 +680,7 @@ fn task_body<K: PipelineKmer, S: ChunkSource>(
         labels: out.labels,
         tuples_emitted: out.tuples_emitted,
         peak_tuples: out.peak_tuples,
+        presolve_dropped: out.presolve_dropped,
         localcc: out.localcc,
         lc_reads: out.lc_reads,
         other_reads: out.other_reads,
@@ -529,6 +703,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
     plan: &RangePlan,
     bin_owner: &[u32],
     my_chunks: &[usize],
+    filter: Option<&HighFreqFilter>,
     r: usize,
     obs: &mut TaskObs<'_>,
     restart_no: u32,
@@ -544,6 +719,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
     let mut resume_merge: Option<(u32, Vec<u32>)> = None;
     let mut tuples_emitted = 0u64;
     let mut peak_tuples = 0u64;
+    let mut presolve_dropped = 0u64;
     let mut cc_stats = LocalCcStats::default();
 
     if restart_no > 0 {
@@ -561,6 +737,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
         if let Some(ck) = loaded {
             tuples_emitted = ck.tuples_emitted;
             peak_tuples = ck.peak_tuples;
+            presolve_dropped = ck.presolve_dropped;
             cc_stats = ck.localcc;
             match ck.phase {
                 CkptPhase::Pass { next_pass } => {
@@ -586,7 +763,9 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
         // All passes are folded into the checkpointed parent array.
         0..0
     } else {
-        start_pass..cfg.passes
+        // The plan's pass count, not `cfg.passes` — they differ when the
+        // adaptive planner solved `--memory-budget` for the pass count.
+        start_pass..plan.passes()
     };
     for pass in pass_range {
         let pass_u32 = pass as u32;
@@ -606,6 +785,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
             bin_owner,
             pass,
             cfg.use_x4_kmergen,
+            filter,
             |frag| if use_opt { ds.find(frag) } else { frag },
         );
         let after_io = obs.span_with_dur(
@@ -622,7 +802,11 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
         );
         let out_tuples: u64 = gen.outgoing.iter().map(|v| v.len() as u64).sum();
         tuples_emitted += out_tuples;
+        presolve_dropped += gen.dropped;
         obs.add(CounterKind::TuplesEmitted, out_tuples);
+        if gen.dropped > 0 {
+            obs.add(CounterKind::PresolveDroppedKmers, gen.dropped);
+        }
 
         // ---- KmerGen-Comm: the P-stage all-to-all ----
         let t0 = obs.open();
@@ -648,12 +832,24 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
         // Release-mode check (promoted from a debug assert, in the spirit
         // of the cluster's message-conservation accounting): the FASTQPart
         // receive-count precomputation is what lets buffers be sized and
-        // scatter offsets trusted, so a mismatch must abort the run.
-        assert_eq!(
-            received, expected_len,
-            "receive-count precomputation: task {rank} pass {pass} got {received} \
-             tuples but FASTQPart predicts {expected_len}"
-        );
+        // scatter offsets trusted, so a mismatch must abort the run. With
+        // the presolve filter active the bin-granular precomputation is an
+        // upper bound (drops are value-granular), so the check relaxes to
+        // `<=` — the exact balance is enforced globally by the driver's
+        // `emitted + dropped == enumerated` conservation assert.
+        if filter.is_some() {
+            assert!(
+                received <= expected_len,
+                "receive-count precomputation: task {rank} pass {pass} got {received} \
+                 tuples but FASTQPart bounds {expected_len}"
+            );
+        } else {
+            assert_eq!(
+                received, expected_len,
+                "receive-count precomputation: task {rank} pass {pass} got {received} \
+                 tuples but FASTQPart predicts {expected_len}"
+            );
+        }
         obs.close(t0, Step::KmerGenComm.name(), Some(pass_u32));
         obs.add(CounterKind::TuplesReceived, received as u64);
         // Per-pass tuple residency peaks twice: during the all-to-all the
@@ -715,6 +911,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
                 },
                 tuples_emitted,
                 peak_tuples,
+                presolve_dropped,
                 localcc: cc_stats,
                 // RAW parents (no compression): restoring this exact tree
                 // is what makes the replay byte-identical.
@@ -769,6 +966,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
                     },
                     tuples_emitted,
                     peak_tuples,
+                    presolve_dropped,
                     localcc: cc_stats,
                     parents: local.raw_parents().to_vec(),
                 };
@@ -815,6 +1013,7 @@ fn attempt_body<K: PipelineKmer, S: ChunkSource>(
         labels: (rank == 0).then_some(final_labels),
         tuples_emitted,
         peak_tuples,
+        presolve_dropped,
         localcc: cc_stats,
         lc_reads,
         other_reads,
@@ -1490,6 +1689,190 @@ mod tests {
             1,
             "rank 1's restart must be visible"
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// The exact [`PlanInputs`] `run_generic` will derive for `cfg` over
+    /// `reads` — so tests can compute budgets that force a chosen pass
+    /// count.
+    fn plan_inputs_for(reads: &ReadStore, cfg: &PipelineConfig) -> PlanInputs {
+        let c = cfg.effective_chunks();
+        let mh = MerHist::build(reads, cfg.k, cfg.m);
+        let fp = FastqPart::build(reads, c, cfg.k, cfg.m);
+        let avg = if fp.is_empty() {
+            0
+        } else {
+            fp.chunks().iter().map(|ch| ch.spec.bytes).sum::<u64>() / fp.len() as u64
+        };
+        PlanInputs {
+            m: cfg.m,
+            chunks: fp.len(),
+            threads: cfg.threads,
+            avg_chunk_bytes: avg,
+            total_tuples: mh.total(),
+            packed_tuple_bytes: K64::PACKED_TUPLE_BYTES,
+            tasks: cfg.tasks,
+            reads: reads.num_fragments() as u64,
+        }
+    }
+
+    #[test]
+    fn memory_budget_engages_the_planner() {
+        let reads = small_reads();
+        let probe = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(2)
+            .threads(2)
+            .build();
+        let inputs = plan_inputs_for(&reads, &probe);
+        // A budget exactly at the 2-pass model: 1 pass must not fit, so the
+        // planner has a real decision to make.
+        let budget = inputs.modeled_at(2);
+        assert!(inputs.modeled_at(1) > budget, "budget must discriminate");
+
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .tasks(2)
+            .threads(2)
+            .memory_budget(budget)
+            .build();
+        let res = Pipeline::new(cfg).run_reads(&reads).unwrap();
+        assert_eq!(res.planned_passes, 2, "planner should have chosen 2 passes");
+        assert!(res.memory.total_modeled() <= budget);
+        // An adaptively planned run is still a correct run.
+        let want = reference_labels(&reads, 21, None);
+        assert!(same_partition(&res.labels, &want));
+    }
+
+    #[test]
+    fn explicit_passes_over_budget_is_a_runtime_config_error() {
+        let reads = small_reads();
+        // --passes wins over the planner, but 1 pass can never fit a 1-byte
+        // budget; the combination must be rejected, not silently ignored.
+        let cfg = PipelineConfig::builder()
+            .k(21)
+            .m(6)
+            .passes(1)
+            .memory_budget(1)
+            .build();
+        match Pipeline::new(cfg).run_reads(&reads) {
+            Err(PipelineError::InvalidConfig(msg)) => {
+                assert!(msg.contains("memory budget"), "{msg}");
+            }
+            other => panic!(
+                "expected InvalidConfig, got {:?}",
+                other.map(|r| r.labels.len())
+            ),
+        }
+    }
+
+    #[test]
+    fn presolve_filter_matches_exact_counting_oracle() {
+        // The tentpole differential guarantee: a presolve run (sketch-based
+        // drops BEFORE tuples exist) must produce byte-identical labels to
+        // a kf-filter run (exact counting AFTER the sort) with the same
+        // upper threshold, provided the sketch makes no frequency
+        // false-positives at this scale — which the test verifies against
+        // exact counts first, so a failure points at the right layer.
+        let reads = small_reads();
+        let threshold = 3u32;
+
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for (seq, _) in reads.iter() {
+            for_each_canonical_kmer::<K64>(seq, 21, |v, _| {
+                *truth.entry(v).or_insert(0) += 1;
+            });
+        }
+        let (_, sketch) = MerHist::build_sketched(&reads, 21, 6, SketchParams::default());
+        for (&v, &n) in &truth {
+            assert_eq!(
+                sketch.estimate(v) > u64::from(threshold),
+                n > u64::from(threshold),
+                "sketch misclassifies a k-mer at this scale; enlarge the default sketch"
+            );
+        }
+
+        let mk = |presolve: bool| {
+            let mut b = PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .passes(2)
+                .tasks(2)
+                .threads(1);
+            b = if presolve {
+                b.presolve_threshold(threshold)
+            } else {
+                b.kf_filter(1, threshold)
+            };
+            Pipeline::new(b.build()).run_reads(&reads).unwrap()
+        };
+        let pre = mk(true);
+        let oracle = mk(false);
+        assert!(pre.presolve_dropped > 0, "nothing was presolved away");
+        assert!(
+            pre.tuples_total < oracle.tuples_total,
+            "presolve must shrink tuple volume ({} vs {})",
+            pre.tuples_total,
+            oracle.tuples_total
+        );
+        let total: u64 = truth.values().sum();
+        assert_eq!(
+            pre.tuples_total + pre.presolve_dropped,
+            total,
+            "conservation"
+        );
+        assert_eq!(pre.labels, oracle.labels, "presolve changed the labels");
+        // The comm ledger still balances under a filtered exchange.
+        metaprep_dist::check_conservation(&pre.comm).unwrap();
+    }
+
+    #[test]
+    fn adaptive_plan_crash_restart_replays_byte_identically() {
+        // Chaos satellite: a crash mid-pass under a planner-chosen pass
+        // count must restart from the checkpoints and reproduce the
+        // fault-free adaptive run's labels byte for byte, with the plan
+        // artifact on disk guarding the geometry.
+        use metaprep_dist::{Boundary, FaultPlan};
+        let reads = small_reads();
+        let probe = chaos_cfg().build();
+        let inputs = plan_inputs_for(&reads, &probe);
+        let budget = inputs.modeled_at(2);
+        let mk = || {
+            PipelineConfig::builder()
+                .k(21)
+                .m(6)
+                .tasks(4)
+                .threads(1)
+                .memory_budget(budget)
+                .presolve_threshold(3)
+        };
+        let want = Pipeline::new(mk().build()).run_reads(&reads).unwrap();
+        assert_eq!(
+            want.planned_passes, 2,
+            "budget should have planned 2 passes"
+        );
+
+        let dir = std::env::temp_dir().join("metaprep_core_adaptive_chaos");
+        let _ = std::fs::remove_dir_all(&dir);
+        let plan = FaultPlan::new(11).with_crash(1, Boundary::Pass(1));
+        let res = Pipeline::new(mk().fault_plan(plan).checkpoint_dir(&dir).build())
+            .run_reads(&reads)
+            .unwrap();
+        assert_eq!(res.labels, want.labels, "restarted adaptive run drifted");
+        assert_eq!(res.planned_passes, want.planned_passes);
+        assert_eq!(res.presolve_dropped, want.presolve_dropped);
+        assert!(
+            PlanCheckpoint::path_for(&dir).exists(),
+            "plan artifact missing"
+        );
+        // A re-run over the same checkpoint dir re-derives the same plan
+        // and passes the stored-artifact verification.
+        let again = Pipeline::new(mk().checkpoint_dir(&dir).build())
+            .run_reads(&reads)
+            .unwrap();
+        assert_eq!(again.labels, want.labels);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

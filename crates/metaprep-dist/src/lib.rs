@@ -39,7 +39,7 @@ pub use faults::{
     InjectedCrash, SendDecision,
 };
 pub use netmodel::NetworkModel;
-pub use stats::CommStats;
+pub use stats::{check_conservation, CommStats};
 pub use supervisor::run_supervised;
 
 /// Payload types that can be sent between tasks with byte accounting.

@@ -34,6 +34,31 @@ impl CommStats {
     }
 }
 
+/// Check global communication conservation over one run's per-task stats:
+/// summed sends must equal summed receives in both bytes and message
+/// count. `Err` names the imbalance. Presolve filtering happens *before*
+/// tuples are handed to the exchange, so this invariant is unaffected by
+/// the probabilistic tier — what was sent smaller also arrives smaller.
+pub fn check_conservation(stats: &[CommStats]) -> Result<(), String> {
+    let total = stats
+        .iter()
+        .copied()
+        .fold(CommStats::default(), CommStats::merged);
+    if total.bytes_sent != total.bytes_received {
+        return Err(format!(
+            "bytes not conserved: {} sent vs {} received",
+            total.bytes_sent, total.bytes_received
+        ));
+    }
+    if total.messages_sent != total.messages_received {
+        return Err(format!(
+            "messages not conserved: {} sent vs {} received",
+            total.messages_sent, total.messages_received
+        ));
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -61,6 +86,36 @@ mod tests {
                 messages_received: 5,
             }
         );
+    }
+
+    #[test]
+    fn conservation_accepts_balanced_and_names_imbalance() {
+        let balanced = [
+            CommStats {
+                bytes_sent: 10,
+                messages_sent: 2,
+                bytes_received: 0,
+                messages_received: 0,
+            },
+            CommStats {
+                bytes_sent: 0,
+                messages_sent: 0,
+                bytes_received: 10,
+                messages_received: 2,
+            },
+        ];
+        assert!(check_conservation(&balanced).is_ok());
+        assert!(check_conservation(&[]).is_ok());
+
+        let mut lost_bytes = balanced;
+        lost_bytes[1].bytes_received = 9;
+        let err = check_conservation(&lost_bytes).unwrap_err();
+        assert!(err.contains("bytes"), "{err}");
+
+        let mut lost_msg = balanced;
+        lost_msg[1].messages_received = 1;
+        let err = check_conservation(&lost_msg).unwrap_err();
+        assert!(err.contains("messages"), "{err}");
     }
 
     #[test]

@@ -27,5 +27,5 @@ pub use merhist::MerHist;
 pub use plan::{split_bins_by_weight, RangePlan};
 pub use streaming::{
     index_fastq_bytes, index_fastq_file_streaming, index_fastq_file_streaming_recorded,
-    StreamingOptions,
+    index_fastq_file_streaming_sketched_recorded, StreamingOptions,
 };

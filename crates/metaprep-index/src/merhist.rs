@@ -1,7 +1,8 @@
 //! The global m-mer prefix histogram (`merHist`, paper §3.1.1).
 
 use metaprep_io::ReadStore;
-use metaprep_kmer::{for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
+use metaprep_kmer::{fold_kmer_key, for_each_canonical_kmer, Kmer128, Kmer64, MmerSpace};
+use metaprep_norm::{CountMinSketch, SketchParams};
 
 /// Histogram of the length-`m` prefixes of all canonical k-mers of a
 /// dataset. `4^m` bins, `u32` counts (the paper stores 32-bit counts; we
@@ -39,6 +40,52 @@ impl MerHist {
             counts,
             total,
         }
+    }
+
+    /// [`MerHist::build`] fused with a count-min frequency sketch over the
+    /// same canonical k-mer enumeration: one scan feeds both the m-mer
+    /// histogram and the presolve sketch, so enabling the probabilistic
+    /// memory tier costs no extra pass over the reads. The sketch is keyed
+    /// by the packed canonical value for `k <= 32` and by
+    /// [`fold_kmer_key`] above that. Sequential like `build`, hence
+    /// deterministic for any thread count.
+    pub fn build_sketched(
+        store: &ReadStore,
+        k: usize,
+        m: usize,
+        params: SketchParams,
+    ) -> (Self, CountMinSketch) {
+        let space = MmerSpace::new(k, m);
+        let mut counts = vec![0u32; space.bins()];
+        let mut total = 0u64;
+        let mut sketch = params.build();
+        if k <= 32 {
+            for (seq, _) in store.iter() {
+                for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
+                    counts[space.bin_of(v as u128) as usize] =
+                        counts[space.bin_of(v as u128) as usize].saturating_add(1);
+                    total += 1;
+                    sketch.add(v);
+                });
+            }
+        } else {
+            for (seq, _) in store.iter() {
+                for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| {
+                    counts[space.bin_of(v) as usize] =
+                        counts[space.bin_of(v) as usize].saturating_add(1);
+                    total += 1;
+                    sketch.add(fold_kmer_key(v));
+                });
+            }
+        }
+        (
+            Self {
+                space,
+                counts,
+                total,
+            },
+            sketch,
+        )
     }
 
     /// Parallel build: per-read-range partial histograms merged with a
@@ -205,6 +252,41 @@ mod tests {
     fn empty_store() {
         let h = MerHist::build(&ReadStore::new(), 4, 2);
         assert_eq!(h.total(), 0);
+    }
+
+    #[test]
+    fn sketched_build_matches_plain_and_counts_kmers() {
+        let s = store_of(&[b"ACGTACGTACGT", b"ACGTACGTACGT", b"TTTTTTTT"]);
+        // Small enough that a handful of distinct k-mers registers as a
+        // non-zero permille fill ratio.
+        let params = SketchParams {
+            width: 16,
+            depth: 4,
+            seed: 3,
+        };
+        for (k, m) in [(5, 2), (35, 2)] {
+            let seq: Vec<u8> = b"ACGT".iter().cycle().take(80).copied().collect();
+            let mut wide = ReadStore::new();
+            wide.push_single(&seq);
+            wide.push_single(&seq);
+            let store = if k <= 32 {
+                store_of(&[b"ACGTACGTACGT", b"ACGTACGTACGT", b"TTTTTTTT"])
+            } else {
+                wide
+            };
+            let plain = MerHist::build(&store, k, m);
+            let (sketched, sketch) = MerHist::build_sketched(&store, k, m, params);
+            assert_eq!(plain, sketched, "k={k}");
+            // Every enumerated k-mer was added to the sketch: its estimate
+            // of any repeated canonical k-mer is at least the repeat count.
+            assert!(sketch.fill_ratio_permille() > 0, "k={k}");
+        }
+        // Narrow path keys by the raw packed value: a k-mer seen twice
+        // estimates at least 2.
+        let (_, sketch) = MerHist::build_sketched(&s, 5, 2, params);
+        use metaprep_kmer::Kmer;
+        let km = metaprep_kmer::Kmer64::from_codes(&[0, 1, 2, 3, 0]); // ACGTA
+        assert!(sketch.estimate(km.canonical_value()) >= 2);
     }
 
     #[test]

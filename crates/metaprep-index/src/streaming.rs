@@ -22,7 +22,8 @@ use crate::fastqpart::ChunkRecord;
 use crate::{FastqPart, MerHist};
 use metaprep_io::stream::{StreamChunk, StreamChunker};
 use metaprep_io::{count_record_starts, count_records, parse_fastq, ChunkSpec, FastqError};
-use metaprep_kmer::{for_each_canonical_kmer, Kmer, Kmer128, Kmer64, MmerSpace};
+use metaprep_kmer::{fold_kmer_key, for_each_canonical_kmer, Kmer, Kmer128, Kmer64, MmerSpace};
+use metaprep_norm::{CountMinSketch, SketchParams};
 use metaprep_obs::{CounterKind, NoopRecorder, Recorder, SpanEvent};
 use rayon::prelude::*;
 use std::cell::RefCell;
@@ -55,15 +56,35 @@ thread_local! {
 /// scalar reference; both arms are differentially tested there and in
 /// the scalar-forced CI job).
 fn hist_of_store(store: &metaprep_io::ReadStore, space: MmerSpace, k: usize) -> Vec<u32> {
+    hist_of_store_sketched(store, space, k, None)
+}
+
+/// [`hist_of_store`] with an optional count-min sketch fed from the same
+/// canonical-k-mer enumeration: the presolve frequency sketch rides the
+/// scan that already exists instead of costing a second pass. Keys are the
+/// packed canonical value for `k <= 32` and [`fold_kmer_key`] above that —
+/// the same derivation KmerGen's `HighFreqFilter` probes with.
+fn hist_of_store_sketched(
+    store: &metaprep_io::ReadStore,
+    space: MmerSpace,
+    k: usize,
+    mut sketch: Option<&mut CountMinSketch>,
+) -> Vec<u32> {
     let mut hist = vec![0u32; space.bins()];
     for (seq, _) in store.iter() {
         if k <= 32 {
             for_each_canonical_kmer::<Kmer64>(seq, k, |v, _| {
                 hist[space.bin_of(Kmer64::repr_to_u128(v)) as usize] += 1;
+                if let Some(s) = sketch.as_deref_mut() {
+                    s.add(v);
+                }
             });
         } else {
             for_each_canonical_kmer::<Kmer128>(seq, k, |v, _| {
                 hist[space.bin_of(v) as usize] += 1;
+                if let Some(s) = sketch.as_deref_mut() {
+                    s.add(fold_kmer_key(v));
+                }
             });
         }
     }
@@ -180,6 +201,38 @@ fn par_count_records(
 /// count (from pass A) and are validated against it; unpaired chunks are
 /// counted here with the strict 4-line counter, exactly as
 /// `chunk_fastq_bytes` does in memory.
+fn chunk_hist(
+    path: &Path,
+    ch: &StreamChunk,
+    space: MmerSpace,
+    k: usize,
+    paired: bool,
+    sketch: Option<&mut CountMinSketch>,
+) -> Result<(u64, Vec<u32>), FastqError> {
+    CHUNK_BUF.with(|b| {
+        let mut buf = b.borrow_mut();
+        let mut f = File::open(path)?;
+        StreamChunker::read_range_into(&mut f, ch.offset, ch.offset + ch.bytes, &mut buf)?;
+        let n = if paired {
+            ch.seqs
+        } else {
+            count_records(&buf).map_err(|e| offset_record(e, ch.first_seq))? as u64
+        };
+        let store = parse_fastq(&buf[..], false).map_err(|e| offset_record(e, ch.first_seq))?;
+        if store.len() as u64 != n {
+            return Err(FastqError::Malformed {
+                record: ch.first_seq as usize + store.len(),
+                what: format!(
+                    "chunk at byte {} parsed {} records but the chunker counted {n}",
+                    ch.offset,
+                    store.len()
+                ),
+            });
+        }
+        Ok((n, hist_of_store_sketched(&store, space, k, sketch)))
+    })
+}
+
 fn par_histogram(
     path: &Path,
     chunks: &[StreamChunk],
@@ -191,39 +244,72 @@ fn par_histogram(
     let results: Vec<Result<(u64, Vec<u32>), FastqError>> = pool.install(|| {
         chunks
             .par_iter()
-            .map(|ch| {
-                CHUNK_BUF.with(|b| {
-                    let mut buf = b.borrow_mut();
-                    let mut f = File::open(path)?;
-                    StreamChunker::read_range_into(
-                        &mut f,
-                        ch.offset,
-                        ch.offset + ch.bytes,
-                        &mut buf,
-                    )?;
-                    let n = if paired {
-                        ch.seqs
-                    } else {
-                        count_records(&buf).map_err(|e| offset_record(e, ch.first_seq))? as u64
-                    };
-                    let store =
-                        parse_fastq(&buf[..], false).map_err(|e| offset_record(e, ch.first_seq))?;
-                    if store.len() as u64 != n {
-                        return Err(FastqError::Malformed {
-                            record: ch.first_seq as usize + store.len(),
-                            what: format!(
-                                "chunk at byte {} parsed {} records but the chunker counted {n}",
-                                ch.offset,
-                                store.len()
-                            ),
-                        });
-                    }
-                    Ok((n, hist_of_store(&store, space, k)))
-                })
-            })
+            .map(|ch| chunk_hist(path, ch, space, k, paired, None))
             .collect()
     });
     results.into_iter().collect()
+}
+
+/// [`par_histogram`] fused with the presolve frequency sketch: chunks are
+/// dealt round-robin into one share per pool worker, each share is scanned
+/// sequentially into its own sketch (conservative updates need exclusive
+/// counters), and the worker sketches are fold-merged at the end. The
+/// share count comes from the pool's configured thread count, so for an
+/// explicitly-sized pool the merged sketch is a pure function of the input
+/// and the thread *setting*, not of scheduling.
+#[allow(clippy::type_complexity)]
+fn par_histogram_sketched(
+    path: &Path,
+    chunks: &[StreamChunk],
+    space: MmerSpace,
+    k: usize,
+    paired: bool,
+    pool: &rayon::ThreadPool,
+    params: SketchParams,
+) -> Result<(Vec<(u64, Vec<u32>)>, CountMinSketch), FastqError> {
+    let workers = pool.current_num_threads().max(1);
+    let shares: Vec<Vec<usize>> = (0..workers.min(chunks.len()).max(1))
+        .map(|w| {
+            (w..chunks.len())
+                .step_by(workers.min(chunks.len()).max(1))
+                .collect()
+        })
+        .collect();
+    type ShareOut = (Vec<(usize, u64, Vec<u32>)>, CountMinSketch);
+    let results: Vec<Result<ShareOut, FastqError>> = pool.install(|| {
+        shares
+            .par_iter()
+            .map(|idxs| {
+                let mut sketch = params.build();
+                let mut rows = Vec::with_capacity(idxs.len());
+                for &i in idxs {
+                    let (n, hist) =
+                        chunk_hist(path, &chunks[i], space, k, paired, Some(&mut sketch))?;
+                    rows.push((i, n, hist));
+                }
+                Ok((rows, sketch))
+            })
+            .collect()
+    });
+    let mut merged = params.build();
+    let mut rows: Vec<Option<(u64, Vec<u32>)>> = vec![None; chunks.len()];
+    for r in results {
+        let (share_rows, sketch) = r?;
+        // Saturating counter addition is associative and commutative, so
+        // the fold order cannot change the merged sketch.
+        merged.merge(&sketch);
+        for (i, n, hist) in share_rows {
+            rows[i] = Some((n, hist));
+        }
+    }
+    let rows = rows
+        .into_iter()
+        .map(|r| {
+            // UNWRAP: the shares above cover every chunk index exactly once.
+            r.unwrap()
+        })
+        .collect();
+    Ok((rows, merged))
 }
 
 /// Streaming, thread-parallel IndexCreate over a FASTQ file. Produces the
@@ -255,6 +341,27 @@ pub fn index_fastq_file_streaming_recorded(
     opts: StreamingOptions,
     rec: &dyn Recorder,
 ) -> Result<(MerHist, FastqPart, u64), FastqError> {
+    let (mh, fp, total, _) =
+        index_fastq_file_streaming_sketched_recorded(path, paired, c, k, m, opts, None, rec)?;
+    Ok((mh, fp, total))
+}
+
+/// [`index_fastq_file_streaming_recorded`] that optionally builds the
+/// presolve count-min sketch during the same parallel histogram fan-out
+/// (`sketch_params = Some(..)`), returning it alongside the tables. The
+/// tables are byte-identical whether or not sketching is on; the sketch
+/// simply rides the scan.
+#[allow(clippy::too_many_arguments)]
+pub fn index_fastq_file_streaming_sketched_recorded(
+    path: impl AsRef<Path>,
+    paired: bool,
+    c: usize,
+    k: usize,
+    m: usize,
+    opts: StreamingOptions,
+    sketch_params: Option<SketchParams>,
+    rec: &dyn Recorder,
+) -> Result<(MerHist, FastqPart, u64, Option<CountMinSketch>), FastqError> {
     let path = path.as_ref();
     let space = MmerSpace::new(k, m);
     let clock = rec.clock();
@@ -298,7 +405,14 @@ pub fn index_fastq_file_streaming_recorded(
     span("index-chunking", t0, clock.now_ns());
 
     let t0 = clock.now_ns();
-    let per_chunk = par_histogram(path, &chunks, space, k, paired, &pool)?;
+    let (per_chunk, sketch) = match sketch_params {
+        Some(params) => {
+            let (rows, sk) =
+                par_histogram_sketched(path, &chunks, space, k, paired, &pool, params)?;
+            (rows, Some(sk))
+        }
+        None => (par_histogram(path, &chunks, space, k, paired, &pool)?, None),
+    };
     span("index-histogram", t0, clock.now_ns());
 
     // Sequential stitch: prefix-sum first_seq (unpaired) and narrow to the
@@ -321,7 +435,7 @@ pub fn index_fastq_file_streaming_recorded(
     if rec.enabled() {
         rec.record_counter(0, CounterKind::ChunkRecordsStreamed, total_seqs);
     }
-    Ok((merhist, fastqpart, total_seqs))
+    Ok((merhist, fastqpart, total_seqs, sketch))
 }
 
 #[cfg(test)]
@@ -398,6 +512,53 @@ mod tests {
             assert_eq!(got.0, want.0, "merhist c={c}");
             assert_eq!(got.1, want.1, "fastqpart c={c}");
             assert_eq!(got.2, want.2, "total c={c}");
+        }
+    }
+
+    #[test]
+    fn sketched_streaming_matches_unsketched_tables() {
+        let store = sample_store(31);
+        let mut bytes = Vec::new();
+        write_fastq(&mut bytes, &store).unwrap();
+        let path = write_temp("sketched.fastq", &bytes);
+        let params = SketchParams {
+            width: 1 << 12,
+            depth: 3,
+            seed: 21,
+        };
+        for threads in [1, 3] {
+            let opts = StreamingOptions { window: 0, threads };
+            let (mh, fp, total) = index_fastq_file_streaming(&path, false, 6, 11, 4, opts).unwrap();
+            let (smh, sfp, stotal, sketch) = index_fastq_file_streaming_sketched_recorded(
+                &path,
+                false,
+                6,
+                11,
+                4,
+                opts,
+                Some(params),
+                &NoopRecorder::new(),
+            )
+            .unwrap();
+            assert_eq!(mh, smh, "threads={threads}");
+            assert_eq!(fp, sfp, "threads={threads}");
+            assert_eq!(total, stotal, "threads={threads}");
+            let sketch = sketch.unwrap();
+            // The fused sketch saw exactly the k-mers the histogram counted:
+            // estimates never under-count, and with one worker the stream
+            // order matches the in-memory fused build exactly.
+            assert!(sketch.fill_ratio_permille() > 0);
+            if threads == 1 {
+                let (_, reference) = MerHist::build_sketched(&store, 11, 4, params);
+                let mut probe = 1u64;
+                for _ in 0..64 {
+                    probe = probe.wrapping_mul(6364136223846793005).wrapping_add(7);
+                    assert_eq!(
+                        sketch.estimate(probe & ((1 << 22) - 1)),
+                        reference.estimate(probe & ((1 << 22) - 1))
+                    );
+                }
+            }
         }
     }
 

@@ -202,6 +202,30 @@ macro_rules! impl_kmer {
 impl_kmer!(Kmer64, u64, 32);
 impl_kmer!(Kmer128, u128, 63);
 
+/// Fold a packed k-mer value into the `u64` key space of the count-min
+/// presolve sketch.
+///
+/// For `k <= 32` the packed value already fits in 64 bits and is returned
+/// unchanged — distinct k-mers stay distinct, so the only estimation error
+/// is the sketch's own. For wider k-mers the high word is passed through a
+/// SplitMix64 finalizer before xoring with the low word, so k-mers that
+/// share a 32-base suffix (identical low words) or differ only in word
+/// order still land on well-spread keys. Folding 126 bits into 64 can
+/// collide, but a collision only ever *raises* an estimate — the filter's
+/// no-false-negative guarantee is unaffected.
+#[inline]
+pub fn fold_kmer_key(v: u128) -> u64 {
+    let lo = v as u64;
+    let hi = (v >> 64) as u64;
+    if hi == 0 {
+        return lo;
+    }
+    let mut z = hi.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    (z ^ (z >> 31)) ^ lo
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +331,29 @@ mod tests {
         assert_eq!(km.prefix_bin(km.value(), 2), 0b0001);
         // m = k -> whole value
         assert_eq!(km.prefix_bin(km.value(), 8), km.value() as u32);
+    }
+
+    #[test]
+    fn fold_kmer_key_is_identity_for_narrow_kmers() {
+        for s in [&b"ACGT"[..], b"GATTACA", b"TTTT"] {
+            let km = Kmer64::from_codes(&codes(s));
+            assert_eq!(fold_kmer_key(km.value() as u128), km.value());
+        }
+        // Any value fitting 64 bits folds to itself.
+        assert_eq!(fold_kmer_key(u64::MAX as u128), u64::MAX);
+    }
+
+    #[test]
+    fn fold_kmer_key_separates_shared_suffixes() {
+        // Wide k-mers sharing their entire low word must not fold to the
+        // same key just because only high-word bits differ.
+        let lo = 0x0123_4567_89AB_CDEFu128;
+        let a = fold_kmer_key((1u128 << 64) | lo);
+        let b = fold_kmer_key((2u128 << 64) | lo);
+        let c = fold_kmer_key(lo);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
     }
 
     #[test]

@@ -15,5 +15,5 @@
 pub mod countmin;
 pub mod normalize;
 
-pub use countmin::CountMinSketch;
+pub use countmin::{CountMinSketch, HighFreqFilter, SketchParams};
 pub use normalize::{normalize, NormalizeConfig, NormalizeResult};

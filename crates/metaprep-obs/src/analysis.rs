@@ -195,6 +195,29 @@ impl FaultTotals {
     }
 }
 
+/// Presolve-tier and pass-planner totals
+/// ([`TraceAnalysis::presolve_totals`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PresolveTotals {
+    /// Pass count the run executed (planner-chosen or configured).
+    pub planned_passes: u64,
+    /// The `--memory-budget` the planner solved for (0 = none set).
+    pub budget_bytes: u64,
+    /// Occupancy of the count-min sketch, in permille of its cells.
+    pub sketch_fill_permille: u64,
+    /// K-mer occurrences dropped before tuple generation, all tasks.
+    pub dropped_kmers: u64,
+}
+
+impl PresolveTotals {
+    /// True when the probabilistic memory tier or the budget planner was
+    /// actually engaged (the pass count alone says nothing — every run
+    /// has one).
+    pub fn any(&self) -> bool {
+        self.budget_bytes > 0 || self.sketch_fill_permille > 0 || self.dropped_kmers > 0
+    }
+}
+
 /// A fully-reconstructed trace, ready for querying.
 #[derive(Clone, Debug)]
 pub struct TraceAnalysis {
@@ -777,6 +800,17 @@ impl TraceAnalysis {
         }
     }
 
+    /// Presolve-tier and planner totals recorded in the trace. All zero
+    /// when neither `--memory-budget` nor `--presolve` was used.
+    pub fn presolve_totals(&self) -> PresolveTotals {
+        PresolveTotals {
+            planned_passes: self.counter_sum(CounterKind::PlannedPasses),
+            budget_bytes: self.counter_sum(CounterKind::MemBudgetBytes),
+            sketch_fill_permille: self.counter_sum(CounterKind::SketchFillPermille),
+            dropped_kmers: self.counter_sum(CounterKind::PresolveDroppedKmers),
+        }
+    }
+
     /// Per-task restart counts, for naming the ranks that recovered.
     pub fn restarts_by_task(&self) -> Vec<(u32, u64)> {
         self.counters
@@ -924,6 +958,24 @@ impl TraceAnalysis {
             for (task, n) in self.restarts_by_task() {
                 let _ = writeln!(out, "    task {task} restarted {n} time(s)");
             }
+        }
+
+        let presolve = self.presolve_totals();
+        if presolve.any() {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "presolve & pass planning");
+            let _ = writeln!(out, "  planned passes      {:>12}", presolve.planned_passes);
+            if presolve.budget_bytes > 0 {
+                let _ = writeln!(out, "  memory budget (B)   {:>12}", presolve.budget_bytes);
+            }
+            if presolve.sketch_fill_permille > 0 {
+                let _ = writeln!(
+                    out,
+                    "  sketch fill (\u{2030})    {:>12}",
+                    presolve.sketch_fill_permille
+                );
+            }
+            let _ = writeln!(out, "  k-mers presolved    {:>12}", presolve.dropped_kmers);
         }
 
         let gantt = self.gantt_rows(64);
@@ -1190,6 +1242,43 @@ mod tests {
         let report = a.render_report(3);
         assert!(report.contains("fault injection & recovery"));
         assert!(report.contains("task 1 restarted 1 time(s)"));
+    }
+
+    #[test]
+    fn presolve_totals_sum_and_render() {
+        let counter = |task, kind, value| Event::Counter { task, kind, value };
+        let a = TraceAnalysis::from_events(&[
+            Event::Meta { tasks: 2 },
+            span(0, "KmerGen", 0, 100),
+            counter(0, CounterKind::PlannedPasses, 3),
+            counter(0, CounterKind::MemBudgetBytes, 1 << 20),
+            counter(0, CounterKind::SketchFillPermille, 17),
+            counter(0, CounterKind::PresolveDroppedKmers, 40),
+            counter(1, CounterKind::PresolveDroppedKmers, 2),
+        ]);
+        let p = a.presolve_totals();
+        assert_eq!(
+            p,
+            PresolveTotals {
+                planned_passes: 3,
+                budget_bytes: 1 << 20,
+                sketch_fill_permille: 17,
+                dropped_kmers: 42,
+            }
+        );
+        assert!(p.any());
+        let report = a.render_report(3);
+        assert!(report.contains("presolve & pass planning"));
+        assert!(report.contains("42"));
+        // A run without the tier renders no presolve section even though
+        // it still reports a pass count.
+        let plain = TraceAnalysis::from_events(&[
+            Event::Meta { tasks: 1 },
+            span(0, "KmerGen", 0, 100),
+            counter(0, CounterKind::PlannedPasses, 2),
+        ]);
+        assert!(!plain.presolve_totals().any());
+        assert!(!plain.render_report(3).contains("presolve & pass planning"));
     }
 
     #[test]

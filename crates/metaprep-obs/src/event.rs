@@ -32,6 +32,11 @@ pub const CHECKPOINT: &str = "checkpoint";
 /// [`CHECKPOINT`].
 pub const TASK_RESTART: &str = "task-restart";
 
+/// Span name covering the driver-side adaptive pass planning (memory-model
+/// inversion + plan-artifact persistence). Driver span like
+/// [`INDEX_CREATE`]; not in [`STEP_NAMES`].
+pub const PASS_PLAN: &str = "pass-plan";
+
 /// One recorded interval: `step × task × pass`, with start/end timestamps
 /// in nanoseconds against the run-relative monotonic clock.
 ///
@@ -166,6 +171,10 @@ counter_kinds! {
     RetryAttempts => "retry_attempts",
     CheckpointWrites => "checkpoint_writes",
     TaskRestarts => "task_restarts",
+    SketchFillPermille => "sketch_fill_permille",
+    PresolveDroppedKmers => "presolve_dropped_kmers",
+    PlannedPasses => "planned_passes",
+    MemBudgetBytes => "mem_budget_bytes",
 }
 
 impl CounterKind {

@@ -38,7 +38,7 @@ pub mod json;
 pub mod rec;
 pub mod report;
 
-pub use analysis::{FaultTotals, TraceAnalysis};
+pub use analysis::{FaultTotals, PresolveTotals, TraceAnalysis};
 pub use event::{CounterKind, EdgeDir, EdgeEvent, Event, SpanEvent};
 pub use rec::{MemRecorder, NoopRecorder, OpenSpan, Recorder, RunClock, TaskObs};
 pub use report::RunSummary;

@@ -260,6 +260,28 @@ impl RunSummary {
             }
         }
 
+        let presolve = [
+            (CounterKind::PlannedPasses, "planned passes"),
+            (CounterKind::MemBudgetBytes, "memory budget (B)"),
+            (CounterKind::SketchFillPermille, "sketch fill (permille)"),
+            (CounterKind::PresolveDroppedKmers, "k-mers presolved away"),
+        ];
+        // `planned_passes` alone (every run plans) is not worth a section;
+        // the budget/sketch/drop counters only exist when the tier is on.
+        if presolve[1..]
+            .iter()
+            .any(|&(k, _)| self.counter_total(k) > 0)
+        {
+            let _ = writeln!(out);
+            let _ = writeln!(out, "presolve & pass planning");
+            for (k, label) in presolve {
+                let v = self.counter_total(k);
+                if v > 0 {
+                    let _ = writeln!(out, "  {label:<24} {v:>16}");
+                }
+            }
+        }
+
         if !self.other_ns.is_empty() {
             let _ = writeln!(out);
             let _ = writeln!(out, "other instrumented phases (summed, s)");
@@ -372,6 +394,35 @@ mod tests {
         assert_eq!(s.index_create_ns, 1_000);
         assert_eq!(s.pipeline_task_ns(), vec![0]);
         assert!(s.render().contains("alltoall-stage"));
+    }
+
+    #[test]
+    fn presolve_counters_render_their_own_section() {
+        let counter = |kind, value| Event::Counter {
+            task: 0,
+            kind,
+            value,
+        };
+        let events = vec![
+            Event::Meta { tasks: 1 },
+            counter(CounterKind::PlannedPasses, 3),
+            counter(CounterKind::MemBudgetBytes, 1 << 20),
+            counter(CounterKind::SketchFillPermille, 42),
+            counter(CounterKind::PresolveDroppedKmers, 999),
+        ];
+        let text = RunSummary::from_events(&events).render();
+        assert!(text.contains("presolve & pass planning"));
+        assert!(text.contains("planned passes"));
+        assert!(text.contains("k-mers presolved away"));
+        assert!(text.contains("999"));
+        // The pass count alone (every run plans) does not open the section.
+        let plain = vec![
+            Event::Meta { tasks: 1 },
+            counter(CounterKind::PlannedPasses, 2),
+        ];
+        assert!(!RunSummary::from_events(&plain)
+            .render()
+            .contains("presolve & pass planning"));
     }
 
     #[test]

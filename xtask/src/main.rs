@@ -12,7 +12,8 @@
 //!   `target/BENCH_index.json`, then runs the `trace_smoke` experiment,
 //!   which emits a Chrome `trace_event` run trace
 //!   (`target/BENCH_trace.json` + `.jsonl`) and schema-validates it,
-//!   then the `sort_throughput`, `kmergen` and `loom_dpor` experiments
+//!   then the `sort_throughput`, `kmergen`, `loom_dpor`, `faults` and
+//!   `presolve` experiments
 //!   (`target/BENCH_sort.json` gated on the fused-LocalSort ratio,
 //!   `target/BENCH_kmergen.json` gated on the dispatched-SIMD-vs-scalar
 //!   KmerGen ratio when a vector backend is active, `target/BENCH_loom.json`
@@ -478,6 +479,70 @@ fn run_bench_smoke() -> ExitCode {
     }
     eprintln!("xtask bench-smoke: ok ({})", faults.display());
 
+    // Probabilistic presolve: the experiment picks a threshold from
+    // exact k-mer counts, runs baseline vs presolve with identical
+    // geometry, and asserts conservation + reductions itself; the gates
+    // here re-check the reported reductions from the JSON — the tier
+    // must cut the deterministic peak (max packed tuple bytes resident
+    // on any task in any pass) by >= 20% and measurably shrink tuple
+    // volume, or the claim in DESIGN.md §11 has regressed.
+    let presolve = root.join("target").join("BENCH_presolve.json");
+    std::fs::remove_file(&presolve).ok();
+    eprintln!("== xtask: bench smoke (presolve) ==");
+    let status = Command::new("cargo")
+        .args([
+            "run",
+            "--release",
+            "-p",
+            "metaprep-bench",
+            "--bin",
+            "exp_presolve",
+        ])
+        .env("METAPREP_SCALE", "0.05")
+        .env("METAPREP_BENCH_OUT", &presolve)
+        .status();
+    if !matches!(status, Ok(s) if s.success()) {
+        eprintln!("xtask bench-smoke: exp_presolve failed");
+        return ExitCode::FAILURE;
+    }
+    let Ok(pjson) = std::fs::read_to_string(&presolve) else {
+        eprintln!("xtask bench-smoke: {} was not written", presolve.display());
+        return ExitCode::FAILURE;
+    };
+    for needle in ["\"presolve\"", "\"threshold\"", "\"budget-planned\""] {
+        if !pjson.contains(needle) {
+            eprintln!("xtask bench-smoke: {} missing {needle}", presolve.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    match json_number(&pjson, "\"peak_reduction_pct\"") {
+        Some(pctg) if pctg >= 20.0 => {}
+        Some(pctg) => {
+            eprintln!(
+                "xtask bench-smoke: presolve cut peak tuple bytes only {pctg:.1}% (need >= 20%)"
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!(
+                "xtask bench-smoke: peak_reduction_pct missing from {}",
+                presolve.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    match json_number(&pjson, "\"tuple_reduction_pct\"") {
+        Some(pctg) if pctg > 0.0 => {}
+        _ => {
+            eprintln!(
+                "xtask bench-smoke: presolve did not shrink tuple volume \
+                 (tuple_reduction_pct must be > 0)"
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    eprintln!("xtask bench-smoke: ok ({})", presolve.display());
+
     // Causal trace analysis: `metaprep analyze` must digest the JSONL
     // trace the smoke just wrote — schema problems, unmatched edges, or
     // an empty critical path all exit non-zero under --strict. The text
@@ -581,6 +646,20 @@ const BENCH_METRICS: &[BenchMetric] = &[
         key: "\"task_restarts_total\"",
         higher_is_better: true,
         gate: 2.0,
+        gate_waiver: None,
+    },
+    BenchMetric {
+        artifact: "BENCH_presolve.json",
+        key: "\"peak_reduction_pct\"",
+        higher_is_better: true,
+        gate: 20.0,
+        gate_waiver: None,
+    },
+    BenchMetric {
+        artifact: "BENCH_presolve.json",
+        key: "\"tuple_reduction_pct\"",
+        higher_is_better: true,
+        gate: 0.1,
         gate_waiver: None,
     },
 ];
@@ -1278,6 +1357,47 @@ mod tests {
             "crates/metaprep-core/src/checkpoint.rs",
         ] {
             let text = std::fs::read_to_string(root.join(rel)).expect("read fault-plane source");
+            let mut findings = Vec::new();
+            lint_file(Path::new(rel), &text, &mut findings);
+            assert!(
+                findings.is_empty(),
+                "{rel} must pass the custom lints: {:?}",
+                findings
+                    .iter()
+                    .map(|f| format!("{}:{}", f.line, f.lint))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn presolve_modules_covered_by_pipeline_lints() {
+        // The probabilistic presolve tier spans `metaprep-norm` (the
+        // count-min sketch), `metaprep-index` (the sketched streaming
+        // scan) and `metaprep-core` (the adaptive pass planner) — all
+        // pipeline crates, so the ordering and unwrap/expect gates apply.
+        for rel in [
+            "crates/metaprep-norm/src/countmin.rs",
+            "crates/metaprep-index/src/streaming.rs",
+            "crates/metaprep-core/src/planner.rs",
+        ] {
+            assert!(is_pipeline_src(rel), "{rel} must be pipeline source");
+            let hits = lint_str(rel, "fn f() { g().unwrap(); }\n");
+            assert_eq!(hits, vec!["no-bare-unwrap:1"], "{rel}");
+        }
+    }
+
+    #[test]
+    fn on_disk_presolve_sources_pass_the_lint() {
+        // End-to-end pin, like the fault-plane one above: the real
+        // presolve/planner sources must stay clean under the custom lints.
+        let root = workspace_root();
+        for rel in [
+            "crates/metaprep-norm/src/countmin.rs",
+            "crates/metaprep-index/src/streaming.rs",
+            "crates/metaprep-core/src/planner.rs",
+        ] {
+            let text = std::fs::read_to_string(root.join(rel)).expect("read presolve source");
             let mut findings = Vec::new();
             lint_file(Path::new(rel), &text, &mut findings);
             assert!(
